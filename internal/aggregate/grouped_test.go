@@ -1,0 +1,218 @@
+package aggregate
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hippo/internal/conflict"
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+	"hippo/internal/repair"
+	"hippo/internal/value"
+)
+
+// fixture: readings(probe, reading, site) with FD probe -> reading; site
+// is the grouping column.
+func groupedDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New()
+	db.MustExec("CREATE TABLE m (probe INT, reading INT, site INT)")
+	db.MustExec(`INSERT INTO m VALUES
+		(1, 10, 100),
+		(1, 20, 100),
+		(2, 5, 100),
+		(3, 7, 200),
+		(4, 9, 200), (4, 11, 200)`)
+	return db
+}
+
+func groupedFD() constraint.FD {
+	return constraint.FD{Rel: "m", LHS: []string{"probe"}, RHS: []string{"reading"}}
+}
+
+func TestConsistentGroupedSum(t *testing.T) {
+	db := groupedDB(t)
+	res, err := ConsistentGrouped(db, GroupedQuery{
+		Query:   Query{Rel: "m", Fn: Sum, Attr: "reading", FD: groupedFD()},
+		GroupBy: []string{"site"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("groups = %v", res)
+	}
+	// site 100: probe1 ∈ {10,20}, probe2 = 5 → SUM ∈ [15, 25].
+	g0 := res[0]
+	if g0.Key[0] != value.Int(100) || g0.Range.Lower != value.Int(15) || g0.Range.Upper != value.Int(25) {
+		t.Errorf("site 100 = %v %v", g0.Key, g0.Range)
+	}
+	// site 200: probe3 = 7, probe4 ∈ {9,11} → SUM ∈ [16, 18].
+	g1 := res[1]
+	if g1.Key[0] != value.Int(200) || g1.Range.Lower != value.Int(16) || g1.Range.Upper != value.Int(18) {
+		t.Errorf("site 200 = %v %v", g1.Key, g1.Range)
+	}
+}
+
+func TestConsistentGroupedCountWithFilter(t *testing.T) {
+	db := groupedDB(t)
+	res, err := ConsistentGrouped(db, GroupedQuery{
+		Query:   Query{Rel: "m", Fn: Count, Where: "reading >= 10", FD: groupedFD()},
+		GroupBy: []string{"site"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// site 100: probe1's both variants ≥ 10 → count 1 always; probe2 never.
+	// site 200: probe4 has variants 9 and 11 → count ∈ [0, 1].
+	if len(res) != 2 {
+		t.Fatalf("groups = %v", res)
+	}
+	if res[0].Range.Lower != value.Int(1) || res[0].Range.Upper != value.Int(1) {
+		t.Errorf("site 100 count = %v", res[0].Range)
+	}
+	if res[1].Range.Lower != value.Int(0) || res[1].Range.Upper != value.Int(1) {
+		t.Errorf("site 200 count = %v", res[1].Range)
+	}
+	if !res[1].Range.MayBeEmpty {
+		t.Error("site 200 may lose all qualifying rows")
+	}
+}
+
+func TestConsistentGroupedValidation(t *testing.T) {
+	db := groupedDB(t)
+	if _, err := ConsistentGrouped(db, GroupedQuery{
+		Query: Query{Rel: "m", Fn: Sum, Attr: "reading", FD: groupedFD()},
+	}); err == nil {
+		t.Error("missing GroupBy should fail")
+	}
+	if _, err := ConsistentGrouped(db, GroupedQuery{
+		Query:   Query{Rel: "m", Fn: Sum, Attr: "reading", FD: groupedFD()},
+		GroupBy: []string{"zzz"},
+	}); err == nil {
+		t.Error("unknown group column should fail")
+	}
+	if _, err := ConsistentGrouped(db, GroupedQuery{
+		Query:   Query{Rel: "m", Fn: Sum, Attr: "reading", Where: "???", FD: groupedFD()},
+		GroupBy: []string{"site"},
+	}); err == nil {
+		t.Error("bad WHERE should fail")
+	}
+}
+
+// Randomized oracle check: per-group bounds match brute force over all
+// repairs.
+func TestGroupedRandomizedAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		db := engine.New()
+		db.MustExec("CREATE TABLE m (probe INT, reading INT, site INT)")
+		seen := map[string]bool{}
+		n := 5 + rng.Intn(5)
+		for len(seen) < n {
+			p, r, s := rng.Intn(3), rng.Intn(5), rng.Intn(2)
+			key := fmt.Sprintf("%d|%d|%d", p, r, s)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			db.MustExec(fmt.Sprintf("INSERT INTO m VALUES (%d, %d, %d)", p, r, s))
+		}
+		for _, fn := range []Func{Count, Sum, Min, Max} {
+			got, err := ConsistentGrouped(db, GroupedQuery{
+				Query:   Query{Rel: "m", Fn: fn, Attr: "reading", FD: groupedFD()},
+				GroupBy: []string{"site"},
+			})
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, fn, err)
+			}
+			want := groupedOracle(t, db, fn)
+			for _, g := range got {
+				site := g.Key[0].I
+				w, ok := want[site]
+				if !ok {
+					t.Errorf("trial %d %s: unexpected group %d", trial, fn, site)
+					continue
+				}
+				if !sameBound(g.Range.Lower, w.Lower) || !sameBound(g.Range.Upper, w.Upper) {
+					t.Errorf("trial %d %s site=%d: got %v, oracle %v",
+						trial, fn, site, g.Range, w)
+				}
+			}
+		}
+	}
+}
+
+// groupedOracle brute-forces per-site aggregate bounds over all repairs.
+func groupedOracle(t *testing.T, db *engine.DB, fn Func) map[int64]Range {
+	t.Helper()
+	h, _, _, err := conflict.NewDetector(db).Detect([]constraint.Constraint{groupedFD()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	repairs, err := (&repair.Enumerator{DB: db, H: h}).Materialize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All sites present in the original database; COUNT/SUM treat a
+	// repair without the site as 0 (the implementation's documented
+	// convention), MIN/MAX skip such repairs.
+	orig, err := db.Query("SELECT * FROM m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allSites := map[int64]bool{}
+	for _, row := range orig.Rows {
+		allSites[row[2].I] = true
+	}
+	acc := map[int64]*Range{}
+	for _, r := range repairs {
+		res, err := r.Query("SELECT * FROM m")
+		if err != nil {
+			t.Fatal(err)
+		}
+		bySite := map[int64][]float64{}
+		for _, row := range res.Rows {
+			bySite[row[2].I] = append(bySite[row[2].I], row[1].AsFloat())
+		}
+		for site := range allSites {
+			vals := bySite[site]
+			var v float64
+			switch fn {
+			case Count:
+				v = float64(len(vals))
+			case Sum:
+				for _, x := range vals {
+					v += x
+				}
+			case Min, Max:
+				if len(vals) == 0 {
+					continue // aggregate undefined in this repair
+				}
+				v = vals[0]
+				for _, x := range vals {
+					if (fn == Min && x < v) || (fn == Max && x > v) {
+						v = x
+					}
+				}
+			}
+			cur, ok := acc[site]
+			if !ok {
+				acc[site] = &Range{Lower: value.Float(v), Upper: value.Float(v)}
+				continue
+			}
+			if v < cur.Lower.AsFloat() {
+				cur.Lower = value.Float(v)
+			}
+			if v > cur.Upper.AsFloat() {
+				cur.Upper = value.Float(v)
+			}
+		}
+	}
+	out := map[int64]Range{}
+	for site, r := range acc {
+		out[site] = *r
+	}
+	return out
+}

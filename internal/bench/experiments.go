@@ -1,0 +1,396 @@
+package bench
+
+import (
+	"fmt"
+
+	"hippo/internal/constraint"
+	"hippo/internal/core"
+	"hippo/internal/engine"
+)
+
+// E1MoreInformation reproduces demonstration part 1: consistent query
+// answering extracts strictly more information than evaluating the query
+// over the database with all conflicting tuples removed.
+func E1MoreInformation(sc Scale) (Table, error) {
+	db := engine.New()
+	db.MustExec("CREATE TABLE person (name TEXT, city TEXT, age INT)")
+	db.MustExec(`INSERT INTO person VALUES
+		('smith', 'boston', 30), ('smith', 'albany', 30),
+		('jones', 'nyc', 40),
+		('brown', 'boston', 50), ('brown', 'boston', 55),
+		('davis', 'chicago', 25)`)
+	fd := constraint.FD{Rel: "person", LHS: []string{"name"}, RHS: []string{"city", "age"}}
+	sys := core.NewSystem(db, []constraint.Constraint{fd})
+	if _, err := sys.Analyze(); err != nil {
+		return Table{}, err
+	}
+
+	// The conflict-deletion baseline: drop every conflicting tuple.
+	clean := engine.New()
+	clean.MustExec("CREATE TABLE person (name TEXT, city TEXT, age INT)")
+	clean.MustExec("INSERT INTO person VALUES ('jones', 'nyc', 40), ('davis', 'chicago', 25)")
+
+	queries := []struct {
+		label, sql string
+	}{
+		{"σ: all persons", "SELECT * FROM person"},
+		{"U: boston-or-not union", "SELECT * FROM person WHERE city = 'boston' UNION SELECT * FROM person WHERE city <> 'boston'"},
+		{"σ: age 30 exactly", "SELECT * FROM person WHERE age = 30"},
+		{"U: smith somewhere", "SELECT * FROM person WHERE name = 'smith' AND city = 'boston' UNION SELECT * FROM person WHERE name = 'smith' AND city <> 'boston'"},
+	}
+	t := Table{
+		ID:     "E1",
+		Title:  "Consistent answers vs. deleting conflicting tuples (demo part 1)",
+		Header: []string{"query", "CQA answers", "conflict-deletion answers", "plain SQL rows"},
+		Notes: "CQA never returns fewer certain tuples than conflict deletion. The registry-union " +
+			"row is the strict win: a record present in both registries conflicts with itself across " +
+			"them (exclusion constraint), so every repair keeps exactly one copy — the union " +
+			"certainly contains it, yet conflict deletion erases both copies. Plain SQL always " +
+			"over-reports tuples that vanish in some repair.",
+	}
+	for _, q := range queries {
+		res, _, err := sys.ConsistentQuery(q.sql, core.Options{})
+		if err != nil {
+			return t, err
+		}
+		del, err := clean.Query(q.sql)
+		if err != nil {
+			return t, err
+		}
+		plain, err := db.Query(q.sql)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			q.label,
+			fmt.Sprint(len(res.Rows)),
+			fmt.Sprint(len(del.Rows)),
+			fmt.Sprint(len(plain.Rows)),
+		})
+	}
+
+	// The strict-win scenario: the same record appears in two registries
+	// that an exclusion constraint declares mutually exclusive. Every
+	// repair keeps exactly one copy, so the union query certainly contains
+	// the record — but conflict deletion removes both copies and loses it.
+	db2 := engine.New()
+	db2.MustExec("CREATE TABLE staff (pid INT, nm TEXT)")
+	db2.MustExec("CREATE TABLE extern (pid INT, nm TEXT)")
+	db2.MustExec("INSERT INTO staff VALUES (1, 'ann'), (2, 'bob')")
+	db2.MustExec("INSERT INTO extern VALUES (1, 'ann'), (3, 'eve')")
+	excl, err := constraint.ParseDenial("staff s, extern x WHERE s.pid = x.pid")
+	if err != nil {
+		return t, err
+	}
+	sys2 := core.NewSystem(db2, []constraint.Constraint{excl})
+	unionSQL := "SELECT * FROM staff UNION SELECT * FROM extern"
+	res, _, err := sys2.ConsistentQuery(unionSQL, core.Options{})
+	if err != nil {
+		return t, err
+	}
+	clean2 := engine.New()
+	clean2.MustExec("CREATE TABLE staff (pid INT, nm TEXT)")
+	clean2.MustExec("CREATE TABLE extern (pid INT, nm TEXT)")
+	clean2.MustExec("INSERT INTO staff VALUES (2, 'bob')")
+	clean2.MustExec("INSERT INTO extern VALUES (3, 'eve')")
+	del, err := clean2.Query(unionSQL)
+	if err != nil {
+		return t, err
+	}
+	plain, err := db2.Query(unionSQL)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{
+		"U: registry union (strict win)",
+		fmt.Sprint(len(res.Rows)), fmt.Sprint(len(del.Rows)), fmt.Sprint(len(plain.Rows)),
+	})
+	return t, nil
+}
+
+// E2Expressiveness reproduces demonstration part 2: the query classes and
+// constraint classes each approach supports.
+func E2Expressiveness(sc Scale) (Table, error) {
+	db := engine.New()
+	db.MustExec("CREATE TABLE emp (id INT, dept INT, salary INT)")
+	db.MustExec("CREATE TABLE mgr (id INT, bonus INT)")
+	db.MustExec("INSERT INTO emp VALUES (1, 10, 100)")
+	db.MustExec("INSERT INTO mgr VALUES (1, 5)")
+
+	supports := func(cs []constraint.Constraint, sql string) (string, string, error) {
+		sys := core.NewSystem(db, cs)
+		sup, err := sys.Support(sql)
+		if err != nil {
+			return "", "", err
+		}
+		mark := func(e error) string {
+			if e == nil {
+				return "yes"
+			}
+			return "no"
+		}
+		return mark(sup.Hippo), mark(sup.Rewrite), nil
+	}
+
+	fdOnly := []constraint.Constraint{
+		constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}},
+	}
+	ternary, err := constraint.ParseDenial(
+		"emp x, emp y, emp z WHERE x.id = y.id AND y.id = z.id AND x.salary + y.salary < z.salary")
+	if err != nil {
+		return Table{}, err
+	}
+	cases := []struct {
+		class string
+		cs    []constraint.Constraint
+		csTxt string
+		sql   string
+	}{
+		{"S (selection)", fdOnly, "FD", "SELECT * FROM emp WHERE salary > 50"},
+		{"SJ (join)", fdOnly, "FD", "SELECT * FROM emp e, mgr m WHERE e.id = m.id"},
+		{"SJD (difference)", fdOnly, "FD", "SELECT * FROM emp EXCEPT SELECT * FROM emp WHERE salary > 50"},
+		{"SJU (union)", fdOnly, "FD", "SELECT * FROM emp UNION SELECT * FROM emp WHERE salary > 50"},
+		{"SJUD (all)", fdOnly, "FD", "SELECT * FROM emp EXCEPT SELECT * FROM emp WHERE dept = 9 UNION SELECT * FROM emp WHERE salary > 50"},
+		{"safe P (permutation)", fdOnly, "FD", "SELECT salary, dept, id FROM emp"},
+		{"unsafe P (∃-projection)", fdOnly, "FD", "SELECT id FROM emp"},
+		{"S + ternary denial", []constraint.Constraint{ternary}, "ternary denial", "SELECT * FROM emp WHERE salary > 50"},
+	}
+	t := Table{
+		ID:     "E2",
+		Title:  "Expressiveness: supported query/constraint classes (demo part 2)",
+		Header: []string{"query class", "constraints", "Hippo", "query rewriting"},
+		Notes: "Hippo handles full SJUD + denial constraints of any arity; rewriting is " +
+			"restricted to SJD with binary constraints. Neither handles projections that " +
+			"introduce existential quantifiers (paper footnote 4); Hippo reports them upfront.",
+	}
+	for _, c := range cases {
+		h, r, err := supports(c.cs, c.sql)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{c.class, c.csTxt, h, r})
+	}
+	return t, nil
+}
+
+// E3TimeVsSize sweeps database size for a selection query, comparing plain
+// SQL, query rewriting, and Hippo (demo part 3 / companion study).
+func E3TimeVsSize(sc Scale) (Table, error) {
+	t := Table{
+		ID:    "E3",
+		Title: "Selection query: time vs database size (2% conflicts)",
+		Header: []string{"n", "rows", "edges", "SQL ms", "QR ms", "Hippo ms",
+			"Hippo eval ms", "Hippo prover ms", "candidates", "answers"},
+		Notes: "Query: " + selectionQuery + ". All three agree on answers within the SJD class; " +
+			"Hippo's overhead over plain SQL stays a small constant factor, and Hippo tracks QR closely.",
+	}
+	for _, n := range sc.Sizes {
+		sys, rep, err := empSystem(n, 0.02, 7)
+		if err != nil {
+			return t, err
+		}
+		run, err := compare(sys, selectionQuery, sc.Reps)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(rep.Rows), fmt.Sprint(sys.Hypergraph().NumEdges()),
+			ms(run.SQL), ms(run.QR), ms(run.Hippo),
+			ms(run.HippoEval), ms(run.HippoProve),
+			fmt.Sprint(run.Candidates), fmt.Sprint(run.Answers),
+		})
+	}
+	return t, nil
+}
+
+// E4TimeVsConflicts fixes the size and sweeps the conflict rate.
+func E4TimeVsConflicts(sc Scale) (Table, error) {
+	t := Table{
+		ID:    "E4",
+		Title: fmt.Sprintf("Selection query: time vs conflict rate (n=%d)", sc.N),
+		Header: []string{"conflict rate", "edges", "SQL ms", "QR ms", "Hippo ms",
+			"Hippo prover ms", "candidates", "answers"},
+		Notes: "Hippo's prover cost grows with the number of conflicts while plain SQL is flat; " +
+			"the hypergraph keeps the growth polynomial.",
+	}
+	for _, rate := range sc.Rates {
+		sys, _, err := empSystem(sc.N, rate, 11)
+		if err != nil {
+			return t, err
+		}
+		run, err := compare(sys, selectionQuery, sc.Reps)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f%%", rate*100), fmt.Sprint(sys.Hypergraph().NumEdges()),
+			ms(run.SQL), ms(run.QR), ms(run.Hippo), ms(run.HippoProve),
+			fmt.Sprint(run.Candidates), fmt.Sprint(run.Answers),
+		})
+	}
+	return t, nil
+}
+
+// E5JoinQuery sweeps size for a join query (fact ⋈ clean dimension).
+func E5JoinQuery(sc Scale) (Table, error) {
+	t := Table{
+		ID:    "E5",
+		Title: "Join query: time vs database size (2% conflicts)",
+		Header: []string{"n", "SQL ms", "QR ms", "Hippo ms", "Hippo prover ms",
+			"candidates", "answers"},
+		Notes: "Query: emp ⋈ dept with a salary filter. The clean dimension adds join work for " +
+			"all strategies but no new conflicts.",
+	}
+	for _, n := range sc.Sizes {
+		sys, _, err := empSystem(n, 0.02, 13)
+		if err != nil {
+			return t, err
+		}
+		run, err := compare(sys, joinQuery, sc.Reps)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), ms(run.SQL), ms(run.QR), ms(run.Hippo), ms(run.HippoProve),
+			fmt.Sprint(run.Candidates), fmt.Sprint(run.Answers),
+		})
+	}
+	return t, nil
+}
+
+// E6ProverModes contrasts the naive prover (one engine query per
+// membership check) with the indexed prover on a difference query, the
+// paper's membership-check optimization claim.
+func E6ProverModes(sc Scale) (Table, error) {
+	// Cap the instance: the naive prover's per-check membership queries
+	// are deliberately expensive (full predicate evaluation per engine
+	// query, standing in for the paper's per-check RDBMS round trip).
+	n := sc.N
+	if n > 4000 {
+		n = 4000
+	}
+	t := Table{
+		ID:    "E6",
+		Title: fmt.Sprintf("Membership-check optimization: naive vs indexed prover (n=%d, 4%% conflicts)", n),
+		Header: []string{"prover", "total ms", "prover ms", "membership checks",
+			"engine queries", "candidates", "answers"},
+		Notes: "Query: " + differenceQuery + ". The difference forces a membership check per " +
+			"candidate for the subtracted side; answering those checks from the in-memory index " +
+			"(\"without executing any queries on the database\", §2) removes the per-check engine round trip.",
+	}
+	sys, _, err := empSystem(n, 0.04, 17)
+	if err != nil {
+		return t, err
+	}
+	for _, mode := range []core.ProverMode{core.ProverNaive, core.ProverIndexed} {
+		st, d, err := timeConsistent(sys, differenceQuery, core.Options{Mode: mode}, sc.Reps)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, []string{
+			mode.String(), ms(d), ms(st.ProverTime),
+			fmt.Sprint(st.ProverStats.MembershipChecks),
+			fmt.Sprint(st.EngineQuery),
+			fmt.Sprint(st.Candidates), fmt.Sprint(st.Answers),
+		})
+	}
+	return t, nil
+}
+
+// E7UnionQuery shows union handling: Hippo answers it; rewriting cannot.
+func E7UnionQuery(sc Scale) (Table, error) {
+	t := Table{
+		ID:     "E7",
+		Title:  fmt.Sprintf("Union query (disjunctive information), n=%d", sc.N),
+		Header: []string{"strategy", "supported", "ms", "rows/answers"},
+		Notes: "Query: " + unionQuery + ". Union is what lets Hippo extract indefinite " +
+			"disjunctive information; the rewriting approach rejects the query outright.",
+	}
+	sys, _, err := empSystem(sc.N, 0.02, 19)
+	if err != nil {
+		return t, err
+	}
+	run, err := compare(sys, unionQuery, sc.Reps)
+	if err != nil {
+		return t, err
+	}
+	t.Rows = append(t.Rows, []string{"plain SQL", "yes", ms(run.SQL), fmt.Sprint(run.SQLRows)})
+	qrSupported := "no"
+	qrTime, qrRows := "—", "—"
+	if run.QRSupports {
+		qrSupported, qrTime, qrRows = "yes", ms(run.QR), fmt.Sprint(run.QRRows)
+	}
+	t.Rows = append(t.Rows, []string{"query rewriting", qrSupported, qrTime, qrRows})
+	t.Rows = append(t.Rows, []string{"Hippo", "yes", ms(run.Hippo), fmt.Sprint(run.Answers)})
+	return t, nil
+}
+
+// E8ConflictDetection measures hypergraph construction alone.
+func E8ConflictDetection(sc Scale) (Table, error) {
+	t := Table{
+		ID:     "E8",
+		Title:  "Conflict detection and hypergraph construction (2% conflicts)",
+		Header: []string{"n", "rows", "detect ms", "combinations", "edges", "conflicting tuples"},
+		Notes:  "Detection is a one-time cost amortized over all queries; it scales near-linearly via hash grouping.",
+	}
+	for _, n := range sc.Sizes {
+		db := engine.New()
+		rep, err := workloadEmp(db, n, 0.02, 23)
+		if err != nil {
+			return t, err
+		}
+		fd := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
+		sys := core.NewSystem(db, []constraint.Constraint{fd})
+		var detMS string
+		var combos int64
+		d, err := timeIt(sc.Reps, func() error {
+			st, err := sys.Analyze()
+			combos = st.Combinations
+			return err
+		})
+		if err != nil {
+			return t, err
+		}
+		detMS = ms(d)
+		gs := sys.Hypergraph().Stats()
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(n), fmt.Sprint(rep.Rows), detMS,
+			fmt.Sprint(combos), fmt.Sprint(gs.Edges), fmt.Sprint(gs.ConflictingVertices),
+		})
+	}
+	return t, nil
+}
+
+// E9Overhead derives the paper's closing claim — "the time overhead of our
+// approach is acceptable" — as Hippo-to-SQL time ratios.
+func E9Overhead(sc Scale) (Table, error) {
+	t := Table{
+		ID:     "E9",
+		Title:  "Overhead of consistent answering vs plain SQL",
+		Header: []string{"query", "n", "SQL ms", "Hippo ms", "ratio"},
+		Notes:  "Ratios stay within a small constant factor across sizes and query shapes.",
+	}
+	queries := []struct{ label, sql string }{
+		{"selection", selectionQuery},
+		{"join", joinQuery},
+		{"union", unionQuery},
+		{"difference", differenceQuery},
+	}
+	n := sc.N
+	sys, _, err := empSystem(n, 0.02, 29)
+	if err != nil {
+		return t, err
+	}
+	for _, q := range queries {
+		run, err := compare(sys, q.sql, sc.Reps)
+		if err != nil {
+			return t, err
+		}
+		ratio := "∞"
+		if run.SQL > 0 {
+			ratio = fmt.Sprintf("%.1fx", float64(run.Hippo)/float64(run.SQL))
+		}
+		t.Rows = append(t.Rows, []string{q.label, fmt.Sprint(n), ms(run.SQL), ms(run.Hippo), ratio})
+	}
+	return t, nil
+}

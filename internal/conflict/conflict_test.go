@@ -1,0 +1,262 @@
+package conflict
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+	"hippo/internal/value"
+)
+
+// newDB builds an employee table with two FD-violating clusters:
+// id 1 has salaries 100/200 (2 tuples), id 3 has salaries 300/300/400.
+func newDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New()
+	db.MustExec("CREATE TABLE emp (id INT, name TEXT, salary INT)")
+	db.MustExec(`INSERT INTO emp VALUES
+		(1, 'ann', 100),
+		(1, 'ann', 200),
+		(2, 'bob', 150),
+		(3, 'cat', 300),
+		(3, 'kat', 300),
+		(3, 'cat', 400)`)
+	return db
+}
+
+func fdSalary() constraint.FD {
+	return constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
+}
+
+func detect(t *testing.T, db *engine.DB, cs ...constraint.Constraint) (*Hypergraph, *TupleIndex, DetectStats) {
+	t.Helper()
+	h, ti, st, err := NewDetector(db).Detect(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, ti, st
+}
+
+func edgeStrings(h *Hypergraph) []string {
+	out := make([]string, 0, h.NumEdges())
+	for _, e := range h.Edges() {
+		out = append(out, e.String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestDetectFD(t *testing.T) {
+	db := newDB(t)
+	h, _, st := detect(t, db, fdSalary())
+	// id=1: rows 0,1 conflict (1 edge). id=3: rows {3,4} vs row 5 → 2 edges.
+	got := edgeStrings(h)
+	want := []string{"{emp#0, emp#1}", "{emp#3, emp#5}", "{emp#4, emp#5}"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("edges = %v, want %v", got, want)
+	}
+	if h.NumConflictingVertices() != 5 {
+		t.Errorf("conflicting vertices = %d, want 5", h.NumConflictingVertices())
+	}
+	if st.Constraints != 1 || st.Combinations == 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestFDFastPathMatchesGeneric(t *testing.T) {
+	db := newDB(t)
+	fast, _, _ := detect(t, db, fdSalary())
+	det := NewDetector(db)
+	det.DisableFDFastPath = true
+	slow, _, _, err := det.Detect([]constraint.Constraint{fdSalary()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, s := edgeStrings(fast), edgeStrings(slow)
+	if strings.Join(f, "|") != strings.Join(s, "|") {
+		t.Errorf("fast path %v != generic path %v", f, s)
+	}
+}
+
+func TestDetectGeneralDenial(t *testing.T) {
+	db := engine.New()
+	db.MustExec("CREATE TABLE staff (ssn INT, name TEXT)")
+	db.MustExec("CREATE TABLE contractor (ssn INT, firm TEXT)")
+	db.MustExec("INSERT INTO staff VALUES (1, 'ann'), (2, 'bob')")
+	db.MustExec("INSERT INTO contractor VALUES (2, 'acme'), (3, 'init')")
+	d, err := constraint.ParseDenial("staff s, contractor c WHERE s.ssn = c.ssn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, ti, _ := detect(t, db, d)
+	got := edgeStrings(h)
+	if len(got) != 1 || got[0] != "{contractor#0, staff#1}" {
+		t.Errorf("edges = %v", got)
+	}
+	// TupleIndex covers both relations.
+	ids, err := ti.Lookup("staff", value.Tuple{value.Int(2), value.Text("bob")})
+	if err != nil || len(ids) != 1 {
+		t.Errorf("lookup = %v, %v", ids, err)
+	}
+}
+
+func TestDetectUnaryDenial(t *testing.T) {
+	db := engine.New()
+	db.MustExec("CREATE TABLE acct (id INT, bal INT)")
+	db.MustExec("INSERT INTO acct VALUES (1, 50), (2, -10), (3, -99)")
+	d, err := constraint.ParseDenial("acct a WHERE a.bal < 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, _ := detect(t, db, d)
+	got := edgeStrings(h)
+	want := []string{"{acct#1}", "{acct#2}"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("edges = %v", got)
+	}
+	// Self-conflicting tuples are excluded from every repair.
+	if !h.InConflict(Vertex{Rel: "acct", Row: 1}) {
+		t.Error("acct#1 should be in conflict")
+	}
+}
+
+func TestDetectTernaryDenial(t *testing.T) {
+	// No path may exist a->b->c with total weight > 10.
+	db := engine.New()
+	db.MustExec("CREATE TABLE edge (src INT, dst INT, w INT)")
+	db.MustExec("INSERT INTO edge VALUES (1, 2, 6), (2, 3, 7), (2, 4, 1), (9, 9, 100)")
+	d, err := constraint.ParseDenial(
+		"edge e1, edge e2 WHERE e1.dst = e2.src AND e1.w + e2.w > 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _, _ := detect(t, db, d)
+	got := edgeStrings(h)
+	// (1,2,6)+(2,3,7)=13 violates; (1,2,6)+(2,4,1)=7 ok; (9,9,100) self-joins:
+	// e1=e2=(9,9,100), 200>10 violates → unary edge after dedup.
+	want := []string{"{edge#0, edge#1}", "{edge#3}"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("edges = %v, want %v", got, want)
+	}
+}
+
+func TestMultipleConstraints(t *testing.T) {
+	db := newDB(t)
+	nameFD := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"name"}}
+	h, _, st := detect(t, db, fdSalary(), nameFD)
+	// salary FD: edges {0,1},{3,5},{4,5}. name FD: id=3 names cat,kat,cat →
+	// edges {3,4},{4,5}; {4,5} violates both FDs and dedupes to one edge.
+	if h.NumEdges() != 4 {
+		t.Errorf("edges = %v", edgeStrings(h))
+	}
+	if st.Constraints != 2 {
+		t.Errorf("constraints = %d", st.Constraints)
+	}
+}
+
+func TestHypergraphIndependence(t *testing.T) {
+	h := NewHypergraph()
+	a := Vertex{Rel: "r", Row: 0}
+	b := Vertex{Rel: "r", Row: 1}
+	c := Vertex{Rel: "r", Row: 2}
+	d := Vertex{Rel: "r", Row: 3}
+	h.AddEdge([]Vertex{a, b}, "e1")
+	h.AddEdge([]Vertex{b, c, d}, "e2")
+
+	if !h.Independent(NewVertexSet(a, c, d)) {
+		t.Error("{a,c,d} should be independent")
+	}
+	if h.Independent(NewVertexSet(a, b)) {
+		t.Error("{a,b} contains edge e1")
+	}
+	if !h.Independent(NewVertexSet(b, c)) {
+		t.Error("{b,c} is a strict subset of e2, independent")
+	}
+	s := NewVertexSet(a, c)
+	if !h.IndependentWith(s, d) {
+		t.Error("{a,c}+d should be independent")
+	}
+	if len(s) != 2 {
+		t.Error("IndependentWith must not mutate the set")
+	}
+	s2 := NewVertexSet(c, d)
+	if h.IndependentWith(s2, b) {
+		t.Error("{c,d}+b completes e2")
+	}
+	clone := s2.Clone()
+	clone[b] = true
+	if len(s2) != 2 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestHypergraphDedupAndStats(t *testing.T) {
+	h := NewHypergraph()
+	a := Vertex{Rel: "r", Row: 0}
+	b := Vertex{Rel: "r", Row: 1}
+	if !h.AddEdge([]Vertex{a, b}, "x") {
+		t.Error("first add should succeed")
+	}
+	if h.AddEdge([]Vertex{b, a}, "x") {
+		t.Error("reordered duplicate should dedupe")
+	}
+	if h.AddEdge(nil, "x") {
+		t.Error("empty edge should be rejected")
+	}
+	if !h.AddEdge([]Vertex{a, a}, "self") { // dedups to unary {a}
+		t.Error("self pair should become a unary edge")
+	}
+	st := h.Stats()
+	if st.Edges != 2 || st.ConflictingVertices != 2 || st.MaxDegree != 2 || st.MaxEdgeSize != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if h.Degree(a) != 2 || h.Degree(Vertex{Rel: "z", Row: 9}) != 0 {
+		t.Error("degree wrong")
+	}
+	if len(h.EdgesContaining(a)) != 2 {
+		t.Error("EdgesContaining wrong")
+	}
+}
+
+func TestTupleIndexAfterDelete(t *testing.T) {
+	db := newDB(t)
+	_, ti, _ := detect(t, db, fdSalary())
+	tup := value.Tuple{value.Int(2), value.Text("bob"), value.Int(150)}
+	ids, err := ti.Lookup("emp", tup)
+	if err != nil || len(ids) != 1 {
+		t.Fatalf("lookup = %v, %v", ids, err)
+	}
+	row, ok := ti.Row(Vertex{Rel: "emp", Row: ids[0]})
+	if !ok || !value.TuplesEqual(row, tup) {
+		t.Errorf("Row = %v", row)
+	}
+	if _, err := ti.Lookup("nope", tup); err == nil {
+		t.Error("unknown relation should error")
+	}
+	if _, ok := ti.Row(Vertex{Rel: "nope", Row: 0}); ok {
+		t.Error("unknown relation Row should fail")
+	}
+	db.MustExec("DELETE FROM emp WHERE id = 2")
+	ids, _ = ti.Lookup("emp", tup)
+	if len(ids) != 0 {
+		t.Errorf("deleted tuple still found: %v", ids)
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	db := engine.New()
+	db.MustExec("CREATE TABLE r (a INT)")
+	_, _, _, err := NewDetector(db).Detect([]constraint.Constraint{
+		constraint.FD{Rel: "missing", LHS: []string{"a"}, RHS: []string{"b"}},
+	})
+	if err == nil {
+		t.Error("missing relation should error")
+	}
+	d, _ := constraint.ParseDenial("r x, r y WHERE x.nope = y.a")
+	_, _, _, err = NewDetector(db).Detect([]constraint.Constraint{d})
+	if err == nil {
+		t.Error("bad column in denial should error")
+	}
+}

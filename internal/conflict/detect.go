@@ -1,0 +1,322 @@
+package conflict
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+	"hippo/internal/ra"
+	"hippo/internal/schema"
+	"hippo/internal/storage"
+	"hippo/internal/value"
+)
+
+// DetectStats reports what conflict detection did.
+type DetectStats struct {
+	Constraints  int           // constraints processed
+	Combinations int64         // candidate tuple combinations examined
+	Elapsed      time.Duration // wall-clock detection time
+}
+
+// Detector finds all minimal constraint violations in a database and
+// assembles the conflict hypergraph.
+type Detector struct {
+	db *engine.DB
+	// DisableFDFastPath forces the generic denial-join path even for
+	// functional dependencies; used by the detection ablation benchmark.
+	DisableFDFastPath bool
+}
+
+// NewDetector creates a detector over db.
+func NewDetector(db *engine.DB) *Detector { return &Detector{db: db} }
+
+// Detect evaluates every constraint and returns the conflict hypergraph
+// plus a tuple index over all referenced relations.
+func (d *Detector) Detect(constraints []constraint.Constraint) (*Hypergraph, *TupleIndex, DetectStats, error) {
+	start := time.Now()
+	h := NewHypergraph()
+	stats := DetectStats{Constraints: len(constraints)}
+	// Index every table, not just the constrained ones: the prover's
+	// membership checks may touch any relation the query mentions.
+	tables := make(map[string]*storage.Table)
+	for _, name := range d.db.TableNames() {
+		t, err := d.db.Table(name)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		tables[name] = t
+	}
+
+	for _, c := range constraints {
+		den, err := c.Denial(d.db)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		for _, a := range den.Atoms {
+			if _, ok := tables[strings.ToLower(a.Rel)]; !ok {
+				return nil, nil, stats, fmt.Errorf("conflict: constraint %s references unknown relation %q", c, a.Rel)
+			}
+		}
+		fd, isFD := c.(constraint.FD)
+		if isFD && !d.DisableFDFastPath {
+			if err := d.detectFD(h, fd, &stats); err != nil {
+				return nil, nil, stats, err
+			}
+			continue
+		}
+		if err := d.detectDenial(h, den, &stats); err != nil {
+			return nil, nil, stats, err
+		}
+	}
+
+	ti, err := NewTupleIndex(tables)
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	stats.Elapsed = time.Since(start)
+	return h, ti, stats, nil
+}
+
+// detectFD finds FD violations by hash-grouping on the LHS: within each
+// LHS group, every pair of rows disagreeing on the RHS is a conflict edge.
+func (d *Detector) detectFD(h *Hypergraph, fd constraint.FD, stats *DetectStats) error {
+	t, err := d.db.Table(fd.Rel)
+	if err != nil {
+		return err
+	}
+	sch := t.Schema()
+	lhs, err := resolveCols(sch, fd.LHS)
+	if err != nil {
+		return fmt.Errorf("conflict: %s: %v", fd, err)
+	}
+	rhs, err := resolveCols(sch, fd.RHS)
+	if err != nil {
+		return fmt.Errorf("conflict: %s: %v", fd, err)
+	}
+	idx, err := t.EnsureIndex(lhs)
+	if err != nil {
+		return err
+	}
+	rel := strings.ToLower(fd.Rel)
+	label := fd.String()
+	return idx.Groups(func(ids []storage.RowID) error {
+		if len(ids) < 2 {
+			return nil
+		}
+		// Partition the group by RHS value; rows in different partitions
+		// conflict pairwise.
+		parts := make(map[string][]storage.RowID)
+		for _, id := range ids {
+			row, ok := t.Row(id)
+			if !ok {
+				continue
+			}
+			parts[value.KeyOf(row, rhs)] = append(parts[value.KeyOf(row, rhs)], id)
+		}
+		if len(parts) < 2 {
+			return nil
+		}
+		keys := make([]string, 0, len(parts))
+		for k := range parts {
+			keys = append(keys, k)
+		}
+		for i := 0; i < len(keys); i++ {
+			for j := i + 1; j < len(keys); j++ {
+				for _, a := range parts[keys[i]] {
+					for _, b := range parts[keys[j]] {
+						stats.Combinations++
+						h.AddEdge([]Vertex{{Rel: rel, Row: a}, {Rel: rel, Row: b}}, label)
+					}
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// boundAtom is one denial atom bound to its table, with the column range it
+// occupies in the combined row.
+type boundAtom struct {
+	rel    string
+	table  *storage.Table
+	offset int // first column index in the combined schema
+	arity  int
+	// eqOwn/eqSrc describe equality links to earlier atoms usable for
+	// index lookups: own column i must equal combined column eqSrc[i].
+	eqOwn []int
+	eqSrc []int
+	index *storage.Index // index over eqOwn, nil when no links
+	// residual conjuncts that become fully bound at this atom
+	residual ra.Expr
+}
+
+// detectDenial enumerates violating tuple combinations for a general
+// denial constraint with an index-accelerated backtracking join.
+func (d *Detector) detectDenial(h *Hypergraph, den constraint.Denial, stats *DetectStats) error {
+	atoms := make([]*boundAtom, len(den.Atoms))
+	combined := schema.Schema{}
+	for i, a := range den.Atoms {
+		t, err := d.db.Table(a.Rel)
+		if err != nil {
+			return err
+		}
+		sch := t.Schema().WithQualifier(strings.ToLower(a.Name()))
+		atoms[i] = &boundAtom{
+			rel:    strings.ToLower(a.Rel),
+			table:  t,
+			offset: combined.Len(),
+			arity:  sch.Len(),
+		}
+		combined = combined.Concat(sch)
+	}
+	var cond ra.Expr
+	if den.Where != nil {
+		var err error
+		cond, err = engine.PlanScalar(den.Where, combined)
+		if err != nil {
+			return fmt.Errorf("conflict: constraint %s: %v", den.Label, err)
+		}
+	}
+
+	// Distribute conjuncts: an equality between an atom's own column and an
+	// earlier atom's column becomes an index link; every other conjunct is
+	// evaluated as soon as its last referenced atom is bound.
+	atomOf := func(col int) int {
+		for i := len(atoms) - 1; i >= 0; i-- {
+			if col >= atoms[i].offset {
+				return i
+			}
+		}
+		return 0
+	}
+	for _, c := range ra.Conjuncts(cond) {
+		cols := ra.ColumnsUsed(c)
+		last := 0
+		for _, col := range cols {
+			if a := atomOf(col); a > last {
+				last = a
+			}
+		}
+		if cmp, ok := c.(ra.Cmp); ok && cmp.Op == ra.EQ && last > 0 {
+			lc, lok := cmp.L.(ra.Col)
+			rc, rok := cmp.R.(ra.Col)
+			if lok && rok {
+				li, ri := atomOf(lc.Index), atomOf(rc.Index)
+				a := atoms[last]
+				var own, src int = -1, -1
+				switch {
+				case li == last && ri < last:
+					own, src = lc.Index-a.offset, rc.Index
+				case ri == last && li < last:
+					own, src = rc.Index-a.offset, lc.Index
+				}
+				// A column may back only one index link; further equalities
+				// on it stay as residual conjuncts.
+				if own >= 0 && !contains(a.eqOwn, own) {
+					a.eqOwn = append(a.eqOwn, own)
+					a.eqSrc = append(a.eqSrc, src)
+					continue
+				}
+			}
+		}
+		atoms[last].residual = ra.Conjoin(atoms[last].residual, c)
+	}
+	for _, a := range atoms {
+		if len(a.eqOwn) == 0 {
+			continue
+		}
+		idx, err := a.table.EnsureIndex(a.eqOwn)
+		if err != nil {
+			return err
+		}
+		a.index = idx
+		// The index canonicalizes column order; remap eqSrc to match so
+		// lookup keys are built in index layout.
+		srcByOwn := make(map[int]int, len(a.eqOwn))
+		for k, own := range a.eqOwn {
+			srcByOwn[own] = a.eqSrc[k]
+		}
+		a.eqOwn = idx.Columns()
+		remapped := make([]int, len(a.eqOwn))
+		for k, own := range a.eqOwn {
+			remapped[k] = srcByOwn[own]
+		}
+		a.eqSrc = remapped
+	}
+
+	label := den.Label
+	if label == "" {
+		label = den.String()
+	}
+	row := make(value.Tuple, 0, combined.Len())
+	verts := make([]Vertex, 0, len(atoms))
+
+	var enumerate func(i int) error
+	enumerate = func(i int) error {
+		if i == len(atoms) {
+			h.AddEdge(verts, label)
+			return nil
+		}
+		a := atoms[i]
+		tryRow := func(id storage.RowID, r value.Tuple) error {
+			stats.Combinations++
+			row = append(row, r...)
+			verts = append(verts, Vertex{Rel: a.rel, Row: id})
+			defer func() {
+				row = row[:len(row)-len(r)]
+				verts = verts[:len(verts)-1]
+			}()
+			if a.residual != nil {
+				pass, err := ra.EvalPredicate(a.residual, row)
+				if err != nil {
+					return err
+				}
+				if !pass {
+					return nil
+				}
+			}
+			return enumerate(i + 1)
+		}
+		if a.index != nil {
+			key := make(value.Tuple, len(a.eqSrc))
+			for k, src := range a.eqSrc {
+				key[k] = row[src]
+			}
+			for _, id := range a.index.Lookup(key) {
+				r, ok := a.table.Row(id)
+				if !ok {
+					continue
+				}
+				if err := tryRow(id, r); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return a.table.Scan(tryRow)
+	}
+	return enumerate(0)
+}
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func resolveCols(sch schema.Schema, names []string) ([]int, error) {
+	out := make([]int, len(names))
+	for i, n := range names {
+		idx, err := sch.Resolve("", n)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = idx
+	}
+	return out, nil
+}

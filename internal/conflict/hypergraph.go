@@ -1,0 +1,289 @@
+// Package conflict implements Hippo's conflict detection stage and the
+// conflict hypergraph it produces: vertices are database tuples, and each
+// hyperedge is a minimal set of tuples that jointly violate a denial
+// constraint. Repairs of the database are exactly the maximal independent
+// sets of this hypergraph, so all consistency reasoning downstream (the
+// Prover) works on the hypergraph alone — which has polynomial size — and
+// never materializes repairs.
+package conflict
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hippo/internal/storage"
+	"hippo/internal/value"
+)
+
+// Vertex identifies one tuple of the database: a relation name plus the
+// tuple's stable RowID within it.
+type Vertex struct {
+	Rel string
+	Row storage.RowID
+}
+
+// String renders the vertex as rel#row.
+func (v Vertex) String() string { return fmt.Sprintf("%s#%d", v.Rel, v.Row) }
+
+// Edge is a hyperedge: a canonical (sorted, deduplicated) set of vertices
+// that together violate a constraint. Label records which constraint.
+type Edge struct {
+	Verts []Vertex
+	Label string
+}
+
+// newEdge canonicalizes the vertex set.
+func newEdge(verts []Vertex, label string) Edge {
+	vs := make([]Vertex, len(verts))
+	copy(vs, verts)
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Rel != vs[j].Rel {
+			return vs[i].Rel < vs[j].Rel
+		}
+		return vs[i].Row < vs[j].Row
+	})
+	// Deduplicate (an atom combination may bind the same tuple twice).
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return Edge{Verts: out, Label: label}
+}
+
+// key returns a canonical identity string for deduplication.
+func (e Edge) key() string {
+	var b strings.Builder
+	for _, v := range e.Verts {
+		fmt.Fprintf(&b, "%s#%d;", v.Rel, v.Row)
+	}
+	return b.String()
+}
+
+// Size returns the number of vertices in the edge.
+func (e Edge) Size() int { return len(e.Verts) }
+
+// String renders the edge as {a#1, b#2}.
+func (e Edge) String() string {
+	parts := make([]string, len(e.Verts))
+	for i, v := range e.Verts {
+		parts[i] = v.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}
+
+// Hypergraph is the conflict hypergraph. It is immutable after detection
+// (safe for concurrent readers).
+type Hypergraph struct {
+	edges    []Edge
+	byVertex map[Vertex][]int // vertex -> indexes into edges
+	keys     map[string]bool  // edge dedup
+}
+
+// NewHypergraph returns an empty hypergraph.
+func NewHypergraph() *Hypergraph {
+	return &Hypergraph{
+		byVertex: make(map[Vertex][]int),
+		keys:     make(map[string]bool),
+	}
+}
+
+// AddEdge inserts a hyperedge built from verts, deduplicating identical
+// vertex sets. It reports whether the edge was new.
+func (h *Hypergraph) AddEdge(verts []Vertex, label string) bool {
+	e := newEdge(verts, label)
+	if len(e.Verts) == 0 {
+		return false
+	}
+	k := e.key()
+	if h.keys[k] {
+		return false
+	}
+	h.keys[k] = true
+	idx := len(h.edges)
+	h.edges = append(h.edges, e)
+	for _, v := range e.Verts {
+		h.byVertex[v] = append(h.byVertex[v], idx)
+	}
+	return true
+}
+
+// NumEdges returns the number of hyperedges.
+func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+
+// NumConflictingVertices returns the number of distinct tuples involved in
+// at least one conflict.
+func (h *Hypergraph) NumConflictingVertices() int { return len(h.byVertex) }
+
+// Edges returns all hyperedges. The returned slice must not be mutated.
+func (h *Hypergraph) Edges() []Edge { return h.edges }
+
+// EdgesContaining returns the hyperedges that contain v. The returned
+// slice is freshly allocated.
+func (h *Hypergraph) EdgesContaining(v Vertex) []Edge {
+	idxs := h.byVertex[v]
+	out := make([]Edge, len(idxs))
+	for i, idx := range idxs {
+		out[i] = h.edges[idx]
+	}
+	return out
+}
+
+// Degree returns the number of hyperedges containing v.
+func (h *Hypergraph) Degree(v Vertex) int { return len(h.byVertex[v]) }
+
+// InConflict reports whether v participates in any hyperedge.
+func (h *Hypergraph) InConflict(v Vertex) bool { return len(h.byVertex[v]) > 0 }
+
+// VertexSet is a mutable set of vertices used during independence checks.
+type VertexSet map[Vertex]bool
+
+// NewVertexSet builds a set from vertices.
+func NewVertexSet(vs ...Vertex) VertexSet {
+	s := make(VertexSet, len(vs))
+	for _, v := range vs {
+		s[v] = true
+	}
+	return s
+}
+
+// Clone copies the set.
+func (s VertexSet) Clone() VertexSet {
+	out := make(VertexSet, len(s))
+	for v := range s {
+		out[v] = true
+	}
+	return out
+}
+
+// Independent reports whether the set contains no complete hyperedge of h.
+func (h *Hypergraph) Independent(s VertexSet) bool {
+	for v := range s {
+		if h.hasEdgeWithinVia(s, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// IndependentWith reports whether s ∪ {extra...} stays independent, only
+// re-checking edges incident to the added vertices. The caller guarantees
+// s itself is independent.
+func (h *Hypergraph) IndependentWith(s VertexSet, extra ...Vertex) bool {
+	for _, v := range extra {
+		s[v] = true
+	}
+	defer func() {
+		for _, v := range extra {
+			delete(s, v)
+		}
+	}()
+	// Only edges through a new vertex can have become complete.
+	for _, v := range extra {
+		if h.hasEdgeWithinVia(s, v) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasEdgeWithinVia reports whether some hyperedge through v lies entirely
+// inside s.
+func (h *Hypergraph) hasEdgeWithinVia(s VertexSet, v Vertex) bool {
+	for _, idx := range h.byVertex[v] {
+		inside := true
+		for _, u := range h.edges[idx].Verts {
+			if !s[u] {
+				inside = false
+				break
+			}
+		}
+		if inside {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats summarizes the hypergraph for reporting.
+type Stats struct {
+	Edges               int
+	ConflictingVertices int
+	MaxDegree           int
+	MaxEdgeSize         int
+}
+
+// Stats computes summary statistics.
+func (h *Hypergraph) Stats() Stats {
+	st := Stats{
+		Edges:               len(h.edges),
+		ConflictingVertices: len(h.byVertex),
+	}
+	for _, idxs := range h.byVertex {
+		if len(idxs) > st.MaxDegree {
+			st.MaxDegree = len(idxs)
+		}
+	}
+	for _, e := range h.edges {
+		if len(e.Verts) > st.MaxEdgeSize {
+			st.MaxEdgeSize = len(e.Verts)
+		}
+	}
+	return st
+}
+
+// TupleIndex resolves tuple values to vertices (and back), using full-row
+// hash indexes on each table. It backs the optimized prover's membership
+// checks and maps formula atoms onto hypergraph vertices.
+type TupleIndex struct {
+	tables  map[string]*storage.Table
+	indexes map[string]*storage.Index
+}
+
+// NewTupleIndex builds full-row indexes over the given tables.
+func NewTupleIndex(tables map[string]*storage.Table) (*TupleIndex, error) {
+	ti := &TupleIndex{
+		tables:  make(map[string]*storage.Table, len(tables)),
+		indexes: make(map[string]*storage.Index, len(tables)),
+	}
+	for name, t := range tables {
+		idx, err := t.EnsureIndex(nil)
+		if err != nil {
+			return nil, err
+		}
+		key := strings.ToLower(name)
+		ti.tables[key] = t
+		ti.indexes[key] = idx
+	}
+	return ti, nil
+}
+
+// Lookup returns the live RowIDs of rel holding exactly tuple t.
+func (ti *TupleIndex) Lookup(rel string, t value.Tuple) ([]storage.RowID, error) {
+	key := strings.ToLower(rel)
+	idx, ok := ti.indexes[key]
+	if !ok {
+		return nil, fmt.Errorf("conflict: relation %q is not indexed", rel)
+	}
+	ids := idx.Lookup(t)
+	// Filter tombstones (index is maintained, but be defensive).
+	table := ti.tables[key]
+	live := make([]storage.RowID, 0, len(ids))
+	for _, id := range ids {
+		if _, ok := table.Row(id); ok {
+			live = append(live, id)
+		}
+	}
+	return live, nil
+}
+
+// Row returns the tuple stored at a vertex.
+func (ti *TupleIndex) Row(v Vertex) (value.Tuple, bool) {
+	t, ok := ti.tables[strings.ToLower(v.Rel)]
+	if !ok {
+		return nil, false
+	}
+	return t.Row(v.Row)
+}

@@ -1,0 +1,285 @@
+// Package constraint models the integrity constraints Hippo supports:
+// denial constraints — statements of the form
+//
+//	¬ ∃ x̄₁…x̄ₖ : R₁(x̄₁) ∧ … ∧ Rₖ(x̄ₖ) ∧ φ(x̄₁,…,x̄ₖ)
+//
+// ("no combination of tuples may jointly satisfy φ"), with functional
+// dependencies, key constraints, and exclusion constraints provided as
+// named special cases that the conflict detector and the query-rewriting
+// baseline can exploit.
+package constraint
+
+import (
+	"fmt"
+	"strings"
+
+	"hippo/internal/schema"
+	"hippo/internal/sqlparse"
+)
+
+// Catalog resolves relation names to schemas. engine.DB satisfies it via a
+// small adapter; tests can supply fakes.
+type Catalog interface {
+	TableSchema(name string) (schema.Schema, error)
+}
+
+// Constraint is any integrity constraint expressible as a denial.
+type Constraint interface {
+	// Denial lowers the constraint to its denial form, resolving schema
+	// information through the catalog.
+	Denial(cat Catalog) (Denial, error)
+	// String renders the constraint for display.
+	String() string
+}
+
+// Atom is one relation occurrence in a denial constraint.
+type Atom struct {
+	Rel   string // relation name
+	Alias string // alias the condition refers to it by
+}
+
+// Name returns the alias if set, else the relation name.
+func (a Atom) Name() string {
+	if a.Alias != "" {
+		return a.Alias
+	}
+	return a.Rel
+}
+
+// Denial is the general form of a denial constraint: a set of relation
+// atoms plus a condition over their aliases. A nil condition means every
+// combination of tuples violates (useful only in tests).
+type Denial struct {
+	Label string        // optional human-readable name
+	Atoms []Atom        // at least one
+	Where sqlparse.Expr // condition over the atom aliases
+}
+
+// Denial returns d itself (Denial is already in denial form).
+func (d Denial) Denial(Catalog) (Denial, error) {
+	if len(d.Atoms) == 0 {
+		return Denial{}, fmt.Errorf("constraint: denial needs at least one atom")
+	}
+	seen := map[string]bool{}
+	for _, a := range d.Atoms {
+		n := strings.ToLower(a.Name())
+		if seen[n] {
+			return Denial{}, fmt.Errorf("constraint: duplicate atom alias %q", a.Name())
+		}
+		seen[n] = true
+	}
+	return d, nil
+}
+
+// Arity returns the number of atoms.
+func (d Denial) Arity() int { return len(d.Atoms) }
+
+// String renders the denial as FORBID atoms WHERE cond.
+func (d Denial) String() string {
+	var b strings.Builder
+	b.WriteString("FORBID ")
+	for i, a := range d.Atoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.Rel)
+		if a.Alias != "" && !strings.EqualFold(a.Alias, a.Rel) {
+			b.WriteString(" AS " + a.Alias)
+		}
+	}
+	if d.Where != nil {
+		b.WriteString(" WHERE " + d.Where.String())
+	}
+	return b.String()
+}
+
+// FD is a functional dependency Rel: LHS → RHS. Two tuples agreeing on all
+// LHS attributes must agree on all RHS attributes.
+type FD struct {
+	Rel string
+	LHS []string
+	RHS []string
+}
+
+// String renders the FD as rel: a,b -> c.
+func (f FD) String() string {
+	return fmt.Sprintf("FD %s: %s -> %s",
+		f.Rel, strings.Join(f.LHS, ","), strings.Join(f.RHS, ","))
+}
+
+// Denial lowers the FD to
+//
+//	FORBID rel AS t0, rel AS t1 WHERE t0.lhs=t1.lhs AND (t0.rhs<>t1.rhs OR …)
+func (f FD) Denial(cat Catalog) (Denial, error) {
+	if len(f.LHS) == 0 || len(f.RHS) == 0 {
+		return Denial{}, fmt.Errorf("constraint: FD on %s needs non-empty LHS and RHS", f.Rel)
+	}
+	sch, err := cat.TableSchema(f.Rel)
+	if err != nil {
+		return Denial{}, err
+	}
+	for _, c := range append(append([]string{}, f.LHS...), f.RHS...) {
+		if _, err := sch.Resolve("", c); err != nil {
+			return Denial{}, fmt.Errorf("constraint: %s: %v", f, err)
+		}
+	}
+	var cond sqlparse.Expr
+	for _, c := range f.LHS {
+		eq := sqlparse.BinExpr{
+			Op: "=",
+			L:  sqlparse.ColRef{Qualifier: "t0", Name: c},
+			R:  sqlparse.ColRef{Qualifier: "t1", Name: c},
+		}
+		cond = andExpr(cond, eq)
+	}
+	var diff sqlparse.Expr
+	for _, c := range f.RHS {
+		ne := sqlparse.BinExpr{
+			Op: "<>",
+			L:  sqlparse.ColRef{Qualifier: "t0", Name: c},
+			R:  sqlparse.ColRef{Qualifier: "t1", Name: c},
+		}
+		if diff == nil {
+			diff = ne
+		} else {
+			diff = sqlparse.BinExpr{Op: "OR", L: diff, R: ne}
+		}
+	}
+	cond = andExpr(cond, diff)
+	return Denial{
+		Label: f.String(),
+		Atoms: []Atom{{Rel: f.Rel, Alias: "t0"}, {Rel: f.Rel, Alias: "t1"}},
+		Where: cond,
+	}, nil
+}
+
+// Key declares Cols as a key of Rel: it is the FD Cols → (all other
+// columns).
+type Key struct {
+	Rel  string
+	Cols []string
+}
+
+// String renders the key constraint.
+func (k Key) String() string {
+	return fmt.Sprintf("KEY %s(%s)", k.Rel, strings.Join(k.Cols, ","))
+}
+
+// Denial expands the key to an FD over the remaining columns and lowers it.
+func (k Key) Denial(cat Catalog) (Denial, error) {
+	sch, err := cat.TableSchema(k.Rel)
+	if err != nil {
+		return Denial{}, err
+	}
+	isKeyCol := map[string]bool{}
+	for _, c := range k.Cols {
+		if _, err := sch.Resolve("", c); err != nil {
+			return Denial{}, fmt.Errorf("constraint: %s: %v", k, err)
+		}
+		isKeyCol[strings.ToLower(c)] = true
+	}
+	var rhs []string
+	for _, c := range sch.Columns {
+		if !isKeyCol[strings.ToLower(c.Name)] {
+			rhs = append(rhs, c.Name)
+		}
+	}
+	if len(rhs) == 0 {
+		return Denial{}, fmt.Errorf("constraint: %s covers all columns; nothing to depend", k)
+	}
+	d, err := FD{Rel: k.Rel, LHS: k.Cols, RHS: rhs}.Denial(cat)
+	if err != nil {
+		return Denial{}, err
+	}
+	d.Label = k.String()
+	return d, nil
+}
+
+// Exclusion forbids a pair of tuples from two relations (possibly the same
+// one) from jointly satisfying a condition — e.g. "nobody may appear in
+// both staff and contractors with the same ssn".
+type Exclusion struct {
+	A, B  Atom
+	Where sqlparse.Expr
+}
+
+// String renders the exclusion constraint.
+func (e Exclusion) String() string {
+	d, _ := e.Denial(nil)
+	return strings.Replace(d.String(), "FORBID", "EXCLUSION", 1)
+}
+
+// Denial lowers the exclusion to a binary denial.
+func (e Exclusion) Denial(Catalog) (Denial, error) {
+	a, b := e.A, e.B
+	if a.Alias == "" {
+		a.Alias = "t0"
+	}
+	if b.Alias == "" {
+		b.Alias = "t1"
+	}
+	return Denial{
+		Label: fmt.Sprintf("EXCLUSION %s/%s", a.Rel, b.Rel),
+		Atoms: []Atom{a, b},
+		Where: e.Where,
+	}, nil
+}
+
+func andExpr(l, r sqlparse.Expr) sqlparse.Expr {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	return sqlparse.BinExpr{Op: "AND", L: l, R: r}
+}
+
+// ParseFD parses "rel: a,b -> c,d".
+func ParseFD(s string) (FD, error) {
+	relPart, rest, ok := strings.Cut(s, ":")
+	if !ok {
+		return FD{}, fmt.Errorf("constraint: FD must look like \"rel: a,b -> c\", got %q", s)
+	}
+	lhsPart, rhsPart, ok := strings.Cut(rest, "->")
+	if !ok {
+		return FD{}, fmt.Errorf("constraint: FD %q is missing \"->\"", s)
+	}
+	fd := FD{
+		Rel: strings.TrimSpace(relPart),
+		LHS: splitNames(lhsPart),
+		RHS: splitNames(rhsPart),
+	}
+	if fd.Rel == "" || len(fd.LHS) == 0 || len(fd.RHS) == 0 {
+		return FD{}, fmt.Errorf("constraint: FD %q has empty relation or column lists", s)
+	}
+	return fd, nil
+}
+
+// ParseDenial parses "rel1 AS a, rel2 AS b WHERE <condition>" into a
+// denial constraint, reusing the SQL parser for the FROM/WHERE shape.
+func ParseDenial(s string) (Denial, error) {
+	q, err := sqlparse.ParseQuery("SELECT * FROM " + s)
+	if err != nil {
+		return Denial{}, fmt.Errorf("constraint: bad denial %q: %v", s, err)
+	}
+	if len(q.Rest) > 0 || len(q.Left.Joins) > 0 {
+		return Denial{}, fmt.Errorf("constraint: denial %q must be a plain atom list with WHERE", s)
+	}
+	d := Denial{Label: "FORBID " + s}
+	for _, f := range q.Left.From {
+		d.Atoms = append(d.Atoms, Atom{Rel: f.Table, Alias: f.Alias})
+	}
+	d.Where = q.Left.Where
+	return d.Denial(nil)
+}
+
+func splitNames(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,166 @@
+package constraint
+
+import (
+	"strings"
+	"testing"
+
+	"hippo/internal/engine"
+	"hippo/internal/sqlparse"
+)
+
+func cat(t *testing.T) Catalog {
+	t.Helper()
+	db := engine.New()
+	db.MustExec("CREATE TABLE emp (id INT, name TEXT, salary FLOAT)")
+	db.MustExec("CREATE TABLE mgr (id INT, bonus FLOAT)")
+	return db
+}
+
+func TestFDDenial(t *testing.T) {
+	fd := FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"name", "salary"}}
+	d, err := fd.Denial(cat(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Arity() != 2 || d.Atoms[0].Rel != "emp" || d.Atoms[1].Rel != "emp" {
+		t.Fatalf("atoms = %v", d.Atoms)
+	}
+	cond := d.Where.String()
+	for _, frag := range []string{"t0.id = t1.id", "t0.name <> t1.name", "OR", "t0.salary <> t1.salary"} {
+		if !strings.Contains(cond, frag) {
+			t.Errorf("condition %q missing %q", cond, frag)
+		}
+	}
+	if !strings.Contains(fd.String(), "FD emp: id -> name,salary") {
+		t.Errorf("String = %q", fd.String())
+	}
+}
+
+func TestFDValidation(t *testing.T) {
+	c := cat(t)
+	if _, err := (FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"nope"}}).Denial(c); err == nil {
+		t.Error("unknown RHS column should fail")
+	}
+	if _, err := (FD{Rel: "missing", LHS: []string{"id"}, RHS: []string{"x"}}).Denial(c); err == nil {
+		t.Error("unknown relation should fail")
+	}
+	if _, err := (FD{Rel: "emp", LHS: nil, RHS: []string{"name"}}).Denial(c); err == nil {
+		t.Error("empty LHS should fail")
+	}
+}
+
+func TestKeyDenial(t *testing.T) {
+	k := Key{Rel: "emp", Cols: []string{"id"}}
+	d, err := k.Denial(cat(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cond := d.Where.String()
+	// Key id expands to FD id -> name, salary.
+	if !strings.Contains(cond, "t0.name <> t1.name") || !strings.Contains(cond, "t0.salary <> t1.salary") {
+		t.Errorf("key condition = %q", cond)
+	}
+	if !strings.HasPrefix(d.Label, "KEY") {
+		t.Errorf("label = %q", d.Label)
+	}
+	if _, err := (Key{Rel: "emp", Cols: []string{"id", "name", "salary"}}).Denial(cat(t)); err == nil {
+		t.Error("all-column key should fail")
+	}
+	if _, err := (Key{Rel: "emp", Cols: []string{"bogus"}}).Denial(cat(t)); err == nil {
+		t.Error("bad key column should fail")
+	}
+	if !strings.Contains(k.String(), "KEY emp(id)") {
+		t.Errorf("String = %q", k.String())
+	}
+}
+
+func TestExclusionDenial(t *testing.T) {
+	e := Exclusion{
+		A:     Atom{Rel: "emp", Alias: "e"},
+		B:     Atom{Rel: "mgr", Alias: "m"},
+		Where: mustWhere(t, "e.id = m.id"),
+	}
+	d, err := e.Denial(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Atoms[0].Alias != "e" || d.Atoms[1].Alias != "m" {
+		t.Errorf("atoms = %v", d.Atoms)
+	}
+	// Default aliases when unset.
+	e2 := Exclusion{A: Atom{Rel: "emp"}, B: Atom{Rel: "mgr"}}
+	d2, _ := e2.Denial(nil)
+	if d2.Atoms[0].Alias != "t0" || d2.Atoms[1].Alias != "t1" {
+		t.Errorf("default aliases = %v", d2.Atoms)
+	}
+	if !strings.Contains(e.String(), "EXCLUSION") {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+func mustWhere(t *testing.T, cond string) sqlparse.Expr {
+	t.Helper()
+	d, err := ParseDenial("emp AS e, mgr AS m WHERE " + cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.Where
+}
+
+func TestDenialValidation(t *testing.T) {
+	if _, err := (Denial{}).Denial(nil); err == nil {
+		t.Error("empty denial should fail")
+	}
+	dup := Denial{Atoms: []Atom{{Rel: "emp", Alias: "x"}, {Rel: "mgr", Alias: "x"}}}
+	if _, err := dup.Denial(nil); err == nil {
+		t.Error("duplicate alias should fail")
+	}
+	ok := Denial{Atoms: []Atom{{Rel: "emp"}, {Rel: "mgr"}}}
+	if _, err := ok.Denial(nil); err != nil {
+		t.Errorf("distinct default names should pass: %v", err)
+	}
+}
+
+func TestParseFD(t *testing.T) {
+	fd, err := ParseFD("emp: id, dept -> salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Rel != "emp" || len(fd.LHS) != 2 || fd.LHS[1] != "dept" || fd.RHS[0] != "salary" {
+		t.Errorf("parsed %+v", fd)
+	}
+	bad := []string{"emp id -> salary", "emp: id salary", ": id -> x", "emp: -> x", "emp: id ->"}
+	for _, s := range bad {
+		if _, err := ParseFD(s); err == nil {
+			t.Errorf("ParseFD(%q) should fail", s)
+		}
+	}
+}
+
+func TestParseDenial(t *testing.T) {
+	d, err := ParseDenial("emp AS x, emp AS y WHERE x.id = y.id AND x.salary <> y.salary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Arity() != 2 || d.Atoms[0].Alias != "x" {
+		t.Errorf("parsed %+v", d)
+	}
+	if !strings.Contains(d.String(), "FORBID") {
+		t.Errorf("String = %q", d.String())
+	}
+	bad := []string{
+		"emp WHERE ) bogus",
+		"emp AS x, emp AS x WHERE x.id = 1",
+		"emp AS x WHERE x.id = 1 UNION SELECT * FROM emp",
+	}
+	for _, s := range bad {
+		if _, err := ParseDenial(s); err == nil {
+			t.Errorf("ParseDenial(%q) should fail", s)
+		}
+	}
+	// Unary denial (single atom).
+	d, err = ParseDenial("emp e WHERE e.salary < 0")
+	if err != nil || d.Arity() != 1 {
+		t.Fatalf("unary denial: %+v, %v", d, err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package core implements the Hippo system pipeline from Figure 1 of the
+// paper:
+//
+//	IC + DB ──► Conflict Detection ──► Conflict Hypergraph
+//	Query ──► Enveloping ──► Candidates ──► Evaluation (RDBMS)
+//	Candidates + Hypergraph ──► Prover ──► Answer Set
+//
+// A System wraps a database and a constraint set; Analyze runs conflict
+// detection once, and ConsistentQuery computes the consistent answers to
+// an SJUD query without materializing repairs.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"hippo/internal/conflict"
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+	"hippo/internal/envelope"
+	"hippo/internal/prover"
+	"hippo/internal/ra"
+	"hippo/internal/repair"
+	"hippo/internal/rewrite"
+	"hippo/internal/sqlparse"
+)
+
+// ProverMode selects how the Prover answers membership checks.
+type ProverMode int
+
+const (
+	// ProverIndexed answers membership checks from in-memory full-row
+	// indexes — the paper's optimized variant that issues no database
+	// queries per check.
+	ProverIndexed ProverMode = iota
+	// ProverNaive issues one engine query per membership check — the
+	// paper's base version, kept for the E6 optimization experiment.
+	ProverNaive
+)
+
+// String names the mode.
+func (m ProverMode) String() string {
+	if m == ProverNaive {
+		return "naive"
+	}
+	return "indexed"
+}
+
+// Options tune a consistent-query run.
+type Options struct {
+	Mode ProverMode
+	// DisablePruning turns off early independence pruning in the prover
+	// (ablation).
+	DisablePruning bool
+}
+
+// Stats reports one ConsistentQuery run, stage by stage (mirroring the
+// paper's Figure 1 components).
+type Stats struct {
+	Envelope     time.Duration // Enveloping: plan validation + rewrite
+	Evaluation   time.Duration // Evaluation of the envelope by the engine
+	ProverTime   time.Duration // Prover over all candidates
+	Total        time.Duration
+	Candidates   int // tuples produced by the envelope
+	Answers      int // consistent answers
+	ProverStats  prover.Stats
+	EngineQuery  int64 // engine queries issued during the run
+	DetectStats  conflict.DetectStats
+	GraphStats   conflict.Stats
+	ProverMode   ProverMode
+	QueryPlan    string // formatted input plan
+	EnvelopePlan string // formatted envelope plan
+}
+
+// System is a Hippo instance: a database, its integrity constraints, and
+// the conflict hypergraph computed from them.
+type System struct {
+	db          *engine.DB
+	constraints []constraint.Constraint
+
+	hg       *conflict.Hypergraph
+	ti       *conflict.TupleIndex
+	detStats conflict.DetectStats
+	analyzed bool
+}
+
+// NewSystem creates a Hippo system over db with the given constraints.
+// Call Analyze (or let the first query trigger it) before querying.
+func NewSystem(db *engine.DB, cs []constraint.Constraint) *System {
+	return &System{db: db, constraints: cs}
+}
+
+// DB exposes the underlying engine (for loading data and running ordinary
+// SQL).
+func (s *System) DB() *engine.DB { return s.db }
+
+// Constraints returns the constraint set.
+func (s *System) Constraints() []constraint.Constraint { return s.constraints }
+
+// AddConstraint registers another constraint and invalidates the analysis.
+func (s *System) AddConstraint(c constraint.Constraint) {
+	s.constraints = append(s.constraints, c)
+	s.analyzed = false
+}
+
+// Invalidate marks the conflict analysis stale (call after data changes).
+func (s *System) Invalidate() { s.analyzed = false }
+
+// Analyze runs Conflict Detection and builds the Conflict Hypergraph.
+func (s *System) Analyze() (conflict.DetectStats, error) {
+	h, ti, st, err := conflict.NewDetector(s.db).Detect(s.constraints)
+	if err != nil {
+		return st, err
+	}
+	s.hg, s.ti, s.detStats = h, ti, st
+	s.analyzed = true
+	return st, nil
+}
+
+// Hypergraph returns the conflict hypergraph (Analyze must have run).
+func (s *System) Hypergraph() *conflict.Hypergraph { return s.hg }
+
+func (s *System) ensureAnalyzed() error {
+	if s.analyzed {
+		return nil
+	}
+	_, err := s.Analyze()
+	return err
+}
+
+// ConsistentQuery computes the consistent answers to an SJUD SQL query.
+func (s *System) ConsistentQuery(sql string, opts Options) (*engine.Result, *Stats, error) {
+	q, err := sqlparse.ParseQuery(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := s.db.PlanQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.ConsistentQueryPlan(plan, opts)
+}
+
+// ConsistentQueryPlan computes consistent answers for an already-planned
+// query. A top-level ORDER BY / LIMIT decorates the certified answer set:
+// the SJUD core is certified first, then ordering and truncation apply to
+// the consistent answers (certainty is a property of the set, so this is
+// the only coherent reading).
+func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result, *Stats, error) {
+	if err := s.ensureAnalyzed(); err != nil {
+		return nil, nil, err
+	}
+	// Peel trailing Sort/Limit decorators (outermost first).
+	var decorators []func(ra.Node) ra.Node
+	for {
+		switch p := plan.(type) {
+		case *ra.Sort:
+			keys := p.Keys
+			decorators = append(decorators, func(n ra.Node) ra.Node { return &ra.Sort{Child: n, Keys: keys} })
+			plan = p.Child
+			continue
+		case *ra.Limit:
+			nLim := p.N
+			decorators = append(decorators, func(n ra.Node) ra.Node { return &ra.Limit{Child: n, N: nLim} })
+			plan = p.Child
+			continue
+		}
+		break
+	}
+	start := time.Now()
+	stats := &Stats{
+		ProverMode:  opts.Mode,
+		DetectStats: s.detStats,
+		GraphStats:  s.hg.Stats(),
+		QueryPlan:   ra.Format(plan),
+	}
+	queriesBefore := s.db.QueryCount()
+
+	// Enveloping.
+	t0 := time.Now()
+	env, err := envelope.Envelope(plan)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.EnvelopePlan = ra.Format(env)
+	stats.Envelope = time.Since(t0)
+
+	// Evaluation of the envelope by the engine.
+	t0 = time.Now()
+	candidates, err := s.db.RunPlan(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats.Evaluation = time.Since(t0)
+	stats.Candidates = len(candidates.Rows)
+
+	// Prover: keep candidates that hold in every repair.
+	t0 = time.Now()
+	var member prover.Membership
+	if opts.Mode == ProverNaive {
+		member = prover.NaiveMembership{DB: s.db, TI: s.ti}
+	} else {
+		member = prover.IndexedMembership{TI: s.ti}
+	}
+	p := prover.New(s.hg, member)
+	p.DisablePruning = opts.DisablePruning
+	answers := &engine.Result{Schema: plan.Schema()}
+	for _, cand := range candidates.Rows {
+		ok, err := p.IsConsistentAnswer(plan, cand)
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			answers.Rows = append(answers.Rows, cand)
+		}
+	}
+	stats.ProverTime = time.Since(t0)
+	stats.ProverStats = p.Stats
+	stats.Answers = len(answers.Rows)
+
+	// Re-apply ORDER BY / LIMIT to the certified answers (innermost
+	// decorator first, i.e. reverse peel order).
+	if len(decorators) > 0 {
+		node := ra.Node(&ra.Values{Sch: answers.Schema, Rows: answers.Rows})
+		for i := len(decorators) - 1; i >= 0; i-- {
+			node = decorators[i](node)
+		}
+		rows, err := ra.Materialize(node)
+		if err != nil {
+			return nil, nil, err
+		}
+		answers = &engine.Result{Schema: node.Schema(), Rows: rows}
+	}
+	stats.EngineQuery = s.db.QueryCount() - queriesBefore
+	stats.Total = time.Since(start)
+	return answers, stats, nil
+}
+
+// Rewriter returns the query-rewriting baseline prepared for this
+// system's constraints (erroring if they are outside its class).
+func (s *System) Rewriter() (*rewrite.Rewriter, error) {
+	return rewrite.New(s.db, s.constraints)
+}
+
+// RepairEnumerator returns the exponential repair oracle for this system
+// (small instances only).
+func (s *System) RepairEnumerator() (*repair.Enumerator, error) {
+	if err := s.ensureAnalyzed(); err != nil {
+		return nil, err
+	}
+	return &repair.Enumerator{DB: s.db, H: s.hg}, nil
+}
+
+// SupportSummary describes which execution strategies can handle a query,
+// powering the expressiveness matrix of experiment E2.
+type SupportSummary struct {
+	Query   string
+	Hippo   error // nil when supported
+	Rewrite error // nil when supported
+}
+
+// Support probes whether Hippo and the rewriting baseline accept the
+// query/constraint combination without executing it.
+func (s *System) Support(sql string) (SupportSummary, error) {
+	out := SupportSummary{Query: sql}
+	q, err := sqlparse.ParseQuery(sql)
+	if err != nil {
+		return out, err
+	}
+	plan, err := s.db.PlanQuery(q)
+	if err != nil {
+		return out, err
+	}
+	out.Hippo = envelope.CheckQuery(plan)
+	rw, err := rewrite.New(s.db, s.constraints)
+	if err != nil {
+		out.Rewrite = err
+	} else if _, err := rw.Rewrite(plan); err != nil {
+		out.Rewrite = err
+	}
+	return out, nil
+}
+
+// FormatStats renders a run's statistics as a compact multi-line report.
+func FormatStats(st *Stats) string {
+	return fmt.Sprintf(
+		"mode=%s candidates=%d answers=%d\n"+
+			"envelope=%v evaluation=%v prover=%v total=%v\n"+
+			"membership-checks=%d disjuncts=%d blocker-choices=%d engine-queries=%d\n"+
+			"hypergraph: edges=%d conflicting-tuples=%d max-degree=%d",
+		st.ProverMode, st.Candidates, st.Answers,
+		st.Envelope, st.Evaluation, st.ProverTime, st.Total,
+		st.ProverStats.MembershipChecks, st.ProverStats.Disjuncts,
+		st.ProverStats.BlockerChoices, st.EngineQuery,
+		st.GraphStats.Edges, st.GraphStats.ConflictingVertices, st.GraphStats.MaxDegree)
+}

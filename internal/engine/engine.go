@@ -1,0 +1,305 @@
+// Package engine implements the embedded RDBMS the Hippo system runs
+// against. In the paper, Hippo is a frontend to PostgreSQL over JDBC; here
+// the same role — evaluating SQL for envelope queries, membership checks,
+// and the query-rewriting baseline — is played by this engine, which plans
+// parsed SQL onto the relational algebra of internal/ra and executes it
+// over internal/storage tables.
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"hippo/internal/ra"
+	"hippo/internal/schema"
+	"hippo/internal/sqlparse"
+	"hippo/internal/storage"
+	"hippo/internal/value"
+)
+
+// DB is an in-memory SQL database: a catalog of tables plus a planner and
+// executor. It is safe for concurrent use by multiple readers; DDL and DML
+// take an exclusive lock.
+type DB struct {
+	mu      sync.RWMutex
+	tables  map[string]*storage.Table
+	queries atomic.Int64
+}
+
+// New creates an empty database.
+func New() *DB {
+	return &DB{tables: make(map[string]*storage.Table)}
+}
+
+// QueryCount returns the number of SELECT statements executed so far. The
+// Hippo benchmarks use it to count membership queries issued by the naive
+// prover.
+func (db *DB) QueryCount() int64 { return db.queries.Load() }
+
+// Table returns the named table.
+func (db *DB) Table(name string) (*storage.Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("engine: no such table %q", name)
+	}
+	return t, nil
+}
+
+// TableNames returns the sorted names of all tables.
+func (db *DB) TableNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// CreateTable registers a new table built from the given schema.
+func (db *DB) CreateTable(name string, s schema.Schema) (*storage.Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := db.tables[key]; ok {
+		return nil, fmt.Errorf("engine: table %q already exists", name)
+	}
+	t := storage.NewTable(key, s)
+	db.tables[key] = t
+	return t, nil
+}
+
+// Result is a materialized query result.
+type Result struct {
+	Schema schema.Schema
+	Rows   []value.Tuple
+}
+
+// Columns returns the output column names.
+func (r *Result) Columns() []string {
+	out := make([]string, r.Schema.Len())
+	for i, c := range r.Schema.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Exec parses and executes any statement. For SELECT it returns the result
+// and affected = number of rows returned; for DML, affected counts changed
+// rows and the result is nil.
+func (db *DB) Exec(sql string) (*Result, int, error) {
+	st, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, 0, err
+	}
+	return db.ExecStmt(st)
+}
+
+// ExecStmt executes a parsed statement.
+func (db *DB) ExecStmt(st sqlparse.Statement) (*Result, int, error) {
+	switch s := st.(type) {
+	case *sqlparse.CreateTable:
+		cols := make([]schema.Column, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = schema.Column{Name: c.Name, Type: c.Type}
+		}
+		if _, err := db.CreateTable(s.Name, schema.New(cols...)); err != nil {
+			return nil, 0, err
+		}
+		return nil, 0, nil
+	case *sqlparse.CreateIndex:
+		t, err := db.Table(s.Table)
+		if err != nil {
+			return nil, 0, err
+		}
+		sch := t.Schema()
+		cols := make([]int, len(s.Columns))
+		for i, name := range s.Columns {
+			idx, err := sch.Resolve("", name)
+			if err != nil {
+				return nil, 0, err
+			}
+			cols[i] = idx
+		}
+		if _, err := t.EnsureIndex(cols); err != nil {
+			return nil, 0, err
+		}
+		return nil, 0, nil
+	case *sqlparse.DropTable:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		key := strings.ToLower(s.Name)
+		if _, ok := db.tables[key]; !ok {
+			return nil, 0, fmt.Errorf("engine: no such table %q", s.Name)
+		}
+		delete(db.tables, key)
+		return nil, 0, nil
+	case *sqlparse.Insert:
+		n, err := db.execInsert(s)
+		return nil, n, err
+	case *sqlparse.Delete:
+		n, err := db.execDelete(s)
+		return nil, n, err
+	case *sqlparse.Query:
+		res, err := db.RunQuery(s)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, len(res.Rows), nil
+	default:
+		return nil, 0, fmt.Errorf("engine: unsupported statement %T", st)
+	}
+}
+
+// Query parses and executes a SELECT.
+func (db *DB) Query(sql string) (*Result, error) {
+	q, err := sqlparse.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	return db.RunQuery(q)
+}
+
+// RunQuery plans and executes a parsed query.
+func (db *DB) RunQuery(q *sqlparse.Query) (*Result, error) {
+	plan, err := db.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return db.RunPlan(plan)
+}
+
+// RunPlan executes a relational algebra plan and materializes the result.
+// Access-path optimization (equality predicates over existing indexes) is
+// applied as a physical rewrite here, so logical plans handed to the CQA
+// pipeline stay within the SJUD operator set.
+func (db *DB) RunPlan(plan ra.Node) (*Result, error) {
+	db.queries.Add(1)
+	rows, err := ra.Materialize(optimize(plan))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: plan.Schema(), Rows: rows}, nil
+}
+
+// RunPlanRaw executes a plan without the access-path optimization. The
+// naive prover uses it so each membership check pays the full per-query
+// evaluation cost, standing in for the per-check RDBMS round trip of the
+// paper's base version.
+func (db *DB) RunPlanRaw(plan ra.Node) (*Result, error) {
+	db.queries.Add(1)
+	rows, err := ra.Materialize(plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: plan.Schema(), Rows: rows}, nil
+}
+
+func (db *DB) execInsert(s *sqlparse.Insert) (int, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	sch := t.Schema()
+	// Map the explicit column list (if any) to positions.
+	positions := make([]int, 0, sch.Len())
+	if len(s.Columns) == 0 {
+		for i := 0; i < sch.Len(); i++ {
+			positions = append(positions, i)
+		}
+	} else {
+		for _, name := range s.Columns {
+			idx, err := sch.Resolve("", name)
+			if err != nil {
+				return 0, err
+			}
+			positions = append(positions, idx)
+		}
+	}
+	inserted := 0
+	for _, rowExprs := range s.Rows {
+		if len(rowExprs) != len(positions) {
+			return inserted, fmt.Errorf("engine: INSERT expects %d values, got %d",
+				len(positions), len(rowExprs))
+		}
+		row := make(value.Tuple, sch.Len()) // unset columns default to NULL
+		for i, e := range rowExprs {
+			expr, err := planScalar(e, schema.Schema{})
+			if err != nil {
+				return inserted, err
+			}
+			v, err := expr.Eval(nil)
+			if err != nil {
+				return inserted, err
+			}
+			row[positions[i]] = v
+		}
+		if _, err := t.Insert(row); err != nil {
+			return inserted, err
+		}
+		inserted++
+	}
+	return inserted, nil
+}
+
+func (db *DB) execDelete(s *sqlparse.Delete) (int, error) {
+	t, err := db.Table(s.Table)
+	if err != nil {
+		return 0, err
+	}
+	var pred ra.Expr
+	if s.Where != nil {
+		pred, err = planScalar(s.Where, t.Schema())
+		if err != nil {
+			return 0, err
+		}
+	}
+	var doomed []storage.RowID
+	err = t.Scan(func(id storage.RowID, row value.Tuple) error {
+		if pred == nil {
+			doomed = append(doomed, id)
+			return nil
+		}
+		pass, err := ra.EvalPredicate(pred, row)
+		if err != nil {
+			return err
+		}
+		if pass {
+			doomed = append(doomed, id)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	for _, id := range doomed {
+		if err := t.Delete(id); err != nil {
+			return 0, err
+		}
+	}
+	return len(doomed), nil
+}
+
+// MustExec executes sql and panics on error; intended for tests and
+// example setup code.
+func (db *DB) MustExec(sql string) {
+	if _, _, err := db.Exec(sql); err != nil {
+		panic(err)
+	}
+}
+
+// TableSchema returns the schema of the named table, satisfying
+// constraint.Catalog.
+func (db *DB) TableSchema(name string) (schema.Schema, error) {
+	t, err := db.Table(name)
+	if err != nil {
+		return schema.Schema{}, err
+	}
+	return t.Schema(), nil
+}

@@ -1,0 +1,137 @@
+package engine
+
+import (
+	"hippo/internal/ra"
+	"hippo/internal/storage"
+	"hippo/internal/value"
+)
+
+// optimize applies access-path selection to a plan: a Select over a Scan
+// whose predicate contains constant equality conjuncts covering an
+// existing index of the table is rewritten to an IndexLookup plus a
+// residual Select. Only indexes that already exist are used (CREATE INDEX
+// or earlier conflict analysis creates them); the optimizer never builds
+// one speculatively.
+func optimize(n ra.Node) ra.Node {
+	switch t := n.(type) {
+	case *ra.Select:
+		child := optimize(t.Child)
+		if scan, ok := child.(*ra.Scan); ok {
+			if rewritten, ok := tryIndexLookup(scan, t.Pred); ok {
+				return rewritten
+			}
+		}
+		return &ra.Select{Child: child, Pred: t.Pred}
+	case *ra.Project:
+		return &ra.Project{Child: optimize(t.Child), Exprs: t.Exprs, Names: t.Names, Distinct: t.Distinct}
+	case *ra.Product:
+		return &ra.Product{L: optimize(t.L), R: optimize(t.R)}
+	case *ra.Join:
+		return &ra.Join{L: optimize(t.L), R: optimize(t.R), Pred: t.Pred}
+	case *ra.SemiJoin:
+		return &ra.SemiJoin{L: optimize(t.L), R: optimize(t.R), Pred: t.Pred}
+	case *ra.AntiJoin:
+		return &ra.AntiJoin{L: optimize(t.L), R: optimize(t.R), Pred: t.Pred}
+	case *ra.Union:
+		return &ra.Union{L: optimize(t.L), R: optimize(t.R)}
+	case *ra.Diff:
+		return &ra.Diff{L: optimize(t.L), R: optimize(t.R)}
+	case *ra.Intersect:
+		return &ra.Intersect{L: optimize(t.L), R: optimize(t.R)}
+	case *ra.DistinctNode:
+		return &ra.DistinctNode{Child: optimize(t.Child)}
+	case *ra.Sort:
+		return &ra.Sort{Child: optimize(t.Child), Keys: t.Keys}
+	case *ra.Limit:
+		return &ra.Limit{Child: optimize(t.Child), N: t.N}
+	default:
+		return n
+	}
+}
+
+// tryIndexLookup finds the widest existing index whose columns are all
+// constrained by constant equality conjuncts of pred.
+func tryIndexLookup(scan *ra.Scan, pred ra.Expr) (ra.Node, bool) {
+	// Collect col = const (or const = col) conjuncts.
+	constsByCol := map[int]value.Value{}
+	var residual []ra.Expr
+	for _, c := range ra.Conjuncts(pred) {
+		if cmp, ok := c.(ra.Cmp); ok && cmp.Op == ra.EQ {
+			if col, cv, ok := colConstPair(cmp); ok {
+				if prev, seen := constsByCol[col]; !seen {
+					constsByCol[col] = cv
+					continue
+				} else if value.Equal(prev, cv) {
+					continue // duplicate constraint
+				}
+				// Contradictory equalities; leave to the residual filter.
+			}
+		}
+		residual = append(residual, c)
+	}
+	if len(constsByCol) == 0 {
+		return nil, false
+	}
+	var best *indexChoice
+	for _, idx := range scan.Table.Indexes() {
+		cols := idx.Columns()
+		covered := true
+		for _, c := range cols {
+			if _, ok := constsByCol[c]; !ok {
+				covered = false
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		if best == nil || len(cols) > len(best.cols) {
+			best = &indexChoice{idx: idx, cols: cols}
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	key := make([]ra.Expr, len(best.cols))
+	used := map[int]bool{}
+	for i, c := range best.cols {
+		key[i] = ra.Const{V: constsByCol[c]}
+		used[c] = true
+	}
+	// Equality conjuncts not absorbed by the index stay as residual filters.
+	for col, cv := range constsByCol {
+		if !used[col] {
+			residual = append(residual, ra.Cmp{Op: ra.EQ, L: ra.Col{Index: col}, R: ra.Const{V: cv}})
+		}
+	}
+	var node ra.Node = &ra.IndexLookup{
+		Table: scan.Table,
+		Index: best.idx,
+		Key:   key,
+		Alias: scan.Alias,
+	}
+	if p := ra.Conjoin(residual...); p != nil {
+		node = &ra.Select{Child: node, Pred: p}
+	}
+	return node, true
+}
+
+type indexChoice struct {
+	idx  *storage.Index
+	cols []int
+}
+
+// colConstPair extracts (column index, constant) from an equality.
+func colConstPair(cmp ra.Cmp) (int, value.Value, bool) {
+	if col, ok := cmp.L.(ra.Col); ok {
+		if c, ok := cmp.R.(ra.Const); ok && !c.V.IsNull() {
+			return col.Index, c.V, true
+		}
+	}
+	if col, ok := cmp.R.(ra.Col); ok {
+		if c, ok := cmp.L.(ra.Const); ok && !c.V.IsNull() {
+			return col.Index, c.V, true
+		}
+	}
+	return 0, value.Value{}, false
+}

@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"hippo/internal/ra"
+	"hippo/internal/schema"
+	"hippo/internal/sqlparse"
+)
+
+// PlanQuery translates a parsed query into a relational algebra plan bound
+// to this database's tables.
+func (db *DB) PlanQuery(q *sqlparse.Query) (ra.Node, error) {
+	left, err := db.planSelect(q.Left)
+	if err != nil {
+		return nil, err
+	}
+	node := left
+	for _, tail := range q.Rest {
+		right, err := db.planSelect(tail.Right)
+		if err != nil {
+			return nil, err
+		}
+		switch tail.Op {
+		case sqlparse.OpUnion:
+			node = &ra.Union{L: node, R: right}
+		case sqlparse.OpExcept:
+			node = &ra.Diff{L: node, R: right}
+		case sqlparse.OpIntersect:
+			node = &ra.Intersect{L: node, R: right}
+		}
+		if err := schema.TypesCompatible(node.Children()[0].Schema(), right.Schema()); err != nil {
+			return nil, fmt.Errorf("engine: %s: %v", tail.Op, err)
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		keys := make([]ra.SortKey, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			e, err := planScalar(o.Expr, node.Schema())
+			if err != nil {
+				return nil, err
+			}
+			keys[i] = ra.SortKey{Expr: e, Desc: o.Desc}
+		}
+		node = &ra.Sort{Child: node, Keys: keys}
+	}
+	if q.Limit != nil {
+		node = &ra.Limit{Child: node, N: *q.Limit}
+	}
+	return node, nil
+}
+
+// planSelect plans a single SELECT block.
+func (db *DB) planSelect(s *sqlparse.SelectStmt) (ra.Node, error) {
+	if len(s.From) == 0 {
+		return nil, fmt.Errorf("engine: SELECT requires a FROM clause")
+	}
+	node, err := db.planFrom(s.From[0])
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{strings.ToLower(s.From[0].Name()): true}
+	checkDup := func(ref sqlparse.TableRef) error {
+		name := strings.ToLower(ref.Name())
+		if seen[name] {
+			return fmt.Errorf("engine: duplicate table name/alias %q (add an alias)", ref.Name())
+		}
+		seen[name] = true
+		return nil
+	}
+	for _, f := range s.From[1:] {
+		if err := checkDup(f); err != nil {
+			return nil, err
+		}
+		right, err := db.planFrom(f)
+		if err != nil {
+			return nil, err
+		}
+		node = &ra.Product{L: node, R: right}
+	}
+	for _, j := range s.Joins {
+		if err := checkDup(j.Ref); err != nil {
+			return nil, err
+		}
+		right, err := db.planFrom(j.Ref)
+		if err != nil {
+			return nil, err
+		}
+		combined := node.Schema().Concat(right.Schema())
+		on, err := planScalar(j.On, combined)
+		if err != nil {
+			return nil, err
+		}
+		node = &ra.Join{L: node, R: right, Pred: on}
+	}
+	if s.Where != nil {
+		node, err = db.planWhere(node, s.Where)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return db.planProjection(node, s)
+}
+
+func (db *DB) planFrom(ref sqlparse.TableRef) (ra.Node, error) {
+	t, err := db.Table(ref.Table)
+	if err != nil {
+		return nil, err
+	}
+	return &ra.Scan{Table: t, Alias: strings.ToLower(ref.Name())}, nil
+}
+
+// planWhere splits the predicate into plain conjuncts (one Select) and
+// subquery conjuncts (Semi/AntiJoins). Subqueries are only supported as
+// top-level conjuncts, matching what the query-rewriting baseline emits.
+func (db *DB) planWhere(node ra.Node, where sqlparse.Expr) (ra.Node, error) {
+	var plain []ra.Expr
+	for _, c := range splitConjuncts(where) {
+		switch e := c.(type) {
+		case sqlparse.ExistsExpr:
+			var err error
+			node, err = db.planExists(node, e.Sub, e.Negate, nil)
+			if err != nil {
+				return nil, err
+			}
+		case sqlparse.InExpr:
+			var err error
+			node, err = db.planExists(node, e.Sub, e.Negate, e.E)
+			if err != nil {
+				return nil, err
+			}
+		default:
+			if containsSubquery(c) {
+				return nil, fmt.Errorf("engine: subqueries are only supported as top-level AND conjuncts in WHERE")
+			}
+			p, err := planScalar(c, node.Schema())
+			if err != nil {
+				return nil, err
+			}
+			plain = append(plain, p)
+		}
+	}
+	if pred := ra.Conjoin(plain...); pred != nil {
+		node = &ra.Select{Child: node, Pred: pred}
+	}
+	return node, nil
+}
+
+// planExists plans [NOT] EXISTS / [NOT] IN as a semi-/anti-join against the
+// subquery's FROM product, with the subquery's WHERE (and the IN equality)
+// as the join predicate, allowing correlation with outer columns.
+func (db *DB) planExists(outer ra.Node, sub *sqlparse.Query, negate bool, inExpr sqlparse.Expr) (ra.Node, error) {
+	if len(sub.Rest) > 0 {
+		return nil, fmt.Errorf("engine: set operations inside EXISTS/IN subqueries are not supported")
+	}
+	if len(sub.OrderBy) > 0 || sub.Limit != nil {
+		return nil, fmt.Errorf("engine: ORDER BY/LIMIT inside EXISTS/IN subqueries are not supported")
+	}
+	s := sub.Left
+	if len(s.From) == 0 {
+		return nil, fmt.Errorf("engine: subquery requires a FROM clause")
+	}
+	inner, err := db.planFrom(s.From[0])
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range s.From[1:] {
+		right, err := db.planFrom(f)
+		if err != nil {
+			return nil, err
+		}
+		inner = &ra.Product{L: inner, R: right}
+	}
+	if len(s.Joins) > 0 {
+		return nil, fmt.Errorf("engine: JOIN inside EXISTS/IN subqueries is not supported")
+	}
+	combined := outer.Schema().Concat(inner.Schema())
+	var preds []ra.Expr
+	if s.Where != nil {
+		if containsSubquery(s.Where) {
+			return nil, fmt.Errorf("engine: nested subqueries are not supported")
+		}
+		p, err := planScalar(s.Where, combined)
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, p)
+	}
+	if inExpr != nil {
+		if len(s.Items) != 1 || s.Items[0].Star {
+			return nil, fmt.Errorf("engine: IN subquery must select exactly one expression")
+		}
+		outerExpr, err := planScalar(inExpr, outer.Schema())
+		if err != nil {
+			return nil, err
+		}
+		// The subquery item is resolved against the inner schema, then
+		// shifted past the outer columns.
+		itemExpr, err := planScalar(s.Items[0].Expr, inner.Schema())
+		if err != nil {
+			return nil, err
+		}
+		preds = append(preds, ra.Cmp{
+			Op: ra.EQ,
+			L:  outerExpr,
+			R:  ra.ShiftColumns(itemExpr, outer.Schema().Len()),
+		})
+	}
+	pred := ra.Conjoin(preds...)
+	if negate {
+		return &ra.AntiJoin{L: outer, R: inner, Pred: pred}, nil
+	}
+	return &ra.SemiJoin{L: outer, R: inner, Pred: pred}, nil
+}
+
+// planProjection applies the SELECT list.
+func (db *DB) planProjection(node ra.Node, s *sqlparse.SelectStmt) (ra.Node, error) {
+	if len(s.Items) == 0 { // SELECT *
+		if s.Distinct {
+			return &ra.DistinctNode{Child: node}, nil
+		}
+		return node, nil
+	}
+	sch := node.Schema()
+	var exprs []ra.Expr
+	var names []string
+	for _, item := range s.Items {
+		if item.Star {
+			for i, c := range sch.Columns {
+				exprs = append(exprs, ra.Col{Index: i, Name: c.String()})
+				names = append(names, c.Name)
+			}
+			continue
+		}
+		e, err := planScalar(item.Expr, sch)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+		names = append(names, item.Alias)
+	}
+	return &ra.Project{Child: node, Exprs: exprs, Names: names, Distinct: s.Distinct}, nil
+}
+
+// splitConjuncts flattens top-level ANDs of a parsed expression.
+func splitConjuncts(e sqlparse.Expr) []sqlparse.Expr {
+	if b, ok := e.(sqlparse.BinExpr); ok && b.Op == "AND" {
+		return append(splitConjuncts(b.L), splitConjuncts(b.R)...)
+	}
+	return []sqlparse.Expr{e}
+}
+
+// containsSubquery reports whether e contains an EXISTS or IN subquery.
+func containsSubquery(e sqlparse.Expr) bool {
+	switch t := e.(type) {
+	case sqlparse.ExistsExpr, sqlparse.InExpr:
+		return true
+	case sqlparse.BinExpr:
+		return containsSubquery(t.L) || containsSubquery(t.R)
+	case sqlparse.NotExpr:
+		return containsSubquery(t.E)
+	case sqlparse.IsNullExpr:
+		return containsSubquery(t.E)
+	default:
+		return false
+	}
+}
+
+// planScalar translates a parsed scalar expression against a schema.
+func planScalar(e sqlparse.Expr, sch schema.Schema) (ra.Expr, error) {
+	switch t := e.(type) {
+	case sqlparse.Lit:
+		return ra.Const{V: t.V}, nil
+	case sqlparse.ColRef:
+		idx, err := sch.Resolve(t.Qualifier, t.Name)
+		if err != nil {
+			return nil, err
+		}
+		return ra.Col{Index: idx, Name: t.String()}, nil
+	case sqlparse.NotExpr:
+		inner, err := planScalar(t.E, sch)
+		if err != nil {
+			return nil, err
+		}
+		return ra.Not{E: inner}, nil
+	case sqlparse.IsNullExpr:
+		inner, err := planScalar(t.E, sch)
+		if err != nil {
+			return nil, err
+		}
+		return ra.IsNull{E: inner, Negate: t.Negate}, nil
+	case sqlparse.BinExpr:
+		l, err := planScalar(t.L, sch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := planScalar(t.R, sch)
+		if err != nil {
+			return nil, err
+		}
+		switch t.Op {
+		case "AND":
+			return ra.And{L: l, R: r}, nil
+		case "OR":
+			return ra.Or{L: l, R: r}, nil
+		case "=":
+			return ra.Cmp{Op: ra.EQ, L: l, R: r}, nil
+		case "<>":
+			return ra.Cmp{Op: ra.NE, L: l, R: r}, nil
+		case "<":
+			return ra.Cmp{Op: ra.LT, L: l, R: r}, nil
+		case "<=":
+			return ra.Cmp{Op: ra.LE, L: l, R: r}, nil
+		case ">":
+			return ra.Cmp{Op: ra.GT, L: l, R: r}, nil
+		case ">=":
+			return ra.Cmp{Op: ra.GE, L: l, R: r}, nil
+		case "+":
+			return ra.Arith{Op: ra.Add, L: l, R: r}, nil
+		case "-":
+			return ra.Arith{Op: ra.Sub, L: l, R: r}, nil
+		case "*":
+			return ra.Arith{Op: ra.Mul, L: l, R: r}, nil
+		case "/":
+			return ra.Arith{Op: ra.Div, L: l, R: r}, nil
+		case "%":
+			return ra.Arith{Op: ra.Mod, L: l, R: r}, nil
+		default:
+			return nil, fmt.Errorf("engine: unknown operator %q", t.Op)
+		}
+	case sqlparse.ExistsExpr, sqlparse.InExpr:
+		return nil, fmt.Errorf("engine: subquery not allowed in this position")
+	default:
+		return nil, fmt.Errorf("engine: unsupported expression %T", e)
+	}
+}
+
+// PlanScalar translates a parsed scalar expression against a schema. It is
+// the exported form of planScalar used by the constraint and conflict
+// packages to bind denial-constraint conditions.
+func PlanScalar(e sqlparse.Expr, sch schema.Schema) (ra.Expr, error) {
+	return planScalar(e, sch)
+}

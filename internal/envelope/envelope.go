@@ -1,0 +1,146 @@
+// Package envelope implements Hippo's Enveloping stage: given the
+// relational algebra plan of an SJUD query, it derives the envelope — a
+// query whose evaluation over the (inconsistent) database yields a
+// superset of the candidate consistent answers. Evaluating the envelope is
+// the only full query evaluation Hippo performs; every candidate is then
+// checked individually by the Prover.
+//
+// The envelope over-approximates the *possible* answers (tuples in the
+// query result of at least one repair), which in turn contain all
+// consistent answers:
+//
+//	env(R)        = R
+//	env(σ_c(E))   = σ_c(env(E))
+//	env(E₁ × E₂)  = env(E₁) × env(E₂)
+//	env(E₁ ∪ E₂)  = env(E₁) ∪ env(E₂)
+//	env(E₁ − E₂)  = env(E₁)            (tuples of E₂ may vanish in repairs)
+//	env(E₁ ∩ E₂)  = env(E₁) ∩ env(E₂)
+//	env(π_L(E))   = π_L(env(E))        (L must introduce no existentials)
+//
+// The projection restriction mirrors footnote 4 of the paper: π_L is
+// allowed only when L mentions every column of its input (a permutation,
+// possibly with duplicates), so that each output tuple determines its
+// witness uniquely.
+package envelope
+
+import (
+	"fmt"
+
+	"hippo/internal/ra"
+)
+
+// CheckQuery validates that a plan is within Hippo's supported SJUD
+// class (+ safe projection). It returns a descriptive error naming the
+// offending operator otherwise.
+func CheckQuery(n ra.Node) error {
+	switch t := n.(type) {
+	case *ra.Scan:
+		return nil
+	case *ra.Select:
+		return CheckQuery(t.Child)
+	case *ra.Project:
+		if err := checkSafeProjection(t); err != nil {
+			return err
+		}
+		return CheckQuery(t.Child)
+	case *ra.Product:
+		if err := CheckQuery(t.L); err != nil {
+			return err
+		}
+		return CheckQuery(t.R)
+	case *ra.Join:
+		if err := CheckQuery(t.L); err != nil {
+			return err
+		}
+		return CheckQuery(t.R)
+	case *ra.Union:
+		if err := CheckQuery(t.L); err != nil {
+			return err
+		}
+		return CheckQuery(t.R)
+	case *ra.Diff:
+		if err := CheckQuery(t.L); err != nil {
+			return err
+		}
+		return CheckQuery(t.R)
+	case *ra.Intersect:
+		if err := CheckQuery(t.L); err != nil {
+			return err
+		}
+		return CheckQuery(t.R)
+	case *ra.DistinctNode:
+		return CheckQuery(t.Child)
+	case *ra.SemiJoin, *ra.AntiJoin:
+		return fmt.Errorf("envelope: EXISTS/IN subqueries are not part of the SJUD class supported by Hippo")
+	case *ra.Sort, *ra.Limit:
+		return fmt.Errorf("envelope: ORDER BY/LIMIT are applied after certification, not inside the SJUD query (core strips top-level ones)")
+	case *ra.Values:
+		return fmt.Errorf("envelope: constant relations are not supported in consistent queries")
+	default:
+		return fmt.Errorf("envelope: unsupported operator %T", n)
+	}
+}
+
+// checkSafeProjection enforces the no-existential-quantifier projection
+// rule: every projection expression must be a bare column, and together
+// they must mention every column of the input.
+func checkSafeProjection(p *ra.Project) error {
+	childArity := p.Child.Schema().Len()
+	covered := make([]bool, childArity)
+	for _, e := range p.Exprs {
+		c, ok := e.(ra.Col)
+		if !ok {
+			return fmt.Errorf("envelope: projection expression %q is not a bare column; computed projections introduce existential quantifiers", e)
+		}
+		if c.Index < 0 || c.Index >= childArity {
+			return fmt.Errorf("envelope: projection column #%d out of range", c.Index)
+		}
+		covered[c.Index] = true
+	}
+	for i, ok := range covered {
+		if !ok {
+			return fmt.Errorf("envelope: projection drops column %d (%s); only permutations of all columns are supported (paper footnote 4)",
+				i, p.Child.Schema().Columns[i])
+		}
+	}
+	return nil
+}
+
+// Envelope rewrites a validated SJUD plan into its envelope. The input
+// plan is not mutated; shared subtrees are rebuilt.
+func Envelope(n ra.Node) (ra.Node, error) {
+	if err := CheckQuery(n); err != nil {
+		return nil, err
+	}
+	return build(n), nil
+}
+
+func build(n ra.Node) ra.Node {
+	switch t := n.(type) {
+	case *ra.Scan:
+		return &ra.Scan{Table: t.Table, Alias: t.Alias}
+	case *ra.Select:
+		return &ra.Select{Child: build(t.Child), Pred: t.Pred}
+	case *ra.Project:
+		return &ra.Project{Child: build(t.Child), Exprs: t.Exprs, Names: t.Names, Distinct: true}
+	case *ra.Product:
+		return &ra.Product{L: build(t.L), R: build(t.R)}
+	case *ra.Join:
+		return &ra.Join{L: build(t.L), R: build(t.R), Pred: t.Pred}
+	case *ra.Union:
+		return &ra.Union{L: build(t.L), R: build(t.R)}
+	case *ra.Diff:
+		// Candidates for E₁ − E₂ are the possible answers of E₁ alone: a
+		// tuple absent from E₁ on the full database is absent from it in
+		// every repair, while membership in E₂ must be decided per repair
+		// by the Prover.
+		return &ra.DistinctNode{Child: build(t.L)}
+	case *ra.Intersect:
+		return &ra.Intersect{L: build(t.L), R: build(t.R)}
+	case *ra.DistinctNode:
+		return &ra.DistinctNode{Child: build(t.Child)}
+	default:
+		// CheckQuery guarantees exhaustiveness.
+		panic(fmt.Sprintf("envelope: unexpected node %T", n))
+	}
+}

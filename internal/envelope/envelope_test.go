@@ -1,0 +1,185 @@
+package envelope
+
+import (
+	"sort"
+	"strings"
+	"testing"
+
+	"hippo/internal/conflict"
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+	"hippo/internal/ra"
+	"hippo/internal/repair"
+	"hippo/internal/sqlparse"
+	"hippo/internal/value"
+)
+
+func newDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New()
+	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
+	db.MustExec("CREATE TABLE mgr (id INT, bonus INT)")
+	db.MustExec("INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150)")
+	db.MustExec("INSERT INTO mgr VALUES (1, 5), (2, 6)")
+	return db
+}
+
+func plan(t *testing.T, db *engine.DB, sql string) ra.Node {
+	t.Helper()
+	q, err := sqlparse.ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := db.PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCheckQueryAcceptsSJUD(t *testing.T) {
+	db := newDB(t)
+	good := []string{
+		"SELECT * FROM emp",
+		"SELECT * FROM emp WHERE salary > 100",
+		"SELECT * FROM emp, mgr",
+		"SELECT * FROM emp JOIN mgr ON emp.id = mgr.id",
+		"SELECT * FROM emp UNION SELECT * FROM mgr",
+		"SELECT * FROM emp EXCEPT SELECT * FROM mgr",
+		"SELECT * FROM emp INTERSECT SELECT * FROM mgr",
+		"SELECT DISTINCT * FROM emp",
+		"SELECT salary, id FROM emp",     // permutation projection
+		"SELECT id, id, salary FROM emp", // duplicating projection
+		"SELECT e.id, e.salary, m.id, m.bonus FROM emp e, mgr m WHERE e.id = m.id",
+	}
+	for _, q := range good {
+		if err := CheckQuery(plan(t, db, q)); err != nil {
+			t.Errorf("CheckQuery(%q) = %v, want nil", q, err)
+		}
+	}
+}
+
+func TestCheckQueryRejectsOutOfClass(t *testing.T) {
+	db := newDB(t)
+	bad := []struct {
+		sql  string
+		frag string
+	}{
+		{"SELECT id FROM emp", "drops column"},
+		{"SELECT salary + 1, id, salary FROM emp", "not a bare column"},
+		{"SELECT * FROM emp e WHERE EXISTS (SELECT * FROM mgr m WHERE m.id = e.id)", "SJUD"},
+		{"SELECT * FROM emp WHERE id IN (SELECT id FROM mgr)", "SJUD"},
+	}
+	for _, c := range bad {
+		err := CheckQuery(plan(t, db, c.sql))
+		if err == nil || !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("CheckQuery(%q) = %v, want error containing %q", c.sql, err, c.frag)
+		}
+	}
+}
+
+func TestEnvelopeShapes(t *testing.T) {
+	db := newDB(t)
+	// Difference: envelope keeps only the left side.
+	env, err := Envelope(plan(t, db, "SELECT * FROM emp EXCEPT SELECT * FROM mgr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ra.Format(env)
+	if strings.Contains(s, "Diff") {
+		t.Errorf("difference envelope should not subtract:\n%s", s)
+	}
+	if !strings.Contains(s, "Scan(emp)") || strings.Contains(s, "Scan(mgr)") {
+		t.Errorf("difference envelope should scan only emp:\n%s", s)
+	}
+	// Union: both sides survive.
+	env, err = Envelope(plan(t, db, "SELECT * FROM emp UNION SELECT * FROM mgr"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = ra.Format(env)
+	if !strings.Contains(s, "Union") {
+		t.Errorf("union envelope:\n%s", s)
+	}
+	// Out-of-class input propagates the validation error.
+	if _, err := Envelope(plan(t, db, "SELECT id FROM emp")); err == nil {
+		t.Error("unsafe projection should fail")
+	}
+}
+
+// The envelope must contain every possible answer (hence every consistent
+// answer) — checked against the repair oracle on several query shapes.
+func TestEnvelopeSupersetOfPossibleAnswers(t *testing.T) {
+	db := newDB(t)
+	fd := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
+	h, _, _, err := conflict.NewDetector(db).Detect([]constraint.Constraint{fd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := &repair.Enumerator{DB: db, H: h}
+	queries := []string{
+		"SELECT * FROM emp",
+		"SELECT * FROM emp WHERE salary >= 150",
+		"SELECT * FROM emp EXCEPT SELECT * FROM emp WHERE salary > 150",
+		"SELECT * FROM emp UNION SELECT * FROM mgr",
+		"SELECT e.id, e.salary, m.id, m.bonus FROM emp e, mgr m WHERE e.id = m.id",
+		"SELECT salary, id FROM emp",
+	}
+	for _, q := range queries {
+		env, err := Envelope(plan(t, db, q))
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		res, err := db.RunPlan(env)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		envSet := map[string]bool{}
+		for _, row := range res.Rows {
+			envSet[row.Key()] = true
+		}
+		possible, err := en.PossibleAnswers(q)
+		if err != nil {
+			t.Fatalf("%q: %v", q, err)
+		}
+		for _, row := range possible {
+			if !envSet[row.Key()] {
+				t.Errorf("%q: possible answer %s missing from envelope", q, value.TupleString(row))
+			}
+		}
+	}
+}
+
+func TestEnvelopeDoesNotMutateInput(t *testing.T) {
+	db := newDB(t)
+	p := plan(t, db, "SELECT * FROM emp EXCEPT SELECT * FROM mgr")
+	before := ra.Format(p)
+	if _, err := Envelope(p); err != nil {
+		t.Fatal(err)
+	}
+	if ra.Format(p) != before {
+		t.Error("Envelope mutated the input plan")
+	}
+}
+
+func TestEnvelopeCandidateCounts(t *testing.T) {
+	db := newDB(t)
+	// The E1−E2 envelope can strictly over-approximate: candidates include
+	// tuples the difference would remove.
+	env, _ := Envelope(plan(t, db, "SELECT * FROM emp EXCEPT SELECT * FROM emp WHERE id = 1"))
+	res, err := db.RunPlan(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, _ := db.Query("SELECT * FROM emp EXCEPT SELECT * FROM emp WHERE id = 1")
+	if len(res.Rows) <= len(direct.Rows) {
+		t.Errorf("envelope should over-approximate: env=%d direct=%d",
+			len(res.Rows), len(direct.Rows))
+	}
+	sort.Slice(res.Rows, func(i, j int) bool {
+		return value.CompareTuples(res.Rows[i], res.Rows[j]) < 0
+	})
+	if len(res.Rows) != 3 {
+		t.Errorf("envelope rows = %v", res.Rows)
+	}
+}

@@ -1,0 +1,221 @@
+package prover
+
+import (
+	"strings"
+	"testing"
+
+	"hippo/internal/engine"
+	"hippo/internal/ra"
+	"hippo/internal/sqlparse"
+	"hippo/internal/value"
+)
+
+// planOf builds a plan for sql over a small two-table schema.
+func planOf(t *testing.T, sql string) (ra.Node, *engine.DB) {
+	t.Helper()
+	db := engine.New()
+	db.MustExec("CREATE TABLE r (a INT, b INT)")
+	db.MustExec("CREATE TABLE s (c INT, d INT)")
+	db.MustExec("INSERT INTO r VALUES (1, 10), (2, 20)")
+	db.MustExec("INSERT INTO s VALUES (1, 100)")
+	q, err := sqlparse.ParseQuery(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.PlanQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan, db
+}
+
+func ints(xs ...int64) value.Tuple {
+	t := make(value.Tuple, len(xs))
+	for i, x := range xs {
+		t[i] = value.Int(x)
+	}
+	return t
+}
+
+func TestBuildFormulaScan(t *testing.T) {
+	plan, _ := planOf(t, "SELECT * FROM r")
+	f, err := BuildFormula(plan, ints(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := f.(FAtom)
+	if !ok || a.A.Rel != "r" || !value.TuplesEqual(a.A.Tuple, ints(1, 10)) {
+		t.Fatalf("formula = %s", FormulaString(f))
+	}
+}
+
+func TestBuildFormulaSelect(t *testing.T) {
+	plan, _ := planOf(t, "SELECT * FROM r WHERE a > 1")
+	// Tuple passing the predicate: formula is the bare atom.
+	f, err := BuildFormula(plan, ints(2, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(FAtom); !ok {
+		t.Fatalf("formula = %s", FormulaString(f))
+	}
+	// Tuple failing the predicate: statically false.
+	f, err = BuildFormula(plan, ints(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(FFalse); !ok {
+		t.Fatalf("formula = %s, want false", FormulaString(f))
+	}
+}
+
+func TestBuildFormulaProductAndJoin(t *testing.T) {
+	plan, _ := planOf(t, "SELECT * FROM r, s")
+	f, err := BuildFormula(plan, ints(1, 10, 1, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	and, ok := f.(FAnd)
+	if !ok || len(and.Fs) != 2 {
+		t.Fatalf("formula = %s", FormulaString(f))
+	}
+	s := FormulaString(f)
+	if !strings.Contains(s, "r(1, 10)") || !strings.Contains(s, "s(1, 100)") {
+		t.Errorf("formula = %s", s)
+	}
+
+	// Join with a predicate that the tuple violates → statically false.
+	plan, _ = planOf(t, "SELECT * FROM r JOIN s ON r.a = s.c")
+	f, _ = BuildFormula(plan, ints(2, 20, 1, 100))
+	if _, ok := f.(FFalse); !ok {
+		t.Errorf("join-violating tuple should be false, got %s", FormulaString(f))
+	}
+	f, _ = BuildFormula(plan, ints(1, 10, 1, 100))
+	if _, ok := f.(FAnd); !ok {
+		t.Errorf("join-satisfying tuple should be a conjunction, got %s", FormulaString(f))
+	}
+}
+
+func TestBuildFormulaUnionDiffIntersect(t *testing.T) {
+	plan, _ := planOf(t, "SELECT a, b FROM r UNION SELECT c, d FROM s")
+	f, err := BuildFormula(plan, ints(1, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := FormulaString(f)
+	if !strings.Contains(s, "∨") {
+		t.Errorf("union formula = %s", s)
+	}
+
+	plan, _ = planOf(t, "SELECT a, b FROM r EXCEPT SELECT c, d FROM s")
+	f, _ = BuildFormula(plan, ints(1, 10))
+	s = FormulaString(f)
+	if !strings.Contains(s, "¬") || !strings.Contains(s, "∧") {
+		t.Errorf("difference formula = %s", s)
+	}
+
+	plan, _ = planOf(t, "SELECT a, b FROM r INTERSECT SELECT c, d FROM s")
+	f, _ = BuildFormula(plan, ints(1, 10))
+	if _, ok := f.(FAnd); !ok {
+		t.Errorf("intersect formula = %s", FormulaString(f))
+	}
+}
+
+func TestBuildFormulaSafeProjection(t *testing.T) {
+	// Permutation projection: witness reconstructed in original order.
+	plan, _ := planOf(t, "SELECT b, a FROM r")
+	f, err := BuildFormula(plan, ints(10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok := f.(FAtom)
+	if !ok || !value.TuplesEqual(a.A.Tuple, ints(1, 10)) {
+		t.Fatalf("witness = %s", FormulaString(f))
+	}
+	// Duplicated column with inconsistent values → false.
+	plan, _ = planOf(t, "SELECT a, a, b FROM r")
+	f, err = BuildFormula(plan, ints(1, 2, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.(FFalse); !ok {
+		t.Errorf("inconsistent duplicate projection should be false, got %s", FormulaString(f))
+	}
+	f, _ = BuildFormula(plan, ints(1, 1, 10))
+	if a, ok := f.(FAtom); !ok || !value.TuplesEqual(a.A.Tuple, ints(1, 10)) {
+		t.Errorf("witness = %s", FormulaString(f))
+	}
+}
+
+func TestBuildFormulaArityMismatch(t *testing.T) {
+	plan, _ := planOf(t, "SELECT * FROM r")
+	if _, err := BuildFormula(plan, ints(1)); err == nil {
+		t.Error("arity mismatch should error")
+	}
+}
+
+func atom(rel string, xs ...int64) Atom { return Atom{Rel: rel, Tuple: ints(xs...)} }
+
+func TestDNFBasics(t *testing.T) {
+	a := FAtom{A: atom("r", 1)}
+	b := FAtom{A: atom("r", 2)}
+	c := FAtom{A: atom("s", 3)}
+
+	// ¬(a ∧ (b ∨ c)) = ¬a ∨ (¬b ∧ ¬c)
+	f := FAnd{Fs: []Formula{a, FOr{Fs: []Formula{b, c}}}}
+	ds := NegationDNF(f)
+	if len(ds) != 2 {
+		t.Fatalf("disjuncts = %v", ds)
+	}
+	var sizes []int
+	for _, d := range ds {
+		sizes = append(sizes, len(d.Pos)+len(d.Neg))
+		if len(d.Pos) != 0 {
+			t.Errorf("negating positive formula should give negative literals: %v", d)
+		}
+	}
+	if sizes[0]+sizes[1] != 3 {
+		t.Errorf("sizes = %v", sizes)
+	}
+}
+
+func TestDNFConstantsAndContradictions(t *testing.T) {
+	a := FAtom{A: atom("r", 1)}
+	if ds := DNF(FTrue{}); len(ds) != 1 || len(ds[0].Pos)+len(ds[0].Neg) != 0 {
+		t.Errorf("DNF(true) = %v", ds)
+	}
+	if ds := DNF(FFalse{}); len(ds) != 0 {
+		t.Errorf("DNF(false) = %v", ds)
+	}
+	// a ∧ ¬a is contradictory → dropped.
+	f := FAnd{Fs: []Formula{a, FNot{F: a}}}
+	if ds := DNF(f); len(ds) != 0 {
+		t.Errorf("DNF(a ∧ ¬a) = %v", ds)
+	}
+	// a ∨ a dedupes.
+	if ds := DNF(FOr{Fs: []Formula{a, a}}); len(ds) != 1 {
+		t.Errorf("DNF(a ∨ a) = %v", ds)
+	}
+	// Conjunction with false collapses.
+	if ds := DNF(FAnd{Fs: []Formula{a, FFalse{}}}); len(ds) != 0 {
+		t.Errorf("DNF(a ∧ false) = %v", ds)
+	}
+	// Double negation.
+	if ds := DNF(FNot{F: FNot{F: a}}); len(ds) != 1 || len(ds[0].Pos) != 1 {
+		t.Errorf("DNF(¬¬a) = %v", ds)
+	}
+}
+
+func TestAtomKeyAndString(t *testing.T) {
+	a1 := atom("r", 1, 2)
+	a2 := Atom{Rel: "r", Tuple: value.Tuple{value.Float(1), value.Int(2)}}
+	if a1.Key() != a2.Key() {
+		t.Error("numerically equal atoms should share keys")
+	}
+	if a1.String() != "r(1, 2)" {
+		t.Errorf("String = %q", a1.String())
+	}
+	if !strings.Contains((Disjunct{Pos: []Atom{a1}, Neg: []Atom{atom("s", 3)}}).String(), "¬s(3)") {
+		t.Error("Disjunct String wrong")
+	}
+}

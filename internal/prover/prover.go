@@ -1,0 +1,264 @@
+package prover
+
+import (
+	"fmt"
+	"strings"
+
+	"hippo/internal/conflict"
+	"hippo/internal/engine"
+	"hippo/internal/ra"
+	"hippo/internal/storage"
+	"hippo/internal/value"
+)
+
+// Membership answers base-relation membership checks, returning the live
+// RowIDs holding the tuple (empty when absent). The two implementations
+// embody the paper's optimization axis: IndexedMembership answers from
+// in-memory structures ("without executing any queries on the database"),
+// NaiveMembership issues one engine query per check, as in Hippo's base
+// version.
+type Membership interface {
+	Lookup(rel string, t value.Tuple) ([]storage.RowID, error)
+}
+
+// IndexedMembership resolves membership through the conflict stage's
+// full-row tuple index.
+type IndexedMembership struct {
+	TI *conflict.TupleIndex
+}
+
+// Lookup returns the live rows equal to t.
+func (m IndexedMembership) Lookup(rel string, t value.Tuple) ([]storage.RowID, error) {
+	return m.TI.Lookup(rel, t)
+}
+
+// NaiveMembership issues a SELECT against the engine for every check —
+// the paper's "costly procedure" that its optimizations eliminate. The
+// tuple index is still consulted afterwards to map the tuple to its
+// hypergraph vertex (the query only establishes membership).
+type NaiveMembership struct {
+	DB *engine.DB
+	TI *conflict.TupleIndex
+}
+
+// Lookup runs a membership query, then resolves RowIDs via the index.
+func (m NaiveMembership) Lookup(rel string, t value.Tuple) ([]storage.RowID, error) {
+	table, err := m.DB.Table(rel)
+	if err != nil {
+		return nil, err
+	}
+	sch := table.Schema()
+	if sch.Len() != len(t) {
+		return nil, fmt.Errorf("prover: membership tuple arity %d vs relation %s arity %d",
+			len(t), rel, sch.Len())
+	}
+	var pred ra.Expr
+	for i, v := range t {
+		var conj ra.Expr
+		if v.IsNull() {
+			conj = ra.IsNull{E: ra.Col{Index: i}}
+		} else {
+			conj = ra.Cmp{Op: ra.EQ, L: ra.Col{Index: i}, R: ra.Const{V: v}}
+		}
+		pred = ra.Conjoin(pred, conj)
+	}
+	plan := ra.Node(&ra.Scan{Table: table})
+	if pred != nil {
+		plan = &ra.Select{Child: plan, Pred: pred}
+	}
+	res, err := m.DB.RunPlanRaw(plan)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, nil
+	}
+	return m.TI.Lookup(rel, t)
+}
+
+// Stats counts the work a Prover performed.
+type Stats struct {
+	TuplesChecked    int64 // candidate tuples processed
+	Disjuncts        int64 // DNF disjuncts examined
+	MembershipChecks int64 // base-relation membership checks
+	BlockerChoices   int64 // blocking-edge assignments explored
+	Pruned           int64 // DFS branches cut by early independence checks
+}
+
+// Prover checks candidate tuples against the conflict hypergraph.
+type Prover struct {
+	H      *conflict.Hypergraph
+	Member Membership
+	// DisablePruning delays independence checking to complete blocker
+	// assignments (the ablation in BenchmarkAblationPruning).
+	DisablePruning bool
+
+	Stats Stats
+}
+
+// New creates a prover over a hypergraph with the given membership source.
+func New(h *conflict.Hypergraph, m Membership) *Prover {
+	return &Prover{H: h, Member: m}
+}
+
+// IsConsistentAnswer reports whether t is a consistent answer to the query
+// plan: whether t ∈ plan holds in every repair.
+func (p *Prover) IsConsistentAnswer(plan ra.Node, t value.Tuple) (bool, error) {
+	f, err := BuildFormula(plan, t)
+	if err != nil {
+		return false, err
+	}
+	return p.IsConsistent(f)
+}
+
+// IsConsistent reports whether the ground formula f holds in every repair.
+// It negates f, converts to DNF, and checks that no disjunct is satisfied
+// by any repair.
+func (p *Prover) IsConsistent(f Formula) (bool, error) {
+	p.Stats.TuplesChecked++
+	for _, d := range NegationDNF(f) {
+		p.Stats.Disjuncts++
+		sat, err := p.SatisfiableInSomeRepair(d)
+		if err != nil {
+			return false, err
+		}
+		if sat {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// SatisfiableInSomeRepair decides whether some repair contains every
+// positive atom of d and none of its negative atoms.
+//
+// The positive atoms must exist in the database and be jointly independent.
+// Each negative atom present in the database must be excluded from the
+// repair; since repairs are *maximal* independent sets, exclusion of n must
+// be forced by a blocking hyperedge e ∋ n whose remaining vertices all
+// belong to the repair. The search assigns a blocking edge to every
+// negative atom such that the union S of positive atoms and blocker
+// remainders stays independent and avoids all negative atoms; any maximal
+// independent extension of such an S is a witnessing repair.
+func (p *Prover) SatisfiableInSomeRepair(d Disjunct) (bool, error) {
+	s := conflict.VertexSet{}
+	// Positive atoms: must be present and independent.
+	for _, a := range d.Pos {
+		v, inDB, err := p.resolve(a)
+		if err != nil {
+			return false, err
+		}
+		if !inDB {
+			return false, nil
+		}
+		if s[v] {
+			continue
+		}
+		if !p.H.IndependentWith(s, v) {
+			return false, nil
+		}
+		s[v] = true
+	}
+	// Negative atoms: absent ones are excluded from every repair for free;
+	// present conflict-free ones are in every repair, killing the disjunct.
+	nset := conflict.VertexSet{}
+	var blockers [][]conflict.Edge
+	for _, a := range d.Neg {
+		v, inDB, err := p.resolve(a)
+		if err != nil {
+			return false, err
+		}
+		if !inDB {
+			continue
+		}
+		if s[v] {
+			return false, nil // required both in and out
+		}
+		edges := p.H.EdgesContaining(v)
+		if len(edges) == 0 {
+			return false, nil // conflict-free tuples survive in every repair
+		}
+		nset[v] = true
+		blockers = append(blockers, p.blockerCandidates(v, edges))
+	}
+	// Cheapest-first ordering shrinks the search tree.
+	sortByLen(blockers)
+	return p.assignBlockers(s, nset, blockers, 0)
+}
+
+// blockerCandidates precomputes, for a negative vertex v, each candidate
+// edge's "remainder" (the edge without v).
+func (p *Prover) blockerCandidates(v conflict.Vertex, edges []conflict.Edge) []conflict.Edge {
+	out := make([]conflict.Edge, 0, len(edges))
+	for _, e := range edges {
+		rem := make([]conflict.Vertex, 0, len(e.Verts)-1)
+		for _, u := range e.Verts {
+			if u != v {
+				rem = append(rem, u)
+			}
+		}
+		out = append(out, conflict.Edge{Verts: rem, Label: e.Label})
+	}
+	return out
+}
+
+// assignBlockers tries every combination of blocking edges depth-first.
+func (p *Prover) assignBlockers(s, nset conflict.VertexSet, blockers [][]conflict.Edge, i int) (bool, error) {
+	if i == len(blockers) {
+		if p.DisablePruning && !p.H.Independent(s) {
+			return false, nil
+		}
+		return true, nil
+	}
+nextEdge:
+	for _, rem := range blockers[i] {
+		p.Stats.BlockerChoices++
+		var added []conflict.Vertex
+		for _, u := range rem.Verts {
+			if nset[u] {
+				continue nextEdge // blocker would force a forbidden tuple in
+			}
+			if !s[u] {
+				added = append(added, u)
+			}
+		}
+		if !p.DisablePruning && !p.H.IndependentWith(s, added...) {
+			p.Stats.Pruned++
+			continue
+		}
+		for _, u := range added {
+			s[u] = true
+		}
+		ok, err := p.assignBlockers(s, nset, blockers, i+1)
+		for _, u := range added {
+			delete(s, u)
+		}
+		if err != nil || ok {
+			return ok, err
+		}
+	}
+	return false, nil
+}
+
+// resolve maps an atom to its hypergraph vertex, if present in the DB.
+func (p *Prover) resolve(a Atom) (conflict.Vertex, bool, error) {
+	p.Stats.MembershipChecks++
+	ids, err := p.Member.Lookup(a.Rel, a.Tuple)
+	if err != nil {
+		return conflict.Vertex{}, false, err
+	}
+	if len(ids) == 0 {
+		return conflict.Vertex{}, false, nil
+	}
+	// Set semantics assumed: identical duplicate rows would share one
+	// logical tuple; use the first occurrence as the vertex.
+	return conflict.Vertex{Rel: strings.ToLower(a.Rel), Row: ids[0]}, true, nil
+}
+
+func sortByLen(bs [][]conflict.Edge) {
+	for i := 1; i < len(bs); i++ {
+		for j := i; j > 0 && len(bs[j]) < len(bs[j-1]); j-- {
+			bs[j], bs[j-1] = bs[j-1], bs[j]
+		}
+	}
+}

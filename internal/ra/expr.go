@@ -1,0 +1,501 @@
+// Package ra implements the relational algebra evaluated by the embedded
+// engine and manipulated by the Hippo CQA pipeline: Volcano-style operator
+// nodes (scan, selection, projection, product, joins, union, difference,
+// intersection) plus a scalar expression language with SQL three-valued
+// logic.
+//
+// Hippo's enveloping, prover, and query-rewriting stages all transform
+// trees of these nodes, so the node set deliberately mirrors the SJUD
+// algebra of the paper, with anti-/semi-joins added for the rewriting
+// baseline and NOT EXISTS support.
+package ra
+
+import (
+	"fmt"
+	"strings"
+
+	"hippo/internal/value"
+)
+
+// Expr is a scalar expression evaluated against a single row.
+type Expr interface {
+	// Eval computes the expression over row. SQL NULL propagation applies.
+	Eval(row value.Tuple) (value.Value, error)
+	// String renders the expression for debugging and plan printing.
+	String() string
+}
+
+// Col references a column by position. Name is carried for display only.
+type Col struct {
+	Index int
+	Name  string
+}
+
+// Eval returns the row's value at the referenced position.
+func (c Col) Eval(row value.Tuple) (value.Value, error) {
+	if c.Index < 0 || c.Index >= len(row) {
+		return value.Null(), fmt.Errorf("ra: column index %d out of range (row arity %d)", c.Index, len(row))
+	}
+	return row[c.Index], nil
+}
+
+func (c Col) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("#%d", c.Index)
+}
+
+// Const is a literal value.
+type Const struct{ V value.Value }
+
+// Eval returns the literal.
+func (c Const) Eval(value.Tuple) (value.Value, error) { return c.V, nil }
+
+func (c Const) String() string { return c.V.String() }
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case EQ:
+		return "="
+	case NE:
+		return "<>"
+	case LT:
+		return "<"
+	case LE:
+		return "<="
+	case GT:
+		return ">"
+	case GE:
+		return ">="
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+// Negate returns the complementary operator (= ↔ <>, < ↔ >=, ...).
+func (op CmpOp) Negate() CmpOp {
+	switch op {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	default: // GE
+		return LT
+	}
+}
+
+// Flip returns the operator with swapped operands (a < b ↔ b > a).
+func (op CmpOp) Flip() CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default:
+		return op
+	}
+}
+
+// Cmp compares two sub-expressions. NULL operands yield NULL (unknown).
+type Cmp struct {
+	Op   CmpOp
+	L, R Expr
+}
+
+// Eval applies three-valued comparison semantics.
+func (c Cmp) Eval(row value.Tuple) (value.Value, error) {
+	l, err := c.L.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	r, err := c.R.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if l.IsNull() || r.IsNull() {
+		return value.Null(), nil
+	}
+	if !value.Comparable(l.K, r.K) {
+		return value.Null(), fmt.Errorf("ra: cannot compare %s with %s", l.K, r.K)
+	}
+	o := value.Compare(l, r)
+	var res bool
+	switch c.Op {
+	case EQ:
+		res = o == 0
+	case NE:
+		res = o != 0
+	case LT:
+		res = o < 0
+	case LE:
+		res = o <= 0
+	case GT:
+		res = o > 0
+	case GE:
+		res = o >= 0
+	}
+	return value.Bool(res), nil
+}
+
+func (c Cmp) String() string {
+	return fmt.Sprintf("%s %s %s", c.L, c.Op, c.R)
+}
+
+// And is Kleene three-valued conjunction over its operands.
+type And struct{ L, R Expr }
+
+// Eval computes L AND R with three-valued logic.
+func (a And) Eval(row value.Tuple) (value.Value, error) {
+	l, err := evalBool(a.L, row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if l.K == value.KindBool && !l.B {
+		return value.Bool(false), nil
+	}
+	r, err := evalBool(a.R, row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if r.K == value.KindBool && !r.B {
+		return value.Bool(false), nil
+	}
+	if l.IsNull() || r.IsNull() {
+		return value.Null(), nil
+	}
+	return value.Bool(true), nil
+}
+
+func (a And) String() string { return fmt.Sprintf("(%s AND %s)", a.L, a.R) }
+
+// Or is Kleene three-valued disjunction over its operands.
+type Or struct{ L, R Expr }
+
+// Eval computes L OR R with three-valued logic.
+func (o Or) Eval(row value.Tuple) (value.Value, error) {
+	l, err := evalBool(o.L, row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if l.K == value.KindBool && l.B {
+		return value.Bool(true), nil
+	}
+	r, err := evalBool(o.R, row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if r.K == value.KindBool && r.B {
+		return value.Bool(true), nil
+	}
+	if l.IsNull() || r.IsNull() {
+		return value.Null(), nil
+	}
+	return value.Bool(false), nil
+}
+
+func (o Or) String() string { return fmt.Sprintf("(%s OR %s)", o.L, o.R) }
+
+// Not is three-valued negation.
+type Not struct{ E Expr }
+
+// Eval computes NOT E; NULL stays NULL.
+func (n Not) Eval(row value.Tuple) (value.Value, error) {
+	v, err := evalBool(n.E, row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if v.IsNull() {
+		return value.Null(), nil
+	}
+	return value.Bool(!v.B), nil
+}
+
+func (n Not) String() string { return fmt.Sprintf("NOT (%s)", n.E) }
+
+// IsNull tests a sub-expression for NULL; never returns NULL itself.
+type IsNull struct {
+	E      Expr
+	Negate bool
+}
+
+// Eval returns TRUE iff E is (not) NULL.
+func (i IsNull) Eval(row value.Tuple) (value.Value, error) {
+	v, err := i.E.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	return value.Bool(v.IsNull() != i.Negate), nil
+}
+
+func (i IsNull) String() string {
+	if i.Negate {
+		return fmt.Sprintf("(%s) IS NOT NULL", i.E)
+	}
+	return fmt.Sprintf("(%s) IS NULL", i.E)
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+)
+
+// String returns the SQL spelling of the operator.
+func (op ArithOp) String() string {
+	switch op {
+	case Add:
+		return "+"
+	case Sub:
+		return "-"
+	case Mul:
+		return "*"
+	case Div:
+		return "/"
+	case Mod:
+		return "%"
+	default:
+		return fmt.Sprintf("ArithOp(%d)", uint8(op))
+	}
+}
+
+// Arith applies an arithmetic operator to two numeric sub-expressions.
+type Arith struct {
+	Op   ArithOp
+	L, R Expr
+}
+
+// Eval computes the operation; NULL operands yield NULL. Integer operands
+// keep integer arithmetic except for division by values that do not divide
+// evenly, which promotes to FLOAT.
+func (a Arith) Eval(row value.Tuple) (value.Value, error) {
+	l, err := a.L.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	r, err := a.R.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if l.IsNull() || r.IsNull() {
+		return value.Null(), nil
+	}
+	if !l.IsNumeric() || !r.IsNumeric() {
+		return value.Null(), fmt.Errorf("ra: arithmetic on non-numeric values %s, %s", l.K, r.K)
+	}
+	if l.K == value.KindInt && r.K == value.KindInt {
+		switch a.Op {
+		case Add:
+			return value.Int(l.I + r.I), nil
+		case Sub:
+			return value.Int(l.I - r.I), nil
+		case Mul:
+			return value.Int(l.I * r.I), nil
+		case Div:
+			if r.I == 0 {
+				return value.Null(), fmt.Errorf("ra: division by zero")
+			}
+			if l.I%r.I == 0 {
+				return value.Int(l.I / r.I), nil
+			}
+			return value.Float(float64(l.I) / float64(r.I)), nil
+		case Mod:
+			if r.I == 0 {
+				return value.Null(), fmt.Errorf("ra: division by zero")
+			}
+			return value.Int(l.I % r.I), nil
+		}
+	}
+	lf, rf := l.AsFloat(), r.AsFloat()
+	switch a.Op {
+	case Add:
+		return value.Float(lf + rf), nil
+	case Sub:
+		return value.Float(lf - rf), nil
+	case Mul:
+		return value.Float(lf * rf), nil
+	case Div:
+		if rf == 0 {
+			return value.Null(), fmt.Errorf("ra: division by zero")
+		}
+		return value.Float(lf / rf), nil
+	case Mod:
+		return value.Null(), fmt.Errorf("ra: %% requires integer operands")
+	}
+	return value.Null(), fmt.Errorf("ra: unknown arithmetic op %d", a.Op)
+}
+
+func (a Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", a.L, a.Op, a.R)
+}
+
+// evalBool evaluates e and checks the result is BOOL or NULL.
+func evalBool(e Expr, row value.Tuple) (value.Value, error) {
+	v, err := e.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if v.IsNull() || v.K == value.KindBool {
+		return v, nil
+	}
+	return value.Null(), fmt.Errorf("ra: expected boolean, got %s in %s", v.K, e)
+}
+
+// EvalPredicate evaluates e as a filter predicate: the row passes only if
+// the result is TRUE (NULL and FALSE both reject, per SQL WHERE semantics).
+func EvalPredicate(e Expr, row value.Tuple) (bool, error) {
+	v, err := evalBool(e, row)
+	if err != nil {
+		return false, err
+	}
+	return v.K == value.KindBool && v.B, nil
+}
+
+// WalkExpr calls fn on e and every sub-expression, pre-order.
+func WalkExpr(e Expr, fn func(Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch t := e.(type) {
+	case Cmp:
+		WalkExpr(t.L, fn)
+		WalkExpr(t.R, fn)
+	case And:
+		WalkExpr(t.L, fn)
+		WalkExpr(t.R, fn)
+	case Or:
+		WalkExpr(t.L, fn)
+		WalkExpr(t.R, fn)
+	case Not:
+		WalkExpr(t.E, fn)
+	case IsNull:
+		WalkExpr(t.E, fn)
+	case Arith:
+		WalkExpr(t.L, fn)
+		WalkExpr(t.R, fn)
+	}
+}
+
+// ColumnsUsed returns the sorted set of column positions referenced by e.
+func ColumnsUsed(e Expr) []int {
+	seen := map[int]bool{}
+	WalkExpr(e, func(x Expr) {
+		if c, ok := x.(Col); ok {
+			seen[c.Index] = true
+		}
+	})
+	out := make([]int, 0, len(seen))
+	for i := range seen {
+		out = append(out, i)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// ShiftColumns returns a copy of e with every column index shifted by
+// delta. It is used when moving predicates across products.
+func ShiftColumns(e Expr, delta int) Expr {
+	return MapColumns(e, func(i int) int { return i + delta })
+}
+
+// MapColumns returns a copy of e with every column index rewritten by fn.
+func MapColumns(e Expr, fn func(int) int) Expr {
+	switch t := e.(type) {
+	case Col:
+		return Col{Index: fn(t.Index), Name: t.Name}
+	case Const:
+		return t
+	case Cmp:
+		return Cmp{Op: t.Op, L: MapColumns(t.L, fn), R: MapColumns(t.R, fn)}
+	case And:
+		return And{L: MapColumns(t.L, fn), R: MapColumns(t.R, fn)}
+	case Or:
+		return Or{L: MapColumns(t.L, fn), R: MapColumns(t.R, fn)}
+	case Not:
+		return Not{E: MapColumns(t.E, fn)}
+	case IsNull:
+		return IsNull{E: MapColumns(t.E, fn), Negate: t.Negate}
+	case Arith:
+		return Arith{Op: t.Op, L: MapColumns(t.L, fn), R: MapColumns(t.R, fn)}
+	default:
+		return e
+	}
+}
+
+// Conjoin combines the given predicates with AND, dropping nils. A nil
+// result means "no predicate" (always true).
+func Conjoin(preds ...Expr) Expr {
+	var out Expr
+	for _, p := range preds {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = p
+		} else {
+			out = And{L: out, R: p}
+		}
+	}
+	return out
+}
+
+// Conjuncts splits a predicate into its top-level AND factors.
+func Conjuncts(e Expr) []Expr {
+	if e == nil {
+		return nil
+	}
+	if a, ok := e.(And); ok {
+		return append(Conjuncts(a.L), Conjuncts(a.R)...)
+	}
+	return []Expr{e}
+}
+
+// TrueExpr is a predicate that always evaluates to TRUE.
+var TrueExpr Expr = Const{V: value.Bool(true)}
+
+// FalseExpr is a predicate that always evaluates to FALSE.
+var FalseExpr Expr = Const{V: value.Bool(false)}
+
+// ExprsString renders a list of expressions separated by commas.
+func ExprsString(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ", ")
+}

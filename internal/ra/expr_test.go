@@ -1,0 +1,258 @@
+package ra
+
+import (
+	"strings"
+	"testing"
+
+	"hippo/internal/value"
+)
+
+func TestColEval(t *testing.T) {
+	row := value.Tuple{value.Int(1), value.Text("x")}
+	v, err := Col{Index: 1}.Eval(row)
+	if err != nil || v != value.Text("x") {
+		t.Errorf("Col eval = %v, %v", v, err)
+	}
+	if _, err := (Col{Index: 5}).Eval(row); err == nil {
+		t.Error("out-of-range column should error")
+	}
+	if (Col{Index: 2, Name: "a.b"}).String() != "a.b" {
+		t.Error("named Col String wrong")
+	}
+	if (Col{Index: 2}).String() != "#2" {
+		t.Error("unnamed Col String wrong")
+	}
+}
+
+func TestCmpOps(t *testing.T) {
+	row := value.Tuple{value.Int(1), value.Int(2)}
+	cases := []struct {
+		op   CmpOp
+		want bool
+	}{
+		{EQ, false}, {NE, true}, {LT, true}, {LE, true}, {GT, false}, {GE, false},
+	}
+	for _, c := range cases {
+		v, err := Cmp{Op: c.op, L: Col{Index: 0}, R: Col{Index: 1}}.Eval(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.B != c.want {
+			t.Errorf("1 %s 2 = %v, want %v", c.op, v.B, c.want)
+		}
+	}
+}
+
+func TestCmpNullAndErrors(t *testing.T) {
+	row := value.Tuple{value.Null(), value.Int(2), value.Text("x")}
+	v, err := Cmp{Op: EQ, L: Col{Index: 0}, R: Col{Index: 1}}.Eval(row)
+	if err != nil || !v.IsNull() {
+		t.Errorf("NULL = 2 should be NULL, got %v, %v", v, err)
+	}
+	if _, err := (Cmp{Op: EQ, L: Col{Index: 1}, R: Col{Index: 2}}).Eval(row); err == nil {
+		t.Error("int = text should error")
+	}
+	// Int/float cross-compare works.
+	v, err = Cmp{Op: EQ, L: Const{V: value.Int(1)}, R: Const{V: value.Float(1)}}.Eval(nil)
+	if err != nil || !v.B {
+		t.Errorf("1 = 1.0 should be true: %v %v", v, err)
+	}
+}
+
+func TestCmpOpHelpers(t *testing.T) {
+	negs := map[CmpOp]CmpOp{EQ: NE, NE: EQ, LT: GE, LE: GT, GT: LE, GE: LT}
+	for op, want := range negs {
+		if op.Negate() != want {
+			t.Errorf("%s.Negate() = %s, want %s", op, op.Negate(), want)
+		}
+	}
+	flips := map[CmpOp]CmpOp{EQ: EQ, NE: NE, LT: GT, LE: GE, GT: LT, GE: LE}
+	for op, want := range flips {
+		if op.Flip() != want {
+			t.Errorf("%s.Flip() = %s, want %s", op, op.Flip(), want)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	T := Const{V: value.Bool(true)}
+	F := Const{V: value.Bool(false)}
+	N := Const{V: value.Null()}
+	evalK := func(e Expr) string {
+		v, err := e.Eval(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.IsNull() {
+			return "N"
+		}
+		if v.B {
+			return "T"
+		}
+		return "F"
+	}
+	andTable := []struct {
+		l, r Expr
+		want string
+	}{
+		{T, T, "T"}, {T, F, "F"}, {F, T, "F"}, {F, F, "F"},
+		{T, N, "N"}, {N, T, "N"}, {F, N, "F"}, {N, F, "F"}, {N, N, "N"},
+	}
+	for _, c := range andTable {
+		if got := evalK(And{L: c.l, R: c.r}); got != c.want {
+			t.Errorf("AND(%s,%s) = %s, want %s", evalK(c.l), evalK(c.r), got, c.want)
+		}
+	}
+	orTable := []struct {
+		l, r Expr
+		want string
+	}{
+		{T, T, "T"}, {T, F, "T"}, {F, T, "T"}, {F, F, "F"},
+		{T, N, "T"}, {N, T, "T"}, {F, N, "N"}, {N, F, "N"}, {N, N, "N"},
+	}
+	for _, c := range orTable {
+		if got := evalK(Or{L: c.l, R: c.r}); got != c.want {
+			t.Errorf("OR = %s, want %s", got, c.want)
+		}
+	}
+	if evalK(Not{E: T}) != "F" || evalK(Not{E: F}) != "T" || evalK(Not{E: N}) != "N" {
+		t.Error("NOT table wrong")
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	row := value.Tuple{value.Null(), value.Int(1)}
+	v, _ := IsNull{E: Col{Index: 0}}.Eval(row)
+	if !v.B {
+		t.Error("IS NULL on null should be true")
+	}
+	v, _ = IsNull{E: Col{Index: 1}, Negate: true}.Eval(row)
+	if !v.B {
+		t.Error("IS NOT NULL on 1 should be true")
+	}
+	if !strings.Contains((IsNull{E: Col{Index: 0}, Negate: true}).String(), "IS NOT NULL") {
+		t.Error("IsNull String wrong")
+	}
+}
+
+func TestArith(t *testing.T) {
+	cases := []struct {
+		op   ArithOp
+		l, r value.Value
+		want value.Value
+	}{
+		{Add, value.Int(2), value.Int(3), value.Int(5)},
+		{Sub, value.Int(2), value.Int(3), value.Int(-1)},
+		{Mul, value.Int(2), value.Int(3), value.Int(6)},
+		{Div, value.Int(6), value.Int(3), value.Int(2)},
+		{Div, value.Int(7), value.Int(2), value.Float(3.5)},
+		{Mod, value.Int(7), value.Int(2), value.Int(1)},
+		{Add, value.Float(1.5), value.Int(1), value.Float(2.5)},
+		{Div, value.Float(1), value.Float(2), value.Float(0.5)},
+	}
+	for _, c := range cases {
+		v, err := Arith{Op: c.op, L: Const{V: c.l}, R: Const{V: c.r}}.Eval(nil)
+		if err != nil {
+			t.Fatalf("%v %s %v: %v", c.l, c.op, c.r, err)
+		}
+		if v != c.want {
+			t.Errorf("%v %s %v = %v, want %v", c.l, c.op, c.r, v, c.want)
+		}
+	}
+	// Errors.
+	if _, err := (Arith{Op: Div, L: Const{V: value.Int(1)}, R: Const{V: value.Int(0)}}).Eval(nil); err == nil {
+		t.Error("div by zero should error")
+	}
+	if _, err := (Arith{Op: Mod, L: Const{V: value.Float(1)}, R: Const{V: value.Float(2)}}).Eval(nil); err == nil {
+		t.Error("float mod should error")
+	}
+	if _, err := (Arith{Op: Add, L: Const{V: value.Text("a")}, R: Const{V: value.Int(1)}}).Eval(nil); err == nil {
+		t.Error("text arithmetic should error")
+	}
+	// NULL propagation.
+	v, err := Arith{Op: Add, L: Const{V: value.Null()}, R: Const{V: value.Int(1)}}.Eval(nil)
+	if err != nil || !v.IsNull() {
+		t.Error("NULL + 1 should be NULL")
+	}
+}
+
+func TestEvalPredicate(t *testing.T) {
+	ok, err := EvalPredicate(TrueExpr, nil)
+	if err != nil || !ok {
+		t.Error("TrueExpr should pass")
+	}
+	ok, _ = EvalPredicate(FalseExpr, nil)
+	if ok {
+		t.Error("FalseExpr should reject")
+	}
+	ok, _ = EvalPredicate(Const{V: value.Null()}, nil)
+	if ok {
+		t.Error("NULL predicate should reject")
+	}
+	if _, err := EvalPredicate(Const{V: value.Int(1)}, nil); err == nil {
+		t.Error("non-boolean predicate should error")
+	}
+}
+
+func TestColumnsUsedAndShift(t *testing.T) {
+	e := And{
+		L: Cmp{Op: EQ, L: Col{Index: 3}, R: Col{Index: 0}},
+		R: Or{
+			L: Not{E: Cmp{Op: LT, L: Col{Index: 3}, R: Const{V: value.Int(5)}}},
+			R: IsNull{E: Arith{Op: Add, L: Col{Index: 1}, R: Const{V: value.Int(1)}}},
+		},
+	}
+	got := ColumnsUsed(e)
+	want := []int{0, 1, 3}
+	if len(got) != len(want) {
+		t.Fatalf("ColumnsUsed = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ColumnsUsed = %v, want %v", got, want)
+		}
+	}
+	shifted := ShiftColumns(e, 10)
+	got = ColumnsUsed(shifted)
+	want = []int{10, 11, 13}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("shifted ColumnsUsed = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConjoinConjuncts(t *testing.T) {
+	if Conjoin() != nil {
+		t.Error("empty Conjoin should be nil")
+	}
+	a := Cmp{Op: EQ, L: Col{Index: 0}, R: Const{V: value.Int(1)}}
+	b := Cmp{Op: GT, L: Col{Index: 1}, R: Const{V: value.Int(2)}}
+	c := Conjoin(a, nil, b)
+	parts := Conjuncts(c)
+	if len(parts) != 2 {
+		t.Fatalf("Conjuncts = %d parts", len(parts))
+	}
+	if Conjoin(a).String() != a.String() {
+		t.Error("single Conjoin should be identity")
+	}
+	if Conjuncts(nil) != nil {
+		t.Error("Conjuncts(nil) should be nil")
+	}
+}
+
+func TestExprStrings(t *testing.T) {
+	e := And{
+		L: Cmp{Op: NE, L: Col{Index: 0, Name: "e.id"}, R: Const{V: value.Int(1)}},
+		R: Not{E: Cmp{Op: LT, L: Col{Index: 1, Name: "e.pay"}, R: Const{V: value.Float(2.5)}}},
+	}
+	s := e.String()
+	for _, frag := range []string{"e.id <> 1", "NOT", "e.pay < 2.5", "AND"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String() = %q missing %q", s, frag)
+		}
+	}
+	if ExprsString([]Expr{Col{Index: 0, Name: "a"}, Const{V: value.Int(2)}}) != "a, 2" {
+		t.Error("ExprsString wrong")
+	}
+}

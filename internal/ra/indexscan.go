@@ -1,0 +1,62 @@
+package ra
+
+import (
+	"fmt"
+
+	"hippo/internal/schema"
+	"hippo/internal/storage"
+	"hippo/internal/value"
+)
+
+// IndexLookup reads the rows of a table whose indexed columns equal the
+// given constant key — the access-path alternative to Scan+Select that
+// the engine's optimizer installs for equality predicates covered by an
+// existing index. Key expressions are evaluated once at Open (they must
+// be row-independent) and are listed in the index's column order.
+type IndexLookup struct {
+	Table *storage.Table
+	Index *storage.Index
+	Key   []Expr
+	Alias string
+}
+
+// Schema matches the equivalent Scan's schema.
+func (n *IndexLookup) Schema() schema.Schema {
+	q := n.Alias
+	if q == "" {
+		q = n.Table.Name()
+	}
+	return n.Table.Schema().WithQualifier(q)
+}
+
+// Children returns no inputs.
+func (n *IndexLookup) Children() []Node { return nil }
+
+func (n *IndexLookup) String() string {
+	return fmt.Sprintf("IndexLookup(%s on cols %v = %s)",
+		n.Table.Name(), n.Index.Columns(), ExprsString(n.Key))
+}
+
+// Open evaluates the key and streams the matching live rows.
+func (n *IndexLookup) Open() (Iterator, error) {
+	if len(n.Key) != len(n.Index.Columns()) {
+		return nil, fmt.Errorf("ra: index lookup key arity %d != index arity %d",
+			len(n.Key), len(n.Index.Columns()))
+	}
+	key := make(value.Tuple, len(n.Key))
+	for i, e := range n.Key {
+		v, err := e.Eval(nil)
+		if err != nil {
+			return nil, fmt.Errorf("ra: index lookup key must be constant: %v", err)
+		}
+		key[i] = v
+	}
+	ids := n.Index.Lookup(key)
+	rows := make([]value.Tuple, 0, len(ids))
+	for _, id := range ids {
+		if row, ok := n.Table.Row(id); ok {
+			rows = append(rows, row)
+		}
+	}
+	return &sliceIter{rows: rows}, nil
+}

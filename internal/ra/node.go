@@ -1,0 +1,315 @@
+package ra
+
+import (
+	"fmt"
+
+	"hippo/internal/schema"
+	"hippo/internal/storage"
+	"hippo/internal/value"
+)
+
+// Node is a relational algebra operator producing a stream of tuples.
+type Node interface {
+	// Schema returns the output schema of the operator.
+	Schema() schema.Schema
+	// Open starts execution and returns an iterator over the results.
+	Open() (Iterator, error)
+	// Children returns the operator's inputs, left to right.
+	Children() []Node
+	// String renders a one-line description of this operator (not its
+	// subtree); see Format for whole-plan printing.
+	String() string
+}
+
+// Iterator is a stream of tuples. Implementations are not safe for
+// concurrent use.
+type Iterator interface {
+	// Next returns the next tuple. ok=false signals exhaustion.
+	Next() (row value.Tuple, ok bool, err error)
+	// Close releases resources. Close is idempotent.
+	Close() error
+}
+
+// Materialize drains a node into a slice.
+func Materialize(n Node) ([]value.Tuple, error) {
+	it, err := n.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	var out []value.Tuple
+	for {
+		row, ok, err := it.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return out, nil
+		}
+		out = append(out, row)
+	}
+}
+
+// sliceIter iterates over a materialized slice.
+type sliceIter struct {
+	rows []value.Tuple
+	pos  int
+}
+
+func (s *sliceIter) Next() (value.Tuple, bool, error) {
+	if s.pos >= len(s.rows) {
+		return nil, false, nil
+	}
+	r := s.rows[s.pos]
+	s.pos++
+	return r, true, nil
+}
+
+func (s *sliceIter) Close() error { return nil }
+
+// Scan reads all live rows of a stored table. Alias qualifies the output
+// columns; if empty, the table name is used.
+type Scan struct {
+	Table *storage.Table
+	Alias string
+}
+
+// Schema returns the table schema qualified by the alias.
+func (s *Scan) Schema() schema.Schema {
+	q := s.Alias
+	if q == "" {
+		q = s.Table.Name()
+	}
+	return s.Table.Schema().WithQualifier(q)
+}
+
+// Open returns an iterator over the table's live rows.
+func (s *Scan) Open() (Iterator, error) {
+	return &sliceIter{rows: s.Table.Rows()}, nil
+}
+
+// Children returns no inputs.
+func (s *Scan) Children() []Node { return nil }
+
+func (s *Scan) String() string {
+	if s.Alias != "" && s.Alias != s.Table.Name() {
+		return fmt.Sprintf("Scan(%s AS %s)", s.Table.Name(), s.Alias)
+	}
+	return fmt.Sprintf("Scan(%s)", s.Table.Name())
+}
+
+// Select filters its child with a predicate (σ).
+type Select struct {
+	Child Node
+	Pred  Expr
+}
+
+// Schema returns the child schema.
+func (s *Select) Schema() schema.Schema { return s.Child.Schema() }
+
+// Open returns a filtering iterator.
+func (s *Select) Open() (Iterator, error) {
+	it, err := s.Child.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &selectIter{child: it, pred: s.Pred}, nil
+}
+
+// Children returns the single input.
+func (s *Select) Children() []Node { return []Node{s.Child} }
+
+func (s *Select) String() string { return fmt.Sprintf("Select(%s)", s.Pred) }
+
+type selectIter struct {
+	child Iterator
+	pred  Expr
+}
+
+func (s *selectIter) Next() (value.Tuple, bool, error) {
+	for {
+		row, ok, err := s.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		pass, err := EvalPredicate(s.pred, row)
+		if err != nil {
+			return nil, false, err
+		}
+		if pass {
+			return row, true, nil
+		}
+	}
+}
+
+func (s *selectIter) Close() error { return s.child.Close() }
+
+// Project computes output columns from expressions (π). When Distinct is
+// set, duplicate output rows are suppressed.
+type Project struct {
+	Child    Node
+	Exprs    []Expr
+	Names    []string // output column names, same length as Exprs
+	Distinct bool
+}
+
+// Schema infers the output schema from the projection expressions.
+func (p *Project) Schema() schema.Schema {
+	child := p.Child.Schema()
+	cols := make([]schema.Column, len(p.Exprs))
+	for i, e := range p.Exprs {
+		name := ""
+		if i < len(p.Names) {
+			name = p.Names[i]
+		}
+		col := schema.Column{Name: name, Type: inferType(e, child)}
+		if c, ok := e.(Col); ok {
+			src := child.Columns[c.Index]
+			col.Qualifier = src.Qualifier
+			if col.Name == "" {
+				col.Name = src.Name
+			}
+		}
+		if col.Name == "" {
+			col.Name = fmt.Sprintf("col%d", i+1)
+		}
+		cols[i] = col
+	}
+	return schema.Schema{Columns: cols}
+}
+
+// Open returns the projecting iterator.
+func (p *Project) Open() (Iterator, error) {
+	it, err := p.Child.Open()
+	if err != nil {
+		return nil, err
+	}
+	pi := &projectIter{child: it, exprs: p.Exprs}
+	if p.Distinct {
+		pi.seen = make(map[string]bool)
+	}
+	return pi, nil
+}
+
+// Children returns the single input.
+func (p *Project) Children() []Node { return []Node{p.Child} }
+
+func (p *Project) String() string {
+	d := ""
+	if p.Distinct {
+		d = "Distinct "
+	}
+	return fmt.Sprintf("Project(%s%s)", d, ExprsString(p.Exprs))
+}
+
+type projectIter struct {
+	child Iterator
+	exprs []Expr
+	seen  map[string]bool
+}
+
+func (p *projectIter) Next() (value.Tuple, bool, error) {
+	for {
+		row, ok, err := p.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		out := make(value.Tuple, len(p.exprs))
+		for i, e := range p.exprs {
+			v, err := e.Eval(row)
+			if err != nil {
+				return nil, false, err
+			}
+			out[i] = v
+		}
+		if p.seen != nil {
+			k := out.Key()
+			if p.seen[k] {
+				continue
+			}
+			p.seen[k] = true
+		}
+		return out, true, nil
+	}
+}
+
+func (p *projectIter) Close() error { return p.child.Close() }
+
+// inferType computes the static type of e against a child schema.
+func inferType(e Expr, s schema.Schema) value.Kind {
+	switch t := e.(type) {
+	case Col:
+		if t.Index >= 0 && t.Index < s.Len() {
+			return s.Columns[t.Index].Type
+		}
+		return value.KindNull
+	case Const:
+		return t.V.K
+	case Cmp, And, Or, Not, IsNull:
+		return value.KindBool
+	case Arith:
+		l := inferType(t.L, s)
+		r := inferType(t.R, s)
+		if l == value.KindInt && r == value.KindInt && t.Op != Div {
+			return value.KindInt
+		}
+		return value.KindFloat
+	default:
+		return value.KindNull
+	}
+}
+
+// Product is the cartesian product (×).
+type Product struct{ L, R Node }
+
+// Schema returns the concatenated schemas.
+func (p *Product) Schema() schema.Schema { return p.L.Schema().Concat(p.R.Schema()) }
+
+// Open materializes the right input and streams the left.
+func (p *Product) Open() (Iterator, error) {
+	right, err := Materialize(p.R)
+	if err != nil {
+		return nil, err
+	}
+	lit, err := p.L.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &productIter{left: lit, right: right}, nil
+}
+
+// Children returns both inputs.
+func (p *Product) Children() []Node { return []Node{p.L, p.R} }
+
+func (p *Product) String() string { return "Product" }
+
+type productIter struct {
+	left    Iterator
+	right   []value.Tuple
+	cur     value.Tuple
+	haveCur bool
+	ri      int
+}
+
+func (p *productIter) Next() (value.Tuple, bool, error) {
+	for {
+		if !p.haveCur {
+			row, ok, err := p.left.Next()
+			if err != nil || !ok {
+				return nil, false, err
+			}
+			p.cur = row
+			p.haveCur = true
+			p.ri = 0
+		}
+		if p.ri >= len(p.right) {
+			p.haveCur = false
+			continue
+		}
+		out := value.Concat(p.cur, p.right[p.ri])
+		p.ri++
+		return out, true, nil
+	}
+}
+
+func (p *productIter) Close() error { return p.left.Close() }

@@ -1,0 +1,218 @@
+package ra
+
+import (
+	"fmt"
+	"strings"
+
+	"hippo/internal/schema"
+	"hippo/internal/value"
+)
+
+// Union is set union (∪): duplicates across and within inputs are removed.
+// Inputs must be union-compatible; the output schema is the left schema.
+type Union struct{ L, R Node }
+
+// Schema returns the left schema.
+func (u *Union) Schema() schema.Schema { return u.L.Schema() }
+
+// Children returns both inputs.
+func (u *Union) Children() []Node { return []Node{u.L, u.R} }
+
+func (u *Union) String() string { return "Union" }
+
+// Open validates compatibility and streams deduplicated rows, left first.
+func (u *Union) Open() (Iterator, error) {
+	if err := schema.TypesCompatible(u.L.Schema(), u.R.Schema()); err != nil {
+		return nil, fmt.Errorf("ra: union: %v", err)
+	}
+	left, err := Materialize(u.L)
+	if err != nil {
+		return nil, err
+	}
+	right, err := Materialize(u.R)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(left)+len(right))
+	out := make([]value.Tuple, 0, len(left)+len(right))
+	for _, rows := range [][]value.Tuple{left, right} {
+		for _, r := range rows {
+			k := r.Key()
+			if !seen[k] {
+				seen[k] = true
+				out = append(out, r)
+			}
+		}
+	}
+	return &sliceIter{rows: out}, nil
+}
+
+// Diff is set difference (−). Inputs must be union-compatible; the output
+// schema is the left schema and output rows are deduplicated.
+type Diff struct{ L, R Node }
+
+// Schema returns the left schema.
+func (d *Diff) Schema() schema.Schema { return d.L.Schema() }
+
+// Children returns both inputs.
+func (d *Diff) Children() []Node { return []Node{d.L, d.R} }
+
+func (d *Diff) String() string { return "Diff" }
+
+// Open validates compatibility and streams L rows absent from R.
+func (d *Diff) Open() (Iterator, error) {
+	if err := schema.TypesCompatible(d.L.Schema(), d.R.Schema()); err != nil {
+		return nil, fmt.Errorf("ra: difference: %v", err)
+	}
+	right, err := Materialize(d.R)
+	if err != nil {
+		return nil, err
+	}
+	drop := make(map[string]bool, len(right))
+	for _, r := range right {
+		drop[r.Key()] = true
+	}
+	left, err := Materialize(d.L)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool, len(left))
+	out := make([]value.Tuple, 0, len(left))
+	for _, r := range left {
+		k := r.Key()
+		if drop[k] || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return &sliceIter{rows: out}, nil
+}
+
+// Intersect is set intersection (∩). Inputs must be union-compatible; the
+// output schema is the left schema and output rows are deduplicated.
+type Intersect struct{ L, R Node }
+
+// Schema returns the left schema.
+func (n *Intersect) Schema() schema.Schema { return n.L.Schema() }
+
+// Children returns both inputs.
+func (n *Intersect) Children() []Node { return []Node{n.L, n.R} }
+
+func (n *Intersect) String() string { return "Intersect" }
+
+// Open validates compatibility and streams L rows present in R.
+func (n *Intersect) Open() (Iterator, error) {
+	if err := schema.TypesCompatible(n.L.Schema(), n.R.Schema()); err != nil {
+		return nil, fmt.Errorf("ra: intersect: %v", err)
+	}
+	right, err := Materialize(n.R)
+	if err != nil {
+		return nil, err
+	}
+	keep := make(map[string]bool, len(right))
+	for _, r := range right {
+		keep[r.Key()] = true
+	}
+	left, err := Materialize(n.L)
+	if err != nil {
+		return nil, err
+	}
+	seen := make(map[string]bool)
+	out := make([]value.Tuple, 0, len(left))
+	for _, r := range left {
+		k := r.Key()
+		if !keep[k] || seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, r)
+	}
+	return &sliceIter{rows: out}, nil
+}
+
+// DistinctNode removes duplicate rows from its child.
+type DistinctNode struct{ Child Node }
+
+// Schema returns the child schema.
+func (d *DistinctNode) Schema() schema.Schema { return d.Child.Schema() }
+
+// Children returns the single input.
+func (d *DistinctNode) Children() []Node { return []Node{d.Child} }
+
+func (d *DistinctNode) String() string { return "Distinct" }
+
+// Open streams deduplicated child rows.
+func (d *DistinctNode) Open() (Iterator, error) {
+	it, err := d.Child.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &distinctIter{child: it, seen: map[string]bool{}}, nil
+}
+
+type distinctIter struct {
+	child Iterator
+	seen  map[string]bool
+}
+
+func (d *distinctIter) Next() (value.Tuple, bool, error) {
+	for {
+		row, ok, err := d.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := row.Key()
+		if d.seen[k] {
+			continue
+		}
+		d.seen[k] = true
+		return row, true, nil
+	}
+}
+
+func (d *distinctIter) Close() error { return d.child.Close() }
+
+// Values is a constant relation, used for VALUES lists and testing.
+type Values struct {
+	Sch  schema.Schema
+	Rows []value.Tuple
+}
+
+// Schema returns the declared schema.
+func (v *Values) Schema() schema.Schema { return v.Sch }
+
+// Children returns no inputs.
+func (v *Values) Children() []Node { return nil }
+
+func (v *Values) String() string { return fmt.Sprintf("Values(%d rows)", len(v.Rows)) }
+
+// Open streams the constant rows.
+func (v *Values) Open() (Iterator, error) { return &sliceIter{rows: v.Rows}, nil }
+
+// Format renders the whole plan tree with indentation.
+func Format(n Node) string {
+	var b strings.Builder
+	var walk func(n Node, depth int)
+	walk = func(n Node, depth int) {
+		b.WriteString(strings.Repeat("  ", depth))
+		b.WriteString(n.String())
+		b.WriteByte('\n')
+		for _, c := range n.Children() {
+			walk(c, depth+1)
+		}
+	}
+	walk(n, 0)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Walk calls fn on n and every descendant, pre-order.
+func Walk(n Node, fn func(Node)) {
+	if n == nil {
+		return
+	}
+	fn(n)
+	for _, c := range n.Children() {
+		Walk(c, fn)
+	}
+}

@@ -1,0 +1,122 @@
+package ra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hippo/internal/schema"
+	"hippo/internal/value"
+)
+
+// SortKey is one ORDER BY key.
+type SortKey struct {
+	Expr Expr
+	Desc bool
+}
+
+// Sort orders its child's rows by the given keys (stable).
+type Sort struct {
+	Child Node
+	Keys  []SortKey
+}
+
+// Schema returns the child schema.
+func (s *Sort) Schema() schema.Schema { return s.Child.Schema() }
+
+// Children returns the single input.
+func (s *Sort) Children() []Node { return []Node{s.Child} }
+
+func (s *Sort) String() string {
+	parts := make([]string, len(s.Keys))
+	for i, k := range s.Keys {
+		parts[i] = k.Expr.String()
+		if k.Desc {
+			parts[i] += " DESC"
+		}
+	}
+	return fmt.Sprintf("Sort(%s)", strings.Join(parts, ", "))
+}
+
+// Open materializes, sorts, and streams the rows.
+func (s *Sort) Open() (Iterator, error) {
+	rows, err := Materialize(s.Child)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([][]value.Value, len(rows))
+	for i, row := range rows {
+		ks := make([]value.Value, len(s.Keys))
+		for j, k := range s.Keys {
+			v, err := k.Expr.Eval(row)
+			if err != nil {
+				return nil, err
+			}
+			ks[j] = v
+		}
+		keys[i] = ks
+	}
+	idx := make([]int, len(rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for j, k := range s.Keys {
+			c := value.Compare(keys[idx[a]][j], keys[idx[b]][j])
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	out := make([]value.Tuple, len(rows))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return &sliceIter{rows: out}, nil
+}
+
+// Limit passes through at most N rows of its child.
+type Limit struct {
+	Child Node
+	N     int
+}
+
+// Schema returns the child schema.
+func (l *Limit) Schema() schema.Schema { return l.Child.Schema() }
+
+// Children returns the single input.
+func (l *Limit) Children() []Node { return []Node{l.Child} }
+
+func (l *Limit) String() string { return fmt.Sprintf("Limit(%d)", l.N) }
+
+// Open streams up to N child rows.
+func (l *Limit) Open() (Iterator, error) {
+	it, err := l.Child.Open()
+	if err != nil {
+		return nil, err
+	}
+	return &limitIter{child: it, left: l.N}, nil
+}
+
+type limitIter struct {
+	child Iterator
+	left  int
+}
+
+func (l *limitIter) Next() (value.Tuple, bool, error) {
+	if l.left <= 0 {
+		return nil, false, nil
+	}
+	row, ok, err := l.child.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	l.left--
+	return row, true, nil
+}
+
+func (l *limitIter) Close() error { return l.child.Close() }

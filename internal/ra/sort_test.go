@@ -1,0 +1,97 @@
+package ra
+
+import (
+	"testing"
+
+	"hippo/internal/value"
+)
+
+func TestSortBasic(t *testing.T) {
+	tb := mkTable(t, "r", []string{"a", "b"},
+		[]int64{2, 1}, []int64{1, 2}, []int64{1, 1}, []int64{3, 0})
+	n := &Sort{
+		Child: &Scan{Table: tb},
+		Keys:  []SortKey{{Expr: Col{Index: 0}}, {Expr: Col{Index: 1}, Desc: true}},
+	}
+	rows, err := Materialize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"(1, 2)", "(1, 1)", "(2, 1)", "(3, 0)"}
+	for i, w := range want {
+		if value.TupleString(rows[i]) != w {
+			t.Fatalf("row %d = %s, want %s (all: %v)", i, value.TupleString(rows[i]), w, rows)
+		}
+	}
+	if n.Schema().Len() != 2 || len(n.Children()) != 1 {
+		t.Error("sort metadata wrong")
+	}
+	if n.String() != "Sort(#0, #1 DESC)" {
+		t.Errorf("String = %q", n.String())
+	}
+}
+
+func TestSortStability(t *testing.T) {
+	tb := mkTable(t, "r", []string{"a", "b"},
+		[]int64{1, 10}, []int64{1, 20}, []int64{1, 30})
+	n := &Sort{Child: &Scan{Table: tb}, Keys: []SortKey{{Expr: Col{Index: 0}}}}
+	rows, err := Materialize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal keys keep input order.
+	if rows[0][1] != value.Int(10) || rows[2][1] != value.Int(30) {
+		t.Errorf("sort not stable: %v", rows)
+	}
+}
+
+func TestSortExpressionError(t *testing.T) {
+	tb := mkTable(t, "r", []string{"a"}, []int64{1})
+	n := &Sort{
+		Child: &Scan{Table: tb},
+		Keys:  []SortKey{{Expr: Arith{Op: Div, L: Col{Index: 0}, R: Const{V: value.Int(0)}}}},
+	}
+	if _, err := Materialize(n); err == nil {
+		t.Error("sort key error should propagate")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	tb := mkTable(t, "r", []string{"a"}, []int64{1}, []int64{2}, []int64{3})
+	cases := []struct {
+		n    int
+		want int
+	}{{0, 0}, {2, 2}, {3, 3}, {99, 3}}
+	for _, c := range cases {
+		lim := &Limit{Child: &Scan{Table: tb}, N: c.n}
+		rows, err := Materialize(lim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != c.want {
+			t.Errorf("Limit(%d) = %d rows, want %d", c.n, len(rows), c.want)
+		}
+	}
+	lim := &Limit{Child: &Scan{Table: tb}, N: 1}
+	if lim.String() != "Limit(1)" || lim.Schema().Len() != 1 || len(lim.Children()) != 1 {
+		t.Error("limit metadata wrong")
+	}
+}
+
+func TestSortWithNulls(t *testing.T) {
+	v := &Values{
+		Sch: mkTable(t, "tmp", []string{"a"}).Schema(),
+		Rows: []value.Tuple{
+			{value.Int(2)}, {value.Null()}, {value.Int(1)},
+		},
+	}
+	n := &Sort{Child: v, Keys: []SortKey{{Expr: Col{Index: 0}}}}
+	rows, err := Materialize(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NULL sorts first under the total order.
+	if !rows[0][0].IsNull() || rows[1][0] != value.Int(1) {
+		t.Errorf("null ordering: %v", rows)
+	}
+}

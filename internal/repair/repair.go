@@ -1,0 +1,259 @@
+// Package repair enumerates database repairs explicitly. A repair is a
+// maximal subset of the database satisfying all denial constraints —
+// equivalently, a maximal independent set of the conflict hypergraph, or
+// the complement of a minimal hitting set of its hyperedges.
+//
+// Enumeration is exponential in the number of conflicting tuples, which is
+// exactly why Hippo avoids it; this package exists as the ground-truth
+// oracle for tests and for the paper's motivating comparisons on small
+// instances (experiment E1).
+package repair
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"hippo/internal/conflict"
+	"hippo/internal/engine"
+	"hippo/internal/storage"
+	"hippo/internal/value"
+)
+
+// DefaultLimit bounds how many repairs the enumerator will produce before
+// giving up, as a guard against exponential blowup.
+const DefaultLimit = 100000
+
+// Enumerator lists the repairs of a database with respect to a conflict
+// hypergraph.
+type Enumerator struct {
+	DB *engine.DB
+	H  *conflict.Hypergraph
+	// Limit caps the number of repairs (DefaultLimit when zero).
+	Limit int
+}
+
+// DeletionSets returns the tuple sets whose removal yields each repair:
+// all minimal hitting sets of the hyperedge collection. The database
+// itself is not touched.
+func (e *Enumerator) DeletionSets() ([][]conflict.Vertex, error) {
+	limit := e.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	edges := e.H.Edges()
+	var (
+		out     [][]conflict.Vertex
+		seen    = map[string]bool{}
+		deleted = conflict.VertexSet{}
+	)
+	var rec func() error
+	rec = func() error {
+		// Find the first edge not yet hit by a deletion.
+		var alive *conflict.Edge
+		for i := range edges {
+			hit := false
+			for _, v := range edges[i].Verts {
+				if deleted[v] {
+					hit = true
+					break
+				}
+			}
+			if !hit {
+				alive = &edges[i]
+				break
+			}
+		}
+		if alive == nil {
+			set := make([]conflict.Vertex, 0, len(deleted))
+			for v := range deleted {
+				set = append(set, v)
+			}
+			if !minimalHittingSet(edges, deleted) {
+				return nil
+			}
+			sortVerts(set)
+			key := vertsKey(set)
+			if seen[key] {
+				return nil
+			}
+			seen[key] = true
+			out = append(out, set)
+			if len(out) > limit {
+				return fmt.Errorf("repair: more than %d repairs; raise Limit or shrink the instance", limit)
+			}
+			return nil
+		}
+		for _, v := range alive.Verts {
+			if deleted[v] {
+				continue
+			}
+			deleted[v] = true
+			err := rec()
+			delete(deleted, v)
+			if err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := rec(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// minimalHittingSet verifies every deleted vertex is necessary: it is the
+// only deleted vertex of at least one edge.
+func minimalHittingSet(edges []conflict.Edge, deleted conflict.VertexSet) bool {
+	needed := make(map[conflict.Vertex]bool, len(deleted))
+	for _, e := range edges {
+		var only *conflict.Vertex
+		count := 0
+		for i, v := range e.Verts {
+			if deleted[v] {
+				count++
+				only = &e.Verts[i]
+			}
+		}
+		if count == 1 {
+			needed[*only] = true
+		}
+	}
+	return len(needed) == len(deleted)
+}
+
+// Count returns the number of repairs.
+func (e *Enumerator) Count() (int, error) {
+	sets, err := e.DeletionSets()
+	if err != nil {
+		return 0, err
+	}
+	return len(sets), nil
+}
+
+// Materialize builds each repair as a standalone database (same schemas,
+// surviving rows only).
+func (e *Enumerator) Materialize() ([]*engine.DB, error) {
+	sets, err := e.DeletionSets()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*engine.DB, 0, len(sets))
+	for _, del := range sets {
+		db, err := cloneWithout(e.DB, del)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, db)
+	}
+	return out, nil
+}
+
+// cloneWithout copies every table of src, skipping the rows named in del.
+func cloneWithout(src *engine.DB, del []conflict.Vertex) (*engine.DB, error) {
+	drop := make(map[conflict.Vertex]bool, len(del))
+	for _, v := range del {
+		drop[v] = true
+	}
+	dst := engine.New()
+	for _, name := range src.TableNames() {
+		t, err := src.Table(name)
+		if err != nil {
+			return nil, err
+		}
+		nt, err := dst.CreateTable(name, t.Schema())
+		if err != nil {
+			return nil, err
+		}
+		err = t.Scan(func(id storage.RowID, row value.Tuple) error {
+			if drop[conflict.Vertex{Rel: name, Row: id}] {
+				return nil
+			}
+			_, err := nt.Insert(row)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dst, nil
+}
+
+// ConsistentAnswers computes the exact consistent answers to a SQL query
+// by evaluating it in every repair and intersecting the results. This is
+// the oracle the Hippo prover is validated against.
+func (e *Enumerator) ConsistentAnswers(sql string) ([]value.Tuple, error) {
+	repairs, err := e.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	var intersection map[string]value.Tuple
+	for _, r := range repairs {
+		res, err := r.Query(sql)
+		if err != nil {
+			return nil, err
+		}
+		cur := make(map[string]value.Tuple, len(res.Rows))
+		for _, row := range res.Rows {
+			cur[row.Key()] = row
+		}
+		if intersection == nil {
+			intersection = cur
+			continue
+		}
+		for k := range intersection {
+			if _, ok := cur[k]; !ok {
+				delete(intersection, k)
+			}
+		}
+	}
+	out := make([]value.Tuple, 0, len(intersection))
+	for _, row := range intersection {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return value.CompareTuples(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+// PossibleAnswers evaluates the query in every repair and unions the
+// results ("possible" semantics), used by envelope soundness tests.
+func (e *Enumerator) PossibleAnswers(sql string) ([]value.Tuple, error) {
+	repairs, err := e.Materialize()
+	if err != nil {
+		return nil, err
+	}
+	union := map[string]value.Tuple{}
+	for _, r := range repairs {
+		res, err := r.Query(sql)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			union[row.Key()] = row
+		}
+	}
+	out := make([]value.Tuple, 0, len(union))
+	for _, row := range union {
+		out = append(out, row)
+	}
+	sort.Slice(out, func(i, j int) bool { return value.CompareTuples(out[i], out[j]) < 0 })
+	return out, nil
+}
+
+func sortVerts(vs []conflict.Vertex) {
+	sort.Slice(vs, func(i, j int) bool {
+		if vs[i].Rel != vs[j].Rel {
+			return vs[i].Rel < vs[j].Rel
+		}
+		return vs[i].Row < vs[j].Row
+	})
+}
+
+func vertsKey(vs []conflict.Vertex) string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ";")
+}

@@ -1,0 +1,268 @@
+// Package rewrite implements the query-rewriting baseline Hippo is
+// compared against (Arenas, Bertossi & Chomicki, PODS 1999): the input
+// query Q is rewritten into Q' such that evaluating Q' directly on the
+// inconsistent database returns the consistent answers to Q.
+//
+// Rewriting attaches each constraint's *residue* to every positive
+// occurrence of a relation. A binary denial constraint
+//
+//	¬(R(x) ∧ S(y) ∧ φ(x,y))
+//
+// contributes the residue ¬∃y (S(y) ∧ φ(x,y)) to the literal R(x): a tuple
+// counts only if no partner tuple completes a violation with it. In
+// algebra this is an anti-join of R against S on φ. Negative occurrences
+// (the right side of a difference) receive no residues from denial
+// constraints, matching the original method.
+//
+// As in the paper, this approach works only for the SJD query class (no
+// union) in the presence of binary universal constraints (FDs, exclusion
+// constraints); Hippo's hypergraph method strictly generalizes it. The
+// class restrictions are enforced and reported via typed errors so the
+// expressiveness experiment (E2) can tabulate them.
+package rewrite
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+	"hippo/internal/ra"
+	"hippo/internal/sqlparse"
+)
+
+// ErrUnionNotSupported is returned for queries containing UNION: query
+// rewriting handles only the SJD class.
+var ErrUnionNotSupported = errors.New("rewrite: query rewriting supports only SJD queries (no UNION)")
+
+// ErrConstraintNotBinary is returned when a constraint is not a binary
+// denial (the class the rewriting method handles).
+var ErrConstraintNotBinary = errors.New("rewrite: query rewriting requires binary universal constraints")
+
+// Rewriter rewrites query plans against a fixed constraint set.
+type Rewriter struct {
+	db       *engine.DB
+	residues []residue
+}
+
+// residue is one prepared anti-join obligation: positive occurrences of
+// relation rel must have no partner in partnerRel satisfying pred (over
+// the concatenated (rel, partnerRel) row).
+type residue struct {
+	rel        string
+	partnerRel string
+	pred       ra.Expr
+	label      string
+}
+
+// New prepares a rewriter for the given constraints. All constraints must
+// lower to binary denials; unary denials are also accepted (they become
+// plain selections).
+func New(db *engine.DB, constraints []constraint.Constraint) (*Rewriter, error) {
+	rw := &Rewriter{db: db}
+	for _, c := range constraints {
+		den, err := c.Denial(db)
+		if err != nil {
+			return nil, err
+		}
+		switch den.Arity() {
+		case 1:
+			if err := rw.addUnary(den); err != nil {
+				return nil, err
+			}
+		case 2:
+			if err := rw.addBinary(den); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: %s has %d atoms", ErrConstraintNotBinary, c, den.Arity())
+		}
+	}
+	return rw, nil
+}
+
+// addUnary turns ¬(R(x) ∧ φ(x)) into the residue ¬φ(x), i.e. a selection.
+// It is modeled as an anti-join of R against itself on identity + φ, which
+// keeps the execution machinery uniform.
+func (rw *Rewriter) addUnary(den constraint.Denial) error {
+	a := den.Atoms[0]
+	t, err := rw.db.Table(a.Rel)
+	if err != nil {
+		return err
+	}
+	sch := t.Schema().WithQualifier(strings.ToLower(a.Name()))
+	pred, err := engine.PlanScalar(den.Where, sch)
+	if err != nil {
+		return fmt.Errorf("rewrite: constraint %s: %v", den.Label, err)
+	}
+	// Self-pairing on full row identity: left row i equals right row i.
+	arity := sch.Len()
+	var eq ra.Expr
+	for i := 0; i < arity; i++ {
+		eq = ra.Conjoin(eq, ra.Cmp{Op: ra.EQ, L: ra.Col{Index: i}, R: ra.Col{Index: i + arity}})
+	}
+	rw.residues = append(rw.residues, residue{
+		rel:        strings.ToLower(a.Rel),
+		partnerRel: strings.ToLower(a.Rel),
+		pred:       ra.Conjoin(eq, pred),
+		label:      den.Label,
+	})
+	return nil
+}
+
+// addBinary installs residues for both atoms of a binary denial.
+func (rw *Rewriter) addBinary(den constraint.Denial) error {
+	for self := 0; self < 2; self++ {
+		other := 1 - self
+		a, b := den.Atoms[self], den.Atoms[other]
+		ta, err := rw.db.Table(a.Rel)
+		if err != nil {
+			return err
+		}
+		tb, err := rw.db.Table(b.Rel)
+		if err != nil {
+			return err
+		}
+		// Bind the condition against (self, other) column order.
+		combined := ta.Schema().WithQualifier(strings.ToLower(a.Name())).
+			Concat(tb.Schema().WithQualifier(strings.ToLower(b.Name())))
+		pred, err := engine.PlanScalar(den.Where, combined)
+		if err != nil {
+			return fmt.Errorf("rewrite: constraint %s: %v", den.Label, err)
+		}
+		rw.residues = append(rw.residues, residue{
+			rel:        strings.ToLower(a.Rel),
+			partnerRel: strings.ToLower(b.Rel),
+			pred:       pred,
+			label:      den.Label,
+		})
+	}
+	return nil
+}
+
+// RewriteSQL parses, plans, and rewrites a query in one step.
+func (rw *Rewriter) RewriteSQL(sql string) (ra.Node, error) {
+	q, err := sqlparse.ParseQuery(sql)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := rw.db.PlanQuery(q)
+	if err != nil {
+		return nil, err
+	}
+	return rw.Rewrite(plan)
+}
+
+// Rewrite transforms an SJD plan so that its direct evaluation returns
+// consistent answers. The input plan is not mutated.
+func (rw *Rewriter) Rewrite(plan ra.Node) (ra.Node, error) {
+	return rw.rewrite(plan, true)
+}
+
+// rewrite walks the plan; positive controls whether scans receive
+// residues (they do not under an odd number of negations, i.e. on the
+// right side of a difference).
+func (rw *Rewriter) rewrite(n ra.Node, positive bool) (ra.Node, error) {
+	switch t := n.(type) {
+	case *ra.Scan:
+		if !positive {
+			return &ra.Scan{Table: t.Table, Alias: t.Alias}, nil
+		}
+		return rw.applyResidues(t), nil
+	case *ra.Select:
+		child, err := rw.rewrite(t.Child, positive)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Select{Child: child, Pred: t.Pred}, nil
+	case *ra.Project:
+		child, err := rw.rewrite(t.Child, positive)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Project{Child: child, Exprs: t.Exprs, Names: t.Names, Distinct: t.Distinct}, nil
+	case *ra.Product:
+		l, err := rw.rewrite(t.L, positive)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rw.rewrite(t.R, positive)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Product{L: l, R: r}, nil
+	case *ra.Join:
+		l, err := rw.rewrite(t.L, positive)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rw.rewrite(t.R, positive)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Join{L: l, R: r, Pred: t.Pred}, nil
+	case *ra.Diff:
+		l, err := rw.rewrite(t.L, positive)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rw.rewrite(t.R, !positive)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Diff{L: l, R: r}, nil
+	case *ra.Intersect:
+		l, err := rw.rewrite(t.L, positive)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rw.rewrite(t.R, positive)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Intersect{L: l, R: r}, nil
+	case *ra.DistinctNode:
+		child, err := rw.rewrite(t.Child, positive)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.DistinctNode{Child: child}, nil
+	case *ra.Union:
+		return nil, ErrUnionNotSupported
+	default:
+		return nil, fmt.Errorf("rewrite: unsupported operator %T", n)
+	}
+}
+
+// applyResidues wraps a scan with one anti-join per residue on its
+// relation: keep tuples with no violation partner.
+func (rw *Rewriter) applyResidues(s *ra.Scan) ra.Node {
+	var out ra.Node = &ra.Scan{Table: s.Table, Alias: s.Alias}
+	rel := strings.ToLower(s.Table.Name())
+	for _, res := range rw.residues {
+		if res.rel != rel {
+			continue
+		}
+		partner, err := rw.db.Table(res.partnerRel)
+		if err != nil {
+			continue // validated at New time; defensive
+		}
+		out = &ra.AntiJoin{
+			L:    out,
+			R:    &ra.Scan{Table: partner, Alias: "_rw_" + res.partnerRel},
+			Pred: res.pred,
+		}
+	}
+	return out
+}
+
+// Residues returns a human-readable description of the installed residues
+// (used by hippoctl and the expressiveness experiment).
+func (rw *Rewriter) Residues() []string {
+	out := make([]string, len(rw.residues))
+	for i, r := range rw.residues {
+		out[i] = fmt.Sprintf("%s ▷ %s ON %s  [%s]", r.rel, r.partnerRel, r.pred, r.label)
+	}
+	return out
+}

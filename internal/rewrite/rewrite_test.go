@@ -1,0 +1,222 @@
+package rewrite
+
+import (
+	"errors"
+	"sort"
+	"strings"
+	"testing"
+
+	"hippo/internal/conflict"
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+	"hippo/internal/ra"
+	"hippo/internal/repair"
+	"hippo/internal/value"
+)
+
+func newDB(t *testing.T) *engine.DB {
+	t.Helper()
+	db := engine.New()
+	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
+	db.MustExec("INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150), (3, 300), (3, 400), (4, 50)")
+	return db
+}
+
+func fd() constraint.FD {
+	return constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
+}
+
+func runPlan(t *testing.T, db *engine.DB, rw *Rewriter, sql string) []string {
+	t.Helper()
+	plan, err := rw.RewriteSQL(sql)
+	if err != nil {
+		t.Fatalf("RewriteSQL(%q): %v", sql, err)
+	}
+	res, err := db.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = value.TupleString(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func oracle(t *testing.T, db *engine.DB, cs []constraint.Constraint, sql string) []string {
+	t.Helper()
+	h, _, _, err := conflict.NewDetector(db).Detect(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := (&repair.Enumerator{DB: db, H: h}).ConsistentAnswers(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = value.TupleString(r)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func same(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRewriteSelectionMatchesOracle(t *testing.T) {
+	db := newDB(t)
+	cs := []constraint.Constraint{fd()}
+	rw, err := New(db, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"SELECT * FROM emp",
+		"SELECT * FROM emp WHERE salary > 120",
+		"SELECT * FROM emp WHERE id = 1",
+		"SELECT * FROM emp WHERE id = 2 AND salary < 1000",
+	}
+	for _, q := range queries {
+		got := runPlan(t, db, rw, q)
+		want := oracle(t, db, cs, q)
+		if !same(got, want) {
+			t.Errorf("%q:\n got %v\nwant %v", q, got, want)
+		}
+	}
+}
+
+func TestRewriteJoinMatchesOracle(t *testing.T) {
+	db := newDB(t)
+	db.MustExec("CREATE TABLE dept (eid INT, dname TEXT)")
+	db.MustExec("INSERT INTO dept VALUES (1, 'eng'), (2, 'ops'), (2, 'hr')")
+	cs := []constraint.Constraint{
+		fd(),
+		constraint.FD{Rel: "dept", LHS: []string{"eid"}, RHS: []string{"dname"}},
+	}
+	rw, err := New(db, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT e.id, e.salary, d.eid, d.dname FROM emp e, dept d WHERE e.id = d.eid"
+	got := runPlan(t, db, rw, q)
+	want := oracle(t, db, cs, q)
+	if !same(got, want) {
+		t.Errorf("join:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestRewriteExclusionConstraint(t *testing.T) {
+	db := engine.New()
+	db.MustExec("CREATE TABLE staff (ssn INT, nm TEXT)")
+	db.MustExec("CREATE TABLE extern (ssn INT, firm TEXT)")
+	db.MustExec("INSERT INTO staff VALUES (1, 'ann'), (2, 'bob')")
+	db.MustExec("INSERT INTO extern VALUES (2, 'acme'), (3, 'init')")
+	den, err := constraint.ParseDenial("staff s, extern x WHERE s.ssn = x.ssn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []constraint.Constraint{den}
+	rw, err := New(db, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{"SELECT * FROM staff", "SELECT * FROM extern"} {
+		got := runPlan(t, db, rw, q)
+		want := oracle(t, db, cs, q)
+		if !same(got, want) {
+			t.Errorf("%q:\n got %v\nwant %v", q, got, want)
+		}
+	}
+}
+
+func TestRewriteUnaryDenial(t *testing.T) {
+	db := engine.New()
+	db.MustExec("CREATE TABLE acct (id INT, bal INT)")
+	db.MustExec("INSERT INTO acct VALUES (1, 50), (2, -10)")
+	den, err := constraint.ParseDenial("acct a WHERE a.bal < 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := []constraint.Constraint{den}
+	rw, err := New(db, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runPlan(t, db, rw, "SELECT * FROM acct")
+	want := oracle(t, db, cs, "SELECT * FROM acct")
+	if !same(got, want) {
+		t.Errorf("unary:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestRewriteDifference(t *testing.T) {
+	db := newDB(t)
+	cs := []constraint.Constraint{fd()}
+	rw, err := New(db, cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Right side of EXCEPT gets no residues (negative occurrence).
+	q := "SELECT * FROM emp EXCEPT SELECT * FROM emp WHERE salary >= 300"
+	got := runPlan(t, db, rw, q)
+	want := oracle(t, db, cs, q)
+	if !same(got, want) {
+		t.Errorf("difference:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestRewriteRejectsUnion(t *testing.T) {
+	db := newDB(t)
+	rw, err := New(db, []constraint.Constraint{fd()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = rw.RewriteSQL("SELECT * FROM emp UNION SELECT * FROM emp")
+	if !errors.Is(err, ErrUnionNotSupported) {
+		t.Errorf("err = %v, want ErrUnionNotSupported", err)
+	}
+}
+
+func TestRewriteRejectsTernaryConstraints(t *testing.T) {
+	db := engine.New()
+	db.MustExec("CREATE TABLE r (a INT)")
+	den, err := constraint.ParseDenial("r x, r y, r z WHERE x.a = y.a AND y.a = z.a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(db, []constraint.Constraint{den})
+	if !errors.Is(err, ErrConstraintNotBinary) {
+		t.Errorf("err = %v, want ErrConstraintNotBinary", err)
+	}
+}
+
+func TestRewrittenPlanShape(t *testing.T) {
+	db := newDB(t)
+	rw, err := New(db, []constraint.Constraint{fd()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := rw.RewriteSQL("SELECT * FROM emp WHERE salary > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ra.Format(plan)
+	// Two residues (one per FD atom) → two anti-joins over the scan.
+	if strings.Count(s, "AntiJoin") != 2 {
+		t.Errorf("plan:\n%s", s)
+	}
+	if len(rw.Residues()) != 2 {
+		t.Errorf("residues = %v", rw.Residues())
+	}
+}

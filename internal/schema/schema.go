@@ -1,0 +1,151 @@
+// Package schema defines relation schemas — ordered, typed, optionally
+// qualified column lists — and the name-resolution rules shared by the SQL
+// planner, the relational-algebra layer, and the Hippo CQA pipeline.
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"hippo/internal/value"
+)
+
+// Column describes one attribute of a relation. Qualifier carries the table
+// name or alias the column originates from; it may be empty for computed
+// columns.
+type Column struct {
+	Qualifier string
+	Name      string
+	Type      value.Kind
+}
+
+// String renders the column as qualifier.name or name.
+func (c Column) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// New builds a schema from columns.
+func New(cols ...Column) Schema { return Schema{Columns: cols} }
+
+// Len returns the number of columns.
+func (s Schema) Len() int { return len(s.Columns) }
+
+// Clone returns a deep copy of the schema.
+func (s Schema) Clone() Schema {
+	cols := make([]Column, len(s.Columns))
+	copy(cols, s.Columns)
+	return Schema{Columns: cols}
+}
+
+// WithQualifier returns a copy of s with every column's qualifier replaced.
+func (s Schema) WithQualifier(q string) Schema {
+	out := s.Clone()
+	for i := range out.Columns {
+		out.Columns[i].Qualifier = q
+	}
+	return out
+}
+
+// Concat returns the concatenation of s and t (as for a cartesian product).
+func (s Schema) Concat(t Schema) Schema {
+	cols := make([]Column, 0, len(s.Columns)+len(t.Columns))
+	cols = append(cols, s.Columns...)
+	cols = append(cols, t.Columns...)
+	return Schema{Columns: cols}
+}
+
+// Project returns the schema of the projection onto the given positions.
+func (s Schema) Project(idx []int) Schema {
+	cols := make([]Column, len(idx))
+	for i, j := range idx {
+		cols[i] = s.Columns[j]
+	}
+	return Schema{Columns: cols}
+}
+
+// Resolve finds the position of a (possibly qualified) column reference.
+// An empty qualifier matches any column with that name, but it is an error
+// if the bare name is ambiguous. A missing column is an error.
+func (s Schema) Resolve(qualifier, name string) (int, error) {
+	found := -1
+	for i, c := range s.Columns {
+		if !strings.EqualFold(c.Name, name) {
+			continue
+		}
+		if qualifier != "" && !strings.EqualFold(c.Qualifier, qualifier) {
+			continue
+		}
+		if found >= 0 {
+			ref := name
+			if qualifier != "" {
+				ref = qualifier + "." + name
+			}
+			return -1, fmt.Errorf("schema: ambiguous column reference %q", ref)
+		}
+		found = i
+	}
+	if found < 0 {
+		ref := name
+		if qualifier != "" {
+			ref = qualifier + "." + name
+		}
+		return -1, fmt.Errorf("schema: unknown column %q", ref)
+	}
+	return found, nil
+}
+
+// TypesCompatible reports whether two schemas are union-compatible: same
+// arity and pairwise comparable column types.
+func TypesCompatible(a, b Schema) error {
+	if a.Len() != b.Len() {
+		return fmt.Errorf("schema: arity mismatch %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Columns {
+		if !value.Comparable(a.Columns[i].Type, b.Columns[i].Type) {
+			return fmt.Errorf("schema: column %d type mismatch %s vs %s",
+				i, a.Columns[i].Type, b.Columns[i].Type)
+		}
+	}
+	return nil
+}
+
+// String renders the schema as (q.a INT, q.b TEXT, ...).
+func (s Schema) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, c := range s.Columns {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(c.String())
+		b.WriteByte(' ')
+		b.WriteString(c.Type.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ParseType maps a SQL type name to a value kind. Common synonyms are
+// accepted (INTEGER, BIGINT, DOUBLE, REAL, VARCHAR, STRING, BOOLEAN...).
+func ParseType(name string) (value.Kind, error) {
+	switch strings.ToUpper(name) {
+	case "INT", "INTEGER", "BIGINT", "SMALLINT":
+		return value.KindInt, nil
+	case "FLOAT", "DOUBLE", "REAL", "NUMERIC", "DECIMAL":
+		return value.KindFloat, nil
+	case "TEXT", "VARCHAR", "CHAR", "STRING":
+		return value.KindText, nil
+	case "BOOL", "BOOLEAN":
+		return value.KindBool, nil
+	default:
+		return value.KindNull, fmt.Errorf("schema: unknown type %q", name)
+	}
+}

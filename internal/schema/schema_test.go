@@ -1,0 +1,117 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"hippo/internal/value"
+)
+
+func mk() Schema {
+	return New(
+		Column{Qualifier: "e", Name: "id", Type: value.KindInt},
+		Column{Qualifier: "e", Name: "name", Type: value.KindText},
+		Column{Qualifier: "d", Name: "id", Type: value.KindInt},
+	)
+}
+
+func TestColumnString(t *testing.T) {
+	c := Column{Qualifier: "e", Name: "id"}
+	if c.String() != "e.id" {
+		t.Errorf("got %q", c.String())
+	}
+	c.Qualifier = ""
+	if c.String() != "id" {
+		t.Errorf("got %q", c.String())
+	}
+}
+
+func TestResolve(t *testing.T) {
+	s := mk()
+	if i, err := s.Resolve("e", "name"); err != nil || i != 1 {
+		t.Errorf("Resolve(e.name) = %d, %v", i, err)
+	}
+	if i, err := s.Resolve("", "name"); err != nil || i != 1 {
+		t.Errorf("Resolve(name) = %d, %v", i, err)
+	}
+	if i, err := s.Resolve("D", "ID"); err != nil || i != 2 {
+		t.Errorf("Resolve(D.ID case-insensitive) = %d, %v", i, err)
+	}
+	if _, err := s.Resolve("", "id"); err == nil || !strings.Contains(err.Error(), "ambiguous") {
+		t.Errorf("bare id should be ambiguous, got %v", err)
+	}
+	if _, err := s.Resolve("e", "missing"); err == nil {
+		t.Error("missing column should error")
+	}
+	if _, err := s.Resolve("x", "id"); err == nil {
+		t.Error("wrong qualifier should error")
+	}
+}
+
+func TestCloneAndWithQualifier(t *testing.T) {
+	s := mk()
+	q := s.WithQualifier("t")
+	if q.Columns[0].Qualifier != "t" || s.Columns[0].Qualifier != "e" {
+		t.Error("WithQualifier should not mutate the original")
+	}
+	c := s.Clone()
+	c.Columns[0].Name = "zzz"
+	if s.Columns[0].Name != "id" {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestConcatAndProject(t *testing.T) {
+	s := mk()
+	both := s.Concat(s)
+	if both.Len() != 6 {
+		t.Errorf("Concat len = %d", both.Len())
+	}
+	p := s.Project([]int{2, 0})
+	if p.Len() != 2 || p.Columns[0].Qualifier != "d" || p.Columns[1].Name != "id" {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestTypesCompatible(t *testing.T) {
+	a := New(Column{Name: "x", Type: value.KindInt})
+	b := New(Column{Name: "y", Type: value.KindFloat})
+	if err := TypesCompatible(a, b); err != nil {
+		t.Errorf("int/float should be compatible: %v", err)
+	}
+	c := New(Column{Name: "z", Type: value.KindText})
+	if err := TypesCompatible(a, c); err == nil {
+		t.Error("int/text should be incompatible")
+	}
+	d := New()
+	if err := TypesCompatible(a, d); err == nil {
+		t.Error("arity mismatch should be incompatible")
+	}
+}
+
+func TestSchemaString(t *testing.T) {
+	s := New(Column{Qualifier: "t", Name: "a", Type: value.KindInt},
+		Column{Name: "b", Type: value.KindText})
+	want := "(t.a INT, b TEXT)"
+	if got := s.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	ok := map[string]value.Kind{
+		"int": value.KindInt, "INTEGER": value.KindInt, "BigInt": value.KindInt,
+		"float": value.KindFloat, "DOUBLE": value.KindFloat, "real": value.KindFloat,
+		"text": value.KindText, "VARCHAR": value.KindText, "string": value.KindText,
+		"bool": value.KindBool, "BOOLEAN": value.KindBool,
+	}
+	for name, want := range ok {
+		got, err := ParseType(name)
+		if err != nil || got != want {
+			t.Errorf("ParseType(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ParseType("blob"); err == nil {
+		t.Error("ParseType(blob) should fail")
+	}
+}

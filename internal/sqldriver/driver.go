@@ -1,0 +1,140 @@
+// Package sqldriver exposes the embedded engine through the standard
+// database/sql interface, mirroring how the original Hippo system accessed
+// its RDBMS backend through JDBC. Engine instances are registered under a
+// DSN name and opened with sql.Open("hippo", name).
+package sqldriver
+
+import (
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"sync"
+
+	"hippo/internal/engine"
+)
+
+func init() {
+	sql.Register("hippo", &Driver{})
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]*engine.DB)
+)
+
+// Register makes db reachable as a DSN for sql.Open("hippo", name).
+// Registering the same name twice replaces the previous database.
+func Register(name string, db *engine.DB) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = db
+}
+
+// Unregister removes a previously registered DSN.
+func Unregister(name string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(registry, name)
+}
+
+// Driver implements driver.Driver over registered engine instances.
+type Driver struct{}
+
+// Open returns a connection to the engine registered under name.
+func (d *Driver) Open(name string) (driver.Conn, error) {
+	regMu.RLock()
+	db, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("sqldriver: no engine registered as %q (call sqldriver.Register first)", name)
+	}
+	return &conn{db: db}, nil
+}
+
+type conn struct{ db *engine.DB }
+
+// Prepare returns a statement. The SQL dialect has no placeholders, so the
+// statement is just the deferred text.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	return &stmt{db: c.db, sql: query}, nil
+}
+
+// Close releases the connection (a no-op for the in-process engine).
+func (c *conn) Close() error { return nil }
+
+// Begin starts a transaction. The engine is auto-commit only; the returned
+// transaction is a no-op wrapper so database/sql helpers keep working.
+func (c *conn) Begin() (driver.Tx, error) { return noopTx{}, nil }
+
+type noopTx struct{}
+
+func (noopTx) Commit() error   { return nil }
+func (noopTx) Rollback() error { return nil }
+
+type stmt struct {
+	db  *engine.DB
+	sql string
+}
+
+func (s *stmt) Close() error { return nil }
+
+// NumInput reports no placeholder support.
+func (s *stmt) NumInput() int { return 0 }
+
+// Exec runs a DDL/DML statement.
+func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("sqldriver: placeholders are not supported")
+	}
+	_, n, err := s.db.Exec(s.sql)
+	if err != nil {
+		return nil, err
+	}
+	return result{rows: int64(n)}, nil
+}
+
+// Query runs a SELECT statement.
+func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
+	if len(args) > 0 {
+		return nil, fmt.Errorf("sqldriver: placeholders are not supported")
+	}
+	res, err := s.db.Query(s.sql)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+type result struct{ rows int64 }
+
+// LastInsertId is not supported by the engine.
+func (result) LastInsertId() (int64, error) {
+	return 0, fmt.Errorf("sqldriver: LastInsertId is not supported")
+}
+
+// RowsAffected returns the number of changed rows.
+func (r result) RowsAffected() (int64, error) { return r.rows, nil }
+
+type rows struct {
+	res *engine.Result
+	pos int
+}
+
+// Columns returns the output column names.
+func (r *rows) Columns() []string { return r.res.Columns() }
+
+func (r *rows) Close() error { return nil }
+
+// Next copies the next row into dest.
+func (r *rows) Next(dest []driver.Value) error {
+	if r.pos >= len(r.res.Rows) {
+		return io.EOF
+	}
+	row := r.res.Rows[r.pos]
+	r.pos++
+	for i, v := range row {
+		dest[i] = v.Go()
+	}
+	return nil
+}

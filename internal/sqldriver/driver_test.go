@@ -1,0 +1,140 @@
+package sqldriver
+
+import (
+	"database/sql"
+	"testing"
+
+	"hippo/internal/engine"
+)
+
+func openTestDB(t *testing.T, name string) (*engine.DB, *sql.DB) {
+	t.Helper()
+	eng := engine.New()
+	Register(name, eng)
+	t.Cleanup(func() { Unregister(name) })
+	db, err := sql.Open("hippo", name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return eng, db
+}
+
+func TestExecAndQuery(t *testing.T) {
+	_, db := openTestDB(t, "t1")
+	if _, err := db.Exec("CREATE TABLE p (id INT, name TEXT, score FLOAT, ok BOOL)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Exec("INSERT INTO p VALUES (1, 'ann', 9.5, TRUE), (2, 'bob', NULL, FALSE)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := res.RowsAffected(); n != 2 {
+		t.Errorf("RowsAffected = %d", n)
+	}
+	if _, err := res.LastInsertId(); err == nil {
+		t.Error("LastInsertId should be unsupported")
+	}
+
+	rows, err := db.Query("SELECT id, name, score, ok FROM p WHERE id = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	cols, _ := rows.Columns()
+	if len(cols) != 4 || cols[1] != "name" {
+		t.Errorf("columns = %v", cols)
+	}
+	if !rows.Next() {
+		t.Fatal("no rows")
+	}
+	var (
+		id    int64
+		name  string
+		score float64
+		ok    bool
+	)
+	if err := rows.Scan(&id, &name, &score, &ok); err != nil {
+		t.Fatal(err)
+	}
+	if id != 1 || name != "ann" || score != 9.5 || !ok {
+		t.Errorf("scanned %v %v %v %v", id, name, score, ok)
+	}
+	if rows.Next() {
+		t.Error("expected one row")
+	}
+}
+
+func TestNullScan(t *testing.T) {
+	_, db := openTestDB(t, "t2")
+	db.Exec("CREATE TABLE n (x INT)")
+	db.Exec("INSERT INTO n VALUES (NULL)")
+	var x sql.NullInt64
+	if err := db.QueryRow("SELECT x FROM n").Scan(&x); err != nil {
+		t.Fatal(err)
+	}
+	if x.Valid {
+		t.Error("expected NULL")
+	}
+}
+
+func TestUnregisteredDSN(t *testing.T) {
+	db, err := sql.Open("hippo", "no-such-dsn")
+	if err != nil {
+		t.Fatal(err) // Open is lazy; error surfaces on first use
+	}
+	defer db.Close()
+	if err := db.Ping(); err == nil {
+		t.Error("Ping on unregistered DSN should fail")
+	}
+}
+
+func TestPlaceholdersRejected(t *testing.T) {
+	_, db := openTestDB(t, "t3")
+	db.Exec("CREATE TABLE q (x INT)")
+	if _, err := db.Exec("INSERT INTO q VALUES (1)", 42); err == nil {
+		t.Error("args with no placeholders should fail")
+	}
+	if _, err := db.Query("SELECT * FROM q", 42); err == nil {
+		t.Error("query args should fail")
+	}
+}
+
+func TestTransactionsAreNoops(t *testing.T) {
+	_, db := openTestDB(t, "t4")
+	db.Exec("CREATE TABLE r (x INT)")
+	tx, err := db.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tx.Exec("INSERT INTO r VALUES (1)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	var n int64
+	// Rollback does not undo (documented auto-commit behaviour).
+	tx2, _ := db.Begin()
+	tx2.Exec("INSERT INTO r VALUES (2)")
+	tx2.Rollback()
+	rows, _ := db.Query("SELECT x FROM r")
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	if n != 2 {
+		t.Errorf("rows = %d, want 2 (auto-commit engine)", n)
+	}
+}
+
+func TestSharedEngineVisibility(t *testing.T) {
+	eng, db := openTestDB(t, "t5")
+	db.Exec("CREATE TABLE s (x INT)")
+	db.Exec("INSERT INTO s VALUES (7)")
+	// Rows written via database/sql are visible to the native engine API.
+	res, err := eng.Query("SELECT x FROM s")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("native query: %v rows=%v", err, res)
+	}
+}

@@ -1,0 +1,355 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+
+	"hippo/internal/value"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface {
+	stmt()
+	String() string
+}
+
+// CreateTable is CREATE TABLE name (col type, ...).
+type CreateTable struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// ColumnDef is one column declaration.
+type ColumnDef struct {
+	Name string
+	Type value.Kind
+}
+
+func (*CreateTable) stmt() {}
+
+func (c *CreateTable) String() string {
+	parts := make([]string, len(c.Columns))
+	for i, col := range c.Columns {
+		parts[i] = col.Name + " " + col.Type.String()
+	}
+	return fmt.Sprintf("CREATE TABLE %s (%s)", c.Name, strings.Join(parts, ", "))
+}
+
+// CreateIndex is CREATE INDEX name ON table (col, ...).
+type CreateIndex struct {
+	Name    string
+	Table   string
+	Columns []string
+}
+
+func (*CreateIndex) stmt() {}
+
+func (c *CreateIndex) String() string {
+	return fmt.Sprintf("CREATE INDEX %s ON %s (%s)", c.Name, c.Table, strings.Join(c.Columns, ", "))
+}
+
+// DropTable is DROP TABLE name.
+type DropTable struct{ Name string }
+
+func (*DropTable) stmt() {}
+
+func (d *DropTable) String() string { return "DROP TABLE " + d.Name }
+
+// Insert is INSERT INTO name [(cols)] VALUES (...), (...).
+type Insert struct {
+	Table   string
+	Columns []string // optional explicit column list
+	Rows    [][]Expr // literal expressions
+}
+
+func (*Insert) stmt() {}
+
+func (i *Insert) String() string {
+	var b strings.Builder
+	b.WriteString("INSERT INTO ")
+	b.WriteString(i.Table)
+	if len(i.Columns) > 0 {
+		b.WriteString(" (" + strings.Join(i.Columns, ", ") + ")")
+	}
+	b.WriteString(" VALUES ")
+	for r, row := range i.Rows {
+		if r > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteByte('(')
+		for j, e := range row {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(e.String())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Delete is DELETE FROM name [WHERE expr].
+type Delete struct {
+	Table string
+	Where Expr // nil when absent
+}
+
+func (*Delete) stmt() {}
+
+func (d *Delete) String() string {
+	s := "DELETE FROM " + d.Table
+	if d.Where != nil {
+		s += " WHERE " + d.Where.String()
+	}
+	return s
+}
+
+// SetOp enumerates set operations combining SELECTs.
+type SetOp uint8
+
+// Set operations.
+const (
+	OpUnion SetOp = iota
+	OpExcept
+	OpIntersect
+)
+
+// String returns the SQL keyword.
+func (op SetOp) String() string {
+	switch op {
+	case OpUnion:
+		return "UNION"
+	case OpExcept:
+		return "EXCEPT"
+	default:
+		return "INTERSECT"
+	}
+}
+
+// Query is a SELECT, possibly combined with further queries by set
+// operations (left-associative: ((S1 op S2) op S3)...), with optional
+// trailing ORDER BY and LIMIT applying to the whole result.
+type Query struct {
+	Left    *SelectStmt
+	Rest    []QueryTail
+	OrderBy []OrderItem
+	Limit   *int
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// QueryTail is one trailing set operation.
+type QueryTail struct {
+	Op    SetOp
+	Right *SelectStmt
+}
+
+func (*Query) stmt() {}
+
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString(q.Left.String())
+	for _, t := range q.Rest {
+		b.WriteByte(' ')
+		b.WriteString(t.Op.String())
+		b.WriteByte(' ')
+		b.WriteString(t.Right.String())
+	}
+	for i, o := range q.OrderBy {
+		if i == 0 {
+			b.WriteString(" ORDER BY ")
+		} else {
+			b.WriteString(", ")
+		}
+		b.WriteString(o.Expr.String())
+		if o.Desc {
+			b.WriteString(" DESC")
+		}
+	}
+	if q.Limit != nil {
+		fmt.Fprintf(&b, " LIMIT %d", *q.Limit)
+	}
+	return b.String()
+}
+
+// SelectStmt is a single SELECT block.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem // empty means SELECT *
+	From     []TableRef
+	Joins    []JoinClause
+	Where    Expr // nil when absent
+}
+
+// SelectItem is one projection expression with an optional alias.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+	Star  bool // expands to all columns; Expr/Alias unused
+}
+
+// TableRef names a base table with an optional alias.
+type TableRef struct {
+	Table string
+	Alias string
+}
+
+// Name returns the effective name the table is referred to by.
+func (t TableRef) Name() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Table
+}
+
+// JoinClause is an explicit [INNER] JOIN table [AS alias] ON expr.
+type JoinClause struct {
+	Ref TableRef
+	On  Expr
+}
+
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	if len(s.Items) == 0 {
+		b.WriteByte('*')
+	} else {
+		for i, it := range s.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			if it.Star {
+				b.WriteByte('*')
+				continue
+			}
+			b.WriteString(it.Expr.String())
+			if it.Alias != "" {
+				b.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	b.WriteString(" FROM ")
+	for i, f := range s.From {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(f.Table)
+		if f.Alias != "" {
+			b.WriteString(" AS " + f.Alias)
+		}
+	}
+	for _, j := range s.Joins {
+		b.WriteString(" JOIN " + j.Ref.Table)
+		if j.Ref.Alias != "" {
+			b.WriteString(" AS " + j.Ref.Alias)
+		}
+		b.WriteString(" ON " + j.On.String())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	return b.String()
+}
+
+// Expr is a parsed scalar or boolean expression.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// ColRef is a possibly-qualified column reference.
+type ColRef struct {
+	Qualifier string
+	Name      string
+}
+
+func (ColRef) expr() {}
+
+func (c ColRef) String() string {
+	if c.Qualifier != "" {
+		return c.Qualifier + "." + c.Name
+	}
+	return c.Name
+}
+
+// Lit is a literal value.
+type Lit struct{ V value.Value }
+
+func (Lit) expr() {}
+
+func (l Lit) String() string { return l.V.String() }
+
+// BinExpr is a binary operation. Op is the SQL spelling: one of
+// = <> < <= > >= + - * / % AND OR.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+func (BinExpr) expr() {}
+
+func (b BinExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", b.L, b.Op, b.R)
+}
+
+// NotExpr is NOT e.
+type NotExpr struct{ E Expr }
+
+func (NotExpr) expr() {}
+
+func (n NotExpr) String() string { return "NOT (" + n.E.String() + ")" }
+
+// IsNullExpr is e IS [NOT] NULL.
+type IsNullExpr struct {
+	E      Expr
+	Negate bool
+}
+
+func (IsNullExpr) expr() {}
+
+func (i IsNullExpr) String() string {
+	if i.Negate {
+		return "(" + i.E.String() + ") IS NOT NULL"
+	}
+	return "(" + i.E.String() + ") IS NULL"
+}
+
+// ExistsExpr is [NOT] EXISTS (subquery).
+type ExistsExpr struct {
+	Negate bool
+	Sub    *Query
+}
+
+func (ExistsExpr) expr() {}
+
+func (e ExistsExpr) String() string {
+	s := "EXISTS (" + e.Sub.String() + ")"
+	if e.Negate {
+		return "NOT " + s
+	}
+	return s
+}
+
+// InExpr is e [NOT] IN (subquery).
+type InExpr struct {
+	E      Expr
+	Negate bool
+	Sub    *Query
+}
+
+func (InExpr) expr() {}
+
+func (i InExpr) String() string {
+	op := "IN"
+	if i.Negate {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", i.E, op, i.Sub)
+}

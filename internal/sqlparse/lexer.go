@@ -1,0 +1,160 @@
+// Package sqlparse implements the SQL dialect understood by the embedded
+// engine: CREATE/DROP TABLE, INSERT, DELETE, and SELECT queries with joins,
+// WHERE predicates, EXISTS/IN subqueries, and UNION/EXCEPT/INTERSECT set
+// operations — the SJUD query surface of the Hippo paper plus what the
+// query-rewriting baseline needs (NOT EXISTS).
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexical tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // operators and punctuation: ( ) , . * = <> < <= > >= + - / %
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers are uppercased for keyword checks; raw kept separately
+	raw  string
+	pos  int
+}
+
+// lexer tokenizes SQL input.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input eagerly so the parser can look ahead.
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		tok, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		l.toks = append(l.toks, tok)
+		if tok.kind == tokEOF {
+			return l.toks, nil
+		}
+	}
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: l.pos}, nil
+
+scan:
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		for l.pos < len(l.src) && isIdentPart(l.src[l.pos]) {
+			l.pos++
+		}
+		raw := l.src[start:l.pos]
+		return token{kind: tokIdent, text: strings.ToUpper(raw), raw: raw, pos: start}, nil
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		seenDot := false
+		for l.pos < len(l.src) {
+			ch := l.src[l.pos]
+			if isDigit(ch) {
+				l.pos++
+			} else if ch == '.' && !seenDot {
+				seenDot = true
+				l.pos++
+			} else if (ch == 'e' || ch == 'E') && l.pos+1 < len(l.src) &&
+				(isDigit(l.src[l.pos+1]) || l.src[l.pos+1] == '-' || l.src[l.pos+1] == '+') {
+				l.pos += 2
+				for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+					l.pos++
+				}
+				break
+			} else {
+				break
+			}
+		}
+		raw := l.src[start:l.pos]
+		return token{kind: tokNumber, text: raw, raw: raw, pos: start}, nil
+	case c == '\'':
+		l.pos++
+		var b strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, fmt.Errorf("sql: unterminated string literal at offset %d", start)
+			}
+			ch := l.src[l.pos]
+			if ch == '\'' {
+				if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+					b.WriteByte('\'')
+					l.pos += 2
+					continue
+				}
+				l.pos++
+				break
+			}
+			b.WriteByte(ch)
+			l.pos++
+		}
+		return token{kind: tokString, text: b.String(), raw: b.String(), pos: start}, nil
+	case c == '<':
+		l.pos++
+		if l.pos < len(l.src) && (l.src[l.pos] == '=' || l.src[l.pos] == '>') {
+			l.pos++
+		}
+		return token{kind: tokPunct, text: l.src[start:l.pos], raw: l.src[start:l.pos], pos: start}, nil
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+		}
+		return token{kind: tokPunct, text: l.src[start:l.pos], raw: l.src[start:l.pos], pos: start}, nil
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokPunct, text: "<>", raw: "!=", pos: start}, nil
+		}
+		return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+	case strings.ContainsRune("(),.*=+-/%;", rune(c)):
+		l.pos++
+		return token{kind: tokPunct, text: string(c), raw: string(c), pos: start}, nil
+	default:
+		if unicode.IsPrint(rune(c)) {
+			return token{}, fmt.Errorf("sql: unexpected character %q at offset %d", c, start)
+		}
+		return token{}, fmt.Errorf("sql: unexpected byte 0x%02x at offset %d", c, start)
+	}
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentPart(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }

@@ -1,0 +1,691 @@
+package sqlparse
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"hippo/internal/schema"
+	"hippo/internal/value"
+)
+
+// Parse parses a single SQL statement. A trailing semicolon is allowed.
+func Parse(src string) (Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, p.errf("unexpected trailing input starting at %q", p.peek().raw)
+	}
+	return st, nil
+}
+
+// ParseQuery parses a SELECT query (with optional set operations).
+func ParseQuery(src string) (*Query, error) {
+	st, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	q, ok := st.(*Query)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT query, got %T", st)
+	}
+	return q, nil
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	src  string
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if t.kind != tokEOF {
+		p.pos++
+	}
+	return t
+}
+
+// accept consumes the next token if it is the given keyword or punctuation.
+func (p *parser) accept(text string) bool {
+	t := p.peek()
+	if (t.kind == tokIdent || t.kind == tokPunct) && t.text == strings.ToUpper(text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+// expect consumes the next token, failing unless it matches.
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return p.errf("expected %q, found %q", text, p.peek().raw)
+	}
+	return nil
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (at offset %d)", fmt.Sprintf(format, args...), p.peek().pos)
+}
+
+// ident consumes an identifier, rejecting reserved words that would make
+// the grammar ambiguous.
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf("expected identifier, found %q", t.raw)
+	}
+	if reserved[t.text] {
+		return "", p.errf("unexpected keyword %q", t.raw)
+	}
+	p.advance()
+	return t.raw, nil
+}
+
+var reserved = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "AND": true, "OR": true,
+	"NOT": true, "UNION": true, "EXCEPT": true, "INTERSECT": true,
+	"JOIN": true, "ON": true, "AS": true, "DISTINCT": true, "EXISTS": true,
+	"IN": true, "IS": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"INSERT": true, "INTO": true, "VALUES": true, "DELETE": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "INNER": true,
+	"ORDER": true, "BY": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"INDEX": true,
+}
+
+func (p *parser) parseStatement() (Statement, error) {
+	switch p.peek().text {
+	case "CREATE":
+		return p.parseCreate()
+	case "DROP":
+		return p.parseDrop()
+	case "INSERT":
+		return p.parseInsert()
+	case "DELETE":
+		return p.parseDelete()
+	case "SELECT":
+		return p.parseQuery()
+	default:
+		return nil, p.errf("expected a statement, found %q", p.peek().raw)
+	}
+}
+
+func (p *parser) parseCreate() (Statement, error) {
+	p.advance() // CREATE
+	if p.peek().text == "INDEX" {
+		return p.parseCreateIndex()
+	}
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	var cols []ColumnDef
+	for {
+		cname, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		t := p.peek()
+		if t.kind != tokIdent {
+			return nil, p.errf("expected type name after column %q", cname)
+		}
+		kind, err := schema.ParseType(t.text)
+		if err != nil {
+			return nil, p.errf("%v", err)
+		}
+		p.advance()
+		// Skip optional length like VARCHAR(20).
+		if p.accept("(") {
+			if p.peek().kind != tokNumber {
+				return nil, p.errf("expected length in type")
+			}
+			p.advance()
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+		}
+		cols = append(cols, ColumnDef{Name: cname, Type: kind})
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return &CreateTable{Name: name, Columns: cols}, nil
+}
+
+func (p *parser) parseCreateIndex() (Statement, error) {
+	p.advance() // INDEX
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	ci := &CreateIndex{Name: name, Table: table}
+	for {
+		c, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		ci.Columns = append(ci.Columns, c)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return ci, nil
+}
+
+func (p *parser) parseDrop() (Statement, error) {
+	p.advance() // DROP
+	if err := p.expect("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	return &DropTable{Name: name}, nil
+}
+
+func (p *parser) parseInsert() (Statement, error) {
+	p.advance() // INSERT
+	if err := p.expect("INTO"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	ins := &Insert{Table: name}
+	if p.accept("(") {
+		for {
+			c, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			ins.Columns = append(ins.Columns, c)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expect("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		ins.Rows = append(ins.Rows, row)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	return ins, nil
+}
+
+func (p *parser) parseDelete() (Statement, error) {
+	p.advance() // DELETE
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	d := &Delete{Table: name}
+	if p.accept("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Where = e
+	}
+	return d, nil
+}
+
+// parseQuery parses SELECT ... [UNION|EXCEPT|INTERSECT SELECT ...]*
+// [ORDER BY ...] [LIMIT n].
+func (p *parser) parseQuery() (*Query, error) {
+	first, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{Left: first}
+loop:
+	for {
+		var op SetOp
+		switch {
+		case p.accept("UNION"):
+			op = OpUnion
+		case p.accept("EXCEPT"):
+			op = OpExcept
+		case p.accept("INTERSECT"):
+			op = OpIntersect
+		default:
+			break loop
+		}
+		right, err := p.parseSelect()
+		if err != nil {
+			return nil, err
+		}
+		q.Rest = append(q.Rest, QueryTail{Op: op, Right: right})
+	}
+	if p.accept("ORDER") {
+		if err := p.expect("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.accept("DESC") {
+				item.Desc = true
+			} else {
+				p.accept("ASC")
+			}
+			q.OrderBy = append(q.OrderBy, item)
+			if p.accept(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.accept("LIMIT") {
+		t := p.peek()
+		if t.kind != tokNumber || strings.ContainsAny(t.text, ".eE") {
+			return nil, p.errf("expected integer after LIMIT")
+		}
+		p.advance()
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, p.errf("bad LIMIT %q", t.text)
+		}
+		q.Limit = &n
+	}
+	return q, nil
+}
+
+func (p *parser) parseSelect() (*SelectStmt, error) {
+	if err := p.expect("SELECT"); err != nil {
+		return nil, err
+	}
+	s := &SelectStmt{}
+	if p.accept("DISTINCT") {
+		s.Distinct = true
+	}
+	for {
+		if p.accept("*") {
+			s.Items = append(s.Items, SelectItem{Star: true})
+		} else {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := SelectItem{Expr: e}
+			if p.accept("AS") {
+				a, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				item.Alias = a
+			} else if p.peek().kind == tokIdent && !reserved[p.peek().text] {
+				item.Alias = p.advance().raw
+			}
+			s.Items = append(s.Items, item)
+		}
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	// A lone "SELECT *" list means all columns; normalize.
+	if len(s.Items) == 1 && s.Items[0].Star {
+		s.Items = nil
+	}
+	if err := p.expect("FROM"); err != nil {
+		return nil, err
+	}
+	for {
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		s.From = append(s.From, ref)
+		if p.accept(",") {
+			continue
+		}
+		break
+	}
+	for {
+		if p.accept("INNER") {
+			if err := p.expect("JOIN"); err != nil {
+				return nil, err
+			}
+		} else if !p.accept("JOIN") {
+			break
+		}
+		ref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect("ON"); err != nil {
+			return nil, err
+		}
+		on, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Joins = append(s.Joins, JoinClause{Ref: ref, On: on})
+	}
+	if p.accept("WHERE") {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		s.Where = e
+	}
+	return s, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	name, err := p.ident()
+	if err != nil {
+		return TableRef{}, err
+	}
+	ref := TableRef{Table: name}
+	if p.accept("AS") {
+		a, err := p.ident()
+		if err != nil {
+			return TableRef{}, err
+		}
+		ref.Alias = a
+	} else if p.peek().kind == tokIdent && !reserved[p.peek().text] {
+		ref.Alias = p.advance().raw
+	}
+	return ref, nil
+}
+
+// Expression grammar, lowest to highest precedence:
+//
+//	or     := and (OR and)*
+//	and    := not (AND not)*
+//	not    := NOT not | cmp
+//	cmp    := add ((=|<>|<|<=|>|>=) add | IS [NOT] NULL | [NOT] IN (query))?
+//	add    := mul ((+|-) mul)*
+//	mul    := unary ((*|/|%) unary)*
+//	unary  := - unary | primary
+//	primary:= literal | colref | ( expr ) | EXISTS ( query )
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	l, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("OR") {
+		r, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	l, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("AND") {
+		r, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.peek().text == "NOT" && p.toks[p.pos+1].text != "EXISTS" {
+		p.advance()
+		e, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return NotExpr{E: e}, nil
+	}
+	return p.parseCmp()
+}
+
+func (p *parser) parseCmp() (Expr, error) {
+	l, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	t := p.peek()
+	if t.kind == tokPunct {
+		switch t.text {
+		case "=", "<>", "<", "<=", ">", ">=":
+			p.advance()
+			r, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return BinExpr{Op: t.text, L: l, R: r}, nil
+		}
+	}
+	if p.accept("IS") {
+		neg := p.accept("NOT")
+		if err := p.expect("NULL"); err != nil {
+			return nil, err
+		}
+		return IsNullExpr{E: l, Negate: neg}, nil
+	}
+	neg := false
+	if p.peek().text == "NOT" && p.toks[p.pos+1].text == "IN" {
+		p.advance()
+		neg = true
+	}
+	if p.accept("IN") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		sub, err := p.parseQuery()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return InExpr{E: l, Negate: neg, Sub: sub}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	l, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct || (t.text != "+" && t.text != "-") {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	l, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tokPunct || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return l, nil
+		}
+		p.advance()
+		r, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		l = BinExpr{Op: t.text, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.peek().kind == tokPunct && p.peek().text == "-" {
+		p.advance()
+		e, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		if lit, ok := e.(Lit); ok && lit.V.K == value.KindInt {
+			return Lit{V: value.Int(-lit.V.I)}, nil
+		}
+		if lit, ok := e.(Lit); ok && lit.V.K == value.KindFloat {
+			return Lit{V: value.Float(-lit.V.F)}, nil
+		}
+		return BinExpr{Op: "-", L: Lit{V: value.Int(0)}, R: e}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.advance()
+		if strings.ContainsAny(t.text, ".eE") {
+			f, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errf("bad number %q", t.text)
+			}
+			return Lit{V: value.Float(f)}, nil
+		}
+		i, err := strconv.ParseInt(t.text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.text)
+		}
+		return Lit{V: value.Int(i)}, nil
+	case t.kind == tokString:
+		p.advance()
+		return Lit{V: value.Text(t.text)}, nil
+	case t.text == "TRUE":
+		p.advance()
+		return Lit{V: value.Bool(true)}, nil
+	case t.text == "FALSE":
+		p.advance()
+		return Lit{V: value.Bool(false)}, nil
+	case t.text == "NULL":
+		p.advance()
+		return Lit{V: value.Null()}, nil
+	case t.text == "NOT" && p.toks[p.pos+1].text == "EXISTS":
+		p.advance()
+		p.advance()
+		return p.parseExists(true)
+	case t.text == "EXISTS":
+		p.advance()
+		return p.parseExists(false)
+	case t.text == "(":
+		p.advance()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case t.kind == tokIdent && !reserved[t.text]:
+		name, _ := p.ident()
+		if p.peek().text == "." {
+			p.advance()
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			return ColRef{Qualifier: name, Name: col}, nil
+		}
+		return ColRef{Name: name}, nil
+	default:
+		return nil, p.errf("unexpected token %q in expression", t.raw)
+	}
+}
+
+func (p *parser) parseExists(neg bool) (Expr, error) {
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	sub, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return ExistsExpr{Negate: neg, Sub: sub}, nil
+}

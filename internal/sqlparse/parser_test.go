@@ -1,0 +1,371 @@
+package sqlparse
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hippo/internal/value"
+)
+
+func mustParse(t *testing.T, src string) Statement {
+	t.Helper()
+	st, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return st
+}
+
+func TestParseCreateTable(t *testing.T) {
+	st := mustParse(t, "CREATE TABLE emp (id INT, name VARCHAR(20), salary FLOAT, active BOOL)")
+	ct, ok := st.(*CreateTable)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ct.Name != "emp" || len(ct.Columns) != 4 {
+		t.Fatalf("parsed %v", ct)
+	}
+	wantTypes := []value.Kind{value.KindInt, value.KindText, value.KindFloat, value.KindBool}
+	for i, w := range wantTypes {
+		if ct.Columns[i].Type != w {
+			t.Errorf("col %d type = %v, want %v", i, ct.Columns[i].Type, w)
+		}
+	}
+	if !strings.Contains(ct.String(), "CREATE TABLE emp") {
+		t.Error("String() wrong")
+	}
+}
+
+func TestParseDrop(t *testing.T) {
+	st := mustParse(t, "DROP TABLE emp;")
+	d, ok := st.(*DropTable)
+	if !ok || d.Name != "emp" {
+		t.Fatalf("got %#v", st)
+	}
+	if d.String() != "DROP TABLE emp" {
+		t.Error("String() wrong")
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	st := mustParse(t, "INSERT INTO emp (id, name) VALUES (1, 'ann'), (2, 'bo''b')")
+	ins, ok := st.(*Insert)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if ins.Table != "emp" || len(ins.Columns) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("parsed %+v", ins)
+	}
+	lit := ins.Rows[1][1].(Lit)
+	if lit.V != value.Text("bo'b") {
+		t.Errorf("escaped string = %v", lit.V)
+	}
+	// Negative numbers and floats.
+	st = mustParse(t, "INSERT INTO t VALUES (-5, -1.5, NULL, TRUE, FALSE)")
+	ins = st.(*Insert)
+	row := ins.Rows[0]
+	if row[0].(Lit).V != value.Int(-5) || row[1].(Lit).V != value.Float(-1.5) {
+		t.Errorf("negative literals: %v", row)
+	}
+	if !row[2].(Lit).V.IsNull() || row[3].(Lit).V != value.Bool(true) || row[4].(Lit).V != value.Bool(false) {
+		t.Errorf("literal row: %v", row)
+	}
+}
+
+func TestParseDelete(t *testing.T) {
+	st := mustParse(t, "DELETE FROM emp WHERE id = 3")
+	d := st.(*Delete)
+	if d.Table != "emp" || d.Where == nil {
+		t.Fatalf("parsed %+v", d)
+	}
+	st = mustParse(t, "DELETE FROM emp")
+	if st.(*Delete).Where != nil {
+		t.Error("where should be nil")
+	}
+}
+
+func TestParseSelectBasics(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM emp")
+	q := st.(*Query)
+	if len(q.Left.Items) != 0 || len(q.Left.From) != 1 || q.Left.From[0].Table != "emp" {
+		t.Fatalf("parsed %+v", q.Left)
+	}
+
+	st = mustParse(t, "SELECT DISTINCT e.name AS n, e.salary * 2 FROM emp AS e WHERE e.id >= 10 AND e.name <> 'bob'")
+	q = st.(*Query)
+	s := q.Left
+	if !s.Distinct || len(s.Items) != 2 {
+		t.Fatalf("parsed %+v", s)
+	}
+	if s.Items[0].Alias != "n" {
+		t.Errorf("alias = %q", s.Items[0].Alias)
+	}
+	if s.From[0].Alias != "e" || s.From[0].Name() != "e" {
+		t.Errorf("from alias = %+v", s.From[0])
+	}
+	if s.Where == nil {
+		t.Fatal("missing where")
+	}
+	// Bare alias without AS.
+	st = mustParse(t, "SELECT e.id x FROM emp e")
+	s = st.(*Query).Left
+	if s.Items[0].Alias != "x" || s.From[0].Alias != "e" {
+		t.Errorf("bare aliases: %+v", s)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM emp e JOIN dept d ON e.dept = d.id INNER JOIN loc ON d.loc = loc.id WHERE e.id > 0")
+	s := st.(*Query).Left
+	if len(s.Joins) != 2 {
+		t.Fatalf("joins = %d", len(s.Joins))
+	}
+	if s.Joins[0].Ref.Alias != "d" || s.Joins[1].Ref.Table != "loc" {
+		t.Errorf("join refs: %+v", s.Joins)
+	}
+	// Multi-table FROM (implicit product).
+	st = mustParse(t, "SELECT * FROM a, b, c WHERE a.x = b.x")
+	s = st.(*Query).Left
+	if len(s.From) != 3 {
+		t.Errorf("from = %+v", s.From)
+	}
+}
+
+func TestParseSetOps(t *testing.T) {
+	st := mustParse(t, "SELECT a FROM r UNION SELECT a FROM s EXCEPT SELECT a FROM t INTERSECT SELECT a FROM u")
+	q := st.(*Query)
+	if len(q.Rest) != 3 {
+		t.Fatalf("rest = %d", len(q.Rest))
+	}
+	ops := []SetOp{OpUnion, OpExcept, OpIntersect}
+	for i, w := range ops {
+		if q.Rest[i].Op != w {
+			t.Errorf("op %d = %v, want %v", i, q.Rest[i].Op, w)
+		}
+	}
+	if q.Rest[0].Op.String() != "UNION" || OpExcept.String() != "EXCEPT" || OpIntersect.String() != "INTERSECT" {
+		t.Error("SetOp String wrong")
+	}
+}
+
+func TestParseExistsAndIn(t *testing.T) {
+	st := mustParse(t, `SELECT * FROM emp e WHERE NOT EXISTS (SELECT * FROM emp x WHERE x.id = e.id AND x.pay <> e.pay)`)
+	s := st.(*Query).Left
+	ex, ok := s.Where.(ExistsExpr)
+	if !ok || !ex.Negate {
+		t.Fatalf("where = %#v", s.Where)
+	}
+	if len(ex.Sub.Left.From) != 1 {
+		t.Error("subquery not parsed")
+	}
+
+	st = mustParse(t, "SELECT * FROM emp WHERE id IN (SELECT eid FROM mgr) AND name NOT IN (SELECT n FROM bad)")
+	s = st.(*Query).Left
+	b := s.Where.(BinExpr)
+	if b.Op != "AND" {
+		t.Fatal("expected AND")
+	}
+	in1 := b.L.(InExpr)
+	in2 := b.R.(InExpr)
+	if in1.Negate || !in2.Negate {
+		t.Error("IN negation flags wrong")
+	}
+}
+
+func TestParseExprPrecedence(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a + b * 2 = c OR NOT d < 5 AND e = 1")
+	s := st.(*Query).Left
+	// OR binds loosest: (a+b*2=c) OR (NOT(d<5) AND e=1)
+	or, ok := s.Where.(BinExpr)
+	if !ok || or.Op != "OR" {
+		t.Fatalf("top = %#v", s.Where)
+	}
+	cmp := or.L.(BinExpr)
+	if cmp.Op != "=" {
+		t.Fatalf("left of OR = %v", cmp.Op)
+	}
+	add := cmp.L.(BinExpr)
+	if add.Op != "+" {
+		t.Fatalf("expected + under =, got %v", add.Op)
+	}
+	mul := add.R.(BinExpr)
+	if mul.Op != "*" {
+		t.Fatalf("expected * under +, got %v", mul.Op)
+	}
+	and := or.R.(BinExpr)
+	if and.Op != "AND" {
+		t.Fatalf("right of OR = %v", and.Op)
+	}
+	if _, ok := and.L.(NotExpr); !ok {
+		t.Fatalf("expected NOT, got %#v", and.L)
+	}
+}
+
+func TestParseIsNull(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t WHERE a IS NULL AND b IS NOT NULL")
+	s := st.(*Query).Left
+	and := s.Where.(BinExpr)
+	l := and.L.(IsNullExpr)
+	r := and.R.(IsNullExpr)
+	if l.Negate || !r.Negate {
+		t.Error("IS NULL flags wrong")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	st := mustParse(t, "SELECT * -- trailing comment\nFROM t -- another\n")
+	if _, ok := st.(*Query); !ok {
+		t.Fatal("comment parsing failed")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELEC * FROM t",
+		"SELECT FROM t",
+		"SELECT * FROM",
+		"SELECT * FROM t WHERE",
+		"SELECT * FROM t WHERE a ==",
+		"CREATE TABLE (a INT)",
+		"CREATE TABLE t (a BLOB)",
+		"INSERT INTO t VALUES",
+		"INSERT INTO t VALUES (1",
+		"SELECT * FROM t extra garbage ,",
+		"SELECT * FROM t WHERE 'unterminated",
+		"SELECT * FROM t WHERE a ? 1",
+		"DROP t",
+		"SELECT * FROM select",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseQueryHelper(t *testing.T) {
+	if _, err := ParseQuery("SELECT * FROM t"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseQuery("DROP TABLE t"); err == nil {
+		t.Error("ParseQuery on DDL should fail")
+	}
+	if _, err := ParseQuery("SELECT * FROM"); err == nil {
+		t.Error("ParseQuery on bad SQL should fail")
+	}
+}
+
+// Round-trip: String() of a parsed statement re-parses to the same String().
+func TestRoundTrip(t *testing.T) {
+	srcs := []string{
+		"SELECT * FROM emp",
+		"SELECT DISTINCT e.id AS i FROM emp AS e WHERE (e.id > 3)",
+		"SELECT a FROM r UNION SELECT b FROM s",
+		"SELECT * FROM emp AS e JOIN dept AS d ON (e.d = d.id)",
+		"SELECT * FROM t WHERE NOT EXISTS (SELECT * FROM u WHERE (u.x = t.x))",
+		"SELECT * FROM t WHERE (x IN (SELECT y FROM u))",
+		"INSERT INTO t VALUES (1, 'a', NULL)",
+		"DELETE FROM t WHERE (a = 1)",
+		"CREATE TABLE t (a INT, b TEXT)",
+		"DROP TABLE t",
+		"SELECT * FROM t WHERE ((a) IS NULL AND (b) IS NOT NULL)",
+	}
+	for _, src := range srcs {
+		st1 := mustParse(t, src)
+		st2 := mustParse(t, st1.String())
+		if st1.String() != st2.String() {
+			t.Errorf("round trip failed:\n in: %s\nout: %s", st1, st2)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := lex("a ~ b"); err == nil {
+		t.Error("~ should fail to lex")
+	}
+	if _, err := lex("'abc"); err == nil {
+		t.Error("unterminated string should fail")
+	}
+	toks, err := lex("a != b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[1].text != "<>" {
+		t.Errorf("!= should normalize to <>, got %q", toks[1].text)
+	}
+	toks, _ = lex("1.5e3 2E-2 .5")
+	if toks[0].text != "1.5e3" || toks[1].text != "2E-2" || toks[2].text != ".5" {
+		t.Errorf("float lexing: %+v", toks)
+	}
+}
+
+func TestParseOrderByLimit(t *testing.T) {
+	st := mustParse(t, "SELECT * FROM t ORDER BY a DESC, b ASC, c LIMIT 10")
+	q := st.(*Query)
+	if len(q.OrderBy) != 3 || !q.OrderBy[0].Desc || q.OrderBy[1].Desc || q.OrderBy[2].Desc {
+		t.Fatalf("order = %+v", q.OrderBy)
+	}
+	if q.Limit == nil || *q.Limit != 10 {
+		t.Fatalf("limit = %v", q.Limit)
+	}
+	// Round trip.
+	st2 := mustParse(t, q.String())
+	if st2.String() != q.String() {
+		t.Errorf("round trip: %s vs %s", q, st2)
+	}
+	// ORDER BY binds after set operations.
+	st = mustParse(t, "SELECT a FROM r UNION SELECT b FROM s ORDER BY a LIMIT 1")
+	q = st.(*Query)
+	if len(q.Rest) != 1 || len(q.OrderBy) != 1 || q.Limit == nil {
+		t.Fatalf("parsed %+v", q)
+	}
+	bad := []string{
+		"SELECT * FROM t ORDER a",
+		"SELECT * FROM t ORDER BY",
+		"SELECT * FROM t LIMIT",
+		"SELECT * FROM t LIMIT -1",
+		"SELECT * FROM t LIMIT 1.5",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+// TestParseNeverPanics feeds the parser random garbage (raw bytes and
+// shuffled SQL token soup); it must always return a value or an error,
+// never panic.
+func TestParseNeverPanics(t *testing.T) {
+	tokens := []string{
+		"SELECT", "FROM", "WHERE", "UNION", "EXCEPT", "ORDER", "BY", "LIMIT",
+		"(", ")", ",", "*", "=", "<>", "<", ">", "+", "-", "/", "%", ".",
+		"t", "a", "b", "'str'", "1", "2.5", "NOT", "EXISTS", "IN", "AND",
+		"OR", "NULL", "IS", "AS", "JOIN", "ON", "INSERT", "INTO", "VALUES",
+		"CREATE", "TABLE", "INDEX", "DROP", "DELETE", ";",
+	}
+	prop := func(seed int64, raw string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("parser panicked: %v", r)
+			}
+		}()
+		// Raw bytes.
+		Parse(raw)
+		// Token soup.
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(30)
+		parts := make([]string, n)
+		for i := range parts {
+			parts[i] = tokens[rng.Intn(len(tokens))]
+		}
+		Parse(strings.Join(parts, " "))
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

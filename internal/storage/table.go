@@ -1,0 +1,284 @@
+// Package storage implements the in-memory storage layer of the embedded
+// RDBMS: append-only tables with tombstoned deletion, stable row
+// identifiers, and hash indexes over arbitrary column subsets.
+//
+// Row identifiers (RowID) are stable for the lifetime of a table and are
+// the vertex identity used by the conflict hypergraph, so deletion must
+// never renumber rows — deleted rows leave a tombstone instead.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"hippo/internal/schema"
+	"hippo/internal/value"
+)
+
+// RowID identifies a row within its table. IDs are assigned densely in
+// insertion order and never reused.
+type RowID int
+
+// Table is an in-memory relation instance. It is safe for concurrent
+// readers; writers must not run concurrently with anything else.
+type Table struct {
+	mu      sync.RWMutex
+	name    string
+	schema  schema.Schema
+	rows    []value.Tuple
+	dead    []bool
+	live    int
+	indexes map[string]*Index
+}
+
+// NewTable creates an empty table with the given name and schema. Column
+// qualifiers in the stored schema are set to the table name.
+func NewTable(name string, s schema.Schema) *Table {
+	return &Table{
+		name:    name,
+		schema:  s.WithQualifier(name),
+		indexes: make(map[string]*Index),
+	}
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema (qualified by the table name).
+func (t *Table) Schema() schema.Schema { return t.schema }
+
+// Len returns the number of live rows.
+func (t *Table) Len() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.live
+}
+
+// Cap returns the total number of row slots ever allocated, including
+// tombstones. RowIDs range over [0, Cap).
+func (t *Table) Cap() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows)
+}
+
+// Insert appends a row after validating arity and coercing values to the
+// column types. It returns the new row's RowID.
+func (t *Table) Insert(row value.Tuple) (RowID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(row) != t.schema.Len() {
+		return -1, fmt.Errorf("storage: table %s expects %d values, got %d",
+			t.name, t.schema.Len(), len(row))
+	}
+	stored := make(value.Tuple, len(row))
+	for i, v := range row {
+		cv, err := value.Coerce(v, t.schema.Columns[i].Type)
+		if err != nil {
+			return -1, fmt.Errorf("storage: table %s column %s: %v",
+				t.name, t.schema.Columns[i].Name, err)
+		}
+		stored[i] = cv
+	}
+	id := RowID(len(t.rows))
+	t.rows = append(t.rows, stored)
+	t.dead = append(t.dead, false)
+	t.live++
+	for _, idx := range t.indexes {
+		idx.add(stored, id)
+	}
+	return id, nil
+}
+
+// Delete tombstones a row. Deleting an already-dead or out-of-range row is
+// an error.
+func (t *Table) Delete(id RowID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) < 0 || int(id) >= len(t.rows) {
+		return fmt.Errorf("storage: table %s has no row %d", t.name, id)
+	}
+	if t.dead[id] {
+		return fmt.Errorf("storage: table %s row %d already deleted", t.name, id)
+	}
+	t.dead[id] = true
+	t.live--
+	for _, idx := range t.indexes {
+		idx.remove(t.rows[id], id)
+	}
+	return nil
+}
+
+// Row returns the row with the given id, or ok=false if the id is out of
+// range or tombstoned. The returned tuple must not be mutated.
+func (t *Table) Row(id RowID) (value.Tuple, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if int(id) < 0 || int(id) >= len(t.rows) || t.dead[id] {
+		return nil, false
+	}
+	return t.rows[id], true
+}
+
+// Scan calls fn for every live row in RowID order. Returning a non-nil
+// error from fn stops the scan and propagates the error.
+func (t *Table) Scan(fn func(id RowID, row value.Tuple) error) error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i, row := range t.rows {
+		if t.dead[i] {
+			continue
+		}
+		if err := fn(RowID(i), row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Rows materializes all live rows in RowID order. The returned tuples are
+// the stored ones and must not be mutated.
+func (t *Table) Rows() []value.Tuple {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]value.Tuple, 0, t.live)
+	for i, row := range t.rows {
+		if !t.dead[i] {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// indexKey canonicalizes a column set for index lookup.
+func indexKey(cols []int) string {
+	sorted := make([]int, len(cols))
+	copy(sorted, cols)
+	sort.Ints(sorted)
+	var b strings.Builder
+	for i, c := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", c)
+	}
+	return b.String()
+}
+
+// EnsureIndex builds (or returns an existing) hash index over the given
+// column positions. An empty column list indexes the full row.
+func (t *Table) EnsureIndex(cols []int) (*Index, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(cols) == 0 {
+		cols = make([]int, t.schema.Len())
+		for i := range cols {
+			cols[i] = i
+		}
+	}
+	for _, c := range cols {
+		if c < 0 || c >= t.schema.Len() {
+			return nil, fmt.Errorf("storage: table %s: index column %d out of range", t.name, c)
+		}
+	}
+	// Canonicalize to sorted order so that equal column sets requested in
+	// different orders share one index and agree on key layout.
+	sorted := make([]int, len(cols))
+	copy(sorted, cols)
+	sort.Ints(sorted)
+	cols = sorted
+	key := indexKey(cols)
+	if idx, ok := t.indexes[key]; ok {
+		return idx, nil
+	}
+	idx := newIndex(cols)
+	for i, row := range t.rows {
+		if !t.dead[i] {
+			idx.add(row, RowID(i))
+		}
+	}
+	t.indexes[key] = idx
+	return idx, nil
+}
+
+// Index is a hash index over a subset of a table's columns, mapping the
+// encoded key of the indexed columns to the RowIDs holding it.
+type Index struct {
+	cols    []int
+	buckets map[string][]RowID
+}
+
+func newIndex(cols []int) *Index {
+	c := make([]int, len(cols))
+	copy(c, cols)
+	return &Index{cols: c, buckets: make(map[string][]RowID)}
+}
+
+// Columns returns the indexed column positions.
+func (ix *Index) Columns() []int { return ix.cols }
+
+func (ix *Index) add(row value.Tuple, id RowID) {
+	k := value.KeyOf(row, ix.cols)
+	ix.buckets[k] = append(ix.buckets[k], id)
+}
+
+func (ix *Index) remove(row value.Tuple, id RowID) {
+	k := value.KeyOf(row, ix.cols)
+	ids := ix.buckets[k]
+	for i, x := range ids {
+		if x == id {
+			ix.buckets[k] = append(ids[:i], ids[i+1:]...)
+			if len(ix.buckets[k]) == 0 {
+				delete(ix.buckets, k)
+			}
+			return
+		}
+	}
+}
+
+// Lookup returns the RowIDs whose indexed columns equal the given key
+// values (in index column order). The returned slice must not be mutated.
+func (ix *Index) Lookup(key value.Tuple) []RowID {
+	return ix.buckets[key.Key()]
+}
+
+// LookupRow returns the RowIDs matching the indexed columns of a full row.
+func (ix *Index) LookupRow(row value.Tuple) []RowID {
+	return ix.buckets[value.KeyOf(row, ix.cols)]
+}
+
+// Groups iterates over all distinct keys in the index, calling fn with the
+// RowIDs sharing each key. Iteration order is unspecified.
+func (ix *Index) Groups(fn func(ids []RowID) error) error {
+	for _, ids := range ix.buckets {
+		if err := fn(ids); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Distinct returns the number of distinct keys in the index.
+func (ix *Index) Distinct() int { return len(ix.buckets) }
+
+// Index returns the existing index over exactly the given column set (any
+// order), without building one.
+func (t *Table) Index(cols []int) (*Index, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	idx, ok := t.indexes[indexKey(cols)]
+	return idx, ok
+}
+
+// Indexes returns all indexes on the table, in unspecified order.
+func (t *Table) Indexes() []*Index {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]*Index, 0, len(t.indexes))
+	for _, idx := range t.indexes {
+		out = append(out, idx)
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package value
+
+import (
+	"encoding/binary"
+	"math"
+	"strings"
+)
+
+// Tuple is a row of values. Tuples are compared and hashed positionally.
+type Tuple []Value
+
+// Clone returns a copy of t that shares no storage with it.
+func (t Tuple) Clone() Tuple {
+	if t == nil {
+		return nil
+	}
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// CompareTuples orders a against b lexicographically, with shorter tuples
+// sorting first on ties.
+func CompareTuples(a, b Tuple) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// TuplesEqual reports whether a and b have the same length and all
+// positions compare equal.
+func TuplesEqual(a, b Tuple) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return CompareTuples(a, b) == 0
+}
+
+// Key encodes the tuple into a string usable as a map key. The encoding is
+// injective over tuples of equal layout and normalizes INT/FLOAT so that
+// numerically equal values share a key (matching Compare semantics).
+func (t Tuple) Key() string {
+	var b strings.Builder
+	b.Grow(len(t) * 12)
+	for _, v := range t {
+		appendValueKey(&b, v)
+	}
+	return b.String()
+}
+
+// KeyOf encodes the projection of t onto the given column positions.
+func KeyOf(t Tuple, cols []int) string {
+	var b strings.Builder
+	b.Grow(len(cols) * 12)
+	for _, c := range cols {
+		appendValueKey(&b, t[c])
+	}
+	return b.String()
+}
+
+func appendValueKey(b *strings.Builder, v Value) {
+	var buf [9]byte
+	switch v.K {
+	case KindNull:
+		b.WriteByte('n')
+	case KindInt:
+		// Encode ints as floats when they are exactly representable so that
+		// Int(1) and Float(1) share a key, mirroring Compare. Large ints
+		// that would lose precision keep a distinct integer encoding.
+		f := float64(v.I)
+		if int64(f) == v.I {
+			buf[0] = 'f'
+			binary.BigEndian.PutUint64(buf[1:], math.Float64bits(f))
+		} else {
+			buf[0] = 'i'
+			binary.BigEndian.PutUint64(buf[1:], uint64(v.I))
+		}
+		b.Write(buf[:])
+	case KindFloat:
+		f := v.F
+		if f == 0 {
+			f = 0 // normalize -0.0 so it shares a key with +0.0
+		}
+		buf[0] = 'f'
+		binary.BigEndian.PutUint64(buf[1:], math.Float64bits(f))
+		b.Write(buf[:])
+	case KindText:
+		b.WriteByte('t')
+		binary.BigEndian.PutUint64(buf[1:], uint64(len(v.S)))
+		b.Write(buf[1:])
+		b.WriteString(v.S)
+	case KindBool:
+		if v.B {
+			b.WriteString("b1")
+		} else {
+			b.WriteString("b0")
+		}
+	}
+}
+
+// Concat returns the concatenation of a and b as a fresh tuple.
+func Concat(a, b Tuple) Tuple {
+	out := make(Tuple, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// Project returns the sub-tuple of t at the given positions.
+func Project(t Tuple, cols []int) Tuple {
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// TupleString renders t as a parenthesized SQL-style row literal.
+func TupleString(t Tuple) string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

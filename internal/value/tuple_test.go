@@ -1,0 +1,124 @@
+package value
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTupleClone(t *testing.T) {
+	var nilT Tuple
+	if nilT.Clone() != nil {
+		t.Error("nil clone should be nil")
+	}
+	orig := Tuple{Int(1), Text("a")}
+	c := orig.Clone()
+	c[0] = Int(2)
+	if orig[0] != Int(1) {
+		t.Error("clone shares storage")
+	}
+}
+
+func TestCompareTuples(t *testing.T) {
+	cases := []struct {
+		a, b Tuple
+		want int
+	}{
+		{Tuple{}, Tuple{}, 0},
+		{Tuple{Int(1)}, Tuple{Int(1)}, 0},
+		{Tuple{Int(1)}, Tuple{Int(2)}, -1},
+		{Tuple{Int(2)}, Tuple{Int(1)}, 1},
+		{Tuple{Int(1)}, Tuple{Int(1), Int(0)}, -1},
+		{Tuple{Int(1), Int(0)}, Tuple{Int(1)}, 1},
+		{Tuple{Text("a"), Int(2)}, Tuple{Text("a"), Int(3)}, -1},
+	}
+	for _, c := range cases {
+		if got := CompareTuples(c.a, c.b); got != c.want {
+			t.Errorf("CompareTuples(%v,%v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+	if !TuplesEqual(Tuple{Int(1), Float(1)}, Tuple{Float(1), Int(1)}) {
+		t.Error("numeric-coerced tuples should be equal")
+	}
+	if TuplesEqual(Tuple{Int(1)}, Tuple{Int(1), Int(1)}) {
+		t.Error("different lengths should not be equal")
+	}
+}
+
+func TestTupleKeyInjective(t *testing.T) {
+	// Tuples that must have distinct keys.
+	distinct := []Tuple{
+		{},
+		{Null()},
+		{Int(0)},
+		{Int(1)},
+		{Text("")},
+		{Text("0")},
+		{Bool(false)},
+		{Bool(true)},
+		{Text("a"), Text("b")},
+		{Text("ab"), Text("")},
+		{Text("a"), Text(""), Text("b")},
+		{Null(), Null()},
+	}
+	seen := map[string]Tuple{}
+	for _, tp := range distinct {
+		k := tp.Key()
+		if prev, ok := seen[k]; ok {
+			t.Errorf("key collision between %v and %v", prev, tp)
+		}
+		seen[k] = tp
+	}
+	// Numerically equal must collide.
+	if (Tuple{Int(1)}).Key() != (Tuple{Float(1)}).Key() {
+		t.Error("Int(1) and Float(1) should share a key")
+	}
+	if (Tuple{Float(0)}).Key() != (Tuple{Float(-0.0 * 1)}).Key() {
+		t.Error("0.0 and -0.0 should share a key")
+	}
+}
+
+func TestKeyOfAndProject(t *testing.T) {
+	tp := Tuple{Int(1), Text("x"), Bool(true)}
+	if KeyOf(tp, []int{0, 2}) != (Tuple{Int(1), Bool(true)}).Key() {
+		t.Error("KeyOf should match projected Key")
+	}
+	p := Project(tp, []int{2, 0})
+	if !TuplesEqual(p, Tuple{Bool(true), Int(1)}) {
+		t.Errorf("Project = %v", p)
+	}
+}
+
+func TestConcat(t *testing.T) {
+	a := Tuple{Int(1)}
+	b := Tuple{Int(2), Int(3)}
+	c := Concat(a, b)
+	if !TuplesEqual(c, Tuple{Int(1), Int(2), Int(3)}) {
+		t.Errorf("Concat = %v", c)
+	}
+	c[0] = Int(9)
+	if a[0] != Int(1) {
+		t.Error("Concat shares storage with input")
+	}
+}
+
+func TestTupleString(t *testing.T) {
+	got := TupleString(Tuple{Int(1), Text("a"), Null()})
+	want := "(1, 'a', NULL)"
+	if got != want {
+		t.Errorf("TupleString = %q, want %q", got, want)
+	}
+}
+
+func TestTupleKeyEqualityProperty(t *testing.T) {
+	prop := func(a1, a2, b1, b2 int64, s1, s2 string) bool {
+		ta := Tuple{Int(a1), Text(s1), Int(a2)}
+		tb := Tuple{Int(b1), Text(s2), Int(b2)}
+		if TuplesEqual(ta, tb) {
+			return ta.Key() == tb.Key()
+		}
+		return ta.Key() != tb.Key()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package workload generates the synthetic inconsistent databases used by
+// the experiments: deterministic (seeded) instances with a controllable
+// size and conflict rate, mirroring the setup of the Hippo evaluation —
+// base tuples with unique keys plus injected key-violating duplicates.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hippo/internal/engine"
+	"hippo/internal/schema"
+	"hippo/internal/value"
+)
+
+// EmpConfig describes an employee-table instance.
+type EmpConfig struct {
+	// N is the number of base tuples (distinct employee ids).
+	N int
+	// ConflictRate is the fraction of base tuples that receive one
+	// FD-violating duplicate (same id, different salary). 0.02 means 2% of
+	// employees have two conflicting salary records.
+	ConflictRate float64
+	// Seed drives the deterministic generator.
+	Seed int64
+	// Table overrides the table name (default "emp").
+	Table string
+}
+
+// EmpReport describes what was generated.
+type EmpReport struct {
+	Rows      int // total rows inserted
+	Conflicts int // conflicting pairs injected
+}
+
+// Emp creates and populates an employee table emp(id, name, dept, salary)
+// with cfg.N base rows and injected FD violations on id → salary. The
+// matching constraint is FD emp: id -> salary.
+func Emp(db *engine.DB, cfg EmpConfig) (EmpReport, error) {
+	name := cfg.Table
+	if name == "" {
+		name = "emp"
+	}
+	t, err := db.CreateTable(name, schema.New(
+		schema.Column{Name: "id", Type: value.KindInt},
+		schema.Column{Name: "name", Type: value.KindText},
+		schema.Column{Name: "dept", Type: value.KindInt},
+		schema.Column{Name: "salary", Type: value.KindInt},
+	))
+	if err != nil {
+		return EmpReport{}, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rep := EmpReport{}
+	nConf := int(float64(cfg.N) * cfg.ConflictRate)
+	for i := 0; i < cfg.N; i++ {
+		salary := 30000 + rng.Intn(120000)
+		row := value.Tuple{
+			value.Int(int64(i)),
+			value.Text(fmt.Sprintf("emp%06d", i)),
+			value.Int(int64(i % 100)),
+			value.Int(int64(salary)),
+		}
+		if _, err := t.Insert(row); err != nil {
+			return rep, err
+		}
+		rep.Rows++
+		if i < nConf {
+			// Duplicate with a different salary → FD violation on id.
+			dup := row.Clone()
+			dup[3] = value.Int(int64(salary + 1 + rng.Intn(50000)))
+			if _, err := t.Insert(dup); err != nil {
+				return rep, err
+			}
+			rep.Rows++
+			rep.Conflicts++
+		}
+	}
+	return rep, nil
+}
+
+// DeptConfig describes the department dimension table.
+type DeptConfig struct {
+	// N is the number of departments.
+	N int
+	// Seed drives the generator.
+	Seed int64
+}
+
+// Dept creates dept(id, dname, budget) with N clean rows (no conflicts),
+// matching the dept ids assigned by Emp (0..99 by default).
+func Dept(db *engine.DB, cfg DeptConfig) error {
+	t, err := db.CreateTable("dept", schema.New(
+		schema.Column{Name: "id", Type: value.KindInt},
+		schema.Column{Name: "dname", Type: value.KindText},
+		schema.Column{Name: "budget", Type: value.KindInt},
+	))
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.N; i++ {
+		_, err := t.Insert(value.Tuple{
+			value.Int(int64(i)),
+			value.Text(fmt.Sprintf("dept%03d", i)),
+			value.Int(int64(100000 + rng.Intn(900000))),
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SourcesConfig describes a two-source integration scenario: both sources
+// report (key, val) pairs; overlapping keys with different values violate
+// the cross-source FD when the sources are unioned into one relation.
+type SourcesConfig struct {
+	// N is the number of keys per source.
+	N int
+	// OverlapRate is the fraction of keys present in both sources with
+	// disagreeing values.
+	OverlapRate float64
+	// Seed drives the generator.
+	Seed int64
+}
+
+// Sources creates a single relation merged(src TEXT, k INT, v INT)
+// representing integrated data from two autonomous sources, plus the
+// number of disagreeing keys. The matching constraint is
+// FD merged: k -> v.
+func Sources(db *engine.DB, cfg SourcesConfig) (int, error) {
+	t, err := db.CreateTable("merged", schema.New(
+		schema.Column{Name: "src", Type: value.KindText},
+		schema.Column{Name: "k", Type: value.KindInt},
+		schema.Column{Name: "v", Type: value.KindInt},
+	))
+	if err != nil {
+		return 0, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	overlap := int(float64(cfg.N) * cfg.OverlapRate)
+	disagreements := 0
+	for i := 0; i < cfg.N; i++ {
+		v := rng.Intn(1000)
+		if _, err := t.Insert(value.Tuple{
+			value.Text("s1"), value.Int(int64(i)), value.Int(int64(v)),
+		}); err != nil {
+			return disagreements, err
+		}
+		if i < overlap {
+			// Source 2 disagrees on this key.
+			if _, err := t.Insert(value.Tuple{
+				value.Text("s2"), value.Int(int64(i)), value.Int(int64(v + 1 + rng.Intn(100))),
+			}); err != nil {
+				return disagreements, err
+			}
+			disagreements++
+		}
+	}
+	return disagreements, nil
+}
+
+// SQLDump renders the contents of a database as executable SQL statements
+// (CREATE TABLE + INSERT), used by hippogen.
+func SQLDump(db *engine.DB) (string, error) {
+	var out []byte
+	for _, name := range db.TableNames() {
+		t, err := db.Table(name)
+		if err != nil {
+			return "", err
+		}
+		sch := t.Schema()
+		out = append(out, "CREATE TABLE "...)
+		out = append(out, name...)
+		out = append(out, " ("...)
+		for i, c := range sch.Columns {
+			if i > 0 {
+				out = append(out, ", "...)
+			}
+			out = append(out, c.Name...)
+			out = append(out, ' ')
+			out = append(out, c.Type.String()...)
+		}
+		out = append(out, ");\n"...)
+		for _, row := range t.Rows() {
+			out = append(out, "INSERT INTO "...)
+			out = append(out, name...)
+			out = append(out, " VALUES "...)
+			out = append(out, value.TupleString(row)...)
+			out = append(out, ";\n"...)
+		}
+	}
+	return string(out), nil
+}

@@ -1,0 +1,128 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"hippo/internal/conflict"
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+)
+
+func TestEmpGeneration(t *testing.T) {
+	db := engine.New()
+	rep, err := Emp(db, EmpConfig{N: 1000, ConflictRate: 0.02, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Conflicts != 20 {
+		t.Errorf("conflicts = %d, want 20", rep.Conflicts)
+	}
+	if rep.Rows != 1020 {
+		t.Errorf("rows = %d, want 1020", rep.Rows)
+	}
+	tb, _ := db.Table("emp")
+	if tb.Len() != 1020 {
+		t.Errorf("table rows = %d", tb.Len())
+	}
+	// Detected conflicts must equal injected conflicts exactly.
+	fd := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
+	h, _, _, err := conflict.NewDetector(db).Detect([]constraint.Constraint{fd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != rep.Conflicts {
+		t.Errorf("detected %d edges, injected %d", h.NumEdges(), rep.Conflicts)
+	}
+}
+
+func TestEmpDeterminism(t *testing.T) {
+	db1, db2 := engine.New(), engine.New()
+	Emp(db1, EmpConfig{N: 50, ConflictRate: 0.1, Seed: 42})
+	Emp(db2, EmpConfig{N: 50, ConflictRate: 0.1, Seed: 42})
+	d1, _ := SQLDump(db1)
+	d2, _ := SQLDump(db2)
+	if d1 != d2 {
+		t.Error("same seed must give identical instances")
+	}
+	db3 := engine.New()
+	Emp(db3, EmpConfig{N: 50, ConflictRate: 0.1, Seed: 43})
+	d3, _ := SQLDump(db3)
+	if d1 == d3 {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestEmpCustomTableAndErrors(t *testing.T) {
+	db := engine.New()
+	if _, err := Emp(db, EmpConfig{N: 5, Table: "staff", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Table("staff"); err != nil {
+		t.Error("custom table name not honored")
+	}
+	if _, err := Emp(db, EmpConfig{N: 5, Table: "staff", Seed: 1}); err == nil {
+		t.Error("duplicate table should error")
+	}
+}
+
+func TestDept(t *testing.T) {
+	db := engine.New()
+	if err := Dept(db, DeptConfig{N: 100, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT * FROM dept")
+	if err != nil || len(res.Rows) != 100 {
+		t.Fatalf("dept rows = %d, %v", len(res.Rows), err)
+	}
+	if err := Dept(db, DeptConfig{N: 1}); err == nil {
+		t.Error("duplicate dept should error")
+	}
+}
+
+func TestSources(t *testing.T) {
+	db := engine.New()
+	n, err := Sources(db, SourcesConfig{N: 100, OverlapRate: 0.25, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 25 {
+		t.Errorf("disagreements = %d, want 25", n)
+	}
+	fd := constraint.FD{Rel: "merged", LHS: []string{"k"}, RHS: []string{"v"}}
+	h, _, _, err := conflict.NewDetector(db).Detect([]constraint.Constraint{fd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.NumEdges() != 25 {
+		t.Errorf("edges = %d", h.NumEdges())
+	}
+}
+
+func TestSQLDumpRoundTrip(t *testing.T) {
+	db := engine.New()
+	Emp(db, EmpConfig{N: 10, ConflictRate: 0.2, Seed: 3})
+	dump, err := SQLDump(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(dump, "CREATE TABLE emp") {
+		t.Fatalf("dump = %q", dump[:80])
+	}
+	// Replay the dump into a fresh engine.
+	db2 := engine.New()
+	for _, stmt := range strings.Split(dump, ";\n") {
+		stmt = strings.TrimSpace(stmt)
+		if stmt == "" {
+			continue
+		}
+		if _, _, err := db2.Exec(stmt); err != nil {
+			t.Fatalf("replaying %q: %v", stmt, err)
+		}
+	}
+	t1, _ := db.Table("emp")
+	t2, _ := db2.Table("emp")
+	if t1.Len() != t2.Len() {
+		t.Errorf("round trip rows %d vs %d", t1.Len(), t2.Len())
+	}
+}
