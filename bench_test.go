@@ -67,6 +67,10 @@ func BenchmarkE8ConflictDetection(b *testing.B) { runExperiment(b, "e8") }
 // BenchmarkE9Overhead — Hippo/SQL overhead ratios.
 func BenchmarkE9Overhead(b *testing.B) { runExperiment(b, "e9") }
 
+// BenchmarkE10Incremental — incremental vs full-rebuild hypergraph
+// maintenance under an update-interleaved workload.
+func BenchmarkE10Incremental(b *testing.B) { runExperiment(b, "e10") }
+
 // BenchmarkAblationPruning — prover DFS with vs without early pruning.
 func BenchmarkAblationPruning(b *testing.B) { runExperiment(b, "ablation-pruning") }
 
@@ -107,6 +111,7 @@ func BenchmarkStageConflictDetection(b *testing.B) {
 		if _, err := sys.Analyze(); err != nil {
 			b.Fatal(err)
 		}
+		sys.Close() // unsubscribe so discarded systems are collectable
 	}
 }
 

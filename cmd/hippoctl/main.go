@@ -13,6 +13,7 @@
 //	\cq <select>                consistent answers (Hippo)
 //	\cqn <select>               consistent answers with the naive prover
 //	\rw <select>                consistent answers via query rewriting
+//	\maint                      hypergraph maintenance stats (deltas, rebuilds)
 //	\repairs                    count repairs (small instances only)
 //	\load <file.sql>            execute semicolon-separated statements from a file
 //	\help                       this text
@@ -125,6 +126,12 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 			break
 		}
 		printResult(out, res)
+	case "maint":
+		sys := db.System()
+		m := sys.Maintenance()
+		fmt.Fprintf(out, "deltas-applied=%d edges-added=%d edges-removed=%d combinations=%d full-rebuilds=%d pending=%d\n",
+			m.DeltasApplied, m.EdgesAdded, m.EdgesRemoved, m.Combinations,
+			m.FullRebuilds, sys.PendingDeltas())
 	case "repairs":
 		n, err := db.CountRepairs()
 		if err != nil {
@@ -195,6 +202,7 @@ const helpText = `  SQL statements run directly (CREATE TABLE / INSERT / DELETE 
   \cq <select>                consistent answers (Hippo, indexed prover)
   \cqn <select>               consistent answers (naive prover)
   \rw <select>                consistent answers via query rewriting
+  \maint                      hypergraph maintenance stats (deltas, rebuilds)
   \repairs                    count repairs (exponential; small data only)
   \load <file.sql>            run statements from a file
   \quit                       exit`

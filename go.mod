@@ -1,0 +1,3 @@
+module hippo
+
+go 1.21

@@ -68,14 +68,12 @@ func Wrap(db *engine.DB) *DB {
 func (db *DB) Engine() *engine.DB { return db.sys.DB() }
 
 // Exec runs any SQL statement (DDL, DML, or SELECT) directly against the
-// stored — possibly inconsistent — database. Data changes invalidate the
-// conflict analysis automatically.
+// stored — possibly inconsistent — database. The conflict analysis stays
+// current automatically: inserts and deletes stream to the conflict stage
+// as deltas and are folded into the hypergraph incrementally by the next
+// consistent query, while DDL forces a full re-detection.
 func (db *DB) Exec(sql string) (*Result, int, error) {
-	res, n, err := db.sys.DB().Exec(sql)
-	if err == nil && res == nil { // DDL/DML mutate data
-		db.sys.Invalidate()
-	}
-	return res, n, err
+	return db.sys.DB().Exec(sql)
 }
 
 // MustExec runs a statement and panics on error (setup convenience).
@@ -153,7 +151,7 @@ func (db *DB) Analyze() (AnalysisReport, error) {
 	if err != nil {
 		return AnalysisReport{}, err
 	}
-	gs := db.sys.Hypergraph().Stats()
+	gs := db.sys.GraphStats()
 	return AnalysisReport{
 		Constraints:         det.Constraints,
 		Edges:               gs.Edges,

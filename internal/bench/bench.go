@@ -220,6 +220,7 @@ func RunAll(w io.Writer, sc Scale) error {
 		E7UnionQuery,
 		E8ConflictDetection,
 		E9Overhead,
+		E10IncrementalMaintenance,
 		AblationPruning,
 		AblationDetection,
 	}
@@ -235,7 +236,7 @@ func RunAll(w io.Writer, sc Scale) error {
 	return nil
 }
 
-// Run executes a single experiment by id ("e1".."e9", "ablation-pruning",
+// Run executes a single experiment by id ("e1".."e10", "ablation-pruning",
 // "ablation-detection").
 func Run(id string, sc Scale) (Table, error) {
 	switch strings.ToLower(id) {
@@ -257,6 +258,8 @@ func Run(id string, sc Scale) (Table, error) {
 		return E8ConflictDetection(sc)
 	case "e9":
 		return E9Overhead(sc)
+	case "e10", "incremental":
+		return E10IncrementalMaintenance(sc)
 	case "ablation-pruning":
 		return AblationPruning(sc)
 	case "ablation-detection":

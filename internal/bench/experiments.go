@@ -119,6 +119,7 @@ func E2Expressiveness(sc Scale) (Table, error) {
 
 	supports := func(cs []constraint.Constraint, sql string) (string, string, error) {
 		sys := core.NewSystem(db, cs)
+		defer sys.Close() // one throwaway system per case over a shared db
 		sup, err := sys.Support(sql)
 		if err != nil {
 			return "", "", err
@@ -352,7 +353,7 @@ func E8ConflictDetection(sc Scale) (Table, error) {
 			return t, err
 		}
 		detMS = ms(d)
-		gs := sys.Hypergraph().Stats()
+		gs := sys.GraphStats()
 		t.Rows = append(t.Rows, []string{
 			fmt.Sprint(n), fmt.Sprint(rep.Rows), detMS,
 			fmt.Sprint(combos), fmt.Sprint(gs.Edges), fmt.Sprint(gs.ConflictingVertices),

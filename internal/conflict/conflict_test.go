@@ -7,6 +7,7 @@ import (
 
 	"hippo/internal/constraint"
 	"hippo/internal/engine"
+	"hippo/internal/storage"
 	"hippo/internal/value"
 )
 
@@ -258,5 +259,62 @@ func TestDetectErrors(t *testing.T) {
 	_, _, _, err = NewDetector(db).Detect([]constraint.Constraint{d})
 	if err == nil {
 		t.Error("bad column in denial should error")
+	}
+}
+
+// TestHypergraphRemoveAndCompact exercises edge/vertex removal and the
+// tombstone compaction that keeps a long-lived, incrementally maintained
+// graph at O(live edges).
+func TestHypergraphRemoveAndCompact(t *testing.T) {
+	h := NewHypergraph()
+	v := func(i int) Vertex { return Vertex{Rel: "r", Row: storage.RowID(i)} }
+
+	h.AddEdge([]Vertex{v(0), v(1)}, "c")
+	h.AddEdge([]Vertex{v(0), v(2)}, "c")
+	h.AddEdge([]Vertex{v(3), v(4)}, "c")
+	if got := h.RemoveVertex(v(0)); got != 2 {
+		t.Fatalf("RemoveVertex removed %d edges, want 2", got)
+	}
+	if h.NumEdges() != 1 || h.Degree(v(1)) != 0 || !h.InConflict(v(3)) {
+		t.Fatalf("unexpected state after RemoveVertex: edges=%d", h.NumEdges())
+	}
+	if !h.RemoveEdge([]Vertex{v(4), v(3)}) { // any vertex order
+		t.Fatal("RemoveEdge did not find the edge")
+	}
+	if h.RemoveEdge([]Vertex{v(3), v(4)}) {
+		t.Fatal("RemoveEdge removed an already-dead edge")
+	}
+	// Re-adding a previously removed edge must work (dedup key was freed).
+	if !h.AddEdge([]Vertex{v(3), v(4)}, "c") {
+		t.Fatal("re-adding a removed edge failed")
+	}
+
+	// Churn enough edges to trigger compaction, then verify the graph
+	// still answers correctly and stopped growing.
+	h = NewHypergraph()
+	for i := 0; i < 500; i++ {
+		h.AddEdge([]Vertex{v(2 * i), v(2*i + 1)}, "c")
+		if i%2 == 1 {
+			h.RemoveVertex(v(2 * i))
+		}
+	}
+	if h.NumEdges() != 250 {
+		t.Fatalf("edges=%d, want 250", h.NumEdges())
+	}
+	if len(h.edges) >= 500 {
+		t.Fatalf("compaction never ran: %d slots for %d live edges", len(h.edges), h.NumEdges())
+	}
+	for i := 0; i < 500; i++ {
+		want := i%2 == 0
+		if h.InConflict(v(2*i)) != want {
+			t.Fatalf("vertex %d conflict=%v, want %v", 2*i, !want, want)
+		}
+	}
+
+	// Clone is independent of the original.
+	c := h.Clone()
+	h.RemoveVertex(v(0))
+	if c.NumEdges() != 250 || h.NumEdges() != 249 {
+		t.Fatalf("clone not independent: clone=%d orig=%d", c.NumEdges(), h.NumEdges())
 	}
 }

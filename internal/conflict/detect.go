@@ -2,6 +2,7 @@ package conflict
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 	"time"
 
@@ -66,7 +67,11 @@ func (d *Detector) Detect(constraints []constraint.Constraint) (*Hypergraph, *Tu
 			}
 			continue
 		}
-		if err := d.detectDenial(h, den, &stats); err != nil {
+		prog, err := compileDenial(d.db, den, nil)
+		if err != nil {
+			return nil, nil, stats, err
+		}
+		if err := prog.enumerate(h, &stats, nil); err != nil {
 			return nil, nil, stats, err
 		}
 	}
@@ -79,29 +84,50 @@ func (d *Detector) Detect(constraints []constraint.Constraint) (*Hypergraph, *Tu
 	return h, ti, stats, nil
 }
 
-// detectFD finds FD violations by hash-grouping on the LHS: within each
-// LHS group, every pair of rows disagreeing on the RHS is a conflict edge.
-func (d *Detector) detectFD(h *Hypergraph, fd constraint.FD, stats *DetectStats) error {
-	t, err := d.db.Table(fd.Rel)
+// fdPlan resolves an FD's column lists against its table and ensures the
+// LHS hash index exists. Both the full detector and the incremental
+// detector probe violations through it.
+type fdPlan struct {
+	table *storage.Table
+	lhs   []int
+	rhs   []int
+	idx   *storage.Index
+	rel   string
+	label string
+}
+
+func planFD(db *engine.DB, fd constraint.FD) (*fdPlan, error) {
+	t, err := db.Table(fd.Rel)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	sch := t.Schema()
 	lhs, err := resolveCols(sch, fd.LHS)
 	if err != nil {
-		return fmt.Errorf("conflict: %s: %v", fd, err)
+		return nil, fmt.Errorf("conflict: %s: %v", fd, err)
 	}
 	rhs, err := resolveCols(sch, fd.RHS)
 	if err != nil {
-		return fmt.Errorf("conflict: %s: %v", fd, err)
+		return nil, fmt.Errorf("conflict: %s: %v", fd, err)
 	}
 	idx, err := t.EnsureIndex(lhs)
 	if err != nil {
+		return nil, err
+	}
+	return &fdPlan{
+		table: t, lhs: lhs, rhs: rhs, idx: idx,
+		rel: strings.ToLower(fd.Rel), label: fd.String(),
+	}, nil
+}
+
+// detectFD finds FD violations by hash-grouping on the LHS: within each
+// LHS group, every pair of rows disagreeing on the RHS is a conflict edge.
+func (d *Detector) detectFD(h *Hypergraph, fd constraint.FD, stats *DetectStats) error {
+	p, err := planFD(d.db, fd)
+	if err != nil {
 		return err
 	}
-	rel := strings.ToLower(fd.Rel)
-	label := fd.String()
-	return idx.Groups(func(ids []storage.RowID) error {
+	return p.idx.Groups(func(ids []storage.RowID) error {
 		if len(ids) < 2 {
 			return nil
 		}
@@ -109,11 +135,11 @@ func (d *Detector) detectFD(h *Hypergraph, fd constraint.FD, stats *DetectStats)
 		// conflict pairwise.
 		parts := make(map[string][]storage.RowID)
 		for _, id := range ids {
-			row, ok := t.Row(id)
+			row, ok := p.table.Row(id)
 			if !ok {
 				continue
 			}
-			parts[value.KeyOf(row, rhs)] = append(parts[value.KeyOf(row, rhs)], id)
+			parts[value.KeyOf(row, p.rhs)] = append(parts[value.KeyOf(row, p.rhs)], id)
 		}
 		if len(parts) < 2 {
 			return nil
@@ -127,7 +153,7 @@ func (d *Detector) detectFD(h *Hypergraph, fd constraint.FD, stats *DetectStats)
 				for _, a := range parts[keys[i]] {
 					for _, b := range parts[keys[j]] {
 						stats.Combinations++
-						h.AddEdge([]Vertex{{Rel: rel, Row: a}, {Rel: rel, Row: b}}, label)
+						h.AddEdge([]Vertex{{Rel: p.rel, Row: a}, {Rel: p.rel, Row: b}}, p.label)
 					}
 				}
 			}
@@ -152,15 +178,46 @@ type boundAtom struct {
 	residual ra.Expr
 }
 
-// detectDenial enumerates violating tuple combinations for a general
-// denial constraint with an index-accelerated backtracking join.
-func (d *Detector) detectDenial(h *Hypergraph, den constraint.Denial, stats *DetectStats) error {
-	atoms := make([]*boundAtom, len(den.Atoms))
+// denialProgram is a compiled enumeration plan for one denial constraint:
+// atoms in a fixed order with index links to earlier atoms and residual
+// predicates, ready for backtracking enumeration. Compiling the same
+// denial under different atom orders lets the incremental detector pin
+// any atom position to a freshly inserted row and enumerate only the
+// combinations involving it.
+type denialProgram struct {
+	atoms []*boundAtom
+	label string
+}
+
+// pinnedRow restricts a program's first atom to a single row instead of a
+// table scan — the incremental probe for an insert delta. The tuple is
+// carried explicitly so a queued insert can be probed even after the row
+// was tombstoned by a later queued delete (the delete delta then removes
+// the transient edges again).
+type pinnedRow struct {
+	ID  storage.RowID
+	Row value.Tuple
+}
+
+// compileDenial builds the enumeration program for den with atoms taken in
+// the given order (a permutation of atom positions; nil means natural
+// order). The condition is planned against the reordered combined schema,
+// and equality conjuncts linking an atom to earlier atoms become hash
+// index lookups.
+func compileDenial(db *engine.DB, den constraint.Denial, order []int) (*denialProgram, error) {
+	if order == nil {
+		order = make([]int, len(den.Atoms))
+		for i := range order {
+			order[i] = i
+		}
+	}
+	atoms := make([]*boundAtom, len(order))
 	combined := schema.Schema{}
-	for i, a := range den.Atoms {
-		t, err := d.db.Table(a.Rel)
+	for i, pos := range order {
+		a := den.Atoms[pos]
+		t, err := db.Table(a.Rel)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		sch := t.Schema().WithQualifier(strings.ToLower(a.Name()))
 		atoms[i] = &boundAtom{
@@ -176,7 +233,7 @@ func (d *Detector) detectDenial(h *Hypergraph, den constraint.Denial, stats *Det
 		var err error
 		cond, err = engine.PlanScalar(den.Where, combined)
 		if err != nil {
-			return fmt.Errorf("conflict: constraint %s: %v", den.Label, err)
+			return nil, fmt.Errorf("conflict: constraint %s: %v", den.Label, err)
 		}
 	}
 
@@ -214,7 +271,7 @@ func (d *Detector) detectDenial(h *Hypergraph, den constraint.Denial, stats *Det
 				}
 				// A column may back only one index link; further equalities
 				// on it stay as residual conjuncts.
-				if own >= 0 && !contains(a.eqOwn, own) {
+				if own >= 0 && !slices.Contains(a.eqOwn, own) {
 					a.eqOwn = append(a.eqOwn, own)
 					a.eqSrc = append(a.eqSrc, src)
 					continue
@@ -229,7 +286,7 @@ func (d *Detector) detectDenial(h *Hypergraph, den constraint.Denial, stats *Det
 		}
 		idx, err := a.table.EnsureIndex(a.eqOwn)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		a.index = idx
 		// The index canonicalizes column order; remap eqSrc to match so
@@ -250,13 +307,26 @@ func (d *Detector) detectDenial(h *Hypergraph, den constraint.Denial, stats *Det
 	if label == "" {
 		label = den.String()
 	}
-	row := make(value.Tuple, 0, combined.Len())
+	return &denialProgram{atoms: atoms, label: label}, nil
+}
+
+// enumerate runs the index-accelerated backtracking join, adding one
+// hyperedge per violating tuple combination. With a non-nil pin, the first
+// atom binds only the pinned row, so only combinations involving that row
+// are visited.
+func (p *denialProgram) enumerate(h *Hypergraph, stats *DetectStats, pin *pinnedRow) error {
+	atoms := p.atoms
+	var combinedLen int
+	for _, a := range atoms {
+		combinedLen += a.arity
+	}
+	row := make(value.Tuple, 0, combinedLen)
 	verts := make([]Vertex, 0, len(atoms))
 
-	var enumerate func(i int) error
-	enumerate = func(i int) error {
+	var walk func(i int) error
+	walk = func(i int) error {
 		if i == len(atoms) {
-			h.AddEdge(verts, label)
+			h.AddEdge(verts, p.label)
 			return nil
 		}
 		a := atoms[i]
@@ -277,7 +347,10 @@ func (d *Detector) detectDenial(h *Hypergraph, den constraint.Denial, stats *Det
 					return nil
 				}
 			}
-			return enumerate(i + 1)
+			return walk(i + 1)
+		}
+		if i == 0 && pin != nil {
+			return tryRow(pin.ID, pin.Row)
 		}
 		if a.index != nil {
 			key := make(value.Tuple, len(a.eqSrc))
@@ -297,16 +370,7 @@ func (d *Detector) detectDenial(h *Hypergraph, den constraint.Denial, stats *Det
 		}
 		return a.table.Scan(tryRow)
 	}
-	return enumerate(0)
-}
-
-func contains(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
-	}
-	return false
+	return walk(0)
 }
 
 func resolveCols(sch schema.Schema, names []string) ([]int, error) {

@@ -8,8 +8,9 @@
 package conflict
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"hippo/internal/storage"
@@ -35,22 +36,15 @@ type Edge struct {
 
 // newEdge canonicalizes the vertex set.
 func newEdge(verts []Vertex, label string) Edge {
-	vs := make([]Vertex, len(verts))
-	copy(vs, verts)
-	sort.Slice(vs, func(i, j int) bool {
-		if vs[i].Rel != vs[j].Rel {
-			return vs[i].Rel < vs[j].Rel
+	vs := slices.Clone(verts)
+	slices.SortFunc(vs, func(a, b Vertex) int {
+		if c := strings.Compare(a.Rel, b.Rel); c != 0 {
+			return c
 		}
-		return vs[i].Row < vs[j].Row
+		return cmp.Compare(a.Row, b.Row)
 	})
 	// Deduplicate (an atom combination may bind the same tuple twice).
-	out := vs[:0]
-	for i, v := range vs {
-		if i == 0 || v != vs[i-1] {
-			out = append(out, v)
-		}
-	}
-	return Edge{Verts: out, Label: label}
+	return Edge{Verts: slices.Compact(vs), Label: label}
 }
 
 // key returns a canonical identity string for deduplication.
@@ -74,19 +68,23 @@ func (e Edge) String() string {
 	return "{" + strings.Join(parts, ", ") + "}"
 }
 
-// Hypergraph is the conflict hypergraph. It is immutable after detection
-// (safe for concurrent readers).
+// Hypergraph is the conflict hypergraph. Detection builds it once; DML
+// deltas then add and remove edges incrementally. It is safe for
+// concurrent readers only while no writer (detector) is active, which the
+// core serializes.
 type Hypergraph struct {
-	edges    []Edge
-	byVertex map[Vertex][]int // vertex -> indexes into edges
-	keys     map[string]bool  // edge dedup
+	edges     []Edge // slot per edge ever added; dead slots stay in place
+	dead      []bool
+	liveEdges int
+	byVertex  map[Vertex][]int // vertex -> live slots into edges
+	keys      map[string]int   // canonical edge key -> live slot
 }
 
 // NewHypergraph returns an empty hypergraph.
 func NewHypergraph() *Hypergraph {
 	return &Hypergraph{
 		byVertex: make(map[Vertex][]int),
-		keys:     make(map[string]bool),
+		keys:     make(map[string]int),
 	}
 }
 
@@ -98,27 +96,138 @@ func (h *Hypergraph) AddEdge(verts []Vertex, label string) bool {
 		return false
 	}
 	k := e.key()
-	if h.keys[k] {
+	if _, ok := h.keys[k]; ok {
 		return false
 	}
-	h.keys[k] = true
 	idx := len(h.edges)
+	h.keys[k] = idx
 	h.edges = append(h.edges, e)
+	h.dead = append(h.dead, false)
+	h.liveEdges++
 	for _, v := range e.Verts {
 		h.byVertex[v] = append(h.byVertex[v], idx)
 	}
 	return true
 }
 
-// NumEdges returns the number of hyperedges.
-func (h *Hypergraph) NumEdges() int { return len(h.edges) }
+// RemoveEdge deletes the hyperedge with exactly the given vertex set,
+// reporting whether such an edge existed.
+func (h *Hypergraph) RemoveEdge(verts []Vertex) bool {
+	e := newEdge(verts, "")
+	idx, ok := h.keys[e.key()]
+	if !ok {
+		return false
+	}
+	h.removeSlot(idx)
+	h.maybeCompact()
+	return true
+}
+
+// RemoveVertex deletes every hyperedge containing v — exactly the
+// maintenance a tuple deletion requires, since each violation the tuple
+// participated in disappears with it. It returns the number of edges
+// removed.
+func (h *Hypergraph) RemoveVertex(v Vertex) int {
+	slots := h.byVertex[v]
+	if len(slots) == 0 {
+		return 0
+	}
+	// Copy: removeSlot mutates byVertex[v].
+	cp := make([]int, len(slots))
+	copy(cp, slots)
+	for _, idx := range cp {
+		h.removeSlot(idx)
+	}
+	h.maybeCompact()
+	return len(cp)
+}
+
+// removeSlot tombstones one edge slot and eagerly unlinks it from every
+// incident vertex, keeping Degree/InConflict O(1) reads.
+func (h *Hypergraph) removeSlot(idx int) {
+	if h.dead[idx] {
+		return
+	}
+	h.dead[idx] = true
+	h.liveEdges--
+	e := h.edges[idx]
+	delete(h.keys, e.key())
+	for _, v := range e.Verts {
+		slots := h.byVertex[v]
+		for i, s := range slots {
+			if s == idx {
+				slots[i] = slots[len(slots)-1]
+				slots = slots[:len(slots)-1]
+				break
+			}
+		}
+		if len(slots) == 0 {
+			delete(h.byVertex, v)
+		} else {
+			h.byVertex[v] = slots
+		}
+	}
+}
+
+// maybeCompact reclaims tombstoned edge slots once they outnumber live
+// ones, keeping long-running incremental maintenance at O(live edges)
+// memory and scan cost instead of O(edges ever added). Slot indexes are
+// reassigned, so it must only run between reader sections (the core holds
+// its write lock across all mutations).
+func (h *Hypergraph) maybeCompact() {
+	dead := len(h.edges) - h.liveEdges
+	if dead < 64 || dead*2 < len(h.edges) {
+		return
+	}
+	edges := make([]Edge, 0, h.liveEdges)
+	for i, e := range h.edges {
+		if !h.dead[i] {
+			edges = append(edges, e)
+		}
+	}
+	h.edges = edges
+	h.dead = make([]bool, len(edges))
+	h.byVertex = make(map[Vertex][]int, len(h.byVertex))
+	h.keys = make(map[string]int, len(edges))
+	for i, e := range edges {
+		h.keys[e.key()] = i
+		for _, v := range e.Verts {
+			h.byVertex[v] = append(h.byVertex[v], i)
+		}
+	}
+}
+
+// Clone returns an independent deep copy of the hypergraph. Callers that
+// hold a graph beyond the core's locking (e.g. the repair enumerator)
+// clone so later incremental mutations cannot race with their reads.
+func (h *Hypergraph) Clone() *Hypergraph {
+	out := NewHypergraph()
+	for i, e := range h.edges {
+		if !h.dead[i] {
+			out.AddEdge(e.Verts, e.Label)
+		}
+	}
+	return out
+}
+
+// NumEdges returns the number of live hyperedges.
+func (h *Hypergraph) NumEdges() int { return h.liveEdges }
 
 // NumConflictingVertices returns the number of distinct tuples involved in
 // at least one conflict.
 func (h *Hypergraph) NumConflictingVertices() int { return len(h.byVertex) }
 
-// Edges returns all hyperedges. The returned slice must not be mutated.
-func (h *Hypergraph) Edges() []Edge { return h.edges }
+// Edges returns all live hyperedges. The returned slice is freshly
+// allocated; the edges themselves must not be mutated.
+func (h *Hypergraph) Edges() []Edge {
+	out := make([]Edge, 0, h.liveEdges)
+	for i, e := range h.edges {
+		if !h.dead[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
 
 // EdgesContaining returns the hyperedges that contain v. The returned
 // slice is freshly allocated.
@@ -218,7 +327,7 @@ type Stats struct {
 // Stats computes summary statistics.
 func (h *Hypergraph) Stats() Stats {
 	st := Stats{
-		Edges:               len(h.edges),
+		Edges:               h.liveEdges,
 		ConflictingVertices: len(h.byVertex),
 	}
 	for _, idxs := range h.byVertex {
@@ -226,8 +335,8 @@ func (h *Hypergraph) Stats() Stats {
 			st.MaxDegree = len(idxs)
 		}
 	}
-	for _, e := range h.edges {
-		if len(e.Verts) > st.MaxEdgeSize {
+	for i, e := range h.edges {
+		if !h.dead[i] && len(e.Verts) > st.MaxEdgeSize {
 			st.MaxEdgeSize = len(e.Verts)
 		}
 	}

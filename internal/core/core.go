@@ -12,6 +12,9 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hippo/internal/conflict"
@@ -23,6 +26,7 @@ import (
 	"hippo/internal/repair"
 	"hippo/internal/rewrite"
 	"hippo/internal/sqlparse"
+	"hippo/internal/storage"
 )
 
 // ProverMode selects how the Prover answers membership checks.
@@ -67,65 +71,230 @@ type Stats struct {
 	EngineQuery  int64 // engine queries issued during the run
 	DetectStats  conflict.DetectStats
 	GraphStats   conflict.Stats
+	Maintenance  MaintenanceStats // hypergraph upkeep since system creation
 	ProverMode   ProverMode
+	Workers      int    // certification worker-pool size used
 	QueryPlan    string // formatted input plan
 	EnvelopePlan string // formatted envelope plan
 }
 
-// System is a Hippo instance: a database, its integrity constraints, and
-// the conflict hypergraph computed from them.
-type System struct {
-	db          *engine.DB
-	constraints []constraint.Constraint
-
-	hg       *conflict.Hypergraph
-	ti       *conflict.TupleIndex
-	detStats conflict.DetectStats
-	analyzed bool
+// MaintenanceStats accumulates conflict-hypergraph upkeep over the
+// system's lifetime: the incremental-detector counters (how many DML
+// deltas were folded in and what they did to the edge set) plus how often
+// a full Detect rescan was still required (first analysis, DDL, or
+// constraint changes).
+type MaintenanceStats struct {
+	conflict.IncrementalStats
+	FullRebuilds int64 // full Detect runs (incl. the first analysis)
 }
 
-// NewSystem creates a Hippo system over db with the given constraints.
-// Call Analyze (or let the first query trigger it) before querying.
+// Sub returns the counter-wise difference m - o.
+func (m MaintenanceStats) Sub(o MaintenanceStats) MaintenanceStats {
+	return MaintenanceStats{
+		IncrementalStats: m.IncrementalStats.Sub(o.IncrementalStats),
+		FullRebuilds:     m.FullRebuilds - o.FullRebuilds,
+	}
+}
+
+// System is a Hippo instance: a database, its integrity constraints, and
+// the conflict hypergraph computed from them. It subscribes to the
+// engine's change feed: DML deltas queue up and are folded into the
+// hypergraph incrementally by the next consistent query, while DDL and
+// constraint changes force a full re-detection.
+type System struct {
+	db *engine.DB
+
+	// mu guards all fields below. Writers (delta application, full
+	// rebuilds, constraint/DDL bookkeeping) take the write lock; a
+	// consistent query holds the read lock across evaluation and
+	// certification so the hypergraph it certifies against cannot be
+	// mutated mid-run by a concurrent query's delta drain. Note this
+	// serializes analysis state only: DML running concurrently with
+	// queries is additionally governed by the storage contract (table
+	// writers must not run concurrently with readers).
+	mu          sync.RWMutex
+	constraints []constraint.Constraint
+	hg          *conflict.Hypergraph
+	ti          *conflict.TupleIndex
+	inc         *conflict.IncrementalDetector
+	detStats    conflict.DetectStats
+	analyzed    bool             // a hypergraph exists
+	needFull    bool             // DDL/constraint change since it was built
+	pending     []conflict.Delta // queued DML deltas awaiting application
+	maint       MaintenanceStats
+}
+
+// NewSystem creates a Hippo system over db with the given constraints and
+// subscribes it to db's change feed. Call Analyze (or let the first query
+// trigger it) before querying, and Close when discarding the system while
+// the database lives on.
 func NewSystem(db *engine.DB, cs []constraint.Constraint) *System {
-	return &System{db: db, constraints: cs}
+	s := &System{db: db, constraints: cs}
+	db.AddListener(s)
+	return s
+}
+
+// Close unsubscribes the system from the database's change feed and drops
+// any queued deltas. The system must not be queried afterwards.
+func (s *System) Close() {
+	s.db.RemoveListener(s)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pending = nil
 }
 
 // DB exposes the underlying engine (for loading data and running ordinary
 // SQL).
 func (s *System) DB() *engine.DB { return s.db }
 
-// Constraints returns the constraint set.
-func (s *System) Constraints() []constraint.Constraint { return s.constraints }
-
-// AddConstraint registers another constraint and invalidates the analysis.
-func (s *System) AddConstraint(c constraint.Constraint) {
-	s.constraints = append(s.constraints, c)
-	s.analyzed = false
+// Constraints returns a copy of the constraint set.
+func (s *System) Constraints() []constraint.Constraint {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]constraint.Constraint, len(s.constraints))
+	copy(out, s.constraints)
+	return out
 }
 
-// Invalidate marks the conflict analysis stale (call after data changes).
-func (s *System) Invalidate() { s.analyzed = false }
+// AddConstraint registers another constraint and schedules a full
+// re-detection (incremental probes are compiled per constraint set).
+func (s *System) AddConstraint(c constraint.Constraint) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.constraints = append(s.constraints, c)
+	s.needFull = true
+	s.pending = nil
+}
 
-// Analyze runs Conflict Detection and builds the Conflict Hypergraph.
+// maxPendingDeltas caps the delta queue. Past it, a bulk load is under
+// way and one full re-detection is both cheaper than replaying the queue
+// probe by probe and O(1) in queued memory.
+const maxPendingDeltas = 65536
+
+// DataChanged queues a DML delta for incremental application. It
+// implements engine.ChangeListener.
+func (s *System) DataChanged(table string, ch storage.Change) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.analyzed || s.needFull {
+		return // the coming full detection sees the current data anyway
+	}
+	if len(s.pending) >= maxPendingDeltas {
+		s.needFull = true
+		s.pending = nil
+		return
+	}
+	s.pending = append(s.pending, conflict.Delta{Table: table, Change: ch})
+}
+
+// SchemaChanged schedules a full re-detection: DDL changes the relation
+// set the tuple index and compiled probes are built over. It implements
+// engine.ChangeListener.
+func (s *System) SchemaChanged(string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.needFull = true
+	s.pending = nil
+}
+
+// Invalidate forces a full re-detection before the next consistent query.
+// DML no longer requires it (deltas are maintained automatically); it
+// remains for callers that mutate storage behind the engine's back.
+func (s *System) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.needFull = true
+	s.pending = nil
+}
+
+// Analyze runs Conflict Detection and builds the Conflict Hypergraph from
+// scratch, discarding any queued deltas (the rescan subsumes them).
 func (s *System) Analyze() (conflict.DetectStats, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.analyzeFullLocked()
+}
+
+func (s *System) analyzeFullLocked() (conflict.DetectStats, error) {
 	h, ti, st, err := conflict.NewDetector(s.db).Detect(s.constraints)
 	if err != nil {
 		return st, err
 	}
-	s.hg, s.ti, s.detStats = h, ti, st
-	s.analyzed = true
+	inc, err := conflict.NewIncrementalDetector(s.db, h, s.constraints)
+	if err != nil {
+		return st, err
+	}
+	s.hg, s.ti, s.inc, s.detStats = h, ti, inc, st
+	s.analyzed, s.needFull = true, false
+	s.pending = nil
+	s.maint.FullRebuilds++
 	return st, nil
 }
 
-// Hypergraph returns the conflict hypergraph (Analyze must have run).
-func (s *System) Hypergraph() *conflict.Hypergraph { return s.hg }
+// Hypergraph returns the live conflict hypergraph (Analyze must have
+// run). The graph is mutated in place by later delta drains; callers that
+// keep it across queries running concurrently with DML must Clone it.
+func (s *System) Hypergraph() *conflict.Hypergraph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hg
+}
 
+// GraphStats summarizes the live hypergraph under the system lock —
+// unlike Hypergraph().Stats(), it is safe against concurrent delta
+// drains.
+func (s *System) GraphStats() conflict.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.hg.Stats()
+}
+
+// Maintenance reports accumulated hypergraph-maintenance statistics.
+func (s *System) Maintenance() MaintenanceStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.maint
+}
+
+// PendingDeltas returns the number of queued DML deltas not yet folded
+// into the hypergraph.
+func (s *System) PendingDeltas() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.pending)
+}
+
+// ensureAnalyzed brings the hypergraph up to date: a full Detect on
+// first use or after DDL/constraint changes, otherwise by draining the
+// queued DML deltas through the incremental detector.
 func (s *System) ensureAnalyzed() error {
-	if s.analyzed {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ensureAnalyzedLocked()
+}
+
+func (s *System) ensureAnalyzedLocked() error {
+	if !s.analyzed || s.needFull {
+		_, err := s.analyzeFullLocked()
+		return err
+	}
+	if len(s.pending) == 0 {
 		return nil
 	}
-	_, err := s.Analyze()
-	return err
+	before := s.inc.Stats()
+	for _, d := range s.pending {
+		if err := s.inc.Apply(d); err != nil {
+			// A probe failure leaves the hypergraph half-updated; recover
+			// with a full rescan rather than serving wrong answers.
+			if _, ferr := s.analyzeFullLocked(); ferr != nil {
+				return ferr
+			}
+			return nil
+		}
+	}
+	s.pending = nil
+	s.maint.IncrementalStats.Add(s.inc.Stats().Sub(before))
+	return nil
 }
 
 // ConsistentQuery computes the consistent answers to an SJUD SQL query.
@@ -150,6 +319,12 @@ func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result
 	if err := s.ensureAnalyzed(); err != nil {
 		return nil, nil, err
 	}
+	// Hold the read lock for the rest of the run: evaluation and
+	// certification read the hypergraph and tuple index, which a
+	// concurrent query's delta drain must not mutate underneath us.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	hg, ti := s.hg, s.ti
 	// Peel trailing Sort/Limit decorators (outermost first).
 	var decorators []func(ra.Node) ra.Node
 	for {
@@ -171,7 +346,8 @@ func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result
 	stats := &Stats{
 		ProverMode:  opts.Mode,
 		DetectStats: s.detStats,
-		GraphStats:  s.hg.Stats(),
+		GraphStats:  hg.Stats(),
+		Maintenance: s.maint,
 		QueryPlan:   ra.Format(plan),
 	}
 	queriesBefore := s.db.QueryCount()
@@ -194,28 +370,70 @@ func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result
 	stats.Evaluation = time.Since(t0)
 	stats.Candidates = len(candidates.Rows)
 
-	// Prover: keep candidates that hold in every repair.
+	// Prover: keep candidates that hold in every repair. Each membership
+	// check is independent, so certification fans out over a bounded pool
+	// of workers (one prover each — the hypergraph and tuple index are
+	// read-only here) and results are collected by candidate position, so
+	// the answer order matches the sequential run exactly.
 	t0 = time.Now()
 	var member prover.Membership
 	if opts.Mode == ProverNaive {
-		member = prover.NaiveMembership{DB: s.db, TI: s.ti}
+		member = prover.NaiveMembership{DB: s.db, TI: ti}
 	} else {
-		member = prover.IndexedMembership{TI: s.ti}
+		member = prover.IndexedMembership{TI: ti}
 	}
-	p := prover.New(s.hg, member)
-	p.DisablePruning = opts.DisablePruning
-	answers := &engine.Result{Schema: plan.Schema()}
-	for _, cand := range candidates.Rows {
-		ok, err := p.IsConsistentAnswer(plan, cand)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(candidates.Rows) {
+		workers = len(candidates.Rows)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	stats.Workers = workers
+	keep := make([]bool, len(candidates.Rows))
+	provers := make([]*prover.Prover, workers)
+	errs := make([]error, workers)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		p := prover.New(hg, member)
+		p.DisablePruning = opts.DisablePruning
+		provers[w] = p
+		wg.Add(1)
+		go func(w int, p *prover.Prover) {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(candidates.Rows) {
+					return
+				}
+				ok, err := p.IsConsistentAnswer(plan, candidates.Rows[i])
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
+				keep[i] = ok
+			}
+		}(w, p)
+	}
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
 		}
-		if ok {
+	}
+	answers := &engine.Result{Schema: plan.Schema()}
+	for i, cand := range candidates.Rows {
+		if keep[i] {
 			answers.Rows = append(answers.Rows, cand)
 		}
 	}
 	stats.ProverTime = time.Since(t0)
-	stats.ProverStats = p.Stats
+	for _, p := range provers {
+		stats.ProverStats.Add(p.Stats)
+	}
 	stats.Answers = len(answers.Rows)
 
 	// Re-apply ORDER BY / LIMIT to the certified answers (innermost
@@ -243,12 +461,16 @@ func (s *System) Rewriter() (*rewrite.Rewriter, error) {
 }
 
 // RepairEnumerator returns the exponential repair oracle for this system
-// (small instances only).
+// (small instances only). The enumerator gets a clone of the hypergraph:
+// it outlives this call, and the live graph may be mutated by later delta
+// drains.
 func (s *System) RepairEnumerator() (*repair.Enumerator, error) {
 	if err := s.ensureAnalyzed(); err != nil {
 		return nil, err
 	}
-	return &repair.Enumerator{DB: s.db, H: s.hg}, nil
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return &repair.Enumerator{DB: s.db, H: s.hg.Clone()}, nil
 }
 
 // SupportSummary describes which execution strategies can handle a query,
@@ -284,13 +506,16 @@ func (s *System) Support(sql string) (SupportSummary, error) {
 // FormatStats renders a run's statistics as a compact multi-line report.
 func FormatStats(st *Stats) string {
 	return fmt.Sprintf(
-		"mode=%s candidates=%d answers=%d\n"+
+		"mode=%s candidates=%d answers=%d workers=%d\n"+
 			"envelope=%v evaluation=%v prover=%v total=%v\n"+
 			"membership-checks=%d disjuncts=%d blocker-choices=%d engine-queries=%d\n"+
-			"hypergraph: edges=%d conflicting-tuples=%d max-degree=%d",
-		st.ProverMode, st.Candidates, st.Answers,
+			"hypergraph: edges=%d conflicting-tuples=%d max-degree=%d\n"+
+			"maintenance: deltas=%d edges+%d edges-%d full-rebuilds=%d",
+		st.ProverMode, st.Candidates, st.Answers, st.Workers,
 		st.Envelope, st.Evaluation, st.ProverTime, st.Total,
 		st.ProverStats.MembershipChecks, st.ProverStats.Disjuncts,
 		st.ProverStats.BlockerChoices, st.EngineQuery,
-		st.GraphStats.Edges, st.GraphStats.ConflictingVertices, st.GraphStats.MaxDegree)
+		st.GraphStats.Edges, st.GraphStats.ConflictingVertices, st.GraphStats.MaxDegree,
+		st.Maintenance.DeltasApplied, st.Maintenance.EdgesAdded,
+		st.Maintenance.EdgesRemoved, st.Maintenance.FullRebuilds)
 }

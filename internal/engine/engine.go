@@ -8,7 +8,7 @@ package engine
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -20,6 +20,22 @@ import (
 	"hippo/internal/value"
 )
 
+// ChangeListener receives the database's change feed: one DataChanged call
+// per DML delta (insert or delete of a single row), and one SchemaChanged
+// call per DDL statement. Listeners maintain derived state — the Hippo
+// core subscribes to keep the conflict hypergraph current without
+// rescanning tables.
+type ChangeListener interface {
+	// DataChanged reports a single-row delta on the named table, in
+	// mutation order. The table's writer-sequencing lock is held during
+	// delivery: the listener may read the table but must not insert into
+	// or delete from it.
+	DataChanged(table string, ch storage.Change)
+	// SchemaChanged reports a structural change (CREATE/DROP TABLE) that
+	// invalidates any table-shape-dependent derived state.
+	SchemaChanged(reason string)
+}
+
 // DB is an in-memory SQL database: a catalog of tables plus a planner and
 // executor. It is safe for concurrent use by multiple readers; DDL and DML
 // take an exclusive lock.
@@ -27,11 +43,57 @@ type DB struct {
 	mu      sync.RWMutex
 	tables  map[string]*storage.Table
 	queries atomic.Int64
+
+	lmu       sync.RWMutex
+	listeners []ChangeListener
 }
 
 // New creates an empty database.
 func New() *DB {
 	return &DB{tables: make(map[string]*storage.Table)}
+}
+
+// AddListener subscribes l to the change feed of every current and future
+// table, plus schema-change notifications.
+func (db *DB) AddListener(l ChangeListener) {
+	db.lmu.Lock()
+	db.listeners = append(db.listeners, l)
+	db.lmu.Unlock()
+}
+
+// RemoveListener unsubscribes l from the change feed. Short-lived
+// subscribers must call it so the database does not keep feeding (and
+// retaining) them forever.
+func (db *DB) RemoveListener(l ChangeListener) {
+	db.lmu.Lock()
+	defer db.lmu.Unlock()
+	// Copy-on-write: notifyData iterates a snapshot of this slice outside
+	// the lock, so never mutate it in place.
+	out := make([]ChangeListener, 0, len(db.listeners))
+	for _, x := range db.listeners {
+		if x != l {
+			out = append(out, x)
+		}
+	}
+	db.listeners = out
+}
+
+func (db *DB) notifyData(table string, ch storage.Change) {
+	db.lmu.RLock()
+	ls := db.listeners
+	db.lmu.RUnlock()
+	for _, l := range ls {
+		l.DataChanged(table, ch)
+	}
+}
+
+func (db *DB) notifySchema(reason string) {
+	db.lmu.RLock()
+	ls := db.listeners
+	db.lmu.RUnlock()
+	for _, l := range ls {
+		l.SchemaChanged(reason)
+	}
 }
 
 // QueryCount returns the number of SELECT statements executed so far. The
@@ -58,20 +120,23 @@ func (db *DB) TableNames() []string {
 	for n := range db.tables {
 		names = append(names, n)
 	}
-	sort.Strings(names)
+	slices.Sort(names)
 	return names
 }
 
 // CreateTable registers a new table built from the given schema.
 func (db *DB) CreateTable(name string, s schema.Schema) (*storage.Table, error) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	key := strings.ToLower(name)
 	if _, ok := db.tables[key]; ok {
+		db.mu.Unlock()
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
 	t := storage.NewTable(key, s)
+	t.Observe(func(ch storage.Change) { db.notifyData(key, ch) })
 	db.tables[key] = t
+	db.mu.Unlock()
+	db.notifySchema("create table " + key)
 	return t, nil
 }
 
@@ -133,12 +198,14 @@ func (db *DB) ExecStmt(st sqlparse.Statement) (*Result, int, error) {
 		return nil, 0, nil
 	case *sqlparse.DropTable:
 		db.mu.Lock()
-		defer db.mu.Unlock()
 		key := strings.ToLower(s.Name)
 		if _, ok := db.tables[key]; !ok {
+			db.mu.Unlock()
 			return nil, 0, fmt.Errorf("engine: no such table %q", s.Name)
 		}
 		delete(db.tables, key)
+		db.mu.Unlock()
+		db.notifySchema("drop table " + key)
 		return nil, 0, nil
 	case *sqlparse.Insert:
 		n, err := db.execInsert(s)

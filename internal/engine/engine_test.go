@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"hippo/internal/sqlparse"
+	"hippo/internal/storage"
 	"hippo/internal/value"
 )
 
@@ -349,5 +350,38 @@ func TestOrderByAndLimit(t *testing.T) {
 	}
 	if _, err := db.Query("SELECT * FROM emp e WHERE EXISTS (SELECT * FROM dept d WHERE d.id = e.dept ORDER BY d.id)"); err == nil {
 		t.Error("ORDER BY in subquery should fail")
+	}
+}
+
+// listenerLog records the change feed for listener tests.
+type listenerLog struct {
+	data   []string
+	schema []string
+}
+
+func (l *listenerLog) DataChanged(table string, ch storage.Change) {
+	l.data = append(l.data, table+":"+ch.Kind.String())
+}
+func (l *listenerLog) SchemaChanged(reason string) { l.schema = append(l.schema, reason) }
+
+func TestChangeFeedAddRemoveListener(t *testing.T) {
+	db := New()
+	log := &listenerLog{}
+	db.AddListener(log)
+	db.MustExec("CREATE TABLE t (a INT)")
+	db.MustExec("INSERT INTO t VALUES (1), (2)")
+	db.MustExec("DELETE FROM t WHERE a = 1")
+	if want := []string{"t:insert", "t:insert", "t:delete"}; len(log.data) != 3 ||
+		log.data[0] != want[0] || log.data[1] != want[1] || log.data[2] != want[2] {
+		t.Fatalf("data feed = %v, want %v", log.data, want)
+	}
+	if len(log.schema) != 1 || log.schema[0] != "create table t" {
+		t.Fatalf("schema feed = %v", log.schema)
+	}
+	db.RemoveListener(log)
+	db.MustExec("INSERT INTO t VALUES (3)")
+	db.MustExec("CREATE TABLE u (b INT)")
+	if len(log.data) != 3 || len(log.schema) != 1 {
+		t.Fatalf("removed listener still notified: data=%v schema=%v", log.data, log.schema)
 	}
 }

@@ -2,6 +2,7 @@ package prover
 
 import (
 	"fmt"
+	"slices"
 	"strings"
 
 	"hippo/internal/conflict"
@@ -83,6 +84,16 @@ type Stats struct {
 	MembershipChecks int64 // base-relation membership checks
 	BlockerChoices   int64 // blocking-edge assignments explored
 	Pruned           int64 // DFS branches cut by early independence checks
+}
+
+// Add accumulates o into s; the core uses it to merge per-worker counters
+// after parallel candidate certification.
+func (s *Stats) Add(o Stats) {
+	s.TuplesChecked += o.TuplesChecked
+	s.Disjuncts += o.Disjuncts
+	s.MembershipChecks += o.MembershipChecks
+	s.BlockerChoices += o.BlockerChoices
+	s.Pruned += o.Pruned
 }
 
 // Prover checks candidate tuples against the conflict hypergraph.
@@ -256,9 +267,7 @@ func (p *Prover) resolve(a Atom) (conflict.Vertex, bool, error) {
 }
 
 func sortByLen(bs [][]conflict.Edge) {
-	for i := 1; i < len(bs); i++ {
-		for j := i; j > 0 && len(bs[j]) < len(bs[j-1]); j-- {
-			bs[j], bs[j-1] = bs[j-1], bs[j]
-		}
-	}
+	slices.SortStableFunc(bs, func(a, b []conflict.Edge) int {
+		return len(a) - len(b)
+	})
 }

@@ -9,7 +9,7 @@ package storage
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 
@@ -21,16 +21,51 @@ import (
 // insertion order and never reused.
 type RowID int
 
+// ChangeKind discriminates the two DML deltas a table can emit.
+type ChangeKind uint8
+
+const (
+	// ChangeInsert reports a newly inserted row.
+	ChangeInsert ChangeKind = iota
+	// ChangeDelete reports a tombstoned row.
+	ChangeDelete
+)
+
+// String names the change kind.
+func (k ChangeKind) String() string {
+	if k == ChangeDelete {
+		return "delete"
+	}
+	return "insert"
+}
+
+// Change is one DML delta: the affected RowID plus the stored tuple (the
+// inserted values, or the values the deleted row held). Subscribers use it
+// to maintain derived structures — notably the conflict hypergraph —
+// without rescanning the table.
+type Change struct {
+	Kind  ChangeKind
+	Row   RowID
+	Tuple value.Tuple // stored (coerced) values; must not be mutated
+}
+
 // Table is an in-memory relation instance. It is safe for concurrent
 // readers; writers must not run concurrently with anything else.
 type Table struct {
-	mu      sync.RWMutex
-	name    string
-	schema  schema.Schema
-	rows    []value.Tuple
-	dead    []bool
-	live    int
-	indexes map[string]*Index
+	// emitMu serializes writers with each other across the mutation AND
+	// its observer notification, so the change feed is delivered in
+	// mutation order. It is always acquired before mu and held while
+	// notifying (mu itself is released first, so observers may read the
+	// table).
+	emitMu    sync.Mutex
+	mu        sync.RWMutex
+	name      string
+	schema    schema.Schema
+	rows      []value.Tuple
+	dead      []bool
+	live      int
+	indexes   map[string]*Index
+	observers []func(Change)
 }
 
 // NewTable creates an empty table with the given name and schema. Column
@@ -64,12 +99,33 @@ func (t *Table) Cap() int {
 	return len(t.rows)
 }
 
+// Observe registers fn to be called after every successful Insert or
+// Delete. Delivery happens outside the data lock (observers may read the
+// table) but inside the writer-sequencing lock, so observers must not
+// write to this table. The engine's DML-delta pipeline — and through it
+// the incremental conflict detector — subscribes here.
+func (t *Table) Observe(fn func(Change)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observers = append(t.observers, fn)
+}
+
+// notify invokes the observers registered at change time. It must be
+// called without holding t.mu.
+func (t *Table) notify(obs []func(Change), ch Change) {
+	for _, fn := range obs {
+		fn(ch)
+	}
+}
+
 // Insert appends a row after validating arity and coercing values to the
 // column types. It returns the new row's RowID.
 func (t *Table) Insert(row value.Tuple) (RowID, error) {
+	t.emitMu.Lock()
+	defer t.emitMu.Unlock()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if len(row) != t.schema.Len() {
+		t.mu.Unlock()
 		return -1, fmt.Errorf("storage: table %s expects %d values, got %d",
 			t.name, t.schema.Len(), len(row))
 	}
@@ -77,6 +133,7 @@ func (t *Table) Insert(row value.Tuple) (RowID, error) {
 	for i, v := range row {
 		cv, err := value.Coerce(v, t.schema.Columns[i].Type)
 		if err != nil {
+			t.mu.Unlock()
 			return -1, fmt.Errorf("storage: table %s column %s: %v",
 				t.name, t.schema.Columns[i].Name, err)
 		}
@@ -89,25 +146,35 @@ func (t *Table) Insert(row value.Tuple) (RowID, error) {
 	for _, idx := range t.indexes {
 		idx.add(stored, id)
 	}
+	obs := t.observers
+	t.mu.Unlock()
+	t.notify(obs, Change{Kind: ChangeInsert, Row: id, Tuple: stored})
 	return id, nil
 }
 
 // Delete tombstones a row. Deleting an already-dead or out-of-range row is
 // an error.
 func (t *Table) Delete(id RowID) error {
+	t.emitMu.Lock()
+	defer t.emitMu.Unlock()
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if int(id) < 0 || int(id) >= len(t.rows) {
+		t.mu.Unlock()
 		return fmt.Errorf("storage: table %s has no row %d", t.name, id)
 	}
 	if t.dead[id] {
+		t.mu.Unlock()
 		return fmt.Errorf("storage: table %s row %d already deleted", t.name, id)
 	}
 	t.dead[id] = true
 	t.live--
+	gone := t.rows[id]
 	for _, idx := range t.indexes {
-		idx.remove(t.rows[id], id)
+		idx.remove(gone, id)
 	}
+	obs := t.observers
+	t.mu.Unlock()
+	t.notify(obs, Change{Kind: ChangeDelete, Row: id, Tuple: gone})
 	return nil
 }
 
@@ -154,9 +221,8 @@ func (t *Table) Rows() []value.Tuple {
 
 // indexKey canonicalizes a column set for index lookup.
 func indexKey(cols []int) string {
-	sorted := make([]int, len(cols))
-	copy(sorted, cols)
-	sort.Ints(sorted)
+	sorted := slices.Clone(cols)
+	slices.Sort(sorted)
 	var b strings.Builder
 	for i, c := range sorted {
 		if i > 0 {
@@ -185,10 +251,8 @@ func (t *Table) EnsureIndex(cols []int) (*Index, error) {
 	}
 	// Canonicalize to sorted order so that equal column sets requested in
 	// different orders share one index and agree on key layout.
-	sorted := make([]int, len(cols))
-	copy(sorted, cols)
-	sort.Ints(sorted)
-	cols = sorted
+	cols = slices.Clone(cols)
+	slices.Sort(cols)
 	key := indexKey(cols)
 	if idx, ok := t.indexes[key]; ok {
 		return idx, nil
