@@ -71,6 +71,10 @@ func BenchmarkE9Overhead(b *testing.B) { runExperiment(b, "e9") }
 // maintenance under an update-interleaved workload.
 func BenchmarkE10Incremental(b *testing.B) { runExperiment(b, "e10") }
 
+// BenchmarkE11Concurrent — snapshot-isolated concurrent serving vs the
+// locked baseline (readers x writers sweep).
+func BenchmarkE11Concurrent(b *testing.B) { runExperiment(b, "e11") }
+
 // BenchmarkAblationPruning — prover DFS with vs without early pruning.
 func BenchmarkAblationPruning(b *testing.B) { runExperiment(b, "ablation-pruning") }
 

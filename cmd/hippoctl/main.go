@@ -132,6 +132,8 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 		fmt.Fprintf(out, "deltas-applied=%d edges-added=%d edges-removed=%d combinations=%d full-rebuilds=%d pending=%d\n",
 			m.DeltasApplied, m.EdgesAdded, m.EdgesRemoved, m.Combinations,
 			m.FullRebuilds, sys.PendingDeltas())
+		fmt.Fprintf(out, "epoch=%d views-published=%d views-reclaimed=%d slabs-reclaimed=%d\n",
+			sys.Epoch(), m.ViewsPublished, m.ViewsReclaimed, m.SlabsReclaimed)
 	case "repairs":
 		n, err := db.CountRepairs()
 		if err != nil {

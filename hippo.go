@@ -178,13 +178,38 @@ func WithoutPruning() Option {
 }
 
 // ConsistentQuery computes the consistent answers to an SJUD query: the
-// tuples present in the query result of every repair.
+// tuples present in the query result of every repair. Any number of
+// ConsistentQuery calls run concurrently with each other and with
+// writers: each is served from an immutable snapshot-isolated query view
+// (see Snapshot for pinning one view across several queries).
 func (db *DB) ConsistentQuery(sql string, opts ...Option) (*Result, *Stats, error) {
 	var o core.Options
 	for _, f := range opts {
 		f(&o)
 	}
 	return db.sys.ConsistentQuery(sql, o)
+}
+
+// Snap is a pinned snapshot-isolated view of the database: a consistent
+// point-in-time state plus the conflict analysis matching it exactly.
+// Queries at a Snap observe that state regardless of concurrent writers.
+// Close it when done so retired storage can be reclaimed.
+type Snap = core.Snapshot
+
+// Snapshot pins the current query view (refreshing it first if writes
+// are queued). The snapshot is safe for concurrent use.
+func (db *DB) Snapshot() (*Snap, error) {
+	return db.sys.Snapshot()
+}
+
+// ConsistentQueryAt computes consistent answers against a pinned
+// snapshot: repeated calls see one immutable database state.
+func (db *DB) ConsistentQueryAt(sn *Snap, sql string, opts ...Option) (*Result, *Stats, error) {
+	var o core.Options
+	for _, f := range opts {
+		f(&o)
+	}
+	return db.sys.ConsistentQueryAt(sn, sql, o)
 }
 
 // RewrittenQuery computes consistent answers via the query-rewriting

@@ -52,25 +52,29 @@ type Scale struct {
 	N int
 	// Reps repeats each timed measurement and keeps the fastest.
 	Reps int
+	// Window is the measurement window per E11 concurrency configuration.
+	Window time.Duration
 }
 
 // QuickScale keeps everything small enough for unit tests and -bench runs.
 func QuickScale() Scale {
 	return Scale{
-		Sizes: []int{500, 1000, 2000},
-		Rates: []float64{0, 0.02, 0.08},
-		N:     2000,
-		Reps:  1,
+		Sizes:  []int{500, 1000, 2000},
+		Rates:  []float64{0, 0.02, 0.08},
+		N:      2000,
+		Reps:   1,
+		Window: 200 * time.Millisecond,
 	}
 }
 
 // FullScale mirrors the paper-style sweep (tens of thousands of tuples).
 func FullScale() Scale {
 	return Scale{
-		Sizes: []int{1000, 2000, 5000, 10000, 20000, 50000},
-		Rates: []float64{0, 0.01, 0.02, 0.04, 0.08, 0.16},
-		N:     20000,
-		Reps:  3,
+		Sizes:  []int{1000, 2000, 5000, 10000, 20000, 50000},
+		Rates:  []float64{0, 0.01, 0.02, 0.04, 0.08, 0.16},
+		N:      20000,
+		Reps:   3,
+		Window: 600 * time.Millisecond,
 	}
 }
 
@@ -221,6 +225,7 @@ func RunAll(w io.Writer, sc Scale) error {
 		E8ConflictDetection,
 		E9Overhead,
 		E10IncrementalMaintenance,
+		E11ConcurrentServing,
 		AblationPruning,
 		AblationDetection,
 	}
@@ -236,7 +241,7 @@ func RunAll(w io.Writer, sc Scale) error {
 	return nil
 }
 
-// Run executes a single experiment by id ("e1".."e10", "ablation-pruning",
+// Run executes a single experiment by id ("e1".."e11", "ablation-pruning",
 // "ablation-detection").
 func Run(id string, sc Scale) (Table, error) {
 	switch strings.ToLower(id) {
@@ -260,6 +265,8 @@ func Run(id string, sc Scale) (Table, error) {
 		return E9Overhead(sc)
 	case "e10", "incremental":
 		return E10IncrementalMaintenance(sc)
+	case "e11", "concurrent":
+		return E11ConcurrentServing(sc)
 	case "ablation-pruning":
 		return AblationPruning(sc)
 	case "ablation-detection":

@@ -301,8 +301,8 @@ func TestHypergraphRemoveAndCompact(t *testing.T) {
 	if h.NumEdges() != 250 {
 		t.Fatalf("edges=%d, want 250", h.NumEdges())
 	}
-	if len(h.edges) >= 500 {
-		t.Fatalf("compaction never ran: %d slots for %d live edges", len(h.edges), h.NumEdges())
+	if len(h.st.edges) >= 500 {
+		t.Fatalf("compaction never ran: %d slots for %d live edges", len(h.st.edges), h.NumEdges())
 	}
 	for i := 0; i < 500; i++ {
 		want := i%2 == 0

@@ -68,11 +68,11 @@ func (e Edge) String() string {
 	return "{" + strings.Join(parts, ", ") + "}"
 }
 
-// Hypergraph is the conflict hypergraph. Detection builds it once; DML
-// deltas then add and remove edges incrementally. It is safe for
-// concurrent readers only while no writer (detector) is active, which the
-// core serializes.
-type Hypergraph struct {
+// hgState is the hypergraph's internal representation. Snapshots share it
+// copy-on-write: once a state is referenced by a snapshot, the next
+// mutation through any owning Hypergraph clones the state first, so the
+// snapshot's view never changes.
+type hgState struct {
 	edges     []Edge // slot per edge ever added; dead slots stay in place
 	dead      []bool
 	liveEdges int
@@ -80,12 +80,62 @@ type Hypergraph struct {
 	keys      map[string]int   // canonical edge key -> live slot
 }
 
-// NewHypergraph returns an empty hypergraph.
-func NewHypergraph() *Hypergraph {
-	return &Hypergraph{
+func newHGState() *hgState {
+	return &hgState{
 		byVertex: make(map[Vertex][]int),
 		keys:     make(map[string]int),
 	}
+}
+
+// clone deep-copies the mutable containers. Edge vertex slices are
+// immutable after canonicalization and stay shared.
+func (st *hgState) clone() *hgState {
+	cp := &hgState{
+		edges:     slices.Clone(st.edges),
+		dead:      slices.Clone(st.dead),
+		liveEdges: st.liveEdges,
+		byVertex:  make(map[Vertex][]int, len(st.byVertex)),
+		keys:      make(map[string]int, len(st.keys)),
+	}
+	for v, slots := range st.byVertex {
+		cp.byVertex[v] = slices.Clone(slots)
+	}
+	for k, i := range st.keys {
+		cp.keys[k] = i
+	}
+	return cp
+}
+
+// Hypergraph is the conflict hypergraph. Detection builds it once; DML
+// deltas then add and remove edges incrementally. Concurrent readers are
+// safe only while no writer is active (the core serializes writers);
+// lock-free concurrent reading is what Snapshot is for.
+type Hypergraph struct {
+	st *hgState
+	// shared marks st as referenced by a snapshot (or a COW clone);
+	// mutators copy the state before writing.
+	shared bool
+}
+
+// NewHypergraph returns an empty hypergraph.
+func NewHypergraph() *Hypergraph {
+	return &Hypergraph{st: newHGState()}
+}
+
+// ensureOwned makes the state private to this handle before a mutation.
+func (h *Hypergraph) ensureOwned() {
+	if h.shared {
+		h.st = h.st.clone()
+		h.shared = false
+	}
+}
+
+// Snapshot freezes the current state and returns an immutable view of it.
+// The snapshot costs O(1); the next mutation of h pays one state copy
+// (copy-on-write), and snapshots taken between mutations share state.
+func (h *Hypergraph) Snapshot() *HypergraphSnapshot {
+	h.shared = true
+	return &HypergraphSnapshot{g: &Hypergraph{st: h.st, shared: true}}
 }
 
 // AddEdge inserts a hyperedge built from verts, deduplicating identical
@@ -96,16 +146,18 @@ func (h *Hypergraph) AddEdge(verts []Vertex, label string) bool {
 		return false
 	}
 	k := e.key()
-	if _, ok := h.keys[k]; ok {
+	if _, ok := h.st.keys[k]; ok {
 		return false
 	}
-	idx := len(h.edges)
-	h.keys[k] = idx
-	h.edges = append(h.edges, e)
-	h.dead = append(h.dead, false)
-	h.liveEdges++
+	h.ensureOwned()
+	st := h.st
+	idx := len(st.edges)
+	st.keys[k] = idx
+	st.edges = append(st.edges, e)
+	st.dead = append(st.dead, false)
+	st.liveEdges++
 	for _, v := range e.Verts {
-		h.byVertex[v] = append(h.byVertex[v], idx)
+		st.byVertex[v] = append(st.byVertex[v], idx)
 	}
 	return true
 }
@@ -114,10 +166,11 @@ func (h *Hypergraph) AddEdge(verts []Vertex, label string) bool {
 // reporting whether such an edge existed.
 func (h *Hypergraph) RemoveEdge(verts []Vertex) bool {
 	e := newEdge(verts, "")
-	idx, ok := h.keys[e.key()]
+	idx, ok := h.st.keys[e.key()]
 	if !ok {
 		return false
 	}
+	h.ensureOwned()
 	h.removeSlot(idx)
 	h.maybeCompact()
 	return true
@@ -128,13 +181,13 @@ func (h *Hypergraph) RemoveEdge(verts []Vertex) bool {
 // participated in disappears with it. It returns the number of edges
 // removed.
 func (h *Hypergraph) RemoveVertex(v Vertex) int {
-	slots := h.byVertex[v]
+	slots := h.st.byVertex[v]
 	if len(slots) == 0 {
 		return 0
 	}
+	h.ensureOwned()
 	// Copy: removeSlot mutates byVertex[v].
-	cp := make([]int, len(slots))
-	copy(cp, slots)
+	cp := slices.Clone(h.st.byVertex[v])
 	for _, idx := range cp {
 		h.removeSlot(idx)
 	}
@@ -143,17 +196,19 @@ func (h *Hypergraph) RemoveVertex(v Vertex) int {
 }
 
 // removeSlot tombstones one edge slot and eagerly unlinks it from every
-// incident vertex, keeping Degree/InConflict O(1) reads.
+// incident vertex, keeping Degree/InConflict O(1) reads. The caller must
+// have ensured ownership.
 func (h *Hypergraph) removeSlot(idx int) {
-	if h.dead[idx] {
+	st := h.st
+	if st.dead[idx] {
 		return
 	}
-	h.dead[idx] = true
-	h.liveEdges--
-	e := h.edges[idx]
-	delete(h.keys, e.key())
+	st.dead[idx] = true
+	st.liveEdges--
+	e := st.edges[idx]
+	delete(st.keys, e.key())
 	for _, v := range e.Verts {
-		slots := h.byVertex[v]
+		slots := st.byVertex[v]
 		for i, s := range slots {
 			if s == idx {
 				slots[i] = slots[len(slots)-1]
@@ -162,9 +217,9 @@ func (h *Hypergraph) removeSlot(idx int) {
 			}
 		}
 		if len(slots) == 0 {
-			delete(h.byVertex, v)
+			delete(st.byVertex, v)
 		} else {
-			h.byVertex[v] = slots
+			st.byVertex[v] = slots
 		}
 	}
 }
@@ -173,56 +228,54 @@ func (h *Hypergraph) removeSlot(idx int) {
 // ones, keeping long-running incremental maintenance at O(live edges)
 // memory and scan cost instead of O(edges ever added). Slot indexes are
 // reassigned, so it must only run between reader sections (the core holds
-// its write lock across all mutations).
+// its write lock across all mutations); published snapshots are
+// unaffected, since they share a frozen state copy.
 func (h *Hypergraph) maybeCompact() {
-	dead := len(h.edges) - h.liveEdges
-	if dead < 64 || dead*2 < len(h.edges) {
+	st := h.st
+	dead := len(st.edges) - st.liveEdges
+	if dead < 64 || dead*2 < len(st.edges) {
 		return
 	}
-	edges := make([]Edge, 0, h.liveEdges)
-	for i, e := range h.edges {
-		if !h.dead[i] {
+	edges := make([]Edge, 0, st.liveEdges)
+	for i, e := range st.edges {
+		if !st.dead[i] {
 			edges = append(edges, e)
 		}
 	}
-	h.edges = edges
-	h.dead = make([]bool, len(edges))
-	h.byVertex = make(map[Vertex][]int, len(h.byVertex))
-	h.keys = make(map[string]int, len(edges))
+	st.edges = edges
+	st.dead = make([]bool, len(edges))
+	st.byVertex = make(map[Vertex][]int, len(st.byVertex))
+	st.keys = make(map[string]int, len(edges))
 	for i, e := range edges {
-		h.keys[e.key()] = i
+		st.keys[e.key()] = i
 		for _, v := range e.Verts {
-			h.byVertex[v] = append(h.byVertex[v], i)
+			st.byVertex[v] = append(st.byVertex[v], i)
 		}
 	}
 }
 
-// Clone returns an independent deep copy of the hypergraph. Callers that
-// hold a graph beyond the core's locking (e.g. the repair enumerator)
-// clone so later incremental mutations cannot race with their reads.
+// Clone returns an independent copy of the hypergraph. The copy shares
+// state copy-on-write: it is O(1) to take, and whichever handle mutates
+// first pays the one-time state copy.
 func (h *Hypergraph) Clone() *Hypergraph {
-	out := NewHypergraph()
-	for i, e := range h.edges {
-		if !h.dead[i] {
-			out.AddEdge(e.Verts, e.Label)
-		}
-	}
-	return out
+	h.shared = true
+	return &Hypergraph{st: h.st, shared: true}
 }
 
 // NumEdges returns the number of live hyperedges.
-func (h *Hypergraph) NumEdges() int { return h.liveEdges }
+func (h *Hypergraph) NumEdges() int { return h.st.liveEdges }
 
 // NumConflictingVertices returns the number of distinct tuples involved in
 // at least one conflict.
-func (h *Hypergraph) NumConflictingVertices() int { return len(h.byVertex) }
+func (h *Hypergraph) NumConflictingVertices() int { return len(h.st.byVertex) }
 
 // Edges returns all live hyperedges. The returned slice is freshly
 // allocated; the edges themselves must not be mutated.
 func (h *Hypergraph) Edges() []Edge {
-	out := make([]Edge, 0, h.liveEdges)
-	for i, e := range h.edges {
-		if !h.dead[i] {
+	st := h.st
+	out := make([]Edge, 0, st.liveEdges)
+	for i, e := range st.edges {
+		if !st.dead[i] {
 			out = append(out, e)
 		}
 	}
@@ -232,19 +285,20 @@ func (h *Hypergraph) Edges() []Edge {
 // EdgesContaining returns the hyperedges that contain v. The returned
 // slice is freshly allocated.
 func (h *Hypergraph) EdgesContaining(v Vertex) []Edge {
-	idxs := h.byVertex[v]
+	st := h.st
+	idxs := st.byVertex[v]
 	out := make([]Edge, len(idxs))
 	for i, idx := range idxs {
-		out[i] = h.edges[idx]
+		out[i] = st.edges[idx]
 	}
 	return out
 }
 
 // Degree returns the number of hyperedges containing v.
-func (h *Hypergraph) Degree(v Vertex) int { return len(h.byVertex[v]) }
+func (h *Hypergraph) Degree(v Vertex) int { return len(h.st.byVertex[v]) }
 
 // InConflict reports whether v participates in any hyperedge.
-func (h *Hypergraph) InConflict(v Vertex) bool { return len(h.byVertex[v]) > 0 }
+func (h *Hypergraph) InConflict(v Vertex) bool { return len(h.st.byVertex[v]) > 0 }
 
 // VertexSet is a mutable set of vertices used during independence checks.
 type VertexSet map[Vertex]bool
@@ -301,9 +355,10 @@ func (h *Hypergraph) IndependentWith(s VertexSet, extra ...Vertex) bool {
 // hasEdgeWithinVia reports whether some hyperedge through v lies entirely
 // inside s.
 func (h *Hypergraph) hasEdgeWithinVia(s VertexSet, v Vertex) bool {
-	for _, idx := range h.byVertex[v] {
+	st := h.st
+	for _, idx := range st.byVertex[v] {
 		inside := true
-		for _, u := range h.edges[idx].Verts {
+		for _, u := range st.edges[idx].Verts {
 			if !s[u] {
 				inside = false
 				break
@@ -326,62 +381,95 @@ type Stats struct {
 
 // Stats computes summary statistics.
 func (h *Hypergraph) Stats() Stats {
-	st := Stats{
-		Edges:               h.liveEdges,
-		ConflictingVertices: len(h.byVertex),
+	st := h.st
+	out := Stats{
+		Edges:               st.liveEdges,
+		ConflictingVertices: len(st.byVertex),
 	}
-	for _, idxs := range h.byVertex {
-		if len(idxs) > st.MaxDegree {
-			st.MaxDegree = len(idxs)
+	for _, idxs := range st.byVertex {
+		if len(idxs) > out.MaxDegree {
+			out.MaxDegree = len(idxs)
 		}
 	}
-	for i, e := range h.edges {
-		if !h.dead[i] && len(e.Verts) > st.MaxEdgeSize {
-			st.MaxEdgeSize = len(e.Verts)
+	for i, e := range st.edges {
+		if !st.dead[i] && len(e.Verts) > out.MaxEdgeSize {
+			out.MaxEdgeSize = len(e.Verts)
 		}
 	}
-	return st
+	return out
 }
+
+// HypergraphSnapshot is an immutable published view of a hypergraph.
+// Readers (provers, repair enumerators) use it lock-free, concurrently
+// with incremental maintenance of the live graph: the first mutation
+// after Snapshot copies the state, so the snapshot never changes.
+type HypergraphSnapshot struct {
+	g *Hypergraph
+}
+
+// Graph returns the snapshot's hypergraph handle for read-only use (the
+// prover and repair enumerator take *Hypergraph). The handle must not be
+// mutated; mutations would not corrupt other snapshots or the live graph
+// (copy-on-write), but they race with concurrent readers of this one.
+func (s *HypergraphSnapshot) Graph() *Hypergraph { return s.g }
+
+// Stats summarizes the snapshot.
+func (s *HypergraphSnapshot) Stats() Stats { return s.g.Stats() }
+
+// NumEdges returns the number of live hyperedges in the snapshot.
+func (s *HypergraphSnapshot) NumEdges() int { return s.g.NumEdges() }
+
+// Edges returns all live hyperedges of the snapshot.
+func (s *HypergraphSnapshot) Edges() []Edge { return s.g.Edges() }
 
 // TupleIndex resolves tuple values to vertices (and back), using full-row
-// hash indexes on each table. It backs the optimized prover's membership
-// checks and maps formula atoms onto hypergraph vertices.
+// hash indexes on each relation. It backs the optimized prover's
+// membership checks and maps formula atoms onto hypergraph vertices. Built
+// over live tables it reads through their locked accessors; built over a
+// database snapshot it is immutable and lock-free.
 type TupleIndex struct {
-	tables  map[string]*storage.Table
-	indexes map[string]*storage.Index
+	tables map[string]storage.Relation
 }
 
-// NewTupleIndex builds full-row indexes over the given tables.
+// NewTupleIndex builds full-row indexes over the given live tables.
 func NewTupleIndex(tables map[string]*storage.Table) (*TupleIndex, error) {
-	ti := &TupleIndex{
-		tables:  make(map[string]*storage.Table, len(tables)),
-		indexes: make(map[string]*storage.Index, len(tables)),
-	}
+	ti := &TupleIndex{tables: make(map[string]storage.Relation, len(tables))}
 	for name, t := range tables {
-		idx, err := t.EnsureIndex(nil)
-		if err != nil {
+		// Build the index eagerly so later lookups hit the fast path.
+		if _, err := t.FullRowIndex(); err != nil {
 			return nil, err
 		}
-		key := strings.ToLower(name)
-		ti.tables[key] = t
-		ti.indexes[key] = idx
+		ti.tables[strings.ToLower(name)] = t
 	}
 	return ti, nil
 }
 
+// NewSnapshotTupleIndex builds a tuple index over a database snapshot's
+// tables. Full-row indexes are built lazily on first lookup per table and
+// shared across all queries pinning the same snapshot.
+func NewSnapshotTupleIndex(tables map[string]*storage.TableSnapshot) *TupleIndex {
+	ti := &TupleIndex{tables: make(map[string]storage.Relation, len(tables))}
+	for name, t := range tables {
+		ti.tables[strings.ToLower(name)] = t
+	}
+	return ti
+}
+
 // Lookup returns the live RowIDs of rel holding exactly tuple t.
 func (ti *TupleIndex) Lookup(rel string, t value.Tuple) ([]storage.RowID, error) {
-	key := strings.ToLower(rel)
-	idx, ok := ti.indexes[key]
+	r, ok := ti.tables[strings.ToLower(rel)]
 	if !ok {
 		return nil, fmt.Errorf("conflict: relation %q is not indexed", rel)
 	}
-	ids := idx.Lookup(t)
+	idx, err := r.FullRowIndex()
+	if err != nil {
+		return nil, err
+	}
+	ids := r.IndexLookup(idx, t)
 	// Filter tombstones (index is maintained, but be defensive).
-	table := ti.tables[key]
 	live := make([]storage.RowID, 0, len(ids))
 	for _, id := range ids {
-		if _, ok := table.Row(id); ok {
+		if _, ok := r.Row(id); ok {
 			live = append(live, id)
 		}
 	}
@@ -390,9 +478,9 @@ func (ti *TupleIndex) Lookup(rel string, t value.Tuple) ([]storage.RowID, error)
 
 // Row returns the tuple stored at a vertex.
 func (ti *TupleIndex) Row(v Vertex) (value.Tuple, bool) {
-	t, ok := ti.tables[strings.ToLower(v.Rel)]
+	r, ok := ti.tables[strings.ToLower(v.Rel)]
 	if !ok {
 		return nil, false
 	}
-	return t.Row(v.Row)
+	return r.Row(v.Row)
 }

@@ -8,6 +8,20 @@
 // A System wraps a database and a constraint set; Analyze runs conflict
 // detection once, and ConsistentQuery computes the consistent answers to
 // an SJUD query without materializing repairs.
+//
+// # Concurrency model
+//
+// The serving path is snapshot-isolated. Writers stream DML deltas into a
+// queue; when a consistent query finds the queue non-empty it briefly
+// freezes writers, folds the deltas into the hypergraph, snapshots the
+// storage (copy-on-write slabs, O(slabs)), and atomically publishes an
+// immutable query view: {storage snapshot, hypergraph snapshot, tuple
+// index, stats}. Every other query — and every query while the queue is
+// empty — runs entirely lock-free against the published view, so any
+// number of ConsistentQuery calls proceed concurrently with each other
+// and with writers. Retired views are reclaimed by epoch: a pinned
+// Snapshot keeps its view (and the slabs only it references) alive until
+// Close.
 package core
 
 import (
@@ -56,6 +70,11 @@ type Options struct {
 	// DisablePruning turns off early independence pruning in the prover
 	// (ablation).
 	DisablePruning bool
+	// Serialized disables lock-free snapshot serving for this call: the
+	// query refreshes the view under the exclusive system lock and runs
+	// under the shared lock, reproducing the pre-snapshot architecture.
+	// It exists as the baseline of the E11 concurrency experiment.
+	Serialized bool
 }
 
 // Stats reports one ConsistentQuery run, stage by stage (mirroring the
@@ -73,19 +92,24 @@ type Stats struct {
 	GraphStats   conflict.Stats
 	Maintenance  MaintenanceStats // hypergraph upkeep since system creation
 	ProverMode   ProverMode
+	Epoch        uint64 // epoch of the query view the run was served from
 	Workers      int    // certification worker-pool size used
 	QueryPlan    string // formatted input plan
 	EnvelopePlan string // formatted envelope plan
 }
 
-// MaintenanceStats accumulates conflict-hypergraph upkeep over the
-// system's lifetime: the incremental-detector counters (how many DML
-// deltas were folded in and what they did to the edge set) plus how often
+// MaintenanceStats accumulates conflict-hypergraph and snapshot upkeep
+// over the system's lifetime: the incremental-detector counters (how many
+// DML deltas were folded in and what they did to the edge set), how often
 // a full Detect rescan was still required (first analysis, DDL, or
-// constraint changes).
+// constraint changes), and the epoch-reclamation counters of the
+// snapshot-serving path.
 type MaintenanceStats struct {
 	conflict.IncrementalStats
-	FullRebuilds int64 // full Detect runs (incl. the first analysis)
+	FullRebuilds   int64 // full Detect runs (incl. the first analysis)
+	ViewsPublished int64 // query views published (== current epoch)
+	ViewsReclaimed int64 // retired views dropped after their last unpin
+	SlabsReclaimed int64 // storage slabs uniquely retired by those views
 }
 
 // Sub returns the counter-wise difference m - o.
@@ -93,7 +117,29 @@ func (m MaintenanceStats) Sub(o MaintenanceStats) MaintenanceStats {
 	return MaintenanceStats{
 		IncrementalStats: m.IncrementalStats.Sub(o.IncrementalStats),
 		FullRebuilds:     m.FullRebuilds - o.FullRebuilds,
+		ViewsPublished:   m.ViewsPublished - o.ViewsPublished,
+		ViewsReclaimed:   m.ViewsReclaimed - o.ViewsReclaimed,
+		SlabsReclaimed:   m.SlabsReclaimed - o.SlabsReclaimed,
 	}
+}
+
+// queryView is one immutable published serving state. Everything a
+// consistent query reads lives here, so queries need no locks.
+type queryView struct {
+	epoch      uint64
+	snap       *engine.Snapshot
+	hg         *conflict.HypergraphSnapshot
+	ti         *conflict.TupleIndex
+	detStats   conflict.DetectStats
+	graphStats conflict.Stats
+	maint      MaintenanceStats
+}
+
+// retiredView is a replaced view still pinned by at least one Snapshot,
+// plus the slab count uniquely retired when it was replaced.
+type retiredView struct {
+	v     *queryView
+	slabs int
 }
 
 // System is a Hippo instance: a database, its integrity constraints, and
@@ -104,24 +150,38 @@ func (m MaintenanceStats) Sub(o MaintenanceStats) MaintenanceStats {
 type System struct {
 	db *engine.DB
 
-	// mu guards all fields below. Writers (delta application, full
-	// rebuilds, constraint/DDL bookkeeping) take the write lock; a
-	// consistent query holds the read lock across evaluation and
-	// certification so the hypergraph it certifies against cannot be
-	// mutated mid-run by a concurrent query's delta drain. Note this
-	// serializes analysis state only: DML running concurrently with
-	// queries is additionally governed by the storage contract (table
-	// writers must not run concurrently with readers).
+	// view is the atomically published immutable serving state; stale
+	// flags that queued work invalidates it. The fast path loads stale
+	// then view and never locks. Publication happens inside the engine
+	// write freeze in the order view.Store then stale.Store(false), so a
+	// reader that observes stale==false loads at least that publication's
+	// view — which contains every write sequenced before it.
+	view  atomic.Pointer[queryView]
+	stale atomic.Bool
+
+	// mu serializes view publication and guards the analysis state below.
+	// The Serialized (baseline) query mode additionally read-locks it
+	// across a run, reproducing the old architecture's contention.
 	mu          sync.RWMutex
 	constraints []constraint.Constraint
 	hg          *conflict.Hypergraph
-	ti          *conflict.TupleIndex
 	inc         *conflict.IncrementalDetector
 	detStats    conflict.DetectStats
-	analyzed    bool             // a hypergraph exists
-	needFull    bool             // DDL/constraint change since it was built
-	pending     []conflict.Delta // queued DML deltas awaiting application
+	epoch       uint64
 	maint       MaintenanceStats
+
+	// qmu guards the delta queue shared with the engine's change feed.
+	// Writers only ever take qmu (never mu), so DML is never blocked
+	// behind a long analysis or a serialized query.
+	qmu      sync.Mutex
+	pending  []conflict.Delta // queued DML deltas awaiting application
+	analyzed bool             // a hypergraph exists
+	needFull bool             // DDL/constraint change since it was built
+
+	// pmu guards epoch pins and retired views.
+	pmu     sync.Mutex
+	pins    map[uint64]int
+	retired []retiredView
 }
 
 // NewSystem creates a Hippo system over db with the given constraints and
@@ -129,7 +189,8 @@ type System struct {
 // trigger it) before querying, and Close when discarding the system while
 // the database lives on.
 func NewSystem(db *engine.DB, cs []constraint.Constraint) *System {
-	s := &System{db: db, constraints: cs}
+	s := &System{db: db, constraints: cs, pins: make(map[uint64]int)}
+	s.stale.Store(true)
 	db.AddListener(s)
 	return s
 }
@@ -138,8 +199,8 @@ func NewSystem(db *engine.DB, cs []constraint.Constraint) *System {
 // any queued deltas. The system must not be queried afterwards.
 func (s *System) Close() {
 	s.db.RemoveListener(s)
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
 	s.pending = nil
 }
 
@@ -162,8 +223,21 @@ func (s *System) AddConstraint(c constraint.Constraint) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.constraints = append(s.constraints, c)
+	s.invalidateLocked()
+}
+
+// invalidateLocked schedules a full re-detection and marks the published
+// view stale. The caller must hold mu: holding it excludes a concurrent
+// refreshViewLocked, whose stale.Store(false) could otherwise land after
+// our stale.Store(true) and permanently strand needFull behind a "fresh"
+// view. (SchemaChanged is the one caller that cannot take mu — see its
+// ordering argument.)
+func (s *System) invalidateLocked() {
+	s.qmu.Lock()
 	s.needFull = true
 	s.pending = nil
+	s.qmu.Unlock()
+	s.stale.Store(true)
 }
 
 // maxPendingDeltas caps the delta queue. Past it, a bulk load is under
@@ -174,27 +248,35 @@ const maxPendingDeltas = 65536
 // DataChanged queues a DML delta for incremental application. It
 // implements engine.ChangeListener.
 func (s *System) DataChanged(table string, ch storage.Change) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if !s.analyzed || s.needFull {
-		return // the coming full detection sees the current data anyway
+	s.qmu.Lock()
+	if s.analyzed && !s.needFull {
+		if len(s.pending) >= maxPendingDeltas {
+			s.needFull = true
+			s.pending = nil
+		} else {
+			s.pending = append(s.pending, conflict.Delta{Table: table, Change: ch})
+		}
 	}
-	if len(s.pending) >= maxPendingDeltas {
-		s.needFull = true
-		s.pending = nil
-		return
-	}
-	s.pending = append(s.pending, conflict.Delta{Table: table, Change: ch})
+	s.qmu.Unlock()
+	s.stale.Store(true)
 }
 
 // SchemaChanged schedules a full re-detection: DDL changes the relation
 // set the tuple index and compiled probes are built over. It implements
 // engine.ChangeListener.
+//
+// It must NOT take mu: the caller holds the engine write sequencer, and
+// a publisher holding mu acquires that sequencer (FreezeWrites) — taking
+// mu here would deadlock. The mu-free ordering is still safe: DDL holds
+// the sequencer, so this call can only run before a publisher's frozen
+// section (the drain then observes needFull) or after it (our
+// stale.Store(true) lands after the publisher's stale.Store(false)).
 func (s *System) SchemaChanged(string) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.qmu.Lock()
 	s.needFull = true
 	s.pending = nil
+	s.qmu.Unlock()
+	s.stale.Store(true)
 }
 
 // Invalidate forces a full re-detection before the next consistent query.
@@ -203,49 +285,59 @@ func (s *System) SchemaChanged(string) {
 func (s *System) Invalidate() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.needFull = true
-	s.pending = nil
+	s.invalidateLocked()
 }
 
 // Analyze runs Conflict Detection and builds the Conflict Hypergraph from
-// scratch, discarding any queued deltas (the rescan subsumes them).
+// scratch, discarding any queued deltas (the rescan subsumes them), then
+// publishes a fresh query view.
 func (s *System) Analyze() (conflict.DetectStats, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.analyzeFullLocked()
+	s.invalidateLocked()
+	if _, err := s.refreshViewLocked(); err != nil {
+		return conflict.DetectStats{}, err
+	}
+	return s.detStats, nil
 }
 
-func (s *System) analyzeFullLocked() (conflict.DetectStats, error) {
-	h, ti, st, err := conflict.NewDetector(s.db).Detect(s.constraints)
+// analyzeFullFrozen runs a full detection. The caller holds mu and the
+// engine write freeze, so the scan is a consistent cut.
+func (s *System) analyzeFullFrozen() error {
+	h, _, st, err := conflict.NewDetector(s.db).Detect(s.constraints)
 	if err != nil {
-		return st, err
+		return err
 	}
 	inc, err := conflict.NewIncrementalDetector(s.db, h, s.constraints)
 	if err != nil {
-		return st, err
+		return err
 	}
-	s.hg, s.ti, s.inc, s.detStats = h, ti, inc, st
+	s.hg, s.inc, s.detStats = h, inc, st
+	s.maint.FullRebuilds++
+	s.qmu.Lock()
 	s.analyzed, s.needFull = true, false
 	s.pending = nil
-	s.maint.FullRebuilds++
-	return st, nil
+	s.qmu.Unlock()
+	return nil
 }
 
 // Hypergraph returns the live conflict hypergraph (Analyze must have
 // run). The graph is mutated in place by later delta drains; callers that
-// keep it across queries running concurrently with DML must Clone it.
+// keep it across queries running concurrently with DML should use a
+// Snapshot instead (or Clone it).
 func (s *System) Hypergraph() *conflict.Hypergraph {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.hg
 }
 
-// GraphStats summarizes the live hypergraph under the system lock —
-// unlike Hypergraph().Stats(), it is safe against concurrent delta
-// drains.
+// GraphStats summarizes the live hypergraph under the system lock.
 func (s *System) GraphStats() conflict.Stats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.hg == nil {
+		return conflict.Stats{}
+	}
 	return s.hg.Stats()
 }
 
@@ -256,45 +348,221 @@ func (s *System) Maintenance() MaintenanceStats {
 	return s.maint
 }
 
+// Epoch returns the epoch of the most recently published query view (0
+// before the first publication).
+func (s *System) Epoch() uint64 {
+	if v := s.view.Load(); v != nil {
+		return v.epoch
+	}
+	return 0
+}
+
 // PendingDeltas returns the number of queued DML deltas not yet folded
 // into the hypergraph.
 func (s *System) PendingDeltas() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
 	return len(s.pending)
 }
 
-// ensureAnalyzed brings the hypergraph up to date: a full Detect on
-// first use or after DDL/constraint changes, otherwise by draining the
-// queued DML deltas through the incremental detector.
-func (s *System) ensureAnalyzed() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.ensureAnalyzedLocked()
-}
-
-func (s *System) ensureAnalyzedLocked() error {
-	if !s.analyzed || s.needFull {
-		_, err := s.analyzeFullLocked()
-		return err
-	}
-	if len(s.pending) == 0 {
-		return nil
-	}
-	before := s.inc.Stats()
-	for _, d := range s.pending {
-		if err := s.inc.Apply(d); err != nil {
-			// A probe failure leaves the hypergraph half-updated; recover
-			// with a full rescan rather than serving wrong answers.
-			if _, ferr := s.analyzeFullLocked(); ferr != nil {
-				return ferr
-			}
-			return nil
+// currentView returns a query view to serve from, publishing a fresh one
+// if the current publication is stale. The fast path — no queued work —
+// is lock-free. When a refresh is already in flight, concurrent queries
+// serve the newest published view instead of queueing behind the
+// publisher: the served state is still a consistent cut (bounded
+// staleness), and the single publisher keeps the view moving forward.
+func (s *System) currentView() (*queryView, error) {
+	if !s.stale.Load() {
+		if v := s.view.Load(); v != nil {
+			return v, nil
 		}
 	}
+	if s.mu.TryLock() {
+		defer s.mu.Unlock()
+		return s.refreshViewLocked()
+	}
+	if v := s.view.Load(); v != nil {
+		return v, nil
+	}
+	// No view published yet (first analysis in flight): wait for it.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.refreshViewLocked()
+}
+
+// refreshViewLocked brings the analysis up to date and publishes a fresh
+// view. The caller holds mu (exclusive). If the published view is already
+// fresh (another goroutine got here first) it is returned unchanged.
+func (s *System) refreshViewLocked() (*queryView, error) {
+	if !s.stale.Load() {
+		if v := s.view.Load(); v != nil {
+			return v, nil
+		}
+	}
+	// Freeze writers: no write is in flight, every delivered delta is
+	// queued, and nothing can change until release. Analysis and the
+	// storage snapshot therefore describe the same consistent cut.
+	release := s.db.FreezeWrites()
+	s.qmu.Lock()
+	pending := s.pending
 	s.pending = nil
+	full := !s.analyzed || s.needFull
+	s.qmu.Unlock()
+	var err error
+	if full {
+		err = s.analyzeFullFrozen()
+	} else if len(pending) > 0 {
+		err = s.applyDeltasFrozen(pending)
+	}
+	if err != nil {
+		release()
+		return nil, err
+	}
+	// Build and publish the whole view inside the frozen section, and
+	// only then clear staleness: writers are excluded, so no delta can
+	// slip between the drain and the publication, and a reader that
+	// observes stale==false is guaranteed to load (at least) this view —
+	// which contains every write sequenced before it. That ordering is
+	// what makes single-threaded read-your-writes hold.
+	snap := s.db.SnapshotFrozen()
+	hgSnap := s.hg.Snapshot()
+	s.epoch++
+	s.maint.ViewsPublished++
+	v := &queryView{
+		epoch:      s.epoch,
+		snap:       snap,
+		hg:         hgSnap,
+		ti:         conflict.NewSnapshotTupleIndex(snap.Tables()),
+		detStats:   s.detStats,
+		graphStats: hgSnap.Stats(),
+	}
+	if old := s.view.Load(); old != nil {
+		s.retireLocked(old, v)
+	}
+	v.maint = s.maint
+	s.view.Store(v)
+	s.stale.Store(false)
+	release()
+	return v, nil
+}
+
+// applyDeltasFrozen folds queued deltas into the hypergraph; a probe
+// failure falls back to a full rescan rather than serving wrong answers.
+// The caller holds mu and the engine write freeze.
+func (s *System) applyDeltasFrozen(pending []conflict.Delta) error {
+	before := s.inc.Stats()
+	for _, d := range pending {
+		if err := s.inc.Apply(d); err != nil {
+			return s.analyzeFullFrozen()
+		}
+	}
 	s.maint.IncrementalStats.Add(s.inc.Stats().Sub(before))
 	return nil
+}
+
+// retireLocked accounts for a replaced view: reclaimed immediately when
+// nothing pins its epoch, otherwise parked until the last unpin. The
+// caller holds mu.
+func (s *System) retireLocked(old, next *queryView) {
+	slabs := old.snap.RetiredSlabs(next.snap)
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	if s.pins[old.epoch] > 0 {
+		s.retired = append(s.retired, retiredView{v: old, slabs: slabs})
+		return
+	}
+	s.maint.ViewsReclaimed++
+	s.maint.SlabsReclaimed += int64(slabs)
+}
+
+// sweepRetired drops parked views whose epoch is no longer pinned. The
+// caller holds mu and pmu.
+func (s *System) sweepRetiredLocked() {
+	keep := s.retired[:0]
+	for _, r := range s.retired {
+		if s.pins[r.v.epoch] > 0 {
+			keep = append(keep, r)
+			continue
+		}
+		s.maint.ViewsReclaimed++
+		s.maint.SlabsReclaimed += int64(r.slabs)
+	}
+	s.retired = keep
+}
+
+// Snapshot pins the current query view, refreshing it first if stale. The
+// returned snapshot serves any number of consistent queries and plain
+// SELECTs from one immutable database state; Close releases the pin so
+// epoch reclamation can drop the view's retired slabs.
+func (s *System) Snapshot() (*Snapshot, error) {
+	if _, err := s.currentView(); err != nil {
+		return nil, err
+	}
+	// Re-load and pin under the shared lock: retirement happens under the
+	// exclusive lock, so the view loaded here cannot be retired before
+	// its pin is recorded (pinning after a plain load could race with a
+	// publisher counting the view as reclaimed).
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := s.view.Load()
+	s.pmu.Lock()
+	s.pins[v.epoch]++
+	s.pmu.Unlock()
+	return &Snapshot{sys: s, v: v}, nil
+}
+
+// Snapshot is a pinned query view: a consistent database state plus the
+// conflict analysis matching it exactly. It is safe for concurrent use.
+type Snapshot struct {
+	sys  *System
+	v    *queryView
+	once sync.Once
+}
+
+// Epoch identifies the pinned view.
+func (sn *Snapshot) Epoch() uint64 { return sn.v.epoch }
+
+// Query evaluates a plain SELECT against the pinned state (ignoring
+// inconsistency).
+func (sn *Snapshot) Query(sql string) (*engine.Result, error) {
+	return sn.v.snap.Query(sql)
+}
+
+// Data exposes the underlying engine snapshot.
+func (sn *Snapshot) Data() *engine.Snapshot { return sn.v.snap }
+
+// Close releases the pin. It is idempotent; the snapshot must not be used
+// afterwards.
+func (sn *Snapshot) Close() {
+	sn.once.Do(func() {
+		s := sn.sys
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		s.pmu.Lock()
+		defer s.pmu.Unlock()
+		if n := s.pins[sn.v.epoch]; n > 1 {
+			s.pins[sn.v.epoch] = n - 1
+		} else {
+			delete(s.pins, sn.v.epoch)
+			s.sweepRetiredLocked()
+		}
+	})
+}
+
+// ConsistentQueryAt computes consistent answers against a pinned
+// snapshot: repeated calls observe the same database state regardless of
+// concurrent writers.
+func (s *System) ConsistentQueryAt(sn *Snapshot, sql string, opts Options) (*engine.Result, *Stats, error) {
+	q, err := sqlparse.ParseQuery(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := sn.v.snap.PlanQuery(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	// The plan is already bound to the pinned snapshot — no rebind.
+	return s.runQueryViewBound(sn.v, plan, opts)
 }
 
 // ConsistentQuery computes the consistent answers to an SJUD SQL query.
@@ -314,17 +582,42 @@ func (s *System) ConsistentQuery(sql string, opts Options) (*engine.Result, *Sta
 // query. A top-level ORDER BY / LIMIT decorates the certified answer set:
 // the SJUD core is certified first, then ordering and truncation apply to
 // the consistent answers (certainty is a property of the set, so this is
-// the only coherent reading).
+// the only coherent reading). The plan's base-relation accesses are
+// rebound to the query view's snapshot, so evaluation and certification
+// see one consistent cut even while writers are active.
 func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result, *Stats, error) {
-	if err := s.ensureAnalyzed(); err != nil {
+	if opts.Serialized {
+		s.mu.Lock()
+		v, err := s.refreshViewLocked()
+		s.mu.Unlock()
+		if err != nil {
+			return nil, nil, err
+		}
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return s.runQueryView(v, plan, opts)
+	}
+	v, err := s.currentView()
+	if err != nil {
 		return nil, nil, err
 	}
-	// Hold the read lock for the rest of the run: evaluation and
-	// certification read the hypergraph and tuple index, which a
-	// concurrent query's delta drain must not mutate underneath us.
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	hg, ti := s.hg, s.ti
+	return s.runQueryView(v, plan, opts)
+}
+
+// runQueryView rebinds the plan's base-relation accesses onto the view's
+// snapshot, then executes it.
+func (s *System) runQueryView(v *queryView, plan ra.Node, opts Options) (*engine.Result, *Stats, error) {
+	plan, err := engine.Rebind(plan, v.snap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s.runQueryViewBound(v, plan, opts)
+}
+
+// runQueryViewBound executes the envelope/evaluate/certify pipeline
+// against an immutable query view; the plan must already be bound to the
+// view's snapshot. It takes no locks.
+func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*engine.Result, *Stats, error) {
 	// Peel trailing Sort/Limit decorators (outermost first).
 	var decorators []func(ra.Node) ra.Node
 	for {
@@ -345,9 +638,10 @@ func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result
 	start := time.Now()
 	stats := &Stats{
 		ProverMode:  opts.Mode,
-		DetectStats: s.detStats,
-		GraphStats:  hg.Stats(),
-		Maintenance: s.maint,
+		DetectStats: v.detStats,
+		GraphStats:  v.graphStats,
+		Maintenance: v.maint,
+		Epoch:       v.epoch,
 		QueryPlan:   ra.Format(plan),
 	}
 	queriesBefore := s.db.QueryCount()
@@ -361,9 +655,9 @@ func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result
 	stats.EnvelopePlan = ra.Format(env)
 	stats.Envelope = time.Since(t0)
 
-	// Evaluation of the envelope by the engine.
+	// Evaluation of the envelope against the view's storage snapshot.
 	t0 = time.Now()
-	candidates, err := s.db.RunPlan(env)
+	candidates, err := v.snap.RunPlan(env)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -372,15 +666,15 @@ func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result
 
 	// Prover: keep candidates that hold in every repair. Each membership
 	// check is independent, so certification fans out over a bounded pool
-	// of workers (one prover each — the hypergraph and tuple index are
-	// read-only here) and results are collected by candidate position, so
+	// of workers (one prover each — the view's hypergraph and tuple index
+	// are immutable) and results are collected by candidate position, so
 	// the answer order matches the sequential run exactly.
 	t0 = time.Now()
 	var member prover.Membership
 	if opts.Mode == ProverNaive {
-		member = prover.NaiveMembership{DB: s.db, TI: ti}
+		member = prover.NaiveMembership{DB: v.snap, TI: v.ti}
 	} else {
-		member = prover.IndexedMembership{TI: ti}
+		member = prover.IndexedMembership{TI: v.ti}
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(candidates.Rows) {
@@ -397,7 +691,7 @@ func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		p := prover.New(hg, member)
+		p := prover.New(v.hg.Graph(), member)
 		p.DisablePruning = opts.DisablePruning
 		provers[w] = p
 		wg.Add(1)
@@ -457,20 +751,19 @@ func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result
 // Rewriter returns the query-rewriting baseline prepared for this
 // system's constraints (erroring if they are outside its class).
 func (s *System) Rewriter() (*rewrite.Rewriter, error) {
-	return rewrite.New(s.db, s.constraints)
+	return rewrite.New(s.db, s.Constraints())
 }
 
-// RepairEnumerator returns the exponential repair oracle for this system
-// (small instances only). The enumerator gets a clone of the hypergraph:
-// it outlives this call, and the live graph may be mutated by later delta
-// drains.
+// RepairEnumerator returns the exponential repair oracle over the current
+// query view (small instances only). The enumerator reads the view's
+// immutable storage and hypergraph snapshots directly — no defensive
+// clone — so later delta drains cannot race with it.
 func (s *System) RepairEnumerator() (*repair.Enumerator, error) {
-	if err := s.ensureAnalyzed(); err != nil {
+	v, err := s.currentView()
+	if err != nil {
 		return nil, err
 	}
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return &repair.Enumerator{DB: s.db, H: s.hg.Clone()}, nil
+	return &repair.Enumerator{DB: v.snap, H: v.hg.Graph()}, nil
 }
 
 // SupportSummary describes which execution strategies can handle a query,
@@ -494,7 +787,7 @@ func (s *System) Support(sql string) (SupportSummary, error) {
 		return out, err
 	}
 	out.Hippo = envelope.CheckQuery(plan)
-	rw, err := rewrite.New(s.db, s.constraints)
+	rw, err := rewrite.New(s.db, s.Constraints())
 	if err != nil {
 		out.Rewrite = err
 	} else if _, err := rw.Rewrite(plan); err != nil {
@@ -506,16 +799,19 @@ func (s *System) Support(sql string) (SupportSummary, error) {
 // FormatStats renders a run's statistics as a compact multi-line report.
 func FormatStats(st *Stats) string {
 	return fmt.Sprintf(
-		"mode=%s candidates=%d answers=%d workers=%d\n"+
+		"mode=%s candidates=%d answers=%d workers=%d epoch=%d\n"+
 			"envelope=%v evaluation=%v prover=%v total=%v\n"+
 			"membership-checks=%d disjuncts=%d blocker-choices=%d engine-queries=%d\n"+
 			"hypergraph: edges=%d conflicting-tuples=%d max-degree=%d\n"+
-			"maintenance: deltas=%d edges+%d edges-%d full-rebuilds=%d",
-		st.ProverMode, st.Candidates, st.Answers, st.Workers,
+			"maintenance: deltas=%d edges+%d edges-%d full-rebuilds=%d\n"+
+			"snapshots: published=%d reclaimed=%d slabs-reclaimed=%d",
+		st.ProverMode, st.Candidates, st.Answers, st.Workers, st.Epoch,
 		st.Envelope, st.Evaluation, st.ProverTime, st.Total,
 		st.ProverStats.MembershipChecks, st.ProverStats.Disjuncts,
 		st.ProverStats.BlockerChoices, st.EngineQuery,
 		st.GraphStats.Edges, st.GraphStats.ConflictingVertices, st.GraphStats.MaxDegree,
 		st.Maintenance.DeltasApplied, st.Maintenance.EdgesAdded,
-		st.Maintenance.EdgesRemoved, st.Maintenance.FullRebuilds)
+		st.Maintenance.EdgesRemoved, st.Maintenance.FullRebuilds,
+		st.Maintenance.ViewsPublished, st.Maintenance.ViewsReclaimed,
+		st.Maintenance.SlabsReclaimed)
 }

@@ -1,0 +1,210 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+)
+
+// stressModel simulates the writer's update sequence and computes, after
+// every prefix of applied statements, the expected consistent-answer set
+// of SELECT * FROM log under the FD gid -> val.
+//
+// Every inserted row carries a unique val, so two live rows sharing a gid
+// always violate the FD: the expected consistent answers are exactly the
+// live rows whose gid group has size one.
+type stressModel struct {
+	live map[int][2]int // insertion step -> (gid, val)
+	next int
+}
+
+type stressStep struct {
+	insert   bool
+	gid, val int
+}
+
+// stressScript builds the deterministic statement sequence plus the set
+// of legal answer serializations (one per prefix).
+func stressScript(steps int) ([]stressStep, map[string]int) {
+	m := &stressModel{live: make(map[int][2]int)}
+	script := make([]stressStep, 0, steps)
+	legal := map[string]int{m.answerKey(): 0}
+	for i := 0; i < steps; i++ {
+		var st stressStep
+		if i%7 == 6 && len(m.live) > 0 {
+			// Delete the oldest live row.
+			oldest := -1
+			for k := range m.live {
+				if oldest < 0 || k < oldest {
+					oldest = k
+				}
+			}
+			r := m.live[oldest]
+			st = stressStep{insert: false, gid: r[0], val: r[1]}
+			delete(m.live, oldest)
+		} else {
+			st = stressStep{insert: true, gid: i / 3, val: m.next}
+			m.live[m.next] = [2]int{st.gid, st.val}
+			m.next++
+		}
+		script = append(script, st)
+		legal[m.answerKey()] = i + 1
+	}
+	return script, legal
+}
+
+// answerKey serializes the expected consistent answers: live rows whose
+// gid group is a singleton, sorted.
+func (m *stressModel) answerKey() string {
+	count := map[int]int{}
+	for _, r := range m.live {
+		count[r[0]]++
+	}
+	var parts []string
+	for _, r := range m.live {
+		if count[r[0]] == 1 {
+			parts = append(parts, fmt.Sprintf("(%d, %d)", r[0], r[1]))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// TestConcurrentServingPrefixConsistency interleaves a writer applying a
+// deterministic update sequence with concurrent ConsistentQuery readers
+// and asserts snapshot monotonicity: every answer set equals the expected
+// answers after some prefix of the applied statements, and the prefix a
+// reader observes never moves backwards (epochs are monotone per reader).
+// Run under -race in CI.
+func TestConcurrentServingPrefixConsistency(t *testing.T) {
+	const steps = 240
+	script, legal := stressScript(steps)
+
+	db := engine.New()
+	db.MustExec("CREATE TABLE log (gid INT, val INT)")
+	s := NewSystem(db, []constraint.Constraint{
+		constraint.FD{Rel: "log", LHS: []string{"gid"}, RHS: []string{"val"}},
+	})
+	if _, err := s.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Writer: one statement per step, in order.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for _, st := range script {
+			if st.insert {
+				db.MustExec(fmt.Sprintf("INSERT INTO log VALUES (%d, %d)", st.gid, st.val))
+			} else {
+				db.MustExec(fmt.Sprintf("DELETE FROM log WHERE gid = %d AND val = %d", st.gid, st.val))
+			}
+		}
+	}()
+
+	// Readers: continuously query; every answer must match some prefix.
+	const readers = 4
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lastEpoch := uint64(0)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				res, st, err := s.ConsistentQuery("SELECT * FROM log", Options{})
+				if err != nil {
+					t.Errorf("reader %d: %v", r, err)
+					return
+				}
+				key := strings.Join(rowStrings(res.Rows), " ")
+				if _, ok := legal[key]; !ok {
+					t.Errorf("reader %d: answers %q match no prefix of the update sequence", r, key)
+					return
+				}
+				if st.Epoch < lastEpoch {
+					t.Errorf("reader %d: epoch went backwards (%d after %d)", r, st.Epoch, lastEpoch)
+					return
+				}
+				lastEpoch = st.Epoch
+			}
+		}(r)
+	}
+
+	// One pinning reader: repeated queries at a pinned snapshot must be
+	// identical to each other.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			sn, err := s.Snapshot()
+			if err != nil {
+				t.Errorf("snapshot: %v", err)
+				return
+			}
+			var first string
+			for i := 0; i < 3; i++ {
+				res, _, err := s.ConsistentQueryAt(sn, "SELECT * FROM log", Options{})
+				if err != nil {
+					t.Errorf("pinned query: %v", err)
+					sn.Close()
+					return
+				}
+				key := strings.Join(rowStrings(res.Rows), " ")
+				if i == 0 {
+					first = key
+					if _, ok := legal[key]; !ok {
+						t.Errorf("pinned answers %q match no prefix", key)
+						sn.Close()
+						return
+					}
+				} else if key != first {
+					t.Errorf("pinned view drifted between queries: %q vs %q", key, first)
+					sn.Close()
+					return
+				}
+			}
+			sn.Close()
+		}
+	}()
+
+	wg.Wait()
+
+	// After the writer finishes, a final query must observe the full
+	// sequence.
+	res, _, err := s.ConsistentQuery("SELECT * FROM log", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := strings.Join(rowStrings(res.Rows), " ")
+	if got := legal[key]; got != steps {
+		// The key could coincidentally match an earlier prefix; compare
+		// the serialized answers instead of the index.
+		want := ""
+		for k, v := range legal {
+			if v == steps {
+				want = k
+			}
+		}
+		if key != want {
+			t.Fatalf("final answers %q != expected full-sequence answers %q", key, want)
+		}
+	}
+}

@@ -37,9 +37,16 @@ type ChangeListener interface {
 }
 
 // DB is an in-memory SQL database: a catalog of tables plus a planner and
-// executor. It is safe for concurrent use by multiple readers; DDL and DML
-// take an exclusive lock.
+// executor. It is safe for concurrent use by multiple readers and writers:
+// all writers (DML and DDL issued through the engine) are serialized by a
+// global write sequencer, which also lets FreezeWrites establish a
+// consistent cross-table cut for snapshotting.
 type DB struct {
+	// wseq serializes every engine-issued write (DML and DDL) across all
+	// tables, including its change-feed delivery. Holding it guarantees no
+	// write is in flight anywhere, so a snapshot taken under it is a
+	// consistent cut whose deltas have all been delivered.
+	wseq    sync.Mutex
 	mu      sync.RWMutex
 	tables  map[string]*storage.Table
 	queries atomic.Int64
@@ -112,6 +119,23 @@ func (db *DB) Table(name string) (*storage.Table, error) {
 	return t, nil
 }
 
+// Relation returns the named table as a storage.Relation, satisfying the
+// planner's catalog interface (shared with Snapshot).
+func (db *DB) Relation(name string) (storage.Relation, error) {
+	return db.Table(name)
+}
+
+// FreezeWrites blocks every engine writer (DML and DDL) until the
+// returned release function is called. While frozen, no write is in
+// flight and every completed write's change-feed delta has been
+// delivered, so the caller can drain derived state and snapshot tables at
+// one consistent cut. The Hippo core uses it when publishing a query
+// view.
+func (db *DB) FreezeWrites() (release func()) {
+	db.wseq.Lock()
+	return db.wseq.Unlock
+}
+
 // TableNames returns the sorted names of all tables.
 func (db *DB) TableNames() []string {
 	db.mu.RLock()
@@ -126,6 +150,8 @@ func (db *DB) TableNames() []string {
 
 // CreateTable registers a new table built from the given schema.
 func (db *DB) CreateTable(name string, s schema.Schema) (*storage.Table, error) {
+	db.wseq.Lock()
+	defer db.wseq.Unlock()
 	db.mu.Lock()
 	key := strings.ToLower(name)
 	if _, ok := db.tables[key]; ok {
@@ -192,11 +218,16 @@ func (db *DB) ExecStmt(st sqlparse.Statement) (*Result, int, error) {
 			}
 			cols[i] = idx
 		}
-		if _, err := t.EnsureIndex(cols); err != nil {
-			return nil, 0, err
+		db.wseq.Lock()
+		_, ierr := t.EnsureIndex(cols)
+		db.wseq.Unlock()
+		if ierr != nil {
+			return nil, 0, ierr
 		}
 		return nil, 0, nil
 	case *sqlparse.DropTable:
+		db.wseq.Lock()
+		defer db.wseq.Unlock()
 		db.mu.Lock()
 		key := strings.ToLower(s.Name)
 		if _, ok := db.tables[key]; !ok {
@@ -269,6 +300,8 @@ func (db *DB) RunPlanRaw(plan ra.Node) (*Result, error) {
 }
 
 func (db *DB) execInsert(s *sqlparse.Insert) (int, error) {
+	db.wseq.Lock()
+	defer db.wseq.Unlock()
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return 0, err
@@ -316,6 +349,8 @@ func (db *DB) execInsert(s *sqlparse.Insert) (int, error) {
 }
 
 func (db *DB) execDelete(s *sqlparse.Delete) (int, error) {
+	db.wseq.Lock()
+	defer db.wseq.Unlock()
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return 0, err

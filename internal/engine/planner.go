@@ -7,18 +7,31 @@ import (
 	"hippo/internal/ra"
 	"hippo/internal/schema"
 	"hippo/internal/sqlparse"
+	"hippo/internal/storage"
 )
 
+// catalog resolves relation names for planning. Both the live database
+// and an immutable Snapshot implement it, so the same planner binds plans
+// to either.
+type catalog interface {
+	Relation(name string) (storage.Relation, error)
+}
+
 // PlanQuery translates a parsed query into a relational algebra plan bound
-// to this database's tables.
+// to this database's live tables.
 func (db *DB) PlanQuery(q *sqlparse.Query) (ra.Node, error) {
-	left, err := db.planSelect(q.Left)
+	return planQuery(db, q)
+}
+
+// planQuery translates a parsed query against any catalog.
+func planQuery(cat catalog, q *sqlparse.Query) (ra.Node, error) {
+	left, err := planSelect(cat, q.Left)
 	if err != nil {
 		return nil, err
 	}
 	node := left
 	for _, tail := range q.Rest {
-		right, err := db.planSelect(tail.Right)
+		right, err := planSelect(cat, tail.Right)
 		if err != nil {
 			return nil, err
 		}
@@ -52,11 +65,11 @@ func (db *DB) PlanQuery(q *sqlparse.Query) (ra.Node, error) {
 }
 
 // planSelect plans a single SELECT block.
-func (db *DB) planSelect(s *sqlparse.SelectStmt) (ra.Node, error) {
+func planSelect(cat catalog, s *sqlparse.SelectStmt) (ra.Node, error) {
 	if len(s.From) == 0 {
 		return nil, fmt.Errorf("engine: SELECT requires a FROM clause")
 	}
-	node, err := db.planFrom(s.From[0])
+	node, err := planFrom(cat, s.From[0])
 	if err != nil {
 		return nil, err
 	}
@@ -73,7 +86,7 @@ func (db *DB) planSelect(s *sqlparse.SelectStmt) (ra.Node, error) {
 		if err := checkDup(f); err != nil {
 			return nil, err
 		}
-		right, err := db.planFrom(f)
+		right, err := planFrom(cat, f)
 		if err != nil {
 			return nil, err
 		}
@@ -83,7 +96,7 @@ func (db *DB) planSelect(s *sqlparse.SelectStmt) (ra.Node, error) {
 		if err := checkDup(j.Ref); err != nil {
 			return nil, err
 		}
-		right, err := db.planFrom(j.Ref)
+		right, err := planFrom(cat, j.Ref)
 		if err != nil {
 			return nil, err
 		}
@@ -95,16 +108,16 @@ func (db *DB) planSelect(s *sqlparse.SelectStmt) (ra.Node, error) {
 		node = &ra.Join{L: node, R: right, Pred: on}
 	}
 	if s.Where != nil {
-		node, err = db.planWhere(node, s.Where)
+		node, err = planWhere(cat, node, s.Where)
 		if err != nil {
 			return nil, err
 		}
 	}
-	return db.planProjection(node, s)
+	return planProjection(node, s)
 }
 
-func (db *DB) planFrom(ref sqlparse.TableRef) (ra.Node, error) {
-	t, err := db.Table(ref.Table)
+func planFrom(cat catalog, ref sqlparse.TableRef) (ra.Node, error) {
+	t, err := cat.Relation(ref.Table)
 	if err != nil {
 		return nil, err
 	}
@@ -114,19 +127,19 @@ func (db *DB) planFrom(ref sqlparse.TableRef) (ra.Node, error) {
 // planWhere splits the predicate into plain conjuncts (one Select) and
 // subquery conjuncts (Semi/AntiJoins). Subqueries are only supported as
 // top-level conjuncts, matching what the query-rewriting baseline emits.
-func (db *DB) planWhere(node ra.Node, where sqlparse.Expr) (ra.Node, error) {
+func planWhere(cat catalog, node ra.Node, where sqlparse.Expr) (ra.Node, error) {
 	var plain []ra.Expr
 	for _, c := range splitConjuncts(where) {
 		switch e := c.(type) {
 		case sqlparse.ExistsExpr:
 			var err error
-			node, err = db.planExists(node, e.Sub, e.Negate, nil)
+			node, err = planExists(cat, node, e.Sub, e.Negate, nil)
 			if err != nil {
 				return nil, err
 			}
 		case sqlparse.InExpr:
 			var err error
-			node, err = db.planExists(node, e.Sub, e.Negate, e.E)
+			node, err = planExists(cat, node, e.Sub, e.Negate, e.E)
 			if err != nil {
 				return nil, err
 			}
@@ -150,7 +163,7 @@ func (db *DB) planWhere(node ra.Node, where sqlparse.Expr) (ra.Node, error) {
 // planExists plans [NOT] EXISTS / [NOT] IN as a semi-/anti-join against the
 // subquery's FROM product, with the subquery's WHERE (and the IN equality)
 // as the join predicate, allowing correlation with outer columns.
-func (db *DB) planExists(outer ra.Node, sub *sqlparse.Query, negate bool, inExpr sqlparse.Expr) (ra.Node, error) {
+func planExists(cat catalog, outer ra.Node, sub *sqlparse.Query, negate bool, inExpr sqlparse.Expr) (ra.Node, error) {
 	if len(sub.Rest) > 0 {
 		return nil, fmt.Errorf("engine: set operations inside EXISTS/IN subqueries are not supported")
 	}
@@ -161,12 +174,12 @@ func (db *DB) planExists(outer ra.Node, sub *sqlparse.Query, negate bool, inExpr
 	if len(s.From) == 0 {
 		return nil, fmt.Errorf("engine: subquery requires a FROM clause")
 	}
-	inner, err := db.planFrom(s.From[0])
+	inner, err := planFrom(cat, s.From[0])
 	if err != nil {
 		return nil, err
 	}
 	for _, f := range s.From[1:] {
-		right, err := db.planFrom(f)
+		right, err := planFrom(cat, f)
 		if err != nil {
 			return nil, err
 		}
@@ -215,7 +228,7 @@ func (db *DB) planExists(outer ra.Node, sub *sqlparse.Query, negate bool, inExpr
 }
 
 // planProjection applies the SELECT list.
-func (db *DB) planProjection(node ra.Node, s *sqlparse.SelectStmt) (ra.Node, error) {
+func planProjection(node ra.Node, s *sqlparse.SelectStmt) (ra.Node, error) {
 	if len(s.Items) == 0 { // SELECT *
 		if s.Distinct {
 			return &ra.DistinctNode{Child: node}, nil

@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"hippo/internal/sqlparse"
+)
+
+func snapDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	db.MustExec("CREATE TABLE emp (id INT, dept TEXT)")
+	db.MustExec("INSERT INTO emp VALUES (1,'a'), (2,'b'), (3,'a')")
+	db.MustExec("CREATE TABLE dept (name TEXT, city TEXT)")
+	db.MustExec("INSERT INTO dept VALUES ('a','x'), ('b','y')")
+	return db
+}
+
+func TestDBSnapshotIsolation(t *testing.T) {
+	db := snapDB(t)
+	snap := db.Snapshot()
+	db.MustExec("INSERT INTO emp VALUES (4,'c')")
+	db.MustExec("DELETE FROM emp WHERE id = 1")
+
+	res, err := snap.Query("SELECT id FROM emp ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("snapshot sees %d rows, want 3 (pre-mutation state)", len(res.Rows))
+	}
+	live, err := db.Query("SELECT id FROM emp ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(live.Rows) != 3 || live.Rows[0][0].String() != "2" {
+		t.Fatalf("live sees %v", live.Rows)
+	}
+
+	// Joins across tables work on the snapshot.
+	res, err = snap.Query("SELECT e.id, d.city FROM emp e, dept d WHERE e.dept = d.name ORDER BY e.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("snapshot join rows=%d, want 3", len(res.Rows))
+	}
+}
+
+func TestSnapshotUnchangedTablesShared(t *testing.T) {
+	db := snapDB(t)
+	s1 := db.Snapshot()
+	db.MustExec("INSERT INTO emp VALUES (4,'c')")
+	s2 := db.Snapshot()
+	t1, _ := s1.Table("dept")
+	t2, _ := s2.Table("dept")
+	if t1 != t2 {
+		t.Fatal("snapshot of unchanged table not shared between cuts")
+	}
+	e1, _ := s1.Table("emp")
+	e2, _ := s2.Table("emp")
+	if e1 == e2 {
+		t.Fatal("snapshot of changed table wrongly shared")
+	}
+	if s2.RetiredSlabs(s1) != 0 && s1.RetiredSlabs(s2) == 0 {
+		t.Fatal("retired-slab accounting inverted")
+	}
+}
+
+// Rebind must move every base-relation access of a logical plan onto the
+// snapshot while leaving results identical.
+func TestRebindToSnapshot(t *testing.T) {
+	db := snapDB(t)
+	q, err := sqlparse.ParseQuery("SELECT e.id FROM emp e WHERE e.dept = 'a' ORDER BY e.id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := db.PlanQuery(q) // bound to live tables
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := db.Snapshot()
+	db.MustExec("INSERT INTO emp VALUES (9,'a')")
+
+	rebound, err := Rebind(plan, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := snap.RunPlan(rebound)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rebound plan rows=%d, want 2 (snapshot state)", len(res.Rows))
+	}
+	liveRes, err := db.RunPlan(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(liveRes.Rows) != 3 {
+		t.Fatalf("live plan rows=%d, want 3", len(liveRes.Rows))
+	}
+}
+
+func TestFreezeWritesBlocksWriters(t *testing.T) {
+	db := snapDB(t)
+	release := db.FreezeWrites()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := db.Exec("INSERT INTO emp VALUES (10,'z')")
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond) // give the writer a chance to (wrongly) finish
+	select {
+	case <-done:
+		t.Fatal("writer proceeded while frozen")
+	default:
+	}
+	release()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := db.Table("emp"); n.Len() != 4 {
+		t.Fatalf("emp len=%d, want 4", n.Len())
+	}
+}

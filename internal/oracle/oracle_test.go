@@ -1,0 +1,80 @@
+package oracle
+
+import (
+	"testing"
+
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+	"hippo/internal/value"
+)
+
+func TestOracleKnownInstance(t *testing.T) {
+	db := engine.New()
+	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
+	db.MustExec("INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150)")
+	o := &Oracle{
+		DB:          db,
+		Constraints: []constraint.Constraint{constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}},
+	}
+	viols, err := o.Violations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viols) != 1 {
+		t.Fatalf("violations=%d, want 1", len(viols))
+	}
+	repairs, err := o.Repairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 2 {
+		t.Fatalf("repairs=%d, want 2", len(repairs))
+	}
+	rows, err := o.ConsistentAnswers("SELECT * FROM emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || value.TupleString(rows[0]) != "(2, 150)" {
+		t.Fatalf("answers=%v, want [(2, 150)]", rows)
+	}
+}
+
+func TestOracleConsistentDatabaseHasOneRepair(t *testing.T) {
+	db := engine.New()
+	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
+	db.MustExec("INSERT INTO emp VALUES (1, 100), (2, 200)")
+	o := &Oracle{
+		DB:          db,
+		Constraints: []constraint.Constraint{constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}},
+	}
+	repairs, err := o.Repairs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(repairs) != 1 || len(repairs[0]) != 0 {
+		t.Fatalf("repairs=%v, want one empty exclusion", repairs)
+	}
+	rows, err := o.ConsistentAnswers("SELECT * FROM emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("answers=%d, want 2", len(rows))
+	}
+}
+
+func TestOracleConflictLimit(t *testing.T) {
+	db := engine.New()
+	db.MustExec("CREATE TABLE t (a INT, b INT)")
+	for i := 0; i < 8; i++ {
+		db.MustExec("INSERT INTO t VALUES (1, " + string(rune('0'+i)) + ")")
+	}
+	o := &Oracle{
+		DB:             db,
+		Constraints:    []constraint.Constraint{constraint.FD{Rel: "t", LHS: []string{"a"}, RHS: []string{"b"}}},
+		MaxConflicting: 4,
+	}
+	if _, err := o.Repairs(); err == nil {
+		t.Fatal("expected conflict-limit error")
+	}
+}

@@ -12,6 +12,15 @@ import (
 	"hippo/internal/value"
 )
 
+// QuerySource is the database surface the naive membership check needs:
+// relation resolution plus raw plan execution. Both *engine.DB and
+// *engine.Snapshot satisfy it, so naive membership can run against a
+// pinned snapshot.
+type QuerySource interface {
+	Relation(name string) (storage.Relation, error)
+	RunPlanRaw(plan ra.Node) (*engine.Result, error)
+}
+
 // Membership answers base-relation membership checks, returning the live
 // RowIDs holding the tuple (empty when absent). The two implementations
 // embody the paper's optimization axis: IndexedMembership answers from
@@ -38,13 +47,13 @@ func (m IndexedMembership) Lookup(rel string, t value.Tuple) ([]storage.RowID, e
 // tuple index is still consulted afterwards to map the tuple to its
 // hypergraph vertex (the query only establishes membership).
 type NaiveMembership struct {
-	DB *engine.DB
+	DB QuerySource
 	TI *conflict.TupleIndex
 }
 
 // Lookup runs a membership query, then resolves RowIDs via the index.
 func (m NaiveMembership) Lookup(rel string, t value.Tuple) ([]storage.RowID, error) {
-	table, err := m.DB.Table(rel)
+	table, err := m.DB.Relation(rel)
 	if err != nil {
 		return nil, err
 	}

@@ -14,7 +14,7 @@ import (
 // existing index. Key expressions are evaluated once at Open (they must
 // be row-independent) and are listed in the index's column order.
 type IndexLookup struct {
-	Table *storage.Table
+	Table storage.Relation
 	Index *storage.Index
 	Key   []Expr
 	Alias string
@@ -51,7 +51,9 @@ func (n *IndexLookup) Open() (Iterator, error) {
 		}
 		key[i] = v
 	}
-	ids := n.Index.Lookup(key)
+	// Resolve through the relation so a live table can synchronize the
+	// bucket read against concurrent writers (snapshots read directly).
+	ids := n.Table.IndexLookup(n.Index, key)
 	rows := make([]value.Tuple, 0, len(ids))
 	for _, id := range ids {
 		if row, ok := n.Table.Row(id); ok {

@@ -67,10 +67,11 @@ func (s *sliceIter) Next() (value.Tuple, bool, error) {
 
 func (s *sliceIter) Close() error { return nil }
 
-// Scan reads all live rows of a stored table. Alias qualifies the output
-// columns; if empty, the table name is used.
+// Scan reads all live rows of a stored relation — a live table or an
+// immutable snapshot. Alias qualifies the output columns; if empty, the
+// relation name is used.
 type Scan struct {
-	Table *storage.Table
+	Table storage.Relation
 	Alias string
 }
 

@@ -24,10 +24,19 @@ import (
 // giving up, as a guard against exponential blowup.
 const DefaultLimit = 100000
 
+// Source is the read-only database surface enumeration needs. Both the
+// live *engine.DB and an *engine.Snapshot satisfy it; the core hands the
+// enumerator a pinned snapshot plus the matching hypergraph snapshot, so
+// enumeration is read-only end to end and needs no defensive copies.
+type Source interface {
+	TableNames() []string
+	Relation(name string) (storage.Relation, error)
+}
+
 // Enumerator lists the repairs of a database with respect to a conflict
-// hypergraph.
+// hypergraph. It only reads DB and H.
 type Enumerator struct {
-	DB *engine.DB
+	DB Source
 	H  *conflict.Hypergraph
 	// Limit caps the number of repairs (DefaultLimit when zero).
 	Limit int
@@ -151,14 +160,14 @@ func (e *Enumerator) Materialize() ([]*engine.DB, error) {
 }
 
 // cloneWithout copies every table of src, skipping the rows named in del.
-func cloneWithout(src *engine.DB, del []conflict.Vertex) (*engine.DB, error) {
+func cloneWithout(src Source, del []conflict.Vertex) (*engine.DB, error) {
 	drop := make(map[conflict.Vertex]bool, len(del))
 	for _, v := range del {
 		drop[v] = true
 	}
 	dst := engine.New()
 	for _, name := range src.TableNames() {
-		t, err := src.Table(name)
+		t, err := src.Relation(name)
 		if err != nil {
 			return nil, err
 		}

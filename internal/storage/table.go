@@ -5,6 +5,11 @@
 // Row identifiers (RowID) are stable for the lifetime of a table and are
 // the vertex identity used by the conflict hypergraph, so deletion must
 // never renumber rows — deleted rows leave a tombstone instead.
+//
+// Rows live in fixed-size slabs. A TableSnapshot captures the current
+// slab set; writers copy-on-write only the slabs a snapshot still
+// references, so snapshots are O(slabs) to take and readers of a snapshot
+// need no locking at all.
 package storage
 
 import (
@@ -49,8 +54,74 @@ type Change struct {
 	Tuple value.Tuple // stored (coerced) values; must not be mutated
 }
 
-// Table is an in-memory relation instance. It is safe for concurrent
-// readers; writers must not run concurrently with anything else.
+// Relation is the read surface shared by live tables and immutable
+// snapshots. Plans, the tuple index, and the repair enumerator read
+// through it so the same code serves both the live database and a pinned
+// point-in-time view.
+type Relation interface {
+	// Name returns the relation name.
+	Name() string
+	// Schema returns the relation schema (qualified by the relation name).
+	Schema() schema.Schema
+	// Len returns the number of live rows.
+	Len() int
+	// Row returns the row with the given id, or ok=false if the id is out
+	// of range or tombstoned.
+	Row(id RowID) (value.Tuple, bool)
+	// Rows materializes all live rows in RowID order.
+	Rows() []value.Tuple
+	// Scan calls fn for every live row in RowID order.
+	Scan(fn func(id RowID, row value.Tuple) error) error
+	// Indexes returns the indexes available for access-path selection.
+	Indexes() []*Index
+	// IndexLookup resolves key in ix consistently with this relation's
+	// synchronization (locked copy for live tables, direct access for
+	// snapshots). The returned slice must not be mutated.
+	IndexLookup(ix *Index, key value.Tuple) []RowID
+	// FullRowIndex returns a hash index over the entire row, building it
+	// on first use. It backs tuple-membership checks.
+	FullRowIndex() (*Index, error)
+}
+
+const (
+	slabShift = 8
+	// SlabSize is the number of row slots per slab.
+	SlabSize = 1 << slabShift
+	slabMask = SlabSize - 1
+)
+
+// slab is one fixed-capacity run of row slots. A slab referenced by a
+// snapshot is sealed; writers clone a sealed slab before mutating it, so
+// the snapshot's view stays frozen without copying the whole table.
+type slab struct {
+	rows   []value.Tuple // ≤ SlabSize entries
+	dead   []bool        // parallel to rows
+	sealed bool          // referenced by a snapshot; clone before writing
+}
+
+func newSlab() *slab {
+	return &slab{
+		rows: make([]value.Tuple, 0, SlabSize),
+		dead: make([]bool, 0, SlabSize),
+	}
+}
+
+// clone copies the slab's slices (tuples themselves are immutable and
+// shared). The copy starts unsealed.
+func (s *slab) clone() *slab {
+	cp := &slab{
+		rows: make([]value.Tuple, len(s.rows), SlabSize),
+		dead: make([]bool, len(s.dead), SlabSize),
+	}
+	copy(cp.rows, s.rows)
+	copy(cp.dead, s.dead)
+	return cp
+}
+
+// Table is an in-memory relation instance. Concurrent readers are always
+// safe; a single writer may run concurrently with readers (reads are
+// seqcst through t.mu), and writers are serialized with each other by the
+// engine's write sequencer plus emitMu.
 type Table struct {
 	// emitMu serializes writers with each other across the mutation AND
 	// its observer notification, so the change feed is delivered in
@@ -61,9 +132,11 @@ type Table struct {
 	mu        sync.RWMutex
 	name      string
 	schema    schema.Schema
-	rows      []value.Tuple
-	dead      []bool
+	slabs     []*slab
+	nrows     int // total row slots ever allocated (RowIDs range [0, nrows))
 	live      int
+	version   uint64 // bumped on every mutation; snapshots are cached per version
+	snap      *TableSnapshot
 	indexes   map[string]*Index
 	observers []func(Change)
 }
@@ -96,7 +169,15 @@ func (t *Table) Len() int {
 func (t *Table) Cap() int {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return len(t.rows)
+	return t.nrows
+}
+
+// Version returns the mutation counter; it changes exactly when the table
+// contents change.
+func (t *Table) Version() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.version
 }
 
 // Observe registers fn to be called after every successful Insert or
@@ -116,6 +197,17 @@ func (t *Table) notify(obs []func(Change), ch Change) {
 	for _, fn := range obs {
 		fn(ch)
 	}
+}
+
+// writableSlab returns the slab holding slot si, cloning it first if it is
+// sealed by a snapshot. Caller holds t.mu.
+func (t *Table) writableSlab(si int) *slab {
+	s := t.slabs[si]
+	if s.sealed {
+		s = s.clone()
+		t.slabs[si] = s
+	}
+	return s
 }
 
 // Insert appends a row after validating arity and coercing values to the
@@ -139,10 +231,17 @@ func (t *Table) Insert(row value.Tuple) (RowID, error) {
 		}
 		stored[i] = cv
 	}
-	id := RowID(len(t.rows))
-	t.rows = append(t.rows, stored)
-	t.dead = append(t.dead, false)
+	id := RowID(t.nrows)
+	si := t.nrows >> slabShift
+	if si == len(t.slabs) {
+		t.slabs = append(t.slabs, newSlab())
+	}
+	s := t.writableSlab(si)
+	s.rows = append(s.rows, stored)
+	s.dead = append(s.dead, false)
+	t.nrows++
 	t.live++
+	t.version++
 	for _, idx := range t.indexes {
 		idx.add(stored, id)
 	}
@@ -158,17 +257,20 @@ func (t *Table) Delete(id RowID) error {
 	t.emitMu.Lock()
 	defer t.emitMu.Unlock()
 	t.mu.Lock()
-	if int(id) < 0 || int(id) >= len(t.rows) {
+	if int(id) < 0 || int(id) >= t.nrows {
 		t.mu.Unlock()
 		return fmt.Errorf("storage: table %s has no row %d", t.name, id)
 	}
-	if t.dead[id] {
+	si, off := int(id)>>slabShift, int(id)&slabMask
+	if t.slabs[si].dead[off] {
 		t.mu.Unlock()
 		return fmt.Errorf("storage: table %s row %d already deleted", t.name, id)
 	}
-	t.dead[id] = true
+	s := t.writableSlab(si)
+	s.dead[off] = true
 	t.live--
-	gone := t.rows[id]
+	t.version++
+	gone := s.rows[off]
 	for _, idx := range t.indexes {
 		idx.remove(gone, id)
 	}
@@ -183,23 +285,32 @@ func (t *Table) Delete(id RowID) error {
 func (t *Table) Row(id RowID) (value.Tuple, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	if int(id) < 0 || int(id) >= len(t.rows) || t.dead[id] {
+	if int(id) < 0 || int(id) >= t.nrows {
 		return nil, false
 	}
-	return t.rows[id], true
+	s := t.slabs[int(id)>>slabShift]
+	off := int(id) & slabMask
+	if s.dead[off] {
+		return nil, false
+	}
+	return s.rows[off], true
 }
 
 // Scan calls fn for every live row in RowID order. Returning a non-nil
-// error from fn stops the scan and propagates the error.
+// error from fn stops the scan and propagates the error. The read lock is
+// held across fn; fn must not write to the table.
 func (t *Table) Scan(fn func(id RowID, row value.Tuple) error) error {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	for i, row := range t.rows {
-		if t.dead[i] {
-			continue
-		}
-		if err := fn(RowID(i), row); err != nil {
-			return err
+	for si, s := range t.slabs {
+		base := si << slabShift
+		for off, row := range s.rows {
+			if s.dead[off] {
+				continue
+			}
+			if err := fn(RowID(base+off), row); err != nil {
+				return err
+			}
 		}
 	}
 	return nil
@@ -211,12 +322,38 @@ func (t *Table) Rows() []value.Tuple {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	out := make([]value.Tuple, 0, t.live)
-	for i, row := range t.rows {
-		if !t.dead[i] {
-			out = append(out, row)
+	for _, s := range t.slabs {
+		for off, row := range s.rows {
+			if !s.dead[off] {
+				out = append(out, row)
+			}
 		}
 	}
 	return out
+}
+
+// Snapshot returns an immutable point-in-time view of the table. Taking a
+// snapshot seals the current slabs — writers clone a sealed slab before
+// touching it — and costs O(slabs). Snapshots of an unchanged table are
+// shared: the same *TableSnapshot is returned until the next mutation.
+func (t *Table) Snapshot() *TableSnapshot {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.snap != nil && t.snap.version == t.version {
+		return t.snap
+	}
+	for _, s := range t.slabs {
+		s.sealed = true
+	}
+	t.snap = &TableSnapshot{
+		name:    t.name,
+		schema:  t.schema,
+		slabs:   slices.Clone(t.slabs),
+		nrows:   t.nrows,
+		live:    t.live,
+		version: t.version,
+	}
+	return t.snap
 }
 
 // indexKey canonicalizes a column set for index lookup.
@@ -233,16 +370,22 @@ func indexKey(cols []int) string {
 	return b.String()
 }
 
+// fullRowCols returns the column list indexing the entire row.
+func fullRowCols(n int) []int {
+	cols := make([]int, n)
+	for i := range cols {
+		cols[i] = i
+	}
+	return cols
+}
+
 // EnsureIndex builds (or returns an existing) hash index over the given
 // column positions. An empty column list indexes the full row.
 func (t *Table) EnsureIndex(cols []int) (*Index, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(cols) == 0 {
-		cols = make([]int, t.schema.Len())
-		for i := range cols {
-			cols[i] = i
-		}
+		cols = fullRowCols(t.schema.Len())
 	}
 	for _, c := range cols {
 		if c < 0 || c >= t.schema.Len() {
@@ -258,17 +401,44 @@ func (t *Table) EnsureIndex(cols []int) (*Index, error) {
 		return idx, nil
 	}
 	idx := newIndex(cols)
-	for i, row := range t.rows {
-		if !t.dead[i] {
-			idx.add(row, RowID(i))
+	for si, s := range t.slabs {
+		base := si << slabShift
+		for off, row := range s.rows {
+			if !s.dead[off] {
+				idx.add(row, RowID(base+off))
+			}
 		}
 	}
 	t.indexes[key] = idx
 	return idx, nil
 }
 
+// FullRowIndex returns the index over all columns, building it on first
+// use.
+func (t *Table) FullRowIndex() (*Index, error) {
+	t.mu.RLock()
+	idx, ok := t.indexes[indexKey(fullRowCols(t.schema.Len()))]
+	t.mu.RUnlock()
+	if ok {
+		return idx, nil
+	}
+	return t.EnsureIndex(nil)
+}
+
+// IndexLookup returns the RowIDs whose indexed columns equal key,
+// synchronized against concurrent writers. The returned slice is a copy
+// and stays valid after the call.
+func (t *Table) IndexLookup(ix *Index, key value.Tuple) []RowID {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return slices.Clone(ix.Lookup(key))
+}
+
 // Index is a hash index over a subset of a table's columns, mapping the
-// encoded key of the indexed columns to the RowIDs holding it.
+// encoded key of the indexed columns to the RowIDs holding it. A live
+// table's indexes are mutated in place by writers; read them through the
+// table's locked accessors (or under external synchronization). Snapshot
+// indexes are immutable and safe to read directly.
 type Index struct {
 	cols    []int
 	buckets map[string][]RowID

@@ -1,0 +1,26 @@
+#!/usr/bin/env sh
+# Benchmark-regression guard: exercise the benchmark harness end to end so
+# bench code cannot rot. It fails on build errors, runtime errors, or
+# panics — never on timing (numbers are hardware-dependent and windows are
+# deliberately short).
+#
+# Covered: the Go benchmark wrappers for E1 (repair-enumeration demo),
+# E10 (incremental maintenance), and E11 (concurrent serving), each run
+# exactly once (-benchtime=1x), plus the hippobench CLI path for the same
+# experiments at quick scale.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+go build ./...
+
+echo "== bench wrappers (benchtime=1x) =="
+go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent)$' -benchtime=1x .
+
+echo "== hippobench CLI (quick scale) =="
+for exp in e1 e10 e11; do
+  go run ./cmd/hippobench -exp "$exp" -scale quick > /dev/null
+done
+
+echo "benchguard: OK"
