@@ -75,6 +75,10 @@ func BenchmarkE10Incremental(b *testing.B) { runExperiment(b, "e10") }
 // locked baseline (readers x writers sweep).
 func BenchmarkE11Concurrent(b *testing.B) { runExperiment(b, "e11") }
 
+// BenchmarkE12VerdictCache — hot queries + localized updates: the
+// component-scoped verdict cache vs full re-certification.
+func BenchmarkE12VerdictCache(b *testing.B) { runExperiment(b, "e12") }
+
 // BenchmarkAblationPruning — prover DFS with vs without early pruning.
 func BenchmarkAblationPruning(b *testing.B) { runExperiment(b, "ablation-pruning") }
 

@@ -1,4 +1,4 @@
-// Command hippobench runs the Hippo experiment suite (E1–E11 plus
+// Command hippobench runs the Hippo experiment suite (E1–E12 plus
 // ablations, see DESIGN.md §3) and prints each result as a Markdown table,
 // ready to paste into EXPERIMENTS.md.
 //
@@ -7,10 +7,12 @@
 //	hippobench                 # all experiments at full scale
 //	hippobench -scale quick    # fast smoke run
 //	hippobench -exp e3         # a single experiment
+//	hippobench -exp e12 -json  # machine-readable record (e.g. BENCH_E12.json)
 //	hippobench -sizes 1000,5000,20000
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +24,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id: all, e1..e11, ablation-pruning, ablation-detection")
-		scale = flag.String("scale", "full", "preset scale: quick or full")
-		sizes = flag.String("sizes", "", "comma-separated size override for sweeps (e.g. 1000,5000,20000)")
-		n     = flag.Int("n", 0, "fixed-size override for E4/E6/E7/E9/E10")
-		reps  = flag.Int("reps", 0, "repetitions per timing (min kept)")
+		exp     = flag.String("exp", "all", "experiment id: all, e1..e12, ablation-pruning, ablation-detection")
+		scale   = flag.String("scale", "full", "preset scale: quick or full")
+		sizes   = flag.String("sizes", "", "comma-separated size override for sweeps (e.g. 1000,5000,20000)")
+		n       = flag.Int("n", 0, "fixed-size override for E4/E6/E7/E9/E10/E12")
+		reps    = flag.Int("reps", 0, "repetitions per timing (min kept)")
+		jsonOut = flag.Bool("json", false, "emit the result table as JSON (single -exp only)")
 	)
 	flag.Parse()
 
@@ -60,6 +63,10 @@ func main() {
 	}
 
 	if strings.EqualFold(*exp, "all") {
+		if *jsonOut {
+			fmt.Fprintln(os.Stderr, "hippobench: -json requires a single -exp")
+			os.Exit(2)
+		}
 		if err := bench.RunAll(os.Stdout, sc); err != nil {
 			fmt.Fprintf(os.Stderr, "hippobench: %v\n", err)
 			os.Exit(1)
@@ -70,6 +77,15 @@ func main() {
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hippobench: %v\n", err)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(tbl); err != nil {
+			fmt.Fprintf(os.Stderr, "hippobench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	fmt.Println(tbl.Markdown())
 }

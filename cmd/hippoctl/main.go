@@ -13,7 +13,7 @@
 //	\cq <select>                consistent answers (Hippo)
 //	\cqn <select>               consistent answers with the naive prover
 //	\rw <select>                consistent answers via query rewriting
-//	\maint                      hypergraph maintenance stats (deltas, rebuilds)
+//	\maint                      maintenance stats (deltas, rebuilds, verdict cache)
 //	\repairs                    count repairs (small instances only)
 //	\load <file.sql>            execute semicolon-separated statements from a file
 //	\help                       this text
@@ -134,6 +134,9 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 			m.FullRebuilds, sys.PendingDeltas())
 		fmt.Fprintf(out, "epoch=%d views-published=%d views-reclaimed=%d slabs-reclaimed=%d\n",
 			sys.Epoch(), m.ViewsPublished, m.ViewsReclaimed, m.SlabsReclaimed)
+		c := sys.CacheStats()
+		fmt.Fprintf(out, "verdict-cache: entries=%d hits=%d misses=%d stores=%d invalidated=%d evicted=%d resets=%d\n",
+			c.Entries, c.Hits, c.Misses, c.Stores, c.Invalidated, c.Evicted, c.Resets)
 	case "repairs":
 		n, err := db.CountRepairs()
 		if err != nil {
@@ -204,7 +207,7 @@ const helpText = `  SQL statements run directly (CREATE TABLE / INSERT / DELETE 
   \cq <select>                consistent answers (Hippo, indexed prover)
   \cqn <select>               consistent answers (naive prover)
   \rw <select>                consistent answers via query rewriting
-  \maint                      hypergraph maintenance stats (deltas, rebuilds)
+  \maint                      maintenance stats (deltas, rebuilds, verdict cache)
   \repairs                    count repairs (exponential; small data only)
   \load <file.sql>            run statements from a file
   \quit                       exit`

@@ -177,6 +177,20 @@ func WithoutPruning() Option {
 	return func(o *core.Options) { o.DisablePruning = true }
 }
 
+// WithoutVerdictCache bypasses the component-scoped verdict cache: every
+// candidate is re-certified from scratch (the E12 baseline).
+func WithoutVerdictCache() Option {
+	return func(o *core.Options) { o.DisableVerdictCache = true }
+}
+
+// WithGlobalCertification disables the prover's component decomposition,
+// running one blocking-edge search over all negative atoms jointly — the
+// pre-decomposition architecture, kept for ablations and differential
+// testing. Implies an uncached run.
+func WithGlobalCertification() Option {
+	return func(o *core.Options) { o.GlobalCertification = true }
+}
+
 // ConsistentQuery computes the consistent answers to an SJUD query: the
 // tuples present in the query result of every repair. Any number of
 // ConsistentQuery calls run concurrently with each other and with

@@ -226,6 +226,7 @@ func RunAll(w io.Writer, sc Scale) error {
 		E9Overhead,
 		E10IncrementalMaintenance,
 		E11ConcurrentServing,
+		E12VerdictCache,
 		AblationPruning,
 		AblationDetection,
 	}
@@ -241,7 +242,7 @@ func RunAll(w io.Writer, sc Scale) error {
 	return nil
 }
 
-// Run executes a single experiment by id ("e1".."e11", "ablation-pruning",
+// Run executes a single experiment by id ("e1".."e12", "ablation-pruning",
 // "ablation-detection").
 func Run(id string, sc Scale) (Table, error) {
 	switch strings.ToLower(id) {
@@ -267,6 +268,8 @@ func Run(id string, sc Scale) (Table, error) {
 		return E10IncrementalMaintenance(sc)
 	case "e11", "concurrent":
 		return E11ConcurrentServing(sc)
+	case "e12", "verdict-cache":
+		return E12VerdictCache(sc)
 	case "ablation-pruning":
 		return AblationPruning(sc)
 	case "ablation-detection":

@@ -1,0 +1,141 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"hippo/internal/core"
+)
+
+// E12VerdictCache measures a hot-query stream under localized updates —
+// the steady-state serving pattern the component-scoped verdict cache
+// targets. Each round applies a few single-row updates confined to a
+// small id range (so only the conflict components around those ids change
+// fingerprint) and then re-runs a fixed set of certification-heavy
+// queries. Three regimes execute the identical statement stream:
+//
+//   - pr2-global: the pre-decomposition path — one global blocking-edge
+//     search per candidate, no memoization (Options.GlobalCertification);
+//   - component: component-scoped certification, still re-certifying
+//     every candidate per query (Options.DisableVerdictCache);
+//   - comp+cache: the live pipeline — verdicts carried across published
+//     views and invalidated only for components whose fingerprint changed
+//     (plus membership-flipped atoms).
+//
+// All regimes must agree on every answer count; the headline number is
+// the cached regime's speedup over pr2-global.
+func E12VerdictCache(sc Scale) (Table, error) {
+	n := sc.N
+	rounds := 20
+	if sc.Reps > 1 {
+		rounds *= sc.Reps
+	}
+	// Updates stay inside a small id prefix: the rest of the conflict
+	// components — and therefore the cached verdicts touching them — are
+	// never invalidated.
+	locality := n / 64
+	if locality < 8 {
+		locality = 8
+	}
+	queries := []string{selectionQuery, differenceQuery}
+	t := Table{
+		ID: "E12",
+		Title: fmt.Sprintf("Hot queries + localized updates: verdict cache vs re-certification (n=%d, %d rounds, update locality %d ids)",
+			n, rounds, locality),
+		Header: []string{"regime", "total ms", "ms/query", "prover ms", "cache hits", "cache misses",
+			"invalidated", "answers"},
+		Notes: "Each round inserts one colliding row and deletes the hot row inserted two rounds " +
+			"earlier (both confined to the id prefix), then re-runs the hot queries (" +
+			selectionQuery + "; " + differenceQuery + "). " +
+			"pr2-global is the pre-decomposition certification path; component adds the " +
+			"per-component search; comp+cache additionally reuses verdicts across views, " +
+			"re-certifying only candidates whose component fingerprint (or membership) changed.",
+	}
+
+	type regimeResult struct {
+		elapsed time.Duration
+		prover  time.Duration
+		hits    int64
+		misses  int64
+		inval   int64
+		answers int
+		queries int
+	}
+	runRegime := func(opts core.Options) (regimeResult, error) {
+		var out regimeResult
+		sys, _, err := empSystem(n, 0.08, 31)
+		if err != nil {
+			return out, err
+		}
+		db := sys.DB()
+		base := sys.CacheStats()
+		start := time.Now()
+		for round := 0; round < rounds; round++ {
+			// Two localized updates: one insert that collides with an
+			// existing id (new conflict edge in that id's component) and,
+			// from round 2 on, one delete of the hot row inserted two
+			// rounds earlier (removing its conflict edges — the
+			// component-split path of cache invalidation).
+			id := round % locality
+			stmt := fmt.Sprintf("INSERT INTO emp VALUES (%d, 'hot%06d', %d, %d)",
+				id, round, round%100, 95000+round%20000)
+			if _, _, err := db.Exec(stmt); err != nil {
+				return out, err
+			}
+			if old := round - 2; old >= 0 {
+				if _, n, err := db.Exec(fmt.Sprintf("DELETE FROM emp WHERE name = 'hot%06d'", old)); err != nil {
+					return out, err
+				} else if n != 1 {
+					return out, fmt.Errorf("bench: delete of hot%06d removed %d rows, want 1", old, n)
+				}
+			}
+			for _, q := range queries {
+				_, st, err := sys.ConsistentQuery(q, opts)
+				if err != nil {
+					return out, err
+				}
+				out.prover += st.ProverTime
+				out.answers += st.Answers
+				out.queries++
+			}
+		}
+		out.elapsed = time.Since(start)
+		cs := sys.CacheStats().Sub(base)
+		out.hits, out.misses, out.inval = cs.Hits, cs.Misses, cs.Invalidated
+		return out, nil
+	}
+
+	regimes := []struct {
+		name string
+		opts core.Options
+	}{
+		{"pr2-global", core.Options{GlobalCertification: true}},
+		{"component", core.Options{DisableVerdictCache: true}},
+		{"comp+cache", core.Options{}},
+	}
+	results := make([]regimeResult, len(regimes))
+	for i, r := range regimes {
+		res, err := runRegime(r.opts)
+		if err != nil {
+			return t, err
+		}
+		results[i] = res
+		if res.answers != results[0].answers {
+			return t, fmt.Errorf("bench: regime %s produced %d answers, %s produced %d",
+				r.name, res.answers, regimes[0].name, results[0].answers)
+		}
+		t.Rows = append(t.Rows, []string{
+			r.name, ms(res.elapsed),
+			fmt.Sprintf("%.3f", float64(res.elapsed.Microseconds())/1000.0/float64(res.queries)),
+			ms(res.prover),
+			fmt.Sprint(res.hits), fmt.Sprint(res.misses), fmt.Sprint(res.inval),
+			fmt.Sprint(res.answers),
+		})
+	}
+	if cached := results[len(results)-1]; cached.elapsed > 0 {
+		t.Notes += fmt.Sprintf(" Speedup comp+cache vs pr2-global: %.1fx total, %.1fx certification.",
+			float64(results[0].elapsed)/float64(cached.elapsed),
+			float64(results[0].prover)/float64(cached.prover))
+	}
+	return t, nil
+}

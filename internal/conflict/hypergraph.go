@@ -78,12 +78,20 @@ type hgState struct {
 	liveEdges int
 	byVertex  map[Vertex][]int // vertex -> live slots into edges
 	keys      map[string]int   // canonical edge key -> live slot
+
+	// Connected-component labeling, maintained eagerly by every edge
+	// mutation (see components.go).
+	compOf   map[Vertex]uint64   // conflicting vertex -> component id
+	comps    map[uint64]compInfo // component id -> fingerprint and sizes
+	nextComp uint64              // id allocator (unique per mutation lineage)
 }
 
 func newHGState() *hgState {
 	return &hgState{
 		byVertex: make(map[Vertex][]int),
 		keys:     make(map[string]int),
+		compOf:   make(map[Vertex]uint64),
+		comps:    make(map[uint64]compInfo),
 	}
 }
 
@@ -96,12 +104,21 @@ func (st *hgState) clone() *hgState {
 		liveEdges: st.liveEdges,
 		byVertex:  make(map[Vertex][]int, len(st.byVertex)),
 		keys:      make(map[string]int, len(st.keys)),
+		compOf:    make(map[Vertex]uint64, len(st.compOf)),
+		comps:     make(map[uint64]compInfo, len(st.comps)),
+		nextComp:  st.nextComp,
 	}
 	for v, slots := range st.byVertex {
 		cp.byVertex[v] = slices.Clone(slots)
 	}
 	for k, i := range st.keys {
 		cp.keys[k] = i
+	}
+	for v, id := range st.compOf {
+		cp.compOf[v] = id
+	}
+	for id, ci := range st.comps {
+		cp.comps[id] = ci
 	}
 	return cp
 }
@@ -115,6 +132,9 @@ type Hypergraph struct {
 	// shared marks st as referenced by a snapshot (or a COW clone);
 	// mutators copy the state before writing.
 	shared bool
+	// changes, when non-nil, records component-level mutation effects for
+	// delta-precise cache invalidation (see BeginChangeLog).
+	changes *ChangeLog
 }
 
 // NewHypergraph returns an empty hypergraph.
@@ -159,6 +179,7 @@ func (h *Hypergraph) AddEdge(verts []Vertex, label string) bool {
 	for _, v := range e.Verts {
 		st.byVertex[v] = append(st.byVertex[v], idx)
 	}
+	h.compEdgeAdded(e)
 	return true
 }
 
@@ -222,6 +243,7 @@ func (h *Hypergraph) removeSlot(idx int) {
 			st.byVertex[v] = slots
 		}
 	}
+	h.compEdgeRemoved(e)
 }
 
 // maybeCompact reclaims tombstoned edge slots once they outnumber live
@@ -377,6 +399,8 @@ type Stats struct {
 	ConflictingVertices int
 	MaxDegree           int
 	MaxEdgeSize         int
+	Components          int // connected components
+	MaxComponent        int // vertices in the largest component
 }
 
 // Stats computes summary statistics.
@@ -385,6 +409,12 @@ func (h *Hypergraph) Stats() Stats {
 	out := Stats{
 		Edges:               st.liveEdges,
 		ConflictingVertices: len(st.byVertex),
+		Components:          len(st.comps),
+	}
+	for _, ci := range st.comps {
+		if ci.verts > out.MaxComponent {
+			out.MaxComponent = ci.verts
+		}
 	}
 	for _, idxs := range st.byVertex {
 		if len(idxs) > out.MaxDegree {

@@ -41,6 +41,7 @@ import (
 	"hippo/internal/rewrite"
 	"hippo/internal/sqlparse"
 	"hippo/internal/storage"
+	"hippo/internal/verdictcache"
 )
 
 // ProverMode selects how the Prover answers membership checks.
@@ -75,6 +76,14 @@ type Options struct {
 	// under the shared lock, reproducing the pre-snapshot architecture.
 	// It exists as the baseline of the E11 concurrency experiment.
 	Serialized bool
+	// DisableVerdictCache bypasses the per-candidate verdict memo for
+	// this call: every candidate is re-certified from scratch. It is the
+	// baseline of the E12 experiment and a differential-testing knob.
+	DisableVerdictCache bool
+	// GlobalCertification disables the component decomposition in the
+	// prover: one blocking-edge search over all negative atoms jointly,
+	// as before component maintenance existed. Implies an uncached run.
+	GlobalCertification bool
 }
 
 // Stats reports one ConsistentQuery run, stage by stage (mirroring the
@@ -84,8 +93,10 @@ type Stats struct {
 	Evaluation   time.Duration // Evaluation of the envelope by the engine
 	ProverTime   time.Duration // Prover over all candidates
 	Total        time.Duration
-	Candidates   int // tuples produced by the envelope
-	Answers      int // consistent answers
+	Candidates   int   // tuples produced by the envelope
+	Answers      int   // consistent answers
+	CacheHits    int64 // candidates answered from the verdict cache
+	CacheMisses  int64 // candidates certified and stored
 	ProverStats  prover.Stats
 	EngineQuery  int64 // engine queries issued during the run
 	DetectStats  conflict.DetectStats
@@ -110,6 +121,9 @@ type MaintenanceStats struct {
 	ViewsPublished int64 // query views published (== current epoch)
 	ViewsReclaimed int64 // retired views dropped after their last unpin
 	SlabsReclaimed int64 // storage slabs uniquely retired by those views
+	// Cache is the verdict cache's lifetime counters, snapshotted at the
+	// view's publication (System.CacheStats reads them live).
+	Cache verdictcache.Stats
 }
 
 // Sub returns the counter-wise difference m - o.
@@ -120,6 +134,7 @@ func (m MaintenanceStats) Sub(o MaintenanceStats) MaintenanceStats {
 		ViewsPublished:   m.ViewsPublished - o.ViewsPublished,
 		ViewsReclaimed:   m.ViewsReclaimed - o.ViewsReclaimed,
 		SlabsReclaimed:   m.SlabsReclaimed - o.SlabsReclaimed,
+		Cache:            m.Cache.Sub(o.Cache),
 	}
 }
 
@@ -182,6 +197,11 @@ type System struct {
 	pmu     sync.Mutex
 	pins    map[uint64]int
 	retired []retiredView
+
+	// vcache memoizes certification verdicts across published views; it
+	// is invalidated delta-precisely at each publication and cleared on
+	// full re-detections. Internally synchronized.
+	vcache *verdictcache.Cache
 }
 
 // NewSystem creates a Hippo system over db with the given constraints and
@@ -189,7 +209,12 @@ type System struct {
 // trigger it) before querying, and Close when discarding the system while
 // the database lives on.
 func NewSystem(db *engine.DB, cs []constraint.Constraint) *System {
-	s := &System{db: db, constraints: cs, pins: make(map[uint64]int)}
+	s := &System{
+		db:          db,
+		constraints: cs,
+		pins:        make(map[uint64]int),
+		vcache:      verdictcache.New(0),
+	}
 	s.stale.Store(true)
 	db.AddListener(s)
 	return s
@@ -345,8 +370,13 @@ func (s *System) GraphStats() conflict.Stats {
 func (s *System) Maintenance() MaintenanceStats {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
-	return s.maint
+	m := s.maint
+	m.Cache = s.vcache.Stats()
+	return m
 }
+
+// CacheStats reports the verdict cache's live counters.
+func (s *System) CacheStats() verdictcache.Stats { return s.vcache.Stats() }
 
 // Epoch returns the epoch of the most recently published query view (0
 // before the first publication).
@@ -408,11 +438,21 @@ func (s *System) refreshViewLocked() (*queryView, error) {
 	s.pending = nil
 	full := !s.analyzed || s.needFull
 	s.qmu.Unlock()
-	var err error
+	var (
+		err        error
+		cacheReset = full
+		log        *conflict.ChangeLog
+	)
 	if full {
 		err = s.analyzeFullFrozen()
 	} else if len(pending) > 0 {
+		hgBefore := s.hg
+		hgBefore.BeginChangeLog()
 		err = s.applyDeltasFrozen(pending)
+		log = hgBefore.TakeChangeLog()
+		if s.hg != hgBefore {
+			cacheReset = true // probe failure fell back to a full rebuild
+		}
 	}
 	if err != nil {
 		release()
@@ -427,6 +467,21 @@ func (s *System) refreshViewLocked() (*queryView, error) {
 	snap := s.db.SnapshotFrozen()
 	hgSnap := s.hg.Snapshot()
 	s.epoch++
+	// Carry the verdict cache into the new epoch: a full rebuild discards
+	// it wholesale (component identities restart), a delta drain drops
+	// exactly the entries whose dependencies the deltas touched.
+	if cacheReset {
+		s.vcache.Reset(s.epoch)
+	} else if log != nil {
+		touched := make([]uint64, 0, len(log.Touched))
+		for id := range log.Touched {
+			touched = append(touched, id)
+		}
+		s.vcache.Advance(s.epoch, s.cacheInvalidationsFrozen(pending, log), touched)
+	} else {
+		s.vcache.Advance(s.epoch, nil, nil)
+	}
+	s.maint.Cache = s.vcache.Stats()
 	s.maint.ViewsPublished++
 	v := &queryView{
 		epoch:      s.epoch,
@@ -444,6 +499,31 @@ func (s *System) refreshViewLocked() (*queryView, error) {
 	s.stale.Store(false)
 	release()
 	return v, nil
+}
+
+// cacheInvalidationsFrozen derives the dependency atom keys a delta drain
+// invalidates: the inserted/deleted tuples themselves (their membership
+// status flipped) plus the tuples of every vertex on an added edge (a
+// previously conflict-free tuple drawn into a conflict belongs to no
+// component id any cache entry could reference). The caller holds mu and
+// the engine write freeze, so row lookups read a consistent cut; a vertex
+// deleted later in the same batch is skipped — its own delete delta
+// already invalidates it.
+func (s *System) cacheInvalidationsFrozen(pending []conflict.Delta, log *conflict.ChangeLog) []string {
+	atoms := make([]string, 0, len(pending)+len(log.AddedEdgeVerts))
+	for _, d := range pending {
+		atoms = append(atoms, prover.DepAtomKey(d.Table, d.Change.Tuple))
+	}
+	for v := range log.AddedEdgeVerts {
+		rel, err := s.db.Relation(v.Rel)
+		if err != nil {
+			continue
+		}
+		if row, ok := rel.Row(v.Row); ok {
+			atoms = append(atoms, prover.DepAtomKey(v.Rel, row))
+		}
+	}
+	return atoms
 }
 
 // applyDeltasFrozen folds queued deltas into the hypergraph; a probe
@@ -668,7 +748,10 @@ func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*e
 	// check is independent, so certification fans out over a bounded pool
 	// of workers (one prover each — the view's hypergraph and tuple index
 	// are immutable) and results are collected by candidate position, so
-	// the answer order matches the sequential run exactly.
+	// the answer order matches the sequential run exactly. Verdicts hit
+	// the cache first (default mode only: ablation and baseline modes
+	// must measure real work), and misses are certified with dependency
+	// tracking and stored for later views.
 	t0 = time.Now()
 	var member prover.Membership
 	if opts.Mode == ProverNaive {
@@ -676,23 +759,40 @@ func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*e
 	} else {
 		member = prover.IndexedMembership{TI: v.ti}
 	}
-	workers := runtime.GOMAXPROCS(0)
+	useCache := opts.Mode == ProverIndexed && !opts.DisablePruning &&
+		!opts.Serialized && !opts.DisableVerdictCache && !opts.GlobalCertification
+	var querySig string
+	var compResolve verdictcache.ComponentResolver
+	if useCache {
+		querySig = verdictcache.QuerySignature(stats.QueryPlan)
+		compResolve = v.hg.Graph().Component
+	}
+	poolSize := runtime.GOMAXPROCS(0)
+	workers := poolSize
 	if workers > len(candidates.Rows) {
 		workers = len(candidates.Rows)
 	}
 	if workers < 1 {
 		workers = 1
 	}
+	// Pool capacity not consumed by per-candidate workers fans a single
+	// candidate's independent components out in parallel instead.
+	var compPool chan struct{}
+	if spare := poolSize - workers; spare > 0 {
+		compPool = make(chan struct{}, spare)
+	}
 	stats.Workers = workers
 	keep := make([]bool, len(candidates.Rows))
 	provers := make([]*prover.Prover, workers)
 	errs := make([]error, workers)
-	var next atomic.Int64
+	var next, cacheHits, cacheMisses atomic.Int64
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		p := prover.New(v.hg.Graph(), member)
 		p.DisablePruning = opts.DisablePruning
+		p.DisableComponents = opts.GlobalCertification
+		p.Pool = compPool
 		provers[w] = p
 		wg.Add(1)
 		go func(w int, p *prover.Prover) {
@@ -702,7 +802,26 @@ func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*e
 				if i >= len(candidates.Rows) {
 					return
 				}
-				ok, err := p.IsConsistentAnswer(plan, candidates.Rows[i])
+				row := candidates.Rows[i]
+				if useCache {
+					key := verdictcache.Key(querySig, row.Key())
+					if verdict, ok := s.vcache.Lookup(key, v.epoch, compResolve); ok {
+						cacheHits.Add(1)
+						keep[i] = verdict
+						continue
+					}
+					cacheMisses.Add(1)
+					ok, deps, err := p.CertifyAnswer(plan, row)
+					if err != nil {
+						errs[w] = err
+						failed.Store(true)
+						return
+					}
+					s.vcache.Store(key, v.epoch, ok, deps.Atoms, deps.Comps)
+					keep[i] = ok
+					continue
+				}
+				ok, err := p.IsConsistentAnswer(plan, row)
 				if err != nil {
 					errs[w] = err
 					failed.Store(true)
@@ -713,6 +832,8 @@ func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*e
 		}(w, p)
 	}
 	wg.Wait()
+	stats.CacheHits = cacheHits.Load()
+	stats.CacheMisses = cacheMisses.Load()
 	for _, err := range errs {
 		if err != nil {
 			return nil, nil, err
@@ -802,7 +923,8 @@ func FormatStats(st *Stats) string {
 		"mode=%s candidates=%d answers=%d workers=%d epoch=%d\n"+
 			"envelope=%v evaluation=%v prover=%v total=%v\n"+
 			"membership-checks=%d disjuncts=%d blocker-choices=%d engine-queries=%d\n"+
-			"hypergraph: edges=%d conflicting-tuples=%d max-degree=%d\n"+
+			"hypergraph: edges=%d conflicting-tuples=%d max-degree=%d components=%d max-component=%d\n"+
+			"verdict-cache: hits=%d misses=%d entries=%d invalidated=%d\n"+
 			"maintenance: deltas=%d edges+%d edges-%d full-rebuilds=%d\n"+
 			"snapshots: published=%d reclaimed=%d slabs-reclaimed=%d",
 		st.ProverMode, st.Candidates, st.Answers, st.Workers, st.Epoch,
@@ -810,6 +932,9 @@ func FormatStats(st *Stats) string {
 		st.ProverStats.MembershipChecks, st.ProverStats.Disjuncts,
 		st.ProverStats.BlockerChoices, st.EngineQuery,
 		st.GraphStats.Edges, st.GraphStats.ConflictingVertices, st.GraphStats.MaxDegree,
+		st.GraphStats.Components, st.GraphStats.MaxComponent,
+		st.CacheHits, st.CacheMisses,
+		st.Maintenance.Cache.Entries, st.Maintenance.Cache.Invalidated,
 		st.Maintenance.DeltasApplied, st.Maintenance.EdgesAdded,
 		st.Maintenance.EdgesRemoved, st.Maintenance.FullRebuilds,
 		st.Maintenance.ViewsPublished, st.Maintenance.ViewsReclaimed,

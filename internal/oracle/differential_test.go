@@ -126,6 +126,24 @@ func TestDifferentialFastPathVsOracle(t *testing.T) {
 				t.Fatalf("instance %d query %q:\nfast path: %s\noracle:    %s\nconstraints: %v",
 					instances, q, tupleSet(got.Rows), tupleSet(want), cs)
 			}
+			// Cached-path coverage: the first run stored verdicts in the
+			// component-scoped cache; a repeat serves from it and must
+			// agree, as must an explicitly uncached run.
+			cachedAgain, st, err := h.ConsistentQuery(q)
+			if err != nil {
+				t.Fatalf("cached repeat %q: %v", q, err)
+			}
+			if tupleSet(cachedAgain.Rows) != tupleSet(want) {
+				t.Fatalf("instance %d query %q: cached repeat disagrees (hits=%d):\ncached: %s\noracle: %s",
+					instances, q, st.CacheHits, tupleSet(cachedAgain.Rows), tupleSet(want))
+			}
+			uncached, _, err := h.ConsistentQuery(q, hippo.WithoutVerdictCache())
+			if err != nil {
+				t.Fatalf("uncached %q: %v", q, err)
+			}
+			if tupleSet(uncached.Rows) != tupleSet(want) {
+				t.Fatalf("instance %d query %q: uncached path disagrees with oracle", instances, q)
+			}
 			enum, err := h.OracleConsistentQuery(q)
 			if err == nil && tupleSet(enum) != tupleSet(want) {
 				t.Fatalf("instance %d query %q: repair enumerator disagrees with oracle:\nenum:   %s\noracle: %s",
@@ -138,4 +156,84 @@ func TestDifferentialFastPathVsOracle(t *testing.T) {
 		}
 	}
 	t.Logf("compared %d instances (%d attempts)", instances, attempts)
+}
+
+// TestDifferentialCachedPathUnderUpdates stresses the verdict cache's
+// delta invalidation: random instances receive interleaved single-row
+// updates (including on the unconstrained s, which changes membership
+// without touching the hypergraph), and after every round the cached fast
+// path, the uncached path, and a freshly built brute-force oracle must
+// agree on every query. A stale cache entry served after an update shows
+// up as a three-way disagreement.
+func TestDifferentialCachedPathUnderUpdates(t *testing.T) {
+	const wantInstances = 30
+	rng := rand.New(rand.NewSource(20260730))
+	queries := []string{
+		"SELECT * FROM r",
+		"SELECT * FROM r WHERE a <= 1",
+		"SELECT * FROM r EXCEPT SELECT * FROM r WHERE a = 0",
+		"SELECT * FROM r EXCEPT SELECT * FROM s",
+		"SELECT * FROM r, s WHERE r.a = s.a",
+	}
+	update := func(h *hippo.DB) {
+		switch rng.Intn(4) {
+		case 0:
+			h.MustExec(fmt.Sprintf("INSERT INTO r VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
+		case 1:
+			h.MustExec(fmt.Sprintf("DELETE FROM r WHERE a = %d AND b = %d", rng.Intn(4), rng.Intn(3)))
+		case 2:
+			h.MustExec(fmt.Sprintf("INSERT INTO s VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
+		default:
+			h.MustExec(fmt.Sprintf("DELETE FROM s WHERE a = %d", rng.Intn(4)))
+		}
+	}
+	instances, attempts := 0, 0
+	for instances < wantInstances {
+		attempts++
+		if attempts > wantInstances*20 {
+			t.Fatalf("could not build %d comparable instances in %d attempts", wantInstances, attempts)
+		}
+		h, cs, ok := randInstance(rng)
+		if !ok {
+			continue
+		}
+		compared := false
+		ran := true
+		for round := 0; round < 4 && ran; round++ {
+			if round > 0 {
+				for n := 1 + rng.Intn(2); n > 0; n-- {
+					update(h)
+				}
+			}
+			// Rebuild the oracle from the current database state.
+			o := &oracle.Oracle{DB: h.Engine(), Constraints: cs, MaxConflicting: 10}
+			if _, err := o.Repairs(); err != nil {
+				ran = false // updates grew the conflict set past the oracle bound
+				break
+			}
+			for _, q := range queries {
+				want, err := o.ConsistentAnswers(q)
+				if err != nil {
+					t.Fatalf("oracle %q: %v", q, err)
+				}
+				cached, _, err := h.ConsistentQuery(q)
+				if err != nil {
+					continue // outside Hippo's class for this constraint set
+				}
+				uncached, _, err := h.ConsistentQuery(q, hippo.WithoutVerdictCache())
+				if err != nil {
+					t.Fatalf("uncached %q: %v", q, err)
+				}
+				if tupleSet(cached.Rows) != tupleSet(want) || tupleSet(uncached.Rows) != tupleSet(want) {
+					t.Fatalf("instance %d round %d query %q:\ncached:   %s\nuncached: %s\noracle:   %s\nconstraints: %v",
+						instances, round, q, tupleSet(cached.Rows), tupleSet(uncached.Rows), tupleSet(want), cs)
+				}
+				compared = true
+			}
+		}
+		if compared {
+			instances++
+		}
+	}
+	t.Logf("compared %d instances under updates (%d attempts)", instances, attempts)
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"strings"
+	"sync"
 
 	"hippo/internal/conflict"
 	"hippo/internal/engine"
@@ -93,6 +94,8 @@ type Stats struct {
 	MembershipChecks int64 // base-relation membership checks
 	BlockerChoices   int64 // blocking-edge assignments explored
 	Pruned           int64 // DFS branches cut by early independence checks
+	Components       int64 // per-component sub-searches solved
+	ParallelComps    int64 // sub-searches run concurrently on a pool token
 }
 
 // Add accumulates o into s; the core uses it to merge per-worker counters
@@ -103,6 +106,33 @@ func (s *Stats) Add(o Stats) {
 	s.MembershipChecks += o.MembershipChecks
 	s.BlockerChoices += o.BlockerChoices
 	s.Pruned += o.Pruned
+	s.Components += o.Components
+	s.ParallelComps += o.ParallelComps
+}
+
+// Deps lists everything a certification verdict depended on, for precise
+// cache invalidation: the membership status of every atom the prover
+// resolved, and the conflict components it searched. The verdict stays
+// valid exactly while all of those are unchanged — an update that neither
+// flips a listed atom's membership nor touches a listed component cannot
+// change the outcome, because the blocker search never leaves the
+// components of the resolved vertices.
+type Deps struct {
+	Atoms []string // DepAtomKey of every membership status consulted
+	Comps []conflict.ComponentRef
+}
+
+// DepAtomKey is the canonical dependency key for "tuple t ∈ rel": the
+// verdict cache indexes entries by it and the core derives the same key
+// from DML deltas to invalidate them.
+func DepAtomKey(rel string, t value.Tuple) string {
+	return strings.ToLower(rel) + "|" + t.Key()
+}
+
+// depTracker deduplicates dependencies during one certification.
+type depTracker struct {
+	atoms map[string]struct{}
+	comps map[uint64]uint64 // component id -> fingerprint
 }
 
 // Prover checks candidate tuples against the conflict hypergraph.
@@ -112,7 +142,18 @@ type Prover struct {
 	// DisablePruning delays independence checking to complete blocker
 	// assignments (the ablation in BenchmarkAblationPruning).
 	DisablePruning bool
+	// DisableComponents falls back to the single global blocker search
+	// over all negative atoms jointly (the pre-decomposition architecture,
+	// kept as the E12 baseline and for differential testing).
+	DisableComponents bool
+	// Pool, when non-nil, is a shared token semaphore: a disjunct whose
+	// atoms span several conflict components runs the per-component
+	// sub-searches concurrently, one borrowed token per extra goroutine.
+	// Acquisition never blocks — without a free token the sub-search runs
+	// inline — so sharing the core's certification pool cannot deadlock.
+	Pool chan struct{}
 
+	deps  *depTracker
 	Stats Stats
 }
 
@@ -129,6 +170,23 @@ func (p *Prover) IsConsistentAnswer(plan ra.Node, t value.Tuple) (bool, error) {
 		return false, err
 	}
 	return p.IsConsistent(f)
+}
+
+// CertifyAnswer is IsConsistentAnswer plus dependency tracking: it also
+// returns what the verdict depended on, for the verdict cache. Tracking
+// only spans this call.
+func (p *Prover) CertifyAnswer(plan ra.Node, t value.Tuple) (bool, Deps, error) {
+	p.deps = &depTracker{atoms: make(map[string]struct{}), comps: make(map[uint64]uint64)}
+	ok, err := p.IsConsistentAnswer(plan, t)
+	d := Deps{}
+	for a := range p.deps.atoms {
+		d.Atoms = append(d.Atoms, a)
+	}
+	for id, fp := range p.deps.comps {
+		d.Comps = append(d.Comps, conflict.ComponentRef{ID: id, FP: fp})
+	}
+	p.deps = nil
+	return ok, d, err
 }
 
 // IsConsistent reports whether the ground formula f holds in every repair.
@@ -160,7 +218,187 @@ func (p *Prover) IsConsistent(f Formula) (bool, error) {
 // negative atom such that the union S of positive atoms and blocker
 // remainders stays independent and avoids all negative atoms; any maximal
 // independent extension of such an S is a witnessing repair.
+//
+// Because no hyperedge crosses a component boundary, the search factors
+// over the connected components of the resolved vertices: blockers and
+// independence checks for atoms in different components never interact,
+// so each component is searched on its own — cost exponential only in the
+// largest component, never in the whole disjunct — and independent
+// components can be searched in parallel (see Pool).
 func (p *Prover) SatisfiableInSomeRepair(d Disjunct) (bool, error) {
+	if p.DisableComponents {
+		return p.satisfiableGlobal(d)
+	}
+	groups, nset, live, err := p.resolveDisjunct(d)
+	if err != nil || !live {
+		return false, err
+	}
+	if p.Pool != nil && len(groups) > 1 {
+		return p.solveComponentsParallel(groups, nset)
+	}
+	for i := range groups {
+		ok, err := p.solveComponent(&groups[i].compTask, nset)
+		if err != nil || !ok {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// compTask is one component's share of a disjunct: the positive vertices
+// that must be jointly independent and the negative vertices that each
+// need a blocking edge, all within a single component.
+type compTask struct {
+	pos []conflict.Vertex
+	neg []conflict.Vertex
+}
+
+// compGroup pairs a component id with its task. Disjuncts touch very few
+// components, so groups live in a linearly scanned slice — cheaper than a
+// map on the per-candidate hot path.
+type compGroup struct {
+	id uint64
+	compTask
+}
+
+// resolveDisjunct resolves every atom of d and groups the conflicting
+// vertices by component. live=false reports an early refutation: a
+// positive atom absent or conflicting with another, a negative atom that
+// is present but conflict-free (in every repair), or a vertex required
+// both in and out.
+func (p *Prover) resolveDisjunct(d Disjunct) (groups []compGroup, nset conflict.VertexSet, live bool, err error) {
+	get := func(id uint64) int {
+		for i := range groups {
+			if groups[i].id == id {
+				return i
+			}
+		}
+		groups = append(groups, compGroup{id: id})
+		return len(groups) - 1
+	}
+	var pos conflict.VertexSet
+	for _, a := range d.Pos {
+		v, inDB, err := p.resolve(a)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if !inDB {
+			return nil, nil, false, nil
+		}
+		if pos[v] {
+			continue
+		}
+		if pos == nil {
+			pos = conflict.VertexSet{}
+		}
+		pos[v] = true
+		if ref, ok := p.H.ComponentOf(v); ok {
+			i := get(ref.ID)
+			groups[i].pos = append(groups[i].pos, v)
+		}
+		// A conflict-free positive vertex is in every repair: no constraint.
+	}
+	for _, a := range d.Neg {
+		v, inDB, err := p.resolve(a)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		if !inDB {
+			continue // absent from every repair for free
+		}
+		if pos[v] {
+			return nil, nil, false, nil // required both in and out
+		}
+		if nset[v] {
+			continue
+		}
+		ref, ok := p.H.ComponentOf(v)
+		if !ok {
+			return nil, nil, false, nil // conflict-free tuples survive in every repair
+		}
+		if nset == nil {
+			nset = conflict.VertexSet{}
+		}
+		nset[v] = true
+		i := get(ref.ID)
+		groups[i].neg = append(groups[i].neg, v)
+	}
+	return groups, nset, true, nil
+}
+
+// solveComponent runs the positive-independence check and blocking-edge
+// search for one component's share of a disjunct.
+func (p *Prover) solveComponent(tk *compTask, nset conflict.VertexSet) (bool, error) {
+	p.Stats.Components++
+	s := conflict.VertexSet{}
+	for _, v := range tk.pos {
+		if !p.H.IndependentWith(s, v) {
+			return false, nil
+		}
+		s[v] = true
+	}
+	blockers := make([][]conflict.Edge, 0, len(tk.neg))
+	for _, v := range tk.neg {
+		blockers = append(blockers, p.blockerCandidates(v, p.H.EdgesContaining(v)))
+	}
+	// Cheapest-first ordering shrinks the search tree.
+	sortByLen(blockers)
+	return p.assignBlockers(s, nset, blockers, 0)
+}
+
+// solveComponentsParallel fans the per-component sub-searches out over the
+// shared pool: each extra goroutine borrows one token (non-blocking — the
+// leftovers run inline), solves on a private sub-prover, and the counters
+// merge afterwards. All components must be satisfiable.
+func (p *Prover) solveComponentsParallel(groups []compGroup, nset conflict.VertexSet) (bool, error) {
+	results := make([]bool, len(groups))
+	errs := make([]error, len(groups))
+	subs := make([]*Prover, len(groups))
+	var wg sync.WaitGroup
+	var inline []int
+	for i := range groups {
+		select {
+		case p.Pool <- struct{}{}:
+			sub := &Prover{H: p.H, Member: p.Member, DisablePruning: p.DisablePruning}
+			subs[i] = sub
+			p.Stats.ParallelComps++
+			wg.Add(1)
+			go func(i int, tk *compTask) {
+				defer wg.Done()
+				defer func() { <-p.Pool }()
+				results[i], errs[i] = sub.solveComponent(tk, nset)
+			}(i, &groups[i].compTask)
+		default:
+			inline = append(inline, i)
+		}
+	}
+	for _, i := range inline {
+		results[i], errs[i] = p.solveComponent(&groups[i].compTask, nset)
+		if errs[i] != nil || !results[i] {
+			break // one refuted component refutes the disjunct; skip the rest
+		}
+	}
+	wg.Wait()
+	for i := range groups {
+		if subs[i] != nil {
+			p.Stats.Add(subs[i].Stats)
+		}
+		if errs[i] != nil {
+			return false, errs[i]
+		}
+	}
+	for _, ok := range results {
+		if !ok {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// satisfiableGlobal is the pre-decomposition search: one blocker
+// assignment over all negative atoms jointly, with global independence
+// checks. Kept as the DisableComponents baseline.
+func (p *Prover) satisfiableGlobal(d Disjunct) (bool, error) {
 	s := conflict.VertexSet{}
 	// Positive atoms: must be present and independent.
 	for _, a := range d.Pos {
@@ -261,8 +499,13 @@ nextEdge:
 }
 
 // resolve maps an atom to its hypergraph vertex, if present in the DB.
+// When dependency tracking is active it records the consulted membership
+// status and, for conflicting vertices, the component searched.
 func (p *Prover) resolve(a Atom) (conflict.Vertex, bool, error) {
 	p.Stats.MembershipChecks++
+	if p.deps != nil {
+		p.deps.atoms[DepAtomKey(a.Rel, a.Tuple)] = struct{}{}
+	}
 	ids, err := p.Member.Lookup(a.Rel, a.Tuple)
 	if err != nil {
 		return conflict.Vertex{}, false, err
@@ -272,7 +515,13 @@ func (p *Prover) resolve(a Atom) (conflict.Vertex, bool, error) {
 	}
 	// Set semantics assumed: identical duplicate rows would share one
 	// logical tuple; use the first occurrence as the vertex.
-	return conflict.Vertex{Rel: strings.ToLower(a.Rel), Row: ids[0]}, true, nil
+	v := conflict.Vertex{Rel: strings.ToLower(a.Rel), Row: ids[0]}
+	if p.deps != nil {
+		if ref, ok := p.H.ComponentOf(v); ok {
+			p.deps.comps[ref.ID] = ref.FP
+		}
+	}
+	return v, true, nil
 }
 
 func sortByLen(bs [][]conflict.Edge) {

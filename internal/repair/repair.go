@@ -45,12 +45,77 @@ type Enumerator struct {
 // DeletionSets returns the tuple sets whose removal yields each repair:
 // all minimal hitting sets of the hyperedge collection. The database
 // itself is not touched.
+//
+// Because no hyperedge crosses a connected component of the conflict
+// hypergraph, the minimal hitting sets factor: they are exactly the
+// unions of one minimal hitting set per component. Enumeration therefore
+// runs per component — exponential only in the largest component — and
+// the global sets are the cross product.
 func (e *Enumerator) DeletionSets() ([][]conflict.Vertex, error) {
 	limit := e.Limit
 	if limit <= 0 {
 		limit = DefaultLimit
 	}
-	edges := e.H.Edges()
+	perComp, err := e.componentDeletionSets(limit)
+	if err != nil {
+		return nil, err
+	}
+	// Cross product across components.
+	out := [][]conflict.Vertex{{}}
+	for _, sets := range perComp {
+		if len(out)*len(sets) > limit {
+			return nil, errTooMany(limit)
+		}
+		next := make([][]conflict.Vertex, 0, len(out)*len(sets))
+		for _, acc := range out {
+			for _, set := range sets {
+				merged := make([]conflict.Vertex, 0, len(acc)+len(set))
+				merged = append(merged, acc...)
+				merged = append(merged, set...)
+				next = append(next, merged)
+			}
+		}
+		out = next
+	}
+	for _, set := range out {
+		sortVerts(set)
+	}
+	return out, nil
+}
+
+// componentDeletionSets enumerates the minimal hitting sets of each
+// connected component's edges separately.
+func (e *Enumerator) componentDeletionSets(limit int) ([][][]conflict.Vertex, error) {
+	byComp := make(map[uint64][]conflict.Edge)
+	var order []uint64
+	for _, edge := range e.H.Edges() {
+		ref, ok := e.H.ComponentOf(edge.Verts[0])
+		if !ok {
+			return nil, fmt.Errorf("repair: edge %v has no component", edge)
+		}
+		if _, seen := byComp[ref.ID]; !seen {
+			order = append(order, ref.ID)
+		}
+		byComp[ref.ID] = append(byComp[ref.ID], edge)
+	}
+	out := make([][][]conflict.Vertex, 0, len(order))
+	for _, id := range order {
+		sets, err := minimalHittingSets(byComp[id], limit)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sets)
+	}
+	return out, nil
+}
+
+func errTooMany(limit int) error {
+	return fmt.Errorf("repair: more than %d repairs; raise Limit or shrink the instance", limit)
+}
+
+// minimalHittingSets enumerates all minimal hitting sets of one edge
+// collection by branching on the vertices of the first unhit edge.
+func minimalHittingSets(edges []conflict.Edge, limit int) ([][]conflict.Vertex, error) {
 	var (
 		out     [][]conflict.Vertex
 		seen    = map[string]bool{}
@@ -89,7 +154,7 @@ func (e *Enumerator) DeletionSets() ([][]conflict.Vertex, error) {
 			seen[key] = true
 			out = append(out, set)
 			if len(out) > limit {
-				return fmt.Errorf("repair: more than %d repairs; raise Limit or shrink the instance", limit)
+				return errTooMany(limit)
 			}
 			return nil
 		}
@@ -132,13 +197,25 @@ func minimalHittingSet(edges []conflict.Edge, deleted conflict.VertexSet) bool {
 	return len(needed) == len(deleted)
 }
 
-// Count returns the number of repairs.
+// Count returns the number of repairs: the product of the per-component
+// minimal-hitting-set counts, without materializing the cross product.
 func (e *Enumerator) Count() (int, error) {
-	sets, err := e.DeletionSets()
+	limit := e.Limit
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	perComp, err := e.componentDeletionSets(limit)
 	if err != nil {
 		return 0, err
 	}
-	return len(sets), nil
+	n := 1
+	for _, sets := range perComp {
+		if n*len(sets) > limit {
+			return 0, errTooMany(limit)
+		}
+		n *= len(sets)
+	}
+	return n, nil
 }
 
 // Materialize builds each repair as a standalone database (same schemas,

@@ -5,9 +5,10 @@
 # deliberately short).
 #
 # Covered: the Go benchmark wrappers for E1 (repair-enumeration demo),
-# E10 (incremental maintenance), and E11 (concurrent serving), each run
-# exactly once (-benchtime=1x), plus the hippobench CLI path for the same
-# experiments at quick scale.
+# E10 (incremental maintenance), E11 (concurrent serving), and E12
+# (verdict cache), each run exactly once (-benchtime=1x), plus the
+# hippobench CLI path for the same experiments at quick scale. The E12
+# quick-scale table is additionally recorded to BENCH_E12.json.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,11 +17,15 @@ echo "== build =="
 go build ./...
 
 echo "== bench wrappers (benchtime=1x) =="
-go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent)$' -benchtime=1x .
+go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent|BenchmarkE12VerdictCache)$' -benchtime=1x .
 
 echo "== hippobench CLI (quick scale) =="
 for exp in e1 e10 e11; do
   go run ./cmd/hippobench -exp "$exp" -scale quick > /dev/null
 done
+
+echo "== E12 record (BENCH_E12.json) =="
+go run ./cmd/hippobench -exp e12 -scale quick -json > BENCH_E12.json
+cat BENCH_E12.json
 
 echo "benchguard: OK"

@@ -1,0 +1,43 @@
+#!/usr/bin/env sh
+# Documentation/lint guard: formatting, vet, and the rule that every
+# internal package (and the root package) carries a proper godoc package
+# comment ("// Package xxx ..." immediately above its package clause in at
+# least one file).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+out=$(gofmt -l .)
+if [ -n "$out" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== package comments =="
+fail=0
+for dir in . internal/*/; do
+  pkgdir=${dir%/}
+  # Skip directories without non-test Go files.
+  files=$(find "$pkgdir" -maxdepth 1 -name '*.go' ! -name '*_test.go' 2>/dev/null)
+  [ -n "$files" ] || continue
+  if ! grep -l '^// Package ' $files >/dev/null 2>&1; then
+    echo "missing package comment: $pkgdir" >&2
+    fail=1
+  fi
+done
+for cmd in cmd/*/; do
+  files=$(find "${cmd%/}" -maxdepth 1 -name '*.go' ! -name '*_test.go' 2>/dev/null)
+  [ -n "$files" ] || continue
+  if ! grep -l '^// Command ' $files >/dev/null 2>&1; then
+    echo "missing command comment: ${cmd%/}" >&2
+    fail=1
+  fi
+done
+[ "$fail" -eq 0 ] || exit 1
+
+echo "docslint: OK"
