@@ -79,6 +79,10 @@ func BenchmarkE11Concurrent(b *testing.B) { runExperiment(b, "e11") }
 // component-scoped verdict cache vs full re-certification.
 func BenchmarkE12VerdictCache(b *testing.B) { runExperiment(b, "e12") }
 
+// BenchmarkE13BatchPipeline — group-commit batch write pipeline: update
+// throughput vs batch size.
+func BenchmarkE13BatchPipeline(b *testing.B) { runExperiment(b, "e13") }
+
 // BenchmarkAblationPruning — prover DFS with vs without early pruning.
 func BenchmarkAblationPruning(b *testing.B) { runExperiment(b, "ablation-pruning") }
 

@@ -16,6 +16,8 @@
 //	\maint                      maintenance stats (deltas, rebuilds, verdict cache)
 //	\repairs                    count repairs (small instances only)
 //	\load <file.sql>            execute semicolon-separated statements from a file
+//	\batch <file.sql>           group-commit a file: DML runs apply atomically
+//	\batch ... \end             collect statements, then apply them as one batch
 //	\help                       this text
 //	\quit                       exit
 package main
@@ -29,6 +31,7 @@ import (
 	"time"
 
 	"hippo"
+	"hippo/internal/sqlparse"
 	"hippo/internal/value"
 )
 
@@ -41,16 +44,91 @@ func main() {
 func repl(db *hippo.DB, in io.Reader, out io.Writer) {
 	scanner := bufio.NewScanner(in)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var batch []string // non-nil while collecting \batch ... \end lines
 	fmt.Fprint(out, "hippo> ")
 	for scanner.Scan() {
 		line := strings.TrimSpace(scanner.Text())
-		if line != "" {
+		switch {
+		case batch != nil && strings.EqualFold(line, `\end`):
+			runBatchScript(db, out, strings.Join(batch, "\n"))
+			batch = nil
+		case batch != nil && strings.EqualFold(line, `\abort`):
+			fmt.Fprintln(out, "batch discarded")
+			batch = nil
+		case batch != nil:
+			if line != "" {
+				batch = append(batch, line)
+			}
+		case strings.EqualFold(line, `\batch`):
+			batch = []string{}
+			fmt.Fprintln(out, "collecting batch; finish with \\end, discard with \\abort")
+		case line != "":
 			if !execute(db, out, line) {
 				return
 			}
 		}
-		fmt.Fprint(out, "hippo> ")
+		if batch != nil {
+			fmt.Fprint(out, "batch> ")
+		} else {
+			fmt.Fprint(out, "hippo> ")
+		}
 	}
+	if batch != nil {
+		fmt.Fprintf(out, "\nbatch discarded: input ended before \\end (%d collected lines not applied)\n", len(batch))
+	}
+}
+
+// runBatchScript parses a semicolon-separated script and applies it with
+// group commit: maximal runs of DML become one atomic ApplyBatch each (no
+// consistent query ever observes a prefix of a run), while other
+// statements execute individually between runs.
+func runBatchScript(db *hippo.DB, out io.Writer, src string) {
+	stmts, err := sqlparse.ParseScript(src)
+	if err != nil {
+		fmt.Fprintf(out, "error: %v\n", err)
+		return
+	}
+	eng := db.Engine()
+	var run []sqlparse.Statement
+	total, dml, batches, rows := 0, 0, 0, 0
+	flush := func() bool {
+		if len(run) == 0 {
+			return true
+		}
+		counts, err := eng.ApplyBatch(run)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v (batch rolled back)\n", err)
+			return false
+		}
+		for _, n := range counts {
+			rows += n
+		}
+		total += len(run)
+		dml += len(run)
+		batches++
+		run = nil
+		return true
+	}
+	for _, st := range stmts {
+		switch st.(type) {
+		case *sqlparse.Insert, *sqlparse.Delete:
+			run = append(run, st)
+		default:
+			if !flush() {
+				return
+			}
+			if _, _, err := eng.ExecStmt(st); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+				return
+			}
+			total++
+		}
+	}
+	if !flush() {
+		return
+	}
+	fmt.Fprintf(out, "batch ok: %d statements (%d DML in %d atomic groups, %d rows affected)\n",
+		total, dml, batches, rows)
 }
 
 // execute runs one line; it returns false to quit.
@@ -65,8 +143,9 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 		return true
 	}
 	cmd, rest, _ := strings.Cut(line[1:], " ")
+	cmd = strings.ToLower(cmd)
 	rest = strings.TrimSpace(rest)
-	switch strings.ToLower(cmd) {
+	switch cmd {
 	case "quit", "q", "exit":
 		return false
 	case "help", "h":
@@ -144,32 +223,37 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 			break
 		}
 		fmt.Fprintf(out, "%d repairs\n", n)
+	case "batch":
+		if rest == "" {
+			fmt.Fprintln(out, "usage: \\batch <file.sql> (or bare \\batch to collect lines until \\end)")
+			break
+		}
+		data, err := os.ReadFile(rest)
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			break
+		}
+		runBatchScript(db, out, string(data))
 	case "load":
 		data, err := os.ReadFile(rest)
 		if err != nil {
 			fmt.Fprintf(out, "error: %v\n", err)
 			break
 		}
-		n := 0
-		for _, stmt := range strings.Split(string(data), ";") {
-			// Drop full-line comments, then whitespace.
-			var kept []string
-			for _, ln := range strings.Split(stmt, "\n") {
-				if !strings.HasPrefix(strings.TrimSpace(ln), "--") {
-					kept = append(kept, ln)
-				}
-			}
-			stmt = strings.TrimSpace(strings.Join(kept, "\n"))
-			if stmt == "" {
-				continue
-			}
-			if _, _, err := db.Exec(stmt); err != nil {
-				fmt.Fprintf(out, "error at statement %d: %v\n", n+1, err)
+		// ParseScript is quote- and comment-aware, so a ';' inside a string
+		// literal does not split the statement (unlike a naive split).
+		stmts, err := sqlparse.ParseScript(string(data))
+		if err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			break
+		}
+		for i, st := range stmts {
+			if _, _, err := db.Engine().ExecStmt(st); err != nil {
+				fmt.Fprintf(out, "error at statement %d: %v\n", i+1, err)
 				return true
 			}
-			n++
 		}
-		fmt.Fprintf(out, "loaded %d statements\n", n)
+		fmt.Fprintf(out, "loaded %d statements\n", len(stmts))
 	default:
 		fmt.Fprintf(out, "unknown command \\%s (try \\help)\n", cmd)
 	}
@@ -210,4 +294,6 @@ const helpText = `  SQL statements run directly (CREATE TABLE / INSERT / DELETE 
   \maint                      maintenance stats (deltas, rebuilds, verdict cache)
   \repairs                    count repairs (exponential; small data only)
   \load <file.sql>            run statements from a file
+  \batch <file.sql>           group-commit a file (DML runs apply atomically)
+  \batch ... \end             collect statements, apply as one atomic batch
   \quit                       exit`

@@ -139,3 +139,123 @@ func TestEmptyConstraintListAndEOF(t *testing.T) {
 		t.Errorf("empty constraints not shown:\n%s", out)
 	}
 }
+
+func TestBatchCollectAndEnd(t *testing.T) {
+	out := runSession(t,
+		"CREATE TABLE b (k INT, v INT)",
+		"INSERT INTO b VALUES (1, 10)",
+		`\batch`,
+		"INSERT INTO b VALUES (2, 20);",
+		"INSERT INTO b VALUES (3, 30);",
+		"DELETE FROM b WHERE k = 3;",
+		"DELETE FROM b WHERE k = 1",
+		`\end`,
+		"SELECT * FROM b",
+		`\quit`,
+	)
+	if !strings.Contains(out, "batch ok: 4 statements (4 DML in 1 atomic groups, 4 rows affected)") {
+		t.Errorf("batch summary missing:\n%s", out)
+	}
+	// Only (2,20) survives: (3,30) was transient, (1,10) deleted.
+	if !strings.Contains(out, "(2, 20)") || !strings.Contains(out, "(1 rows)") {
+		t.Errorf("batch result wrong:\n%s", out)
+	}
+}
+
+func TestBatchAbortAndErrors(t *testing.T) {
+	out := runSession(t,
+		"CREATE TABLE b (k INT)",
+		`\batch`,
+		"INSERT INTO b VALUES (1)",
+		`\abort`,
+		`\batch`,
+		"INSERT INTO b VALUES (2); INSERT INTO b VALUES (3, 99)",
+		`\end`,
+		"SELECT * FROM b",
+		`\quit`,
+	)
+	if !strings.Contains(out, "batch discarded") {
+		t.Errorf("abort not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "rolled back") {
+		t.Errorf("failed batch not rolled back:\n%s", out)
+	}
+	// Neither the aborted nor the rolled-back batch left rows behind.
+	if !strings.Contains(out, "(0 rows)") {
+		t.Errorf("batch leaked rows:\n%s", out)
+	}
+}
+
+func TestBatchFile(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "batch.sql")
+	script := "CREATE TABLE f (x INT);\n-- seed rows\nINSERT INTO f VALUES (1);\nINSERT INTO f VALUES (2);\nDELETE FROM f WHERE x = 1;\n"
+	if err := os.WriteFile(file, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runSession(t,
+		`\batch `+file,
+		"SELECT * FROM f",
+		`\batch /no/such/file.sql`,
+		`\quit`,
+	)
+	if !strings.Contains(out, "batch ok: 4 statements (3 DML in 1 atomic groups") {
+		t.Errorf("file batch summary missing:\n%s", out)
+	}
+	if !strings.Contains(out, "(1 rows)") {
+		t.Errorf("file batch data wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "error:") {
+		t.Errorf("missing file should error:\n%s", out)
+	}
+}
+
+func TestLoadHandlesSemicolonInLiteral(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "lit.sql")
+	script := "CREATE TABLE z (s TEXT);\nINSERT INTO z VALUES ('a;b');\n"
+	if err := os.WriteFile(file, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := runSession(t,
+		`\load `+file,
+		"SELECT * FROM z",
+		`\quit`,
+	)
+	if !strings.Contains(out, "loaded 2 statements") {
+		t.Errorf("load count wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "('a;b')") {
+		t.Errorf("literal with semicolon mangled:\n%s", out)
+	}
+}
+
+func TestCommandsAreCaseInsensitive(t *testing.T) {
+	out := runSession(t,
+		"CREATE TABLE c (x INT)",
+		"INSERT INTO c VALUES (1)",
+		`\CQN SELECT * FROM c`,
+		`\BATCH`,
+		"INSERT INTO c VALUES (2)",
+		`\END`,
+		`\quit`,
+	)
+	if !strings.Contains(out, "mode=naive") {
+		t.Errorf("\\CQN should run the naive prover:\n%s", out)
+	}
+	if !strings.Contains(out, "batch ok: 1 statements") {
+		t.Errorf("\\BATCH/\\END should collect and apply:\n%s", out)
+	}
+}
+
+func TestBatchTruncatedByEOFWarns(t *testing.T) {
+	out := runSession(t,
+		"CREATE TABLE w (x INT)",
+		`\batch`,
+		"INSERT INTO w VALUES (1)",
+		// input ends without \end
+	)
+	if !strings.Contains(out, "batch discarded: input ended before \\end") {
+		t.Errorf("truncated batch not reported:\n%s", out)
+	}
+}

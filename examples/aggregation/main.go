@@ -20,8 +20,8 @@ import (
 
 func main() {
 	db := hippo.Open()
-	db.MustExec("CREATE TABLE payroll (emp INT, salary INT)")
-	db.MustExec(`INSERT INTO payroll VALUES
+	mustExec(db, "CREATE TABLE payroll (emp INT, salary INT)")
+	mustExec(db, `INSERT INTO payroll VALUES
 		(1, 50000),
 		(2, 61000), (2, 64000),
 		(3, 55000),
@@ -59,4 +59,12 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\n(the database has %d repairs; the ranges above were computed without building any)\n", n)
+}
+
+// mustExec runs a setup statement, exiting with the error on failure (the
+// library itself no longer panics on bad statements).
+func mustExec(db *hippo.DB, sql string) {
+	if _, _, err := db.Exec(sql); err != nil {
+		log.Fatalf("setup: %v", err)
+	}
 }

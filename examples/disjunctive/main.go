@@ -32,8 +32,8 @@ import (
 
 func main() {
 	db := hippo.Open()
-	db.MustExec("CREATE TABLE sensor (sid TEXT, status TEXT, station INT)")
-	db.MustExec(`INSERT INTO sensor VALUES
+	mustExec(db, "CREATE TABLE sensor (sid TEXT, status TEXT, station INT)")
+	mustExec(db, `INSERT INTO sensor VALUES
 		('s1', 'healthy',  1),
 		('s2', 'degraded', 1),
 		('s2', 'failed',   2),
@@ -109,5 +109,13 @@ func main() {
 func printRows(rows []hippo.Tuple) {
 	for _, r := range rows {
 		fmt.Println("  ", value.TupleString(r))
+	}
+}
+
+// mustExec runs a setup statement, exiting with the error on failure (the
+// library itself no longer panics on bad statements).
+func mustExec(db *hippo.DB, sql string) {
+	if _, _, err := db.Exec(sql); err != nil {
+		log.Fatalf("setup: %v", err)
 	}
 }

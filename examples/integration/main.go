@@ -23,20 +23,20 @@ import (
 
 func main() {
 	db := hippo.Open()
-	db.MustExec("CREATE TABLE customer (cid INT, name TEXT, credit INT)")
-	db.MustExec("CREATE TABLE banned (cid INT, reason TEXT)")
+	mustExec(db, "CREATE TABLE customer (cid INT, name TEXT, credit INT)")
+	mustExec(db, "CREATE TABLE banned (cid INT, reason TEXT)")
 
 	// Source A's customers.
-	db.MustExec(`INSERT INTO customer VALUES
+	mustExec(db, `INSERT INTO customer VALUES
 		(1, 'acme corp', 50000),
 		(2, 'bolt ltd', 20000),
 		(3, 'cogs inc', 10000)`)
 	// Source B overlaps and disagrees on bolt's credit, adds delta.
-	db.MustExec(`INSERT INTO customer VALUES
+	mustExec(db, `INSERT INTO customer VALUES
 		(2, 'bolt ltd', 35000),
 		(4, 'delta gmbh', 15000)`)
 	// The compliance feed bans cogs.
-	db.MustExec("INSERT INTO banned VALUES (3, 'fraud investigation')")
+	mustExec(db, "INSERT INTO banned VALUES (3, 'fraud investigation')")
 
 	// Integrity: cid determines the credit line…
 	db.AddFD("customer", []string{"cid"}, []string{"credit"})
@@ -84,5 +84,13 @@ dropping the ban instead of the customer row.`)
 func printRows(rows []hippo.Tuple) {
 	for _, r := range rows {
 		fmt.Println("  ", value.TupleString(r))
+	}
+}
+
+// mustExec runs a setup statement, exiting with the error on failure (the
+// library itself no longer panics on bad statements).
+func mustExec(db *hippo.DB, sql string) {
+	if _, _, err := db.Exec(sql); err != nil {
+		log.Fatalf("setup: %v", err)
 	}
 }

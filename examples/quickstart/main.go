@@ -22,8 +22,8 @@ import (
 
 func main() {
 	db := hippo.Open()
-	db.MustExec("CREATE TABLE emp (id INT, name TEXT, salary INT)")
-	db.MustExec(`INSERT INTO emp VALUES
+	mustExec(db, "CREATE TABLE emp (id INT, name TEXT, salary INT)")
+	mustExec(db, `INSERT INTO emp VALUES
 		(1, 'ann', 100), (1, 'ann', 200),
 		(2, 'bob', 150),
 		(3, 'cat', 300), (3, 'cat', 400),
@@ -74,5 +74,13 @@ func main() {
 func printRows(rows []hippo.Tuple) {
 	for _, r := range rows {
 		fmt.Println("  ", value.TupleString(r))
+	}
+}
+
+// mustExec runs a setup statement, exiting with the error on failure (the
+// library itself no longer panics on bad statements).
+func mustExec(db *hippo.DB, sql string) {
+	if _, _, err := db.Exec(sql); err != nil {
+		log.Fatalf("setup: %v", err)
 	}
 }

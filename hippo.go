@@ -15,8 +15,14 @@
 // Quickstart:
 //
 //	db := hippo.Open()
-//	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
-//	db.MustExec("INSERT INTO emp VALUES (1,100), (1,200), (2,150)")
+//	for _, q := range []string{
+//		"CREATE TABLE emp (id INT, salary INT)",
+//		"INSERT INTO emp VALUES (1,100), (1,200), (2,150)",
+//	} {
+//		if _, _, err := db.Exec(q); err != nil {
+//			log.Fatal(err)
+//		}
+//	}
 //	db.AddFD("emp", []string{"id"}, []string{"salary"})
 //	res, stats, err := db.ConsistentQuery("SELECT * FROM emp")
 //	// res.Rows == [(2,150)] — the only tuple present in every repair.
@@ -76,11 +82,19 @@ func (db *DB) Exec(sql string) (*Result, int, error) {
 	return db.sys.DB().Exec(sql)
 }
 
-// MustExec runs a statement and panics on error (setup convenience).
-func (db *DB) MustExec(sql string) {
-	if _, _, err := db.Exec(sql); err != nil {
-		panic(err)
-	}
+// ExecBatch applies a sequence of DML statements (INSERT/DELETE) as one
+// atomic group commit and returns the per-statement affected-row counts.
+// The whole batch runs under a single hold of the write sequencer: no
+// published query view — and hence no ConsistentQuery — ever observes a
+// prefix of it, statements see the effects of earlier statements in the
+// batch, and a failing statement rolls the entire batch back (the typed
+// *engine.BatchError names it). The batch's change feed is coalesced
+// before it reaches the conflict stage, so a row inserted and deleted
+// within one batch costs no delta probe and no cache invalidation, and
+// the next consistent query folds the whole batch into the hypergraph
+// under one freeze and one view publication.
+func (db *DB) ExecBatch(sqls ...string) ([]int, error) {
+	return db.sys.DB().ExecBatch(sqls)
 }
 
 // Query evaluates a SELECT directly on the stored database, ignoring

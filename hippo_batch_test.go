@@ -1,0 +1,90 @@
+package hippo
+
+import (
+	"errors"
+	"testing"
+
+	"hippo/internal/engine"
+	"hippo/internal/envelope"
+)
+
+func TestExecBatchEndToEnd(t *testing.T) {
+	db := Open()
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (2, 200)")
+	db.AddFD("emp", []string{"id"}, []string{"salary"})
+	if _, err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	affected, err := db.ExecBatch(
+		"INSERT INTO emp VALUES (1, 150)", // conflicts with (1,100)
+		"INSERT INTO emp VALUES (3, 300)",
+		"INSERT INTO emp VALUES (4, 400)",
+		"DELETE FROM emp WHERE id = 4", // transient: coalesces away
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(affected) != 4 {
+		t.Fatalf("affected = %v", affected)
+	}
+	res, _, err := db.ConsistentQuery("SELECT * FROM emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// id 1 is conflicted (two salaries), ids 2 and 3 are certain.
+	if len(res.Rows) != 2 {
+		t.Fatalf("consistent answers = %d, want 2: %v", len(res.Rows), res.Rows)
+	}
+	// The batch drained as one unit; the transient row cost no delta, so
+	// only the two real inserts reached the incremental detector.
+	if m := db.System().Maintenance(); m.DeltasApplied != 2 {
+		t.Errorf("deltas applied = %d, want 2 (transient insert+delete coalesced)", m.DeltasApplied)
+	}
+	// A failing batch rolls back and reports its statement.
+	_, err = db.ExecBatch("INSERT INTO emp VALUES (9, 900)", "DROP TABLE emp")
+	var be *engine.BatchError
+	if !errors.As(err, &be) || be.Index != 1 {
+		t.Fatalf("err = %v, want *engine.BatchError at statement 1", err)
+	}
+	res, _, err = db.ConsistentQuery("SELECT * FROM emp WHERE id = 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Error("rejected batch leaked a row")
+	}
+}
+
+// TestUnsupportedQueriesReturnTypedErrors feeds the shapes that once
+// panicked (or could have) through the public entry points: every one must
+// come back as an error carrying envelope.ErrUnsupported, with the process
+// alive and the system still serving.
+func TestUnsupportedQueriesReturnTypedErrors(t *testing.T) {
+	db := Open()
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (1, 200)")
+	db.AddFD("emp", []string{"id"}, []string{"salary"})
+	unsupported := []string{
+		"SELECT id FROM emp",             // ∃-projection (footnote 4)
+		"SELECT id + 1, salary FROM emp", // computed projection
+		"SELECT * FROM emp e WHERE EXISTS (SELECT * FROM emp m WHERE m.id = e.id)", // EXISTS
+	}
+	for _, q := range unsupported {
+		_, _, err := db.ConsistentQuery(q)
+		if err == nil {
+			t.Fatalf("ConsistentQuery(%q) should fail", q)
+		}
+		if !errors.Is(err, envelope.ErrUnsupported) {
+			t.Errorf("ConsistentQuery(%q) err = %v, want envelope.ErrUnsupported", q, err)
+		}
+	}
+	// The system still answers supported queries afterwards.
+	res, _, err := db.ConsistentQuery("SELECT * FROM emp WHERE salary > 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Errorf("conflicted rows must not be consistent answers: %v", res.Rows)
+	}
+}

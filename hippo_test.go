@@ -11,8 +11,8 @@ import (
 func paperDB(t *testing.T) *DB {
 	t.Helper()
 	db := Open()
-	db.MustExec("CREATE TABLE emp (id INT, name TEXT, salary INT)")
-	db.MustExec(`INSERT INTO emp VALUES
+	mustExec(db, "CREATE TABLE emp (id INT, name TEXT, salary INT)")
+	mustExec(db, `INSERT INTO emp VALUES
 		(1, 'ann', 100), (1, 'ann', 200),
 		(2, 'bob', 150),
 		(3, 'cat', 300), (3, 'cat', 400),
@@ -134,8 +134,8 @@ func TestOptions(t *testing.T) {
 
 func TestConstraintRegistration(t *testing.T) {
 	db := Open()
-	db.MustExec("CREATE TABLE r (a INT, b INT)")
-	db.MustExec("INSERT INTO r VALUES (1, 1), (1, 2)")
+	mustExec(db, "CREATE TABLE r (a INT, b INT)")
+	mustExec(db, "INSERT INTO r VALUES (1, 1), (1, 2)")
 	if err := db.AddFDSpec("r: a -> b"); err != nil {
 		t.Fatal(err)
 	}
@@ -180,7 +180,7 @@ func TestExecInvalidatesAnalysis(t *testing.T) {
 		t.Fatalf("precondition: %v", rows(res))
 	}
 	// Adding a conflict for dan must be reflected without manual steps.
-	db.MustExec("INSERT INTO emp VALUES (4, 'dan', 60)")
+	mustExec(db, "INSERT INTO emp VALUES (4, 'dan', 60)")
 	res, _, _ = db.ConsistentQuery("SELECT * FROM emp")
 	got := rows(res)
 	if len(got) != 1 || got[0] != "(2, 'bob', 150)" {
@@ -194,7 +194,7 @@ func TestWrapAndEngine(t *testing.T) {
 		t.Fatal("engine should be exposed")
 	}
 	wrapped := Wrap(db.Engine())
-	wrapped.MustExec("CREATE TABLE x (a INT)")
+	mustExec(wrapped, "CREATE TABLE x (a INT)")
 	if _, err := db.Query("SELECT * FROM x"); err != nil {
 		t.Error("Wrap should share the engine")
 	}
@@ -205,8 +205,8 @@ func TestWrapAndEngine(t *testing.T) {
 
 func TestConsistentAggregatePublicAPI(t *testing.T) {
 	db := Open()
-	db.MustExec("CREATE TABLE pay (emp INT, amt INT)")
-	db.MustExec("INSERT INTO pay VALUES (1, 10), (1, 20), (2, 5)")
+	mustExec(db, "CREATE TABLE pay (emp INT, amt INT)")
+	mustExec(db, "INSERT INTO pay VALUES (1, 10), (1, 20), (2, 5)")
 	db.AddFD("pay", []string{"emp"}, []string{"amt"})
 	r, err := db.ConsistentAggregate("pay", AggSum, "amt", "")
 	if err != nil {
@@ -228,7 +228,7 @@ func TestConsistentAggregatePublicAPI(t *testing.T) {
 	}
 	// Requires exactly one FD on the relation.
 	db2 := Open()
-	db2.MustExec("CREATE TABLE x (a INT, b INT)")
+	mustExec(db2, "CREATE TABLE x (a INT, b INT)")
 	if _, err := db2.ConsistentAggregate("x", AggMin, "a", ""); err == nil {
 		t.Error("missing FD should error")
 	}
@@ -252,8 +252,8 @@ func TestConsistentQueryOrdering(t *testing.T) {
 
 func TestConsistentGroupedAggregatePublicAPI(t *testing.T) {
 	db := Open()
-	db.MustExec("CREATE TABLE m (probe INT, reading INT, site INT)")
-	db.MustExec("INSERT INTO m VALUES (1, 10, 100), (1, 20, 100), (2, 5, 200)")
+	mustExec(db, "CREATE TABLE m (probe INT, reading INT, site INT)")
+	mustExec(db, "INSERT INTO m VALUES (1, 10, 100), (1, 20, 100), (2, 5, 200)")
 	db.AddFD("m", []string{"probe"}, []string{"reading"})
 	groups, err := db.ConsistentGroupedAggregate("m", AggSum, "reading", "", "site")
 	if err != nil {
@@ -273,7 +273,7 @@ func TestConsistentGroupedAggregatePublicAPI(t *testing.T) {
 		t.Error("no group columns should fail")
 	}
 	db2 := Open()
-	db2.MustExec("CREATE TABLE n (a INT)")
+	mustExec(db2, "CREATE TABLE n (a INT)")
 	if _, err := db2.ConsistentGroupedAggregate("n", AggCount, "", "", "a"); err == nil {
 		t.Error("missing FD should fail")
 	}

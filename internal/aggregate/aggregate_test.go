@@ -19,9 +19,9 @@ func fd() constraint.FD {
 func newDB(t *testing.T, rows string) *engine.DB {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE r (k INT, v INT, w INT)")
+	mustExec(db, "CREATE TABLE r (k INT, v INT, w INT)")
 	if rows != "" {
-		db.MustExec("INSERT INTO r VALUES " + rows)
+		mustExec(db, "INSERT INTO r VALUES "+rows)
 	}
 	return db
 }
@@ -128,7 +128,7 @@ func TestValidationErrors(t *testing.T) {
 	if _, err := Consistent(db, Query{Rel: "r", Fn: Min, Attr: "zzz", FD: fd()}); err == nil {
 		t.Error("unknown attribute should fail")
 	}
-	db.MustExec("CREATE TABLE s (k INT, v INT, name TEXT)")
+	mustExec(db, "CREATE TABLE s (k INT, v INT, name TEXT)")
 	if _, err := Consistent(db, Query{Rel: "s", Fn: Min, Attr: "name",
 		FD: constraint.FD{Rel: "s", LHS: []string{"k"}, RHS: []string{"v"}}}); err == nil {
 		t.Error("non-numeric attribute should fail")
@@ -238,7 +238,7 @@ func TestRandomizedAgainstOracle(t *testing.T) {
 	wheres := []string{"", "w > 5", "w < 4"}
 	for trial := 0; trial < 40; trial++ {
 		db := engine.New()
-		db.MustExec("CREATE TABLE r (k INT, v INT, w INT)")
+		mustExec(db, "CREATE TABLE r (k INT, v INT, w INT)")
 		seen := map[string]bool{}
 		n := 4 + rng.Intn(6)
 		for len(seen) < n {
@@ -248,7 +248,7 @@ func TestRandomizedAgainstOracle(t *testing.T) {
 				continue
 			}
 			seen[key] = true
-			db.MustExec(fmt.Sprintf("INSERT INTO r VALUES (%d, %d, %d)", k, v, w))
+			mustExec(db, fmt.Sprintf("INSERT INTO r VALUES (%d, %d, %d)", k, v, w))
 		}
 		for _, fn := range []Func{Count, Sum, Min, Max} {
 			for _, where := range wheres {

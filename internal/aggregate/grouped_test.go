@@ -17,8 +17,8 @@ import (
 func groupedDB(t *testing.T) *engine.DB {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE m (probe INT, reading INT, site INT)")
-	db.MustExec(`INSERT INTO m VALUES
+	mustExec(db, "CREATE TABLE m (probe INT, reading INT, site INT)")
+	mustExec(db, `INSERT INTO m VALUES
 		(1, 10, 100),
 		(1, 20, 100),
 		(2, 5, 100),
@@ -107,7 +107,7 @@ func TestGroupedRandomizedAgainstOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(31))
 	for trial := 0; trial < 25; trial++ {
 		db := engine.New()
-		db.MustExec("CREATE TABLE m (probe INT, reading INT, site INT)")
+		mustExec(db, "CREATE TABLE m (probe INT, reading INT, site INT)")
 		seen := map[string]bool{}
 		n := 5 + rng.Intn(5)
 		for len(seen) < n {
@@ -117,7 +117,7 @@ func TestGroupedRandomizedAgainstOracle(t *testing.T) {
 				continue
 			}
 			seen[key] = true
-			db.MustExec(fmt.Sprintf("INSERT INTO m VALUES (%d, %d, %d)", p, r, s))
+			mustExec(db, fmt.Sprintf("INSERT INTO m VALUES (%d, %d, %d)", p, r, s))
 		}
 		for _, fn := range []Func{Count, Sum, Min, Max} {
 			got, err := ConsistentGrouped(db, GroupedQuery{

@@ -36,8 +36,11 @@ func AblationPruning(sc Scale) (Table, error) {
 			"Both modes return identical answers.",
 	}
 	db := engine.New()
-	db.MustExec("CREATE TABLE ra (probe INT, val INT)")
-	db.MustExec("CREATE TABLE rb (probe INT, val INT)")
+	if err := execAll(db,
+		"CREATE TABLE ra (probe INT, val INT)",
+		"CREATE TABLE rb (probe INT, val INT)"); err != nil {
+		return t, err
+	}
 	// Each probe gets several disagreeing readings in both tables, giving
 	// every tuple multiple incident hyperedges.
 	probes := sc.N / 40
@@ -46,13 +49,18 @@ func AblationPruning(sc Scale) (Table, error) {
 	}
 	for p := 0; p < probes; p++ {
 		for v := 0; v < 3; v++ {
-			db.MustExec(fmt.Sprintf("INSERT INTO ra VALUES (%d, %d)", p, v))
-			db.MustExec(fmt.Sprintf("INSERT INTO rb VALUES (%d, %d)", p, v+1))
+			if err := execAll(db,
+				fmt.Sprintf("INSERT INTO ra VALUES (%d, %d)", p, v),
+				fmt.Sprintf("INSERT INTO rb VALUES (%d, %d)", p, v+1)); err != nil {
+				return t, err
+			}
 		}
 	}
 	// Conflict-free probes keep the certified answer set non-trivial.
 	for p := probes; p < probes*2; p++ {
-		db.MustExec(fmt.Sprintf("INSERT INTO ra VALUES (%d, %d)", p, 7))
+		if err := execAll(db, fmt.Sprintf("INSERT INTO ra VALUES (%d, %d)", p, 7)); err != nil {
+			return t, err
+		}
 	}
 	den, err := constraint.ParseDenial("ra a, rb b WHERE a.probe = b.probe AND a.val <> b.val")
 	if err != nil {

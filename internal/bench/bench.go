@@ -97,6 +97,16 @@ func empSystem(n int, rate float64, seed int64) (*core.System, workload.EmpRepor
 	return sys, rep, nil
 }
 
+// execAll runs setup statements in order, stopping at the first error.
+func execAll(db *engine.DB, sqls ...string) error {
+	for _, q := range sqls {
+		if _, _, err := db.Exec(q); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // timeIt measures fn, repeating reps times and keeping the minimum.
 func timeIt(reps int, fn func() error) (time.Duration, error) {
 	if reps < 1 {
@@ -227,6 +237,7 @@ func RunAll(w io.Writer, sc Scale) error {
 		E10IncrementalMaintenance,
 		E11ConcurrentServing,
 		E12VerdictCache,
+		E13BatchPipeline,
 		AblationPruning,
 		AblationDetection,
 	}
@@ -242,7 +253,7 @@ func RunAll(w io.Writer, sc Scale) error {
 	return nil
 }
 
-// Run executes a single experiment by id ("e1".."e12", "ablation-pruning",
+// Run executes a single experiment by id ("e1".."e13", "ablation-pruning",
 // "ablation-detection").
 func Run(id string, sc Scale) (Table, error) {
 	switch strings.ToLower(id) {
@@ -270,6 +281,8 @@ func Run(id string, sc Scale) (Table, error) {
 		return E11ConcurrentServing(sc)
 	case "e12", "verdict-cache":
 		return E12VerdictCache(sc)
+	case "e13", "batch":
+		return E13BatchPipeline(sc)
 	case "ablation-pruning":
 		return AblationPruning(sc)
 	case "ablation-detection":

@@ -13,12 +13,15 @@ import (
 // over the database with all conflicting tuples removed.
 func E1MoreInformation(sc Scale) (Table, error) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE person (name TEXT, city TEXT, age INT)")
-	db.MustExec(`INSERT INTO person VALUES
+	if err := execAll(db,
+		"CREATE TABLE person (name TEXT, city TEXT, age INT)",
+		`INSERT INTO person VALUES
 		('smith', 'boston', 30), ('smith', 'albany', 30),
 		('jones', 'nyc', 40),
 		('brown', 'boston', 50), ('brown', 'boston', 55),
-		('davis', 'chicago', 25)`)
+		('davis', 'chicago', 25)`); err != nil {
+		return Table{}, err
+	}
 	fd := constraint.FD{Rel: "person", LHS: []string{"name"}, RHS: []string{"city", "age"}}
 	sys := core.NewSystem(db, []constraint.Constraint{fd})
 	if _, err := sys.Analyze(); err != nil {
@@ -27,8 +30,11 @@ func E1MoreInformation(sc Scale) (Table, error) {
 
 	// The conflict-deletion baseline: drop every conflicting tuple.
 	clean := engine.New()
-	clean.MustExec("CREATE TABLE person (name TEXT, city TEXT, age INT)")
-	clean.MustExec("INSERT INTO person VALUES ('jones', 'nyc', 40), ('davis', 'chicago', 25)")
+	if err := execAll(clean,
+		"CREATE TABLE person (name TEXT, city TEXT, age INT)",
+		"INSERT INTO person VALUES ('jones', 'nyc', 40), ('davis', 'chicago', 25)"); err != nil {
+		return Table{}, err
+	}
 
 	queries := []struct {
 		label, sql string
@@ -74,10 +80,13 @@ func E1MoreInformation(sc Scale) (Table, error) {
 	// repair keeps exactly one copy, so the union query certainly contains
 	// the record — but conflict deletion removes both copies and loses it.
 	db2 := engine.New()
-	db2.MustExec("CREATE TABLE staff (pid INT, nm TEXT)")
-	db2.MustExec("CREATE TABLE extern (pid INT, nm TEXT)")
-	db2.MustExec("INSERT INTO staff VALUES (1, 'ann'), (2, 'bob')")
-	db2.MustExec("INSERT INTO extern VALUES (1, 'ann'), (3, 'eve')")
+	if err := execAll(db2,
+		"CREATE TABLE staff (pid INT, nm TEXT)",
+		"CREATE TABLE extern (pid INT, nm TEXT)",
+		"INSERT INTO staff VALUES (1, 'ann'), (2, 'bob')",
+		"INSERT INTO extern VALUES (1, 'ann'), (3, 'eve')"); err != nil {
+		return t, err
+	}
 	excl, err := constraint.ParseDenial("staff s, extern x WHERE s.pid = x.pid")
 	if err != nil {
 		return t, err
@@ -89,10 +98,13 @@ func E1MoreInformation(sc Scale) (Table, error) {
 		return t, err
 	}
 	clean2 := engine.New()
-	clean2.MustExec("CREATE TABLE staff (pid INT, nm TEXT)")
-	clean2.MustExec("CREATE TABLE extern (pid INT, nm TEXT)")
-	clean2.MustExec("INSERT INTO staff VALUES (2, 'bob')")
-	clean2.MustExec("INSERT INTO extern VALUES (3, 'eve')")
+	if err := execAll(clean2,
+		"CREATE TABLE staff (pid INT, nm TEXT)",
+		"CREATE TABLE extern (pid INT, nm TEXT)",
+		"INSERT INTO staff VALUES (2, 'bob')",
+		"INSERT INTO extern VALUES (3, 'eve')"); err != nil {
+		return t, err
+	}
 	del, err := clean2.Query(unionSQL)
 	if err != nil {
 		return t, err
@@ -112,10 +124,13 @@ func E1MoreInformation(sc Scale) (Table, error) {
 // constraint classes each approach supports.
 func E2Expressiveness(sc Scale) (Table, error) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, dept INT, salary INT)")
-	db.MustExec("CREATE TABLE mgr (id INT, bonus INT)")
-	db.MustExec("INSERT INTO emp VALUES (1, 10, 100)")
-	db.MustExec("INSERT INTO mgr VALUES (1, 5)")
+	if err := execAll(db,
+		"CREATE TABLE emp (id INT, dept INT, salary INT)",
+		"CREATE TABLE mgr (id INT, bonus INT)",
+		"INSERT INTO emp VALUES (1, 10, 100)",
+		"INSERT INTO mgr VALUES (1, 5)"); err != nil {
+		return Table{}, err
+	}
 
 	supports := func(cs []constraint.Constraint, sql string) (string, string, error) {
 		sys := core.NewSystem(db, cs)

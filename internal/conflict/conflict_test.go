@@ -16,8 +16,8 @@ import (
 func newDB(t *testing.T) *engine.DB {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, name TEXT, salary INT)")
-	db.MustExec(`INSERT INTO emp VALUES
+	mustExec(db, "CREATE TABLE emp (id INT, name TEXT, salary INT)")
+	mustExec(db, `INSERT INTO emp VALUES
 		(1, 'ann', 100),
 		(1, 'ann', 200),
 		(2, 'bob', 150),
@@ -83,10 +83,10 @@ func TestFDFastPathMatchesGeneric(t *testing.T) {
 
 func TestDetectGeneralDenial(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE staff (ssn INT, name TEXT)")
-	db.MustExec("CREATE TABLE contractor (ssn INT, firm TEXT)")
-	db.MustExec("INSERT INTO staff VALUES (1, 'ann'), (2, 'bob')")
-	db.MustExec("INSERT INTO contractor VALUES (2, 'acme'), (3, 'init')")
+	mustExec(db, "CREATE TABLE staff (ssn INT, name TEXT)")
+	mustExec(db, "CREATE TABLE contractor (ssn INT, firm TEXT)")
+	mustExec(db, "INSERT INTO staff VALUES (1, 'ann'), (2, 'bob')")
+	mustExec(db, "INSERT INTO contractor VALUES (2, 'acme'), (3, 'init')")
 	d, err := constraint.ParseDenial("staff s, contractor c WHERE s.ssn = c.ssn")
 	if err != nil {
 		t.Fatal(err)
@@ -105,8 +105,8 @@ func TestDetectGeneralDenial(t *testing.T) {
 
 func TestDetectUnaryDenial(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE acct (id INT, bal INT)")
-	db.MustExec("INSERT INTO acct VALUES (1, 50), (2, -10), (3, -99)")
+	mustExec(db, "CREATE TABLE acct (id INT, bal INT)")
+	mustExec(db, "INSERT INTO acct VALUES (1, 50), (2, -10), (3, -99)")
 	d, err := constraint.ParseDenial("acct a WHERE a.bal < 0")
 	if err != nil {
 		t.Fatal(err)
@@ -126,8 +126,8 @@ func TestDetectUnaryDenial(t *testing.T) {
 func TestDetectTernaryDenial(t *testing.T) {
 	// No path may exist a->b->c with total weight > 10.
 	db := engine.New()
-	db.MustExec("CREATE TABLE edge (src INT, dst INT, w INT)")
-	db.MustExec("INSERT INTO edge VALUES (1, 2, 6), (2, 3, 7), (2, 4, 1), (9, 9, 100)")
+	mustExec(db, "CREATE TABLE edge (src INT, dst INT, w INT)")
+	mustExec(db, "INSERT INTO edge VALUES (1, 2, 6), (2, 3, 7), (2, 4, 1), (9, 9, 100)")
 	d, err := constraint.ParseDenial(
 		"edge e1, edge e2 WHERE e1.dst = e2.src AND e1.w + e2.w > 10")
 	if err != nil {
@@ -239,7 +239,7 @@ func TestTupleIndexAfterDelete(t *testing.T) {
 	if _, ok := ti.Row(Vertex{Rel: "nope", Row: 0}); ok {
 		t.Error("unknown relation Row should fail")
 	}
-	db.MustExec("DELETE FROM emp WHERE id = 2")
+	mustExec(db, "DELETE FROM emp WHERE id = 2")
 	ids, _ = ti.Lookup("emp", tup)
 	if len(ids) != 0 {
 		t.Errorf("deleted tuple still found: %v", ids)
@@ -248,7 +248,7 @@ func TestTupleIndexAfterDelete(t *testing.T) {
 
 func TestDetectErrors(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE r (a INT)")
+	mustExec(db, "CREATE TABLE r (a INT)")
 	_, _, _, err := NewDetector(db).Detect([]constraint.Constraint{
 		constraint.FD{Rel: "missing", LHS: []string{"a"}, RHS: []string{"b"}},
 	})

@@ -11,8 +11,8 @@ import (
 func cat(t *testing.T) Catalog {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, name TEXT, salary FLOAT)")
-	db.MustExec("CREATE TABLE mgr (id INT, bonus FLOAT)")
+	mustExec(db, "CREATE TABLE emp (id INT, name TEXT, salary FLOAT)")
+	mustExec(db, "CREATE TABLE mgr (id INT, bonus FLOAT)")
 	return db
 }
 

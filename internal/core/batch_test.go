@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+)
+
+// newBatchSys builds r (FD a → b, with one conflict) and the
+// unconstrained s, analyzed and ready.
+func newBatchSys(t *testing.T) *System {
+	t.Helper()
+	db := engine.New()
+	mustExec(db, "CREATE TABLE r (a INT, b INT)")
+	mustExec(db, "CREATE TABLE s (a INT, b INT)")
+	mustExec(db, "INSERT INTO r VALUES (1, 1), (1, 2), (2, 5), (3, 7)")
+	mustExec(db, "INSERT INTO s VALUES (9, 9)")
+	fd := constraint.FD{Rel: "r", LHS: []string{"a"}, RHS: []string{"b"}}
+	sys := NewSystem(db, []constraint.Constraint{fd})
+	if _, err := sys.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+// TestBatchTransientLeaksNothing is the coalescing-edge-case regression:
+// a tuple inserted and deleted within one batch never became visible, so
+// it must trigger neither a delta probe nor a cache invalidation — cached
+// verdicts that depend on the tuple's absence keep serving.
+func TestBatchTransientLeaksNothing(t *testing.T) {
+	sys := newBatchSys(t)
+	const q = "SELECT * FROM r EXCEPT SELECT * FROM s"
+
+	// Warm the verdict cache: every candidate's verdict depends on its own
+	// membership in s (negative atoms).
+	first, err := runQ(sys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := sys.CacheStats()
+	maintBase := sys.Maintenance()
+
+	// One real delta plus a transient pair: (2,5) enters and leaves s
+	// within the batch. Statement-at-a-time this would flip the membership
+	// dependency of candidate (2,5) twice and invalidate its verdict; as a
+	// batch it must be invisible.
+	if _, err := sys.DB().ExecBatch([]string{
+		"INSERT INTO s VALUES (999, 999)",
+		"INSERT INTO s VALUES (2, 5)",
+		"DELETE FROM s WHERE a = 2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	again, err := runQ(sys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tupleKey(first) != tupleKey(again) {
+		t.Fatalf("answers changed after no-op-visible batch:\nbefore: %s\nafter:  %s",
+			tupleKey(first), tupleKey(again))
+	}
+	cs := sys.CacheStats().Sub(base)
+	if cs.Invalidated != 0 {
+		t.Errorf("transient pair invalidated %d cache entries, want 0", cs.Invalidated)
+	}
+	if cs.Misses != 0 {
+		t.Errorf("re-run had %d cache misses, want 0 (all verdicts preserved)", cs.Misses)
+	}
+	m := sys.Maintenance().Sub(maintBase)
+	if m.DeltasApplied != 1 {
+		t.Errorf("deltas applied = %d, want 1 (only the real insert survives coalescing)", m.DeltasApplied)
+	}
+
+	// Contrast: the same transient pair statement-at-a-time does flip the
+	// membership dependency and re-certifies the affected candidate.
+	db := sys.DB()
+	mustExec(db, "INSERT INTO s VALUES (2, 5)")
+	mustExec(db, "DELETE FROM s WHERE a = 2")
+	base = sys.CacheStats()
+	third, err := runQ(sys, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tupleKey(first) != tupleKey(third) {
+		t.Fatalf("answers changed after transient statements:\n%s\nvs %s", tupleKey(first), tupleKey(third))
+	}
+	if cs := sys.CacheStats().Sub(base); cs.Misses == 0 {
+		t.Error("statement-at-a-time transient should have invalidated at least one verdict")
+	}
+}
+
+// TestBatchSameKeyReinsert covers the other coalescer edge: an update
+// written as delete(old)+insert(new) with identical values lands on a new
+// RowID, survives coalescing, and leaves hypergraph and answers exactly as
+// statement-at-a-time application would.
+func TestBatchSameKeyReinsert(t *testing.T) {
+	seq := newBatchSys(t)
+	bat := newBatchSys(t)
+	stmts := []string{
+		"DELETE FROM r WHERE a = 1 AND b = 2",
+		"INSERT INTO r VALUES (1, 2)", // same values, new RowID
+		"DELETE FROM r WHERE a = 3",
+		"INSERT INTO r VALUES (3, 8)", // replaces (3,7) with a new value
+	}
+	for _, s := range stmts {
+		mustExec(seq.DB(), s)
+	}
+	if _, err := bat.DB().ExecBatch(stmts); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []string{
+		"SELECT * FROM r",
+		"SELECT * FROM r EXCEPT SELECT * FROM s",
+		"SELECT * FROM r WHERE b > 1",
+	} {
+		a, err := runQ(seq, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := runQ(bat, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tupleKey(a) != tupleKey(b) {
+			t.Errorf("query %q: sequential %s vs batched %s", q, tupleKey(a), tupleKey(b))
+		}
+	}
+	gs, gb := seq.GraphStats(), bat.GraphStats()
+	if gs != gb {
+		t.Errorf("hypergraph diverged: sequential %+v vs batched %+v", gs, gb)
+	}
+}
+
+func runQ(sys *System, q string) (*engine.Result, error) {
+	res, _, err := sys.ConsistentQuery(q, Options{})
+	return res, err
+}
+
+func tupleKey(res *engine.Result) string {
+	keys := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		keys = append(keys, r.Key())
+	}
+	sort.Strings(keys)
+	return fmt.Sprint(keys)
+}

@@ -12,10 +12,10 @@ import (
 func cacheSystem(t *testing.T, rows string) *System {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE r (a INT, b INT)")
-	db.MustExec("CREATE TABLE s (a INT, b INT)")
+	mustExec(db, "CREATE TABLE r (a INT, b INT)")
+	mustExec(db, "CREATE TABLE s (a INT, b INT)")
 	if rows != "" {
-		db.MustExec("INSERT INTO r VALUES " + rows)
+		mustExec(db, "INSERT INTO r VALUES "+rows)
 	}
 	fd := constraint.FD{Rel: "r", LHS: []string{"a"}, RHS: []string{"b"}}
 	sys := NewSystem(db, []constraint.Constraint{fd})
@@ -62,7 +62,7 @@ func TestVerdictCacheMembershipInvalidation(t *testing.T) {
 	if len(res.Rows) != 1 {
 		t.Fatalf("before insert: answers=%d, want 1", len(res.Rows))
 	}
-	sys.DB().MustExec("INSERT INTO s VALUES (2,5)")
+	mustExec(sys.DB(), "INSERT INTO s VALUES (2,5)")
 	res, st := mustCQ(t, sys, q, Options{})
 	if len(res.Rows) != 0 {
 		t.Fatalf("after insert into s: answers=%d, want 0 (stale cached verdict served)", len(res.Rows))
@@ -83,7 +83,7 @@ func TestVerdictCacheCleanToConflicting(t *testing.T) {
 	if len(res.Rows) != 1 {
 		t.Fatalf("before: answers=%d, want 1", len(res.Rows))
 	}
-	sys.DB().MustExec("INSERT INTO r VALUES (2,6)") // conflicts with (2,5)
+	mustExec(sys.DB(), "INSERT INTO r VALUES (2,6)") // conflicts with (2,5)
 	res, _ = mustCQ(t, sys, q, Options{})
 	if len(res.Rows) != 0 {
 		t.Fatalf("after conflicting insert: answers=%d, want 0 (stale verdict for (2,5))", len(res.Rows))
@@ -99,7 +99,7 @@ func TestVerdictCacheComponentInvalidation(t *testing.T) {
 	if len(res.Rows) != 0 {
 		t.Fatalf("before: answers=%d, want 0", len(res.Rows))
 	}
-	sys.DB().MustExec("DELETE FROM r WHERE b = 2")
+	mustExec(sys.DB(), "DELETE FROM r WHERE b = 2")
 	res, st := mustCQ(t, sys, q, Options{})
 	if len(res.Rows) != 1 {
 		t.Fatalf("after delete: answers=%d, want 1", len(res.Rows))
@@ -120,7 +120,7 @@ func TestVerdictCacheLocalizedInvalidation(t *testing.T) {
 		t.Fatalf("cold misses=%d, want 5", cold)
 	}
 	// Touch only the a=1 component.
-	sys.DB().MustExec("INSERT INTO r VALUES (1,3)")
+	mustExec(sys.DB(), "INSERT INTO r VALUES (1,3)")
 	_, st2 := mustCQ(t, sys, q, Options{})
 	// New candidate (1,3) plus re-certification of the a=1 pair; (2,5),
 	// (2,6), (3,7) must come from the cache.
@@ -162,7 +162,7 @@ func TestVerdictCacheAgreesWithUncached(t *testing.T) {
 	}
 	check("initial")
 	for _, u := range updates {
-		cached.DB().MustExec(u)
+		mustExec(cached.DB(), u)
 		check(u)
 	}
 }

@@ -15,8 +15,8 @@ import (
 func newSystem(t *testing.T) *System {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
-	db.MustExec("INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150), (3, 300), (3, 400), (4, 50)")
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150), (3, 300), (3, 400), (4, 50)")
 	fd := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
 	return NewSystem(db, []constraint.Constraint{fd})
 }
@@ -121,8 +121,8 @@ func TestUnionExtractsDisjunctiveInformation(t *testing.T) {
 	// still consistently contains Smith's record variants? No — tuple-level:
 	// we use coarser tuples that both variants satisfy.
 	db := engine.New()
-	db.MustExec("CREATE TABLE person (name TEXT, city TEXT)")
-	db.MustExec("INSERT INTO person VALUES ('smith', 'boston'), ('smith', 'albany'), ('jones', 'nyc')")
+	mustExec(db, "CREATE TABLE person (name TEXT, city TEXT)")
+	mustExec(db, "INSERT INTO person VALUES ('smith', 'boston'), ('smith', 'albany'), ('jones', 'nyc')")
 	fd := constraint.FD{Rel: "person", LHS: []string{"name"}, RHS: []string{"city"}}
 	s := NewSystem(db, []constraint.Constraint{fd})
 
@@ -154,9 +154,9 @@ func TestMoreInformationThanConflictDeletion(t *testing.T) {
 	// (4,50) AND can certify tuples whose subtracted side only involves
 	// conflicting tuples.
 	db := engine.New()
-	db.MustExec("CREATE TABLE t (a INT, b INT)")
+	mustExec(db, "CREATE TABLE t (a INT, b INT)")
 	// (1,1) vs (1,2) conflict; (2,5) clean.
-	db.MustExec("INSERT INTO t VALUES (1, 1), (1, 2), (2, 5)")
+	mustExec(db, "INSERT INTO t VALUES (1, 1), (1, 2), (2, 5)")
 	fd := constraint.FD{Rel: "t", LHS: []string{"a"}, RHS: []string{"b"}}
 	s := NewSystem(db, []constraint.Constraint{fd})
 
@@ -170,8 +170,8 @@ func TestMoreInformationThanConflictDeletion(t *testing.T) {
 
 	// Conflict-deletion approach: drop all conflicting tuples, evaluate.
 	db2 := engine.New()
-	db2.MustExec("CREATE TABLE t (a INT, b INT)")
-	db2.MustExec("INSERT INTO t VALUES (2, 5)")
+	mustExec(db2, "CREATE TABLE t (a INT, b INT)")
+	mustExec(db2, "INSERT INTO t VALUES (2, 5)")
 	res2, err := db2.Query(q)
 	if err != nil {
 		t.Fatal(err)
@@ -208,7 +208,7 @@ func TestInvalidateAndAddConstraint(t *testing.T) {
 		t.Fatal(err)
 	}
 	// New conflicting tuple; without Invalidate the hypergraph is stale.
-	s.DB().MustExec("INSERT INTO emp VALUES (4, 60)")
+	mustExec(s.DB(), "INSERT INTO emp VALUES (4, 60)")
 	s.Invalidate()
 	res, _, err := s.ConsistentQuery("SELECT * FROM emp", Options{})
 	if err != nil {
@@ -244,7 +244,7 @@ func TestQueryErrors(t *testing.T) {
 // with an FD a->b, values drawn from tiny domains to force conflicts.
 func randomSystem(rng *rand.Rand, n int) *System {
 	db := engine.New()
-	db.MustExec("CREATE TABLE r (a INT, b INT, c INT)")
+	mustExec(db, "CREATE TABLE r (a INT, b INT, c INT)")
 	seen := map[string]bool{}
 	inserted := 0
 	for inserted < n {
@@ -254,7 +254,7 @@ func randomSystem(rng *rand.Rand, n int) *System {
 			continue
 		}
 		seen[key] = true
-		db.MustExec(fmt.Sprintf("INSERT INTO r VALUES (%d, %d, %d)", a, b, c))
+		mustExec(db, fmt.Sprintf("INSERT INTO r VALUES (%d, %d, %d)", a, b, c))
 		inserted++
 	}
 	fd := constraint.FD{Rel: "r", LHS: []string{"a"}, RHS: []string{"b"}}
@@ -314,7 +314,7 @@ func TestRandomizedDenialAgainstOracle(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	for trial := 0; trial < 15; trial++ {
 		db := engine.New()
-		db.MustExec("CREATE TABLE r (a INT, b INT, c INT)")
+		mustExec(db, "CREATE TABLE r (a INT, b INT, c INT)")
 		seen := map[string]bool{}
 		for len(seen) < 7 {
 			a, b, c := rng.Intn(3), rng.Intn(3), rng.Intn(2)
@@ -323,7 +323,7 @@ func TestRandomizedDenialAgainstOracle(t *testing.T) {
 				continue
 			}
 			seen[key] = true
-			db.MustExec(fmt.Sprintf("INSERT INTO r VALUES (%d, %d, %d)", a, b, c))
+			mustExec(db, fmt.Sprintf("INSERT INTO r VALUES (%d, %d, %d)", a, b, c))
 		}
 		s := NewSystem(db, []constraint.Constraint{den})
 		en, err := s.RepairEnumerator()
@@ -362,8 +362,8 @@ func TestRandomizedTwoRelations(t *testing.T) {
 	}
 	for trial := 0; trial < 15; trial++ {
 		db := engine.New()
-		db.MustExec("CREATE TABLE p (k INT, v INT)")
-		db.MustExec("CREATE TABLE q (k INT, w INT)")
+		mustExec(db, "CREATE TABLE p (k INT, v INT)")
+		mustExec(db, "CREATE TABLE q (k INT, w INT)")
 		seenP, seenQ := map[string]bool{}, map[string]bool{}
 		for len(seenP) < 4 {
 			k, v := rng.Intn(4), rng.Intn(2)
@@ -372,7 +372,7 @@ func TestRandomizedTwoRelations(t *testing.T) {
 				continue
 			}
 			seenP[key] = true
-			db.MustExec(fmt.Sprintf("INSERT INTO p VALUES (%d, %d)", k, v))
+			mustExec(db, fmt.Sprintf("INSERT INTO p VALUES (%d, %d)", k, v))
 		}
 		for len(seenQ) < 4 {
 			k, w := rng.Intn(4), rng.Intn(2)
@@ -381,7 +381,7 @@ func TestRandomizedTwoRelations(t *testing.T) {
 				continue
 			}
 			seenQ[key] = true
-			db.MustExec(fmt.Sprintf("INSERT INTO q VALUES (%d, %d)", k, w))
+			mustExec(db, fmt.Sprintf("INSERT INTO q VALUES (%d, %d)", k, w))
 		}
 		s := NewSystem(db, []constraint.Constraint{excl})
 		en, err := s.RepairEnumerator()

@@ -45,8 +45,8 @@ func diffStrings(a, b []string) string {
 func TestIncrementalMatchesFullDetect(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, salary INT, dept INT)")
-	db.MustExec("CREATE TABLE blocked (id INT)")
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT, dept INT)")
+	mustExec(db, "CREATE TABLE blocked (id INT)")
 
 	excl, err := constraint.ParseDenial("emp AS e, blocked AS b WHERE e.id = b.id")
 	if err != nil {
@@ -67,18 +67,18 @@ func TestIncrementalMatchesFullDetect(t *testing.T) {
 	for step := 1; step <= steps; step++ {
 		switch rng.Intn(4) {
 		case 0, 1:
-			db.MustExec(fmt.Sprintf("INSERT INTO emp VALUES (%d, %d, %d)",
+			mustExec(db, fmt.Sprintf("INSERT INTO emp VALUES (%d, %d, %d)",
 				rng.Intn(16), rng.Intn(3), rng.Intn(5)))
 		case 2:
-			db.MustExec(fmt.Sprintf("INSERT INTO blocked VALUES (%d)", rng.Intn(16)))
+			mustExec(db, fmt.Sprintf("INSERT INTO blocked VALUES (%d)", rng.Intn(16)))
 		default:
 			// Predicate deletes may remove several rows (or none) — each
 			// removed row emits its own delta.
 			if rng.Intn(2) == 0 {
-				db.MustExec(fmt.Sprintf("DELETE FROM emp WHERE id = %d AND salary = %d",
+				mustExec(db, fmt.Sprintf("DELETE FROM emp WHERE id = %d AND salary = %d",
 					rng.Intn(16), rng.Intn(3)))
 			} else {
-				db.MustExec(fmt.Sprintf("DELETE FROM blocked WHERE id = %d", rng.Intn(16)))
+				mustExec(db, fmt.Sprintf("DELETE FROM blocked WHERE id = %d", rng.Intn(16)))
 			}
 		}
 		if step%checkEvery != 0 {
@@ -135,7 +135,7 @@ func TestIncrementalDDLForcesRebuild(t *testing.T) {
 	if _, err := sys.Analyze(); err != nil {
 		t.Fatal(err)
 	}
-	sys.DB().MustExec("CREATE TABLE extra (id INT)")
+	mustExec(sys.DB(), "CREATE TABLE extra (id INT)")
 	if _, _, err := sys.ConsistentQuery("SELECT * FROM emp", Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -163,8 +163,8 @@ func TestIncrementalTransientInsertDelete(t *testing.T) {
 	}
 	edgesBefore := sys.Hypergraph().NumEdges()
 	// Conflicts with id=2 (salary 150), then vanishes before any query.
-	sys.DB().MustExec("INSERT INTO emp VALUES (2, 999)")
-	sys.DB().MustExec("DELETE FROM emp WHERE salary = 999")
+	mustExec(sys.DB(), "INSERT INTO emp VALUES (2, 999)")
+	mustExec(sys.DB(), "DELETE FROM emp WHERE salary = 999")
 	if _, _, err := sys.ConsistentQuery("SELECT * FROM emp", Options{}); err != nil {
 		t.Fatal(err)
 	}

@@ -24,7 +24,7 @@ func TestSnapshotPinnedAcrossWrites(t *testing.T) {
 	}
 
 	// Make tuple (2,150) inconsistent and add a fresh consistent tuple.
-	s.DB().MustExec("INSERT INTO emp VALUES (2, 999), (7, 70)")
+	mustExec(s.DB(), "INSERT INTO emp VALUES (2, 999), (7, 70)")
 
 	again, _, err := s.ConsistentQueryAt(sn, "SELECT * FROM emp", Options{})
 	if err != nil {
@@ -65,7 +65,7 @@ func TestEpochReclamation(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Replace the pinned view.
-	s.DB().MustExec("INSERT INTO emp VALUES (8, 80)")
+	mustExec(s.DB(), "INSERT INTO emp VALUES (8, 80)")
 	if _, _, err := s.ConsistentQuery("SELECT * FROM emp", Options{}); err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestEpochReclamation(t *testing.T) {
 	}
 
 	// An unpinned view replaced by a publish is reclaimed immediately.
-	s.DB().MustExec("INSERT INTO emp VALUES (9, 90)")
+	mustExec(s.DB(), "INSERT INTO emp VALUES (9, 90)")
 	if _, _, err := s.ConsistentQuery("SELECT * FROM emp", Options{}); err != nil {
 		t.Fatal(err)
 	}

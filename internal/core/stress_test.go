@@ -86,7 +86,7 @@ func TestConcurrentServingPrefixConsistency(t *testing.T) {
 	script, legal := stressScript(steps)
 
 	db := engine.New()
-	db.MustExec("CREATE TABLE log (gid INT, val INT)")
+	mustExec(db, "CREATE TABLE log (gid INT, val INT)")
 	s := NewSystem(db, []constraint.Constraint{
 		constraint.FD{Rel: "log", LHS: []string{"gid"}, RHS: []string{"val"}},
 	})
@@ -104,9 +104,9 @@ func TestConcurrentServingPrefixConsistency(t *testing.T) {
 		defer close(done)
 		for _, st := range script {
 			if st.insert {
-				db.MustExec(fmt.Sprintf("INSERT INTO log VALUES (%d, %d)", st.gid, st.val))
+				mustExec(db, fmt.Sprintf("INSERT INTO log VALUES (%d, %d)", st.gid, st.val))
 			} else {
-				db.MustExec(fmt.Sprintf("DELETE FROM log WHERE gid = %d AND val = %d", st.gid, st.val))
+				mustExec(db, fmt.Sprintf("DELETE FROM log WHERE gid = %d AND val = %d", st.gid, st.val))
 			}
 		}
 	}()

@@ -1,0 +1,153 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"hippo/internal/storage"
+)
+
+// feedRecorder captures the change feed a listener observes.
+type feedRecorder struct {
+	data   []storage.TableChange
+	schema []string
+}
+
+func (r *feedRecorder) DataChanged(table string, ch storage.Change) {
+	r.data = append(r.data, storage.TableChange{Table: table, Change: ch})
+}
+
+func (r *feedRecorder) SchemaChanged(reason string) { r.schema = append(r.schema, reason) }
+
+func newBatchDB(t *testing.T) *DB {
+	t.Helper()
+	db := New()
+	mustExec(db, "CREATE TABLE kv (k INT, v INT)")
+	mustExec(db, "INSERT INTO kv VALUES (1, 10), (2, 20)")
+	return db
+}
+
+func TestExecBatchSequentialSemantics(t *testing.T) {
+	db := newBatchDB(t)
+	// The DELETE must see the row the batch itself inserted.
+	affected, err := db.ExecBatch([]string{
+		"INSERT INTO kv VALUES (3, 30)",
+		"DELETE FROM kv WHERE k = 3",
+		"INSERT INTO kv VALUES (4, 40)",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(affected) != "[1 1 1]" {
+		t.Fatalf("affected = %v", affected)
+	}
+	res, err := db.Query("SELECT * FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows after batch = %d, want 3", len(res.Rows))
+	}
+}
+
+func TestExecBatchCoalescesFeed(t *testing.T) {
+	db := newBatchDB(t)
+	rec := &feedRecorder{}
+	db.AddListener(rec)
+	defer db.RemoveListener(rec)
+	if _, err := db.ExecBatch([]string{
+		"INSERT INTO kv VALUES (5, 50)", // transient: deleted two statements later
+		"INSERT INTO kv VALUES (6, 60)",
+		"DELETE FROM kv WHERE k = 5",
+		"DELETE FROM kv WHERE k = 1", // pre-batch row: must survive coalescing
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.data) != 2 {
+		t.Fatalf("coalesced feed has %d events, want 2: %v", len(rec.data), rec.data)
+	}
+	if rec.data[0].Change.Kind != storage.ChangeInsert || rec.data[0].Table != "kv" {
+		t.Fatalf("first surviving event = %+v, want insert of (6,60)", rec.data[0])
+	}
+	if rec.data[1].Change.Kind != storage.ChangeDelete {
+		t.Fatalf("second surviving event = %+v, want delete of (1,10)", rec.data[1])
+	}
+}
+
+func TestExecBatchRollsBackOnError(t *testing.T) {
+	db := newBatchDB(t)
+	rec := &feedRecorder{}
+	db.AddListener(rec)
+	defer db.RemoveListener(rec)
+	before, err := db.Query("SELECT * FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = db.ExecBatch([]string{
+		"INSERT INTO kv VALUES (7, 70)",
+		"DELETE FROM kv WHERE k = 2",
+		"INSERT INTO kv VALUES (8)", // arity error: fails mid-batch
+	})
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 2 {
+		t.Fatalf("err = %v, want *BatchError at statement 2", err)
+	}
+	if len(rec.data) != 0 {
+		t.Fatalf("rolled-back batch leaked %d feed events: %v", len(rec.data), rec.data)
+	}
+	after, err := db.Query("SELECT * FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Rows) != len(before.Rows) {
+		t.Fatalf("rows after failed batch = %d, want %d", len(after.Rows), len(before.Rows))
+	}
+	// The deleted-then-resurrected row is intact and re-indexed.
+	res, err := db.Query("SELECT * FROM kv WHERE k = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("row k=2 after rollback: %d rows", len(res.Rows))
+	}
+}
+
+func TestExecBatchRejectsNonDML(t *testing.T) {
+	db := newBatchDB(t)
+	for i, sqls := range [][]string{
+		{"INSERT INTO kv VALUES (9, 90)", "CREATE TABLE other (a INT)"},
+		{"SELECT * FROM kv"},
+		{"DROP TABLE kv"},
+	} {
+		_, err := db.ExecBatch(sqls)
+		var be *BatchError
+		if !errors.As(err, &be) {
+			t.Fatalf("case %d: err = %v, want *BatchError", i, err)
+		}
+	}
+	// Nothing from the rejected batches applied.
+	res, err := db.Query("SELECT * FROM kv WHERE k = 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatal("statement from a rejected batch was applied")
+	}
+}
+
+func TestExecBatchParseErrorAbortsEarly(t *testing.T) {
+	db := newBatchDB(t)
+	_, err := db.ExecBatch([]string{"INSERT INTO kv VALUES (9, 90)", "NOT SQL"})
+	var be *BatchError
+	if !errors.As(err, &be) || be.Index != 1 {
+		t.Fatalf("err = %v, want *BatchError at statement 1", err)
+	}
+	res, err := db.Query("SELECT * FROM kv WHERE k = 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatal("statement before the parse error was applied")
+	}
+}

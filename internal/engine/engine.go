@@ -302,6 +302,14 @@ func (db *DB) RunPlanRaw(plan ra.Node) (*Result, error) {
 func (db *DB) execInsert(s *sqlparse.Insert) (int, error) {
 	db.wseq.Lock()
 	defer db.wseq.Unlock()
+	return db.execInsertFrozen(s, nil)
+}
+
+// execInsertFrozen applies an INSERT while the caller holds the write
+// sequencer. With feed == nil, change events are delivered to listeners
+// immediately (statement-at-a-time mode); otherwise they are captured into
+// feed for the batch path to coalesce, deliver, or roll back.
+func (db *DB) execInsertFrozen(s *sqlparse.Insert, feed *[]storage.TableChange) (int, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return 0, err
@@ -340,8 +348,16 @@ func (db *DB) execInsert(s *sqlparse.Insert) (int, error) {
 			}
 			row[positions[i]] = v
 		}
-		if _, err := t.Insert(row); err != nil {
-			return inserted, err
+		if feed == nil {
+			if _, err := t.Insert(row); err != nil {
+				return inserted, err
+			}
+		} else {
+			_, ch, err := t.InsertCapture(row)
+			if err != nil {
+				return inserted, err
+			}
+			*feed = append(*feed, storage.TableChange{Table: t.Name(), Change: ch})
 		}
 		inserted++
 	}
@@ -351,6 +367,12 @@ func (db *DB) execInsert(s *sqlparse.Insert) (int, error) {
 func (db *DB) execDelete(s *sqlparse.Delete) (int, error) {
 	db.wseq.Lock()
 	defer db.wseq.Unlock()
+	return db.execDeleteFrozen(s, nil)
+}
+
+// execDeleteFrozen applies a DELETE while the caller holds the write
+// sequencer; see execInsertFrozen for the feed contract.
+func (db *DB) execDeleteFrozen(s *sqlparse.Delete, feed *[]storage.TableChange) (int, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return 0, err
@@ -380,20 +402,136 @@ func (db *DB) execDelete(s *sqlparse.Delete) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	for _, id := range doomed {
-		if err := t.Delete(id); err != nil {
-			return 0, err
+	for i, id := range doomed {
+		if feed == nil {
+			if err := t.Delete(id); err != nil {
+				return i, err
+			}
+		} else {
+			ch, err := t.DeleteCapture(id)
+			if err != nil {
+				return i, err
+			}
+			*feed = append(*feed, storage.TableChange{Table: t.Name(), Change: ch})
 		}
 	}
 	return len(doomed), nil
 }
 
-// MustExec executes sql and panics on error; intended for tests and
-// example setup code.
-func (db *DB) MustExec(sql string) {
-	if _, _, err := db.Exec(sql); err != nil {
-		panic(err)
+// BatchError reports which statement stopped a batch; the batch was rolled
+// back and no change became visible.
+type BatchError struct {
+	Index int // 0-based position of the failing statement
+	Err   error
+}
+
+// Error formats the failure with its statement position.
+func (e *BatchError) Error() string {
+	return fmt.Sprintf("engine: batch statement %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *BatchError) Unwrap() error { return e.Err }
+
+// ApplyBatch applies a sequence of parsed DML statements as one group
+// commit: every statement runs under a single hold of the write sequencer,
+// so no snapshot — and therefore no published query view — can observe a
+// prefix of the batch. Statements see the effects of earlier statements in
+// the batch, exactly as statement-at-a-time application would. The
+// buffered change feed is coalesced before delivery (a row inserted and
+// deleted within the batch never surfaces: no delta probe, no cache
+// invalidation), and listeners receive the surviving changes in mutation
+// order, still under the sequencer.
+//
+// A batch is all-or-nothing: if any statement fails — only INSERT and
+// DELETE are admitted, and runtime errors roll back too — every already
+// applied change is undone, no change-feed event is delivered, and the
+// returned *BatchError names the failing statement. On success the
+// per-statement affected-row counts are returned.
+func (db *DB) ApplyBatch(stmts []sqlparse.Statement) ([]int, error) {
+	for i, st := range stmts {
+		switch st.(type) {
+		case *sqlparse.Insert, *sqlparse.Delete:
+		default:
+			return nil, &BatchError{Index: i, Err: fmt.Errorf(
+				"engine: only INSERT and DELETE may appear in a batch, got %T", st)}
+		}
 	}
+	db.wseq.Lock()
+	defer db.wseq.Unlock()
+	feed := make([]storage.TableChange, 0, len(stmts))
+	affected := make([]int, len(stmts))
+	for i, st := range stmts {
+		var n int
+		var err error
+		switch s := st.(type) {
+		case *sqlparse.Insert:
+			n, err = db.execInsertFrozen(s, &feed)
+		case *sqlparse.Delete:
+			n, err = db.execDeleteFrozen(s, &feed)
+		}
+		if err != nil {
+			if rbErr := db.rollbackFrozen(feed); rbErr != nil {
+				// A failed undo step would silently desynchronize derived
+				// state (hypergraph, caches) from the tables. Signal a
+				// schema-grade change so every listener rebuilds from a
+				// full rescan, then report both errors.
+				db.notifySchema("batch rollback failure")
+				err = fmt.Errorf("%w (rollback incomplete, derived state rebuilt: %v)", err, rbErr)
+			}
+			return nil, &BatchError{Index: i, Err: err}
+		}
+		affected[i] = n
+	}
+	for _, tc := range storage.CoalesceChanges(feed) {
+		db.notifyData(tc.Table, tc.Change)
+	}
+	return affected, nil
+}
+
+// ExecBatch parses sqls and applies them with ApplyBatch. A parse error
+// aborts before anything runs.
+func (db *DB) ExecBatch(sqls []string) ([]int, error) {
+	stmts := make([]sqlparse.Statement, len(sqls))
+	for i, q := range sqls {
+		st, err := sqlparse.Parse(q)
+		if err != nil {
+			return nil, &BatchError{Index: i, Err: err}
+		}
+		stmts[i] = st
+	}
+	return db.ApplyBatch(stmts)
+}
+
+// rollbackFrozen undoes captured (never delivered) changes in reverse
+// order: inserted rows are re-tombstoned, deleted rows resurrected. The
+// caller holds the write sequencer, so no reader snapshot can interleave.
+// Every step succeeds by invariant (batches contain no DDL and captured
+// RowIDs are stable); if one ever fails, the first failure is returned so
+// the caller can force derived state to rebuild rather than serve answers
+// diverged from the tables.
+func (db *DB) rollbackFrozen(feed []storage.TableChange) error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for i := len(feed) - 1; i >= 0; i-- {
+		tc := feed[i]
+		t, err := db.Table(tc.Table)
+		if err != nil {
+			keep(err)
+			continue
+		}
+		if tc.Change.Kind == storage.ChangeInsert {
+			_, err = t.DeleteCapture(tc.Change.Row)
+		} else {
+			err = t.Resurrect(tc.Change.Row)
+		}
+		keep(err)
+	}
+	return firstErr
 }
 
 // TableSchema returns the schema of the named table, satisfying

@@ -14,14 +14,14 @@ import (
 func newEmpDB(t *testing.T) *DB {
 	t.Helper()
 	db := New()
-	db.MustExec("CREATE TABLE emp (id INT, name TEXT, dept INT, salary FLOAT)")
-	db.MustExec("CREATE TABLE dept (id INT, dname TEXT)")
-	db.MustExec(`INSERT INTO emp VALUES
+	mustExec(db, "CREATE TABLE emp (id INT, name TEXT, dept INT, salary FLOAT)")
+	mustExec(db, "CREATE TABLE dept (id INT, dname TEXT)")
+	mustExec(db, `INSERT INTO emp VALUES
 		(1, 'ann', 10, 100.0),
 		(2, 'bob', 10, 200.0),
 		(3, 'cat', 20, 300.0),
 		(4, 'dan', 30, 400.0)`)
-	db.MustExec("INSERT INTO dept VALUES (10, 'eng'), (20, 'ops')")
+	mustExec(db, "INSERT INTO dept VALUES (10, 'eng'), (20, 'ops')")
 	return db
 }
 
@@ -196,7 +196,7 @@ func TestDelete(t *testing.T) {
 
 func TestInsertColumnList(t *testing.T) {
 	db := New()
-	db.MustExec("CREATE TABLE t (a INT, b TEXT, c BOOL)")
+	mustExec(db, "CREATE TABLE t (a INT, b TEXT, c BOOL)")
 	_, n, err := db.Exec("INSERT INTO t (c, a) VALUES (TRUE, 7)")
 	if err != nil || n != 1 {
 		t.Fatalf("insert n=%d err=%v", n, err)
@@ -216,14 +216,14 @@ func TestInsertColumnList(t *testing.T) {
 
 func TestDDLErrors(t *testing.T) {
 	db := New()
-	db.MustExec("CREATE TABLE t (a INT)")
+	mustExec(db, "CREATE TABLE t (a INT)")
 	if _, _, err := db.Exec("CREATE TABLE t (a INT)"); err == nil {
 		t.Error("duplicate create should error")
 	}
 	if _, _, err := db.Exec("DROP TABLE missing"); err == nil {
 		t.Error("drop missing should error")
 	}
-	db.MustExec("DROP TABLE t")
+	mustExec(db, "DROP TABLE t")
 	if _, err := db.Table("t"); err == nil {
 		t.Error("dropped table still visible")
 	}
@@ -248,16 +248,16 @@ func TestTableNamesAndQueryCount(t *testing.T) {
 
 func TestCaseInsensitiveNames(t *testing.T) {
 	db := New()
-	db.MustExec("CREATE TABLE Person (Id INT, Name TEXT)")
-	db.MustExec("INSERT INTO person VALUES (1, 'x')")
+	mustExec(db, "CREATE TABLE Person (Id INT, Name TEXT)")
+	mustExec(db, "INSERT INTO person VALUES (1, 'x')")
 	got := queryStrings(t, db, "SELECT PERSON.ID FROM PERSON WHERE person.name = 'x'")
 	wantRows(t, got, "(1)")
 }
 
 func TestComparisonWithNulls(t *testing.T) {
 	db := New()
-	db.MustExec("CREATE TABLE t (a INT)")
-	db.MustExec("INSERT INTO t VALUES (1), (NULL), (3)")
+	mustExec(db, "CREATE TABLE t (a INT)")
+	mustExec(db, "INSERT INTO t VALUES (1), (NULL), (3)")
 	got := queryStrings(t, db, "SELECT a FROM t WHERE a > 0")
 	wantRows(t, got, "(1)", "(3)") // NULL row filtered out
 	got = queryStrings(t, db, "SELECT a FROM t WHERE a IS NULL")
@@ -268,8 +268,8 @@ func TestComparisonWithNulls(t *testing.T) {
 
 func TestArithmeticInQueries(t *testing.T) {
 	db := New()
-	db.MustExec("CREATE TABLE n (x INT)")
-	db.MustExec("INSERT INTO n VALUES (10), (7)")
+	mustExec(db, "CREATE TABLE n (x INT)")
+	mustExec(db, "INSERT INTO n VALUES (10), (7)")
 	got := queryStrings(t, db, "SELECT x + 1, x - 1, x * 2, x / 2, x % 3 FROM n WHERE x = 10")
 	wantRows(t, got, "(11, 9, 20, 5, 1)")
 	if _, err := db.Query("SELECT x / 0 FROM n"); err == nil {
@@ -282,12 +282,9 @@ func TestExecErrors(t *testing.T) {
 	if _, _, err := db.Exec("NOT SQL AT ALL"); err == nil {
 		t.Error("parse error should propagate")
 	}
-	defer func() {
-		if recover() == nil {
-			t.Error("MustExec should panic on error")
-		}
-	}()
-	db.MustExec("SELECT * FROM missing")
+	if _, _, err := db.Exec("SELECT * FROM missing"); err == nil {
+		t.Error("query on a missing table should surface an error")
+	}
 }
 
 func TestPlanQueryExposed(t *testing.T) {
@@ -368,9 +365,9 @@ func TestChangeFeedAddRemoveListener(t *testing.T) {
 	db := New()
 	log := &listenerLog{}
 	db.AddListener(log)
-	db.MustExec("CREATE TABLE t (a INT)")
-	db.MustExec("INSERT INTO t VALUES (1), (2)")
-	db.MustExec("DELETE FROM t WHERE a = 1")
+	mustExec(db, "CREATE TABLE t (a INT)")
+	mustExec(db, "INSERT INTO t VALUES (1), (2)")
+	mustExec(db, "DELETE FROM t WHERE a = 1")
 	if want := []string{"t:insert", "t:insert", "t:delete"}; len(log.data) != 3 ||
 		log.data[0] != want[0] || log.data[1] != want[1] || log.data[2] != want[2] {
 		t.Fatalf("data feed = %v, want %v", log.data, want)
@@ -379,8 +376,8 @@ func TestChangeFeedAddRemoveListener(t *testing.T) {
 		t.Fatalf("schema feed = %v", log.schema)
 	}
 	db.RemoveListener(log)
-	db.MustExec("INSERT INTO t VALUES (3)")
-	db.MustExec("CREATE TABLE u (b INT)")
+	mustExec(db, "INSERT INTO t VALUES (3)")
+	mustExec(db, "CREATE TABLE u (b INT)")
 	if len(log.data) != 3 || len(log.schema) != 1 {
 		t.Fatalf("removed listener still notified: data=%v schema=%v", log.data, log.schema)
 	}

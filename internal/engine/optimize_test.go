@@ -46,7 +46,7 @@ func TestCreateIndexStatement(t *testing.T) {
 
 func TestOptimizerUsesIndex(t *testing.T) {
 	db := newEmpDB(t)
-	db.MustExec("CREATE INDEX emp_id ON emp (id)")
+	mustExec(db, "CREATE INDEX emp_id ON emp (id)")
 
 	plan := optimizedPlan(t, db, "SELECT * FROM emp WHERE id = 2")
 	s := ra.Format(plan)
@@ -74,7 +74,7 @@ func TestOptimizerSkipsWhenNoIndexFits(t *testing.T) {
 		t.Fatal("no index exists; scan expected")
 	}
 	// Index on a different column set.
-	db.MustExec("CREATE INDEX emp_sal ON emp (salary)")
+	mustExec(db, "CREATE INDEX emp_sal ON emp (salary)")
 	plan = optimizedPlan(t, db, "SELECT * FROM emp WHERE id = 2")
 	if strings.Contains(ra.Format(plan), "IndexLookup") {
 		t.Fatal("index does not cover predicate columns")
@@ -93,8 +93,8 @@ func TestOptimizerSkipsWhenNoIndexFits(t *testing.T) {
 
 func TestOptimizerPicksWidestIndex(t *testing.T) {
 	db := newEmpDB(t)
-	db.MustExec("CREATE INDEX i1 ON emp (dept)")
-	db.MustExec("CREATE INDEX i2 ON emp (dept, salary)")
+	mustExec(db, "CREATE INDEX i1 ON emp (dept)")
+	mustExec(db, "CREATE INDEX i2 ON emp (dept, salary)")
 	plan := optimizedPlan(t, db, "SELECT * FROM emp WHERE dept = 10 AND salary = 100")
 	s := ra.Format(plan)
 	if !strings.Contains(s, "IndexLookup") {
@@ -108,8 +108,8 @@ func TestOptimizerPicksWidestIndex(t *testing.T) {
 
 func TestOptimizedResultsMatchUnoptimized(t *testing.T) {
 	db := newEmpDB(t)
-	db.MustExec("CREATE INDEX emp_id ON emp (id)")
-	db.MustExec("CREATE INDEX emp_dept ON emp (dept)")
+	mustExec(db, "CREATE INDEX emp_id ON emp (id)")
+	mustExec(db, "CREATE INDEX emp_dept ON emp (dept)")
 	queries := []string{
 		"SELECT * FROM emp WHERE id = 2",
 		"SELECT * FROM emp WHERE id = 2 AND salary > 100",

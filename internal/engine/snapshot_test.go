@@ -10,18 +10,18 @@ import (
 func snapDB(t *testing.T) *DB {
 	t.Helper()
 	db := New()
-	db.MustExec("CREATE TABLE emp (id INT, dept TEXT)")
-	db.MustExec("INSERT INTO emp VALUES (1,'a'), (2,'b'), (3,'a')")
-	db.MustExec("CREATE TABLE dept (name TEXT, city TEXT)")
-	db.MustExec("INSERT INTO dept VALUES ('a','x'), ('b','y')")
+	mustExec(db, "CREATE TABLE emp (id INT, dept TEXT)")
+	mustExec(db, "INSERT INTO emp VALUES (1,'a'), (2,'b'), (3,'a')")
+	mustExec(db, "CREATE TABLE dept (name TEXT, city TEXT)")
+	mustExec(db, "INSERT INTO dept VALUES ('a','x'), ('b','y')")
 	return db
 }
 
 func TestDBSnapshotIsolation(t *testing.T) {
 	db := snapDB(t)
 	snap := db.Snapshot()
-	db.MustExec("INSERT INTO emp VALUES (4,'c')")
-	db.MustExec("DELETE FROM emp WHERE id = 1")
+	mustExec(db, "INSERT INTO emp VALUES (4,'c')")
+	mustExec(db, "DELETE FROM emp WHERE id = 1")
 
 	res, err := snap.Query("SELECT id FROM emp ORDER BY id")
 	if err != nil {
@@ -51,7 +51,7 @@ func TestDBSnapshotIsolation(t *testing.T) {
 func TestSnapshotUnchangedTablesShared(t *testing.T) {
 	db := snapDB(t)
 	s1 := db.Snapshot()
-	db.MustExec("INSERT INTO emp VALUES (4,'c')")
+	mustExec(db, "INSERT INTO emp VALUES (4,'c')")
 	s2 := db.Snapshot()
 	t1, _ := s1.Table("dept")
 	t2, _ := s2.Table("dept")
@@ -81,7 +81,7 @@ func TestRebindToSnapshot(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap := db.Snapshot()
-	db.MustExec("INSERT INTO emp VALUES (9,'a')")
+	mustExec(db, "INSERT INTO emp VALUES (9,'a')")
 
 	rebound, err := Rebind(plan, snap)
 	if err != nil {

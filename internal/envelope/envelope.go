@@ -24,10 +24,17 @@
 package envelope
 
 import (
+	"errors"
 	"fmt"
 
 	"hippo/internal/ra"
 )
+
+// ErrUnsupported marks a query shape outside the SJUD class Hippo
+// supports. Every rejection CheckQuery (and hence ConsistentQuery)
+// produces wraps it, so callers can test errors.Is(err, ErrUnsupported)
+// instead of matching message text; no unsupported shape panics.
+var ErrUnsupported = errors.New("unsupported query shape")
 
 // CheckQuery validates that a plan is within Hippo's supported SJUD
 // class (+ safe projection). It returns a descriptive error naming the
@@ -71,13 +78,13 @@ func CheckQuery(n ra.Node) error {
 	case *ra.DistinctNode:
 		return CheckQuery(t.Child)
 	case *ra.SemiJoin, *ra.AntiJoin:
-		return fmt.Errorf("envelope: EXISTS/IN subqueries are not part of the SJUD class supported by Hippo")
+		return fmt.Errorf("envelope: EXISTS/IN subqueries are not part of the SJUD class supported by Hippo: %w", ErrUnsupported)
 	case *ra.Sort, *ra.Limit:
-		return fmt.Errorf("envelope: ORDER BY/LIMIT are applied after certification, not inside the SJUD query (core strips top-level ones)")
+		return fmt.Errorf("envelope: ORDER BY/LIMIT are applied after certification, not inside the SJUD query (core strips top-level ones): %w", ErrUnsupported)
 	case *ra.Values:
-		return fmt.Errorf("envelope: constant relations are not supported in consistent queries")
+		return fmt.Errorf("envelope: constant relations are not supported in consistent queries: %w", ErrUnsupported)
 	default:
-		return fmt.Errorf("envelope: unsupported operator %T", n)
+		return fmt.Errorf("envelope: unsupported operator %T: %w", n, ErrUnsupported)
 	}
 }
 
@@ -90,7 +97,7 @@ func checkSafeProjection(p *ra.Project) error {
 	for _, e := range p.Exprs {
 		c, ok := e.(ra.Col)
 		if !ok {
-			return fmt.Errorf("envelope: projection expression %q is not a bare column; computed projections introduce existential quantifiers", e)
+			return fmt.Errorf("envelope: projection expression %q is not a bare column; computed projections introduce existential quantifiers: %w", e, ErrUnsupported)
 		}
 		if c.Index < 0 || c.Index >= childArity {
 			return fmt.Errorf("envelope: projection column #%d out of range", c.Index)
@@ -99,8 +106,8 @@ func checkSafeProjection(p *ra.Project) error {
 	}
 	for i, ok := range covered {
 		if !ok {
-			return fmt.Errorf("envelope: projection drops column %d (%s); only permutations of all columns are supported (paper footnote 4)",
-				i, p.Child.Schema().Columns[i])
+			return fmt.Errorf("envelope: projection drops column %d (%s); only permutations of all columns are supported (paper footnote 4): %w",
+				i, p.Child.Schema().Columns[i], ErrUnsupported)
 		}
 	}
 	return nil
@@ -112,35 +119,81 @@ func Envelope(n ra.Node) (ra.Node, error) {
 	if err := CheckQuery(n); err != nil {
 		return nil, err
 	}
-	return build(n), nil
+	return build(n)
 }
 
-func build(n ra.Node) ra.Node {
+func build(n ra.Node) (ra.Node, error) {
 	switch t := n.(type) {
 	case *ra.Scan:
-		return &ra.Scan{Table: t.Table, Alias: t.Alias}
+		return &ra.Scan{Table: t.Table, Alias: t.Alias}, nil
 	case *ra.Select:
-		return &ra.Select{Child: build(t.Child), Pred: t.Pred}
+		c, err := build(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Select{Child: c, Pred: t.Pred}, nil
 	case *ra.Project:
-		return &ra.Project{Child: build(t.Child), Exprs: t.Exprs, Names: t.Names, Distinct: true}
+		c, err := build(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Project{Child: c, Exprs: t.Exprs, Names: t.Names, Distinct: true}, nil
 	case *ra.Product:
-		return &ra.Product{L: build(t.L), R: build(t.R)}
+		l, r, err := build2(t.L, t.R)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Product{L: l, R: r}, nil
 	case *ra.Join:
-		return &ra.Join{L: build(t.L), R: build(t.R), Pred: t.Pred}
+		l, r, err := build2(t.L, t.R)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Join{L: l, R: r, Pred: t.Pred}, nil
 	case *ra.Union:
-		return &ra.Union{L: build(t.L), R: build(t.R)}
+		l, r, err := build2(t.L, t.R)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Union{L: l, R: r}, nil
 	case *ra.Diff:
 		// Candidates for E₁ − E₂ are the possible answers of E₁ alone: a
 		// tuple absent from E₁ on the full database is absent from it in
 		// every repair, while membership in E₂ must be decided per repair
 		// by the Prover.
-		return &ra.DistinctNode{Child: build(t.L)}
+		l, err := build(t.L)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.DistinctNode{Child: l}, nil
 	case *ra.Intersect:
-		return &ra.Intersect{L: build(t.L), R: build(t.R)}
+		l, r, err := build2(t.L, t.R)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.Intersect{L: l, R: r}, nil
 	case *ra.DistinctNode:
-		return &ra.DistinctNode{Child: build(t.Child)}
+		c, err := build(t.Child)
+		if err != nil {
+			return nil, err
+		}
+		return &ra.DistinctNode{Child: c}, nil
 	default:
-		// CheckQuery guarantees exhaustiveness.
-		panic(fmt.Sprintf("envelope: unexpected node %T", n))
+		// CheckQuery normally rejects anything that lands here; the error
+		// (not a panic — this is reachable through user queries if the two
+		// switches ever drift) keeps the process alive.
+		return nil, fmt.Errorf("envelope: unexpected node %T: %w", n, ErrUnsupported)
 	}
+}
+
+func build2(l, r ra.Node) (ra.Node, ra.Node, error) {
+	nl, err := build(l)
+	if err != nil {
+		return nil, nil, err
+	}
+	nr, err := build(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nl, nr, nil
 }

@@ -1,6 +1,7 @@
 package envelope
 
 import (
+	"errors"
 	"sort"
 	"strings"
 	"testing"
@@ -17,10 +18,10 @@ import (
 func newDB(t *testing.T) *engine.DB {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
-	db.MustExec("CREATE TABLE mgr (id INT, bonus INT)")
-	db.MustExec("INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150)")
-	db.MustExec("INSERT INTO mgr VALUES (1, 5), (2, 6)")
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "CREATE TABLE mgr (id INT, bonus INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150)")
+	mustExec(db, "INSERT INTO mgr VALUES (1, 5), (2, 6)")
 	return db
 }
 
@@ -181,5 +182,43 @@ func TestEnvelopeCandidateCounts(t *testing.T) {
 	})
 	if len(res.Rows) != 3 {
 		t.Errorf("envelope rows = %v", res.Rows)
+	}
+}
+
+// TestUnsupportedShapesAreErrorsNotPanics feeds the offending shapes of
+// the former build() panic: nodes that slip past the supported-operator
+// switch must come back as typed ErrUnsupported errors, never crash the
+// process, and every CheckQuery rejection must carry the same sentinel.
+func TestUnsupportedShapesAreErrorsNotPanics(t *testing.T) {
+	db := newDB(t)
+	tab, err := db.Table("emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan := &ra.Scan{Table: tab}
+	rejected := []ra.Node{
+		&ra.Values{},                   // constant relation
+		&ra.Sort{Child: scan},          // ORDER BY inside the SJUD core
+		&ra.Limit{Child: scan, N: 1},   // LIMIT inside the SJUD core
+		&ra.SemiJoin{L: scan, R: scan}, // EXISTS
+		&ra.AntiJoin{L: scan, R: scan}, // NOT EXISTS
+	}
+	for _, n := range rejected {
+		if _, err := Envelope(n); !errors.Is(err, ErrUnsupported) {
+			t.Errorf("Envelope(%T) err = %v, want ErrUnsupported", n, err)
+		}
+	}
+	// The rewrite's own default arm (reachable only if the two switches
+	// drift): an error, not a panic.
+	if _, err := build(&ra.Values{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("build(Values) err = %v, want ErrUnsupported", err)
+	}
+	if _, err := build(&ra.Select{Child: &ra.Values{}}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("build(Select(Values)) err = %v, want ErrUnsupported", err)
+	}
+	// Existential projection (paper footnote 4).
+	proj := &ra.Project{Child: scan, Exprs: []ra.Expr{ra.Col{Index: 0}}, Names: []string{"id"}}
+	if err := CheckQuery(proj); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("CheckQuery(∃-projection) err = %v, want ErrUnsupported", err)
 	}
 }

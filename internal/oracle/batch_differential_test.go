@@ -1,0 +1,136 @@
+package oracle_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"hippo"
+)
+
+// buildTwin constructs one of two identical instances: schema, seed data,
+// and constraints are derived from the same statement list, so the
+// sequential and batched twins start byte-for-byte equal.
+func buildTwin(setup []string, denial string) (*hippo.DB, error) {
+	h := hippo.Open()
+	for _, s := range setup {
+		if _, _, err := h.Exec(s); err != nil {
+			return nil, err
+		}
+	}
+	h.AddFD("r", []string{"a"}, []string{"b"})
+	if denial != "" {
+		if err := h.AddDenial(denial); err != nil {
+			return nil, err
+		}
+	}
+	return h, nil
+}
+
+// TestDifferentialBatchedVsSequential fuzzes the group-commit pipeline:
+// the same randomized DML sequence is applied statement-at-a-time to one
+// instance and in randomly sized ExecBatch chunks (including chunks that
+// contain transient insert+delete pairs and same-key re-inserts) to its
+// twin. At every chunk boundary both must agree on every query's
+// consistent answers, and at the end the hypergraphs must be identical in
+// shape — the coalesced delta path may never drift from sequential
+// application.
+func TestDifferentialBatchedVsSequential(t *testing.T) {
+	const instances = 40
+	rng := rand.New(rand.NewSource(20260731))
+	queries := []string{
+		"SELECT * FROM r",
+		"SELECT * FROM r WHERE a <= 1",
+		"SELECT * FROM r WHERE b = 0 UNION SELECT * FROM r WHERE b = 1",
+		"SELECT * FROM r EXCEPT SELECT * FROM r WHERE a = 0",
+		"SELECT * FROM r EXCEPT SELECT * FROM s",
+		"SELECT * FROM r, s WHERE r.a = s.a",
+	}
+	for inst := 0; inst < instances; inst++ {
+		setup := []string{
+			"CREATE TABLE r (a INT, b INT)",
+			"CREATE TABLE s (a INT, b INT)",
+		}
+		for i, n := 0, 3+rng.Intn(5); i < n; i++ {
+			setup = append(setup, fmt.Sprintf("INSERT INTO r VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
+		}
+		for i, n := 0, rng.Intn(4); i < n; i++ {
+			setup = append(setup, fmt.Sprintf("INSERT INTO s VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
+		}
+		denial := ""
+		if rng.Float64() < 0.4 {
+			denial = "r x, s y WHERE x.a = y.a AND x.b < y.b"
+		}
+		seq, err := buildTwin(setup, denial)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := buildTwin(setup, denial)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// A randomized update stream; transient pairs and same-key
+		// re-inserts appear with their own weights.
+		var stream []string
+		for len(stream) < 18 {
+			switch rng.Intn(6) {
+			case 0:
+				stream = append(stream, fmt.Sprintf("INSERT INTO r VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
+			case 1:
+				stream = append(stream, fmt.Sprintf("DELETE FROM r WHERE a = %d AND b = %d", rng.Intn(4), rng.Intn(3)))
+			case 2:
+				stream = append(stream, fmt.Sprintf("INSERT INTO s VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
+			case 3:
+				stream = append(stream, fmt.Sprintf("DELETE FROM s WHERE a = %d", rng.Intn(4)))
+			case 4:
+				// Transient pair: lives only inside whatever chunk it lands in.
+				a, b := rng.Intn(4), rng.Intn(3)
+				stream = append(stream,
+					fmt.Sprintf("INSERT INTO r VALUES (%d, %d)", a, b),
+					fmt.Sprintf("DELETE FROM r WHERE a = %d AND b = %d", a, b))
+			default:
+				// Same-key re-insert: delete then identical insert.
+				a, b := rng.Intn(4), rng.Intn(3)
+				stream = append(stream,
+					fmt.Sprintf("DELETE FROM r WHERE a = %d AND b = %d", a, b),
+					fmt.Sprintf("INSERT INTO r VALUES (%d, %d)", a, b))
+			}
+		}
+
+		// Random batch split: chunks of 1..6 statements.
+		for pos := 0; pos < len(stream); {
+			size := 1 + rng.Intn(6)
+			if pos+size > len(stream) {
+				size = len(stream) - pos
+			}
+			chunk := stream[pos : pos+size]
+			for _, s := range chunk {
+				mustExec(seq, s)
+			}
+			if _, err := bat.ExecBatch(chunk...); err != nil {
+				t.Fatalf("instance %d batch at %d: %v", inst, pos, err)
+			}
+			pos += size
+
+			for _, q := range queries {
+				a, _, errA := seq.ConsistentQuery(q)
+				b, _, errB := bat.ConsistentQuery(q)
+				if (errA == nil) != (errB == nil) {
+					t.Fatalf("instance %d query %q: sequential err=%v, batched err=%v", inst, q, errA, errB)
+				}
+				if errA != nil {
+					continue
+				}
+				if tupleSet(a.Rows) != tupleSet(b.Rows) {
+					t.Fatalf("instance %d after %d statements, query %q:\nsequential: %s\nbatched:    %s",
+						inst, pos, q, tupleSet(a.Rows), tupleSet(b.Rows))
+				}
+			}
+		}
+		gs, gb := seq.System().GraphStats(), bat.System().GraphStats()
+		if gs != gb {
+			t.Fatalf("instance %d: hypergraph diverged: sequential %+v vs batched %+v", inst, gs, gb)
+		}
+	}
+}

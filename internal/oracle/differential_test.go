@@ -34,15 +34,15 @@ func tupleSet(rows []value.Tuple) string {
 // constraint values for the oracle.
 func randInstance(rng *rand.Rand) (*hippo.DB, []constraint.Constraint, bool) {
 	h := hippo.Open()
-	h.MustExec("CREATE TABLE r (a INT, b INT)")
-	h.MustExec("CREATE TABLE s (a INT, b INT)")
+	mustExec(h, "CREATE TABLE r (a INT, b INT)")
+	mustExec(h, "CREATE TABLE s (a INT, b INT)")
 	nr := 3 + rng.Intn(5)
 	ns := rng.Intn(4)
 	for i := 0; i < nr; i++ {
-		h.MustExec(fmt.Sprintf("INSERT INTO r VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
+		mustExec(h, fmt.Sprintf("INSERT INTO r VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
 	}
 	for i := 0; i < ns; i++ {
-		h.MustExec(fmt.Sprintf("INSERT INTO s VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
+		mustExec(h, fmt.Sprintf("INSERT INTO s VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
 	}
 
 	var cs []constraint.Constraint
@@ -178,13 +178,13 @@ func TestDifferentialCachedPathUnderUpdates(t *testing.T) {
 	update := func(h *hippo.DB) {
 		switch rng.Intn(4) {
 		case 0:
-			h.MustExec(fmt.Sprintf("INSERT INTO r VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
+			mustExec(h, fmt.Sprintf("INSERT INTO r VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
 		case 1:
-			h.MustExec(fmt.Sprintf("DELETE FROM r WHERE a = %d AND b = %d", rng.Intn(4), rng.Intn(3)))
+			mustExec(h, fmt.Sprintf("DELETE FROM r WHERE a = %d AND b = %d", rng.Intn(4), rng.Intn(3)))
 		case 2:
-			h.MustExec(fmt.Sprintf("INSERT INTO s VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
+			mustExec(h, fmt.Sprintf("INSERT INTO s VALUES (%d, %d)", rng.Intn(4), rng.Intn(3)))
 		default:
-			h.MustExec(fmt.Sprintf("DELETE FROM s WHERE a = %d", rng.Intn(4)))
+			mustExec(h, fmt.Sprintf("DELETE FROM s WHERE a = %d", rng.Intn(4)))
 		}
 	}
 	instances, attempts := 0, 0

@@ -1,0 +1,11 @@
+package oracle_test
+
+import "hippo"
+
+// mustExec runs a setup statement, panicking on failure — the test-local
+// replacement for the removed hippo.DB.MustExec.
+func mustExec(db *hippo.DB, sql string) {
+	if _, _, err := db.Exec(sql); err != nil {
+		panic(err)
+	}
+}

@@ -10,8 +10,8 @@ import (
 
 func TestOracleKnownInstance(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
-	db.MustExec("INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150)")
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150)")
 	o := &Oracle{
 		DB:          db,
 		Constraints: []constraint.Constraint{constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}},
@@ -41,8 +41,8 @@ func TestOracleKnownInstance(t *testing.T) {
 
 func TestOracleConsistentDatabaseHasOneRepair(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
-	db.MustExec("INSERT INTO emp VALUES (1, 100), (2, 200)")
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (2, 200)")
 	o := &Oracle{
 		DB:          db,
 		Constraints: []constraint.Constraint{constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}},
@@ -65,9 +65,9 @@ func TestOracleConsistentDatabaseHasOneRepair(t *testing.T) {
 
 func TestOracleConflictLimit(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE t (a INT, b INT)")
+	mustExec(db, "CREATE TABLE t (a INT, b INT)")
 	for i := 0; i < 8; i++ {
-		db.MustExec("INSERT INTO t VALUES (1, " + string(rune('0'+i)) + ")")
+		mustExec(db, "INSERT INTO t VALUES (1, "+string(rune('0'+i))+")")
 	}
 	o := &Oracle{
 		DB:             db,

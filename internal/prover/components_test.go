@@ -15,9 +15,9 @@ import (
 func multiCompSetup(t *testing.T, k int) (*engine.DB, *conflict.Hypergraph, *conflict.TupleIndex) {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
 	for i := 0; i < k; i++ {
-		db.MustExec(fmt.Sprintf("INSERT INTO emp VALUES (%d, %d), (%d, %d), (%d, %d)",
+		mustExec(db, fmt.Sprintf("INSERT INTO emp VALUES (%d, %d), (%d, %d), (%d, %d)",
 			i, 100+i, i, 200+i, 1000+i, 300+i))
 	}
 	fd := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
@@ -70,10 +70,10 @@ func TestComponentDecompositionMatchesGlobal(t *testing.T) {
 // components.
 func TestParallelComponentsExercised(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
-	db.MustExec("CREATE TABLE mgr (id INT, salary INT)")
-	db.MustExec("INSERT INTO emp VALUES (1, 100), (1, 200)")
-	db.MustExec("INSERT INTO mgr VALUES (1, 100), (1, 300)")
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "CREATE TABLE mgr (id INT, salary INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (1, 200)")
+	mustExec(db, "INSERT INTO mgr VALUES (1, 100), (1, 300)")
 	cs := []constraint.Constraint{
 		constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}},
 		constraint.FD{Rel: "mgr", LHS: []string{"id"}, RHS: []string{"salary"}},
@@ -150,10 +150,10 @@ func TestComponentDecompositionRandomized(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 30; trial++ {
 		db := engine.New()
-		db.MustExec("CREATE TABLE emp (id INT, salary INT)")
+		mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
 		rows := 6 + rng.Intn(8)
 		for i := 0; i < rows; i++ {
-			db.MustExec(fmt.Sprintf("INSERT INTO emp VALUES (%d, %d)", rng.Intn(5), rng.Intn(4)*100))
+			mustExec(db, fmt.Sprintf("INSERT INTO emp VALUES (%d, %d)", rng.Intn(5), rng.Intn(4)*100))
 		}
 		fd := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
 		h, ti, _, err := conflict.NewDetector(db).Detect([]constraint.Constraint{fd})

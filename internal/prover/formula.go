@@ -12,6 +12,7 @@
 package prover
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -222,12 +223,21 @@ func (d Disjunct) String() string {
 	return strings.Join(parts, " ∧ ")
 }
 
+// ErrUnknownFormula reports a Formula implementation the DNF conversion
+// does not know. It is an error, not a panic: IsConsistent is reachable
+// from user queries, and an unknown shape must surface through
+// ConsistentQuery's error return instead of crashing the process.
+var ErrUnknownFormula = errors.New("prover: unknown formula")
+
 // DNF converts ¬f (note: the caller usually wants the negation of the
 // membership formula) into disjunctive normal form. Contradictory
 // disjuncts (an atom both positive and negative) are dropped; duplicate
 // literals are merged; duplicate disjuncts are removed.
-func DNF(f Formula) []Disjunct {
-	raw := dnf(f, false)
+func DNF(f Formula) ([]Disjunct, error) {
+	raw, err := dnf(f, false)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Disjunct, 0, len(raw))
 	seen := map[string]bool{}
 	for _, lits := range raw {
@@ -242,40 +252,44 @@ func DNF(f Formula) []Disjunct {
 		seen[k] = true
 		out = append(out, d)
 	}
-	return out
+	return out, nil
 }
 
 // NegationDNF returns DNF(¬f).
-func NegationDNF(f Formula) []Disjunct {
+func NegationDNF(f Formula) ([]Disjunct, error) {
 	return DNF(FNot{F: f})
 }
 
 // dnf returns the disjuncts of f (negated when neg is set) as literal
 // lists. True is the empty disjunct list with one empty disjunct; false is
 // the empty list.
-func dnf(f Formula, neg bool) [][]Literal {
+func dnf(f Formula, neg bool) ([][]Literal, error) {
 	switch t := f.(type) {
 	case FTrue:
 		if neg {
-			return nil
+			return nil, nil
 		}
-		return [][]Literal{{}}
+		return [][]Literal{{}}, nil
 	case FFalse:
 		if neg {
-			return [][]Literal{{}}
+			return [][]Literal{{}}, nil
 		}
-		return nil
+		return nil, nil
 	case FAtom:
-		return [][]Literal{{{A: t.A, Neg: neg}}}
+		return [][]Literal{{{A: t.A, Neg: neg}}}, nil
 	case FNot:
 		return dnf(t.F, !neg)
 	case FAnd:
 		if neg { // ¬(a∧b) = ¬a ∨ ¬b
 			var out [][]Literal
 			for _, g := range t.Fs {
-				out = append(out, dnf(g, true)...)
+				ds, err := dnf(g, true)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ds...)
 			}
-			return out
+			return out, nil
 		}
 		return crossProduct(t.Fs, false)
 	case FOr:
@@ -284,21 +298,28 @@ func dnf(f Formula, neg bool) [][]Literal {
 		}
 		var out [][]Literal
 		for _, g := range t.Fs {
-			out = append(out, dnf(g, false)...)
+			ds, err := dnf(g, false)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ds...)
 		}
-		return out
+		return out, nil
 	default:
-		panic(fmt.Sprintf("prover: unknown formula %T", f))
+		return nil, fmt.Errorf("%w %T", ErrUnknownFormula, f)
 	}
 }
 
 // crossProduct conjoins the DNFs of all fs (each negated when neg).
-func crossProduct(fs []Formula, neg bool) [][]Literal {
+func crossProduct(fs []Formula, neg bool) ([][]Literal, error) {
 	acc := [][]Literal{{}}
 	for _, g := range fs {
-		ds := dnf(g, neg)
+		ds, err := dnf(g, neg)
+		if err != nil {
+			return nil, err
+		}
 		if len(ds) == 0 {
-			return nil // conjunction with false
+			return nil, nil // conjunction with false
 		}
 		next := make([][]Literal, 0, len(acc)*len(ds))
 		for _, a := range acc {
@@ -311,7 +332,7 @@ func crossProduct(fs []Formula, neg bool) [][]Literal {
 		}
 		acc = next
 	}
-	return acc
+	return acc, nil
 }
 
 // normalizeDisjunct dedupes literals and detects contradictions.

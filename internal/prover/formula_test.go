@@ -1,6 +1,7 @@
 package prover
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -14,10 +15,10 @@ import (
 func planOf(t *testing.T, sql string) (ra.Node, *engine.DB) {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE r (a INT, b INT)")
-	db.MustExec("CREATE TABLE s (c INT, d INT)")
-	db.MustExec("INSERT INTO r VALUES (1, 10), (2, 20)")
-	db.MustExec("INSERT INTO s VALUES (1, 100)")
+	mustExec(db, "CREATE TABLE r (a INT, b INT)")
+	mustExec(db, "CREATE TABLE s (c INT, d INT)")
+	mustExec(db, "INSERT INTO r VALUES (1, 10), (2, 20)")
+	mustExec(db, "INSERT INTO s VALUES (1, 100)")
 	q, err := sqlparse.ParseQuery(sql)
 	if err != nil {
 		t.Fatal(err)
@@ -163,7 +164,10 @@ func TestDNFBasics(t *testing.T) {
 
 	// ¬(a ∧ (b ∨ c)) = ¬a ∨ (¬b ∧ ¬c)
 	f := FAnd{Fs: []Formula{a, FOr{Fs: []Formula{b, c}}}}
-	ds := NegationDNF(f)
+	ds, err := NegationDNF(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ds) != 2 {
 		t.Fatalf("disjuncts = %v", ds)
 	}
@@ -181,28 +185,67 @@ func TestDNFBasics(t *testing.T) {
 
 func TestDNFConstantsAndContradictions(t *testing.T) {
 	a := FAtom{A: atom("r", 1)}
-	if ds := DNF(FTrue{}); len(ds) != 1 || len(ds[0].Pos)+len(ds[0].Neg) != 0 {
+	mustDNF := func(f Formula) []Disjunct {
+		t.Helper()
+		ds, err := DNF(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ds
+	}
+	if ds := mustDNF(FTrue{}); len(ds) != 1 || len(ds[0].Pos)+len(ds[0].Neg) != 0 {
 		t.Errorf("DNF(true) = %v", ds)
 	}
-	if ds := DNF(FFalse{}); len(ds) != 0 {
+	if ds := mustDNF(FFalse{}); len(ds) != 0 {
 		t.Errorf("DNF(false) = %v", ds)
 	}
 	// a ∧ ¬a is contradictory → dropped.
 	f := FAnd{Fs: []Formula{a, FNot{F: a}}}
-	if ds := DNF(f); len(ds) != 0 {
+	if ds := mustDNF(f); len(ds) != 0 {
 		t.Errorf("DNF(a ∧ ¬a) = %v", ds)
 	}
 	// a ∨ a dedupes.
-	if ds := DNF(FOr{Fs: []Formula{a, a}}); len(ds) != 1 {
+	if ds := mustDNF(FOr{Fs: []Formula{a, a}}); len(ds) != 1 {
 		t.Errorf("DNF(a ∨ a) = %v", ds)
 	}
 	// Conjunction with false collapses.
-	if ds := DNF(FAnd{Fs: []Formula{a, FFalse{}}}); len(ds) != 0 {
+	if ds := mustDNF(FAnd{Fs: []Formula{a, FFalse{}}}); len(ds) != 0 {
 		t.Errorf("DNF(a ∧ false) = %v", ds)
 	}
 	// Double negation.
-	if ds := DNF(FNot{F: FNot{F: a}}); len(ds) != 1 || len(ds[0].Pos) != 1 {
+	if ds := mustDNF(FNot{F: FNot{F: a}}); len(ds) != 1 || len(ds[0].Pos) != 1 {
 		t.Errorf("DNF(¬¬a) = %v", ds)
+	}
+}
+
+// fakeFormula is a Formula implementation the DNF conversion has never
+// heard of — the regression shape for the former panic at the conversion's
+// default arm.
+type fakeFormula struct{}
+
+func (fakeFormula) fstring() string { return "fake" }
+
+// TestUnknownFormulaIsErrorNotPanic feeds the offending shape: an unknown
+// Formula must surface ErrUnknownFormula through DNF and IsConsistent, not
+// crash the process.
+func TestUnknownFormulaIsErrorNotPanic(t *testing.T) {
+	if _, err := DNF(fakeFormula{}); !errors.Is(err, ErrUnknownFormula) {
+		t.Fatalf("DNF(fake) err = %v, want ErrUnknownFormula", err)
+	}
+	// Nested under known connectives, including the negated branches.
+	for _, f := range []Formula{
+		FAnd{Fs: []Formula{fakeFormula{}}},
+		FOr{Fs: []Formula{fakeFormula{}}},
+		FNot{F: FAnd{Fs: []Formula{FAtom{A: atom("r", 1)}, fakeFormula{}}}},
+		FNot{F: FOr{Fs: []Formula{fakeFormula{}}}},
+	} {
+		if _, err := DNF(f); !errors.Is(err, ErrUnknownFormula) {
+			t.Fatalf("DNF(%v) err = %v, want ErrUnknownFormula", FormulaString(f), err)
+		}
+	}
+	p := New(nil, IndexedMembership{})
+	if _, err := p.IsConsistent(fakeFormula{}); !errors.Is(err, ErrUnknownFormula) {
+		t.Fatalf("IsConsistent(fake) err = %v, want ErrUnknownFormula", err)
 	}
 }
 

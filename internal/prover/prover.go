@@ -194,7 +194,11 @@ func (p *Prover) CertifyAnswer(plan ra.Node, t value.Tuple) (bool, Deps, error) 
 // by any repair.
 func (p *Prover) IsConsistent(f Formula) (bool, error) {
 	p.Stats.TuplesChecked++
-	for _, d := range NegationDNF(f) {
+	disjuncts, err := NegationDNF(f)
+	if err != nil {
+		return false, err
+	}
+	for _, d := range disjuncts {
 		p.Stats.Disjuncts++
 		sat, err := p.SatisfiableInSomeRepair(d)
 		if err != nil {

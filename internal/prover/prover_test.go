@@ -17,8 +17,8 @@ import (
 func setup(t *testing.T) (*engine.DB, *conflict.Hypergraph, *conflict.TupleIndex) {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
-	db.MustExec("INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150), (3, 300), (3, 400)")
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150), (3, 300), (3, 400)")
 	fd := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
 	h, ti, _, err := conflict.NewDetector(db).Detect([]constraint.Constraint{fd})
 	if err != nil {
@@ -101,11 +101,11 @@ func TestUnionOfConflictingAlternatives(t *testing.T) {
 
 func TestDifferenceSemantics(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE a (x INT)")
-	db.MustExec("CREATE TABLE b (x INT, y INT)")
-	db.MustExec("INSERT INTO a VALUES (1), (2)")
+	mustExec(db, "CREATE TABLE a (x INT)")
+	mustExec(db, "CREATE TABLE b (x INT, y INT)")
+	mustExec(db, "INSERT INTO a VALUES (1), (2)")
 	// b has an FD conflict on x=1: (1,10) vs (1,20).
-	db.MustExec("INSERT INTO b VALUES (1, 10), (1, 20)")
+	mustExec(db, "INSERT INTO b VALUES (1, 10), (1, 20)")
 	fd := constraint.FD{Rel: "b", LHS: []string{"x"}, RHS: []string{"y"}}
 	h, ti, _, err := conflict.NewDetector(db).Detect([]constraint.Constraint{fd})
 	if err != nil {
@@ -129,15 +129,15 @@ func TestDifferenceAgainstConflictingRelation(t *testing.T) {
 	// that drops s's (1), r's (1) is in the difference; in the other it is
 	// not → not consistent. Tuple (2) is always in the difference.
 	db := engine.New()
-	db.MustExec("CREATE TABLE r (x INT)")
-	db.MustExec("CREATE TABLE s (x INT)")
-	db.MustExec("INSERT INTO r VALUES (1), (2)")
-	db.MustExec("INSERT INTO s VALUES (1), (1)") // set semantics: use distinct rows
+	mustExec(db, "CREATE TABLE r (x INT)")
+	mustExec(db, "CREATE TABLE s (x INT)")
+	mustExec(db, "INSERT INTO r VALUES (1), (2)")
+	mustExec(db, "INSERT INTO s VALUES (1), (1)") // set semantics: use distinct rows
 	// Make the two s-rows conflict with each other via a denial "no two
 	// distinct s tuples may share x" — but they are identical, so instead
 	// use a unary denial on one relation: forbid s.x = 1.
-	db.MustExec("DELETE FROM s")
-	db.MustExec("INSERT INTO s VALUES (1)")
+	mustExec(db, "DELETE FROM s")
+	mustExec(db, "INSERT INTO s VALUES (1)")
 	den, err := constraint.ParseDenial("s t WHERE t.x = 1")
 	if err != nil {
 		t.Fatal(err)
@@ -159,10 +159,10 @@ func TestDifferenceAgainstConflictingRelation(t *testing.T) {
 
 func TestJoinConsistency(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE e (id INT, dept INT)")
-	db.MustExec("CREATE TABLE d (dept INT, name TEXT)")
-	db.MustExec("INSERT INTO e VALUES (1, 10), (2, 20)")
-	db.MustExec("INSERT INTO d VALUES (10, 'eng'), (20, 'ops'), (20, 'mkt')")
+	mustExec(db, "CREATE TABLE e (id INT, dept INT)")
+	mustExec(db, "CREATE TABLE d (dept INT, name TEXT)")
+	mustExec(db, "INSERT INTO e VALUES (1, 10), (2, 20)")
+	mustExec(db, "INSERT INTO d VALUES (10, 'eng'), (20, 'ops'), (20, 'mkt')")
 	fd := constraint.FD{Rel: "d", LHS: []string{"dept"}, RHS: []string{"name"}}
 	h, ti, _, err := conflict.NewDetector(db).Detect([]constraint.Constraint{fd})
 	if err != nil {
@@ -220,8 +220,8 @@ func TestNaiveMembershipCountsQueries(t *testing.T) {
 
 func TestNaiveMembershipNullColumns(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE n (a INT, b INT)")
-	db.MustExec("INSERT INTO n VALUES (1, NULL)")
+	mustExec(db, "CREATE TABLE n (a INT, b INT)")
+	mustExec(db, "INSERT INTO n VALUES (1, NULL)")
 	h, ti, _, err := conflict.NewDetector(db).Detect(nil)
 	if err != nil {
 		t.Fatal(err)

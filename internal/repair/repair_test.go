@@ -13,8 +13,8 @@ import (
 func fixture(t *testing.T) (*engine.DB, *conflict.Hypergraph) {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
-	db.MustExec("INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150), (3, 300), (3, 400)")
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150), (3, 300), (3, 400)")
 	fd := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
 	h, _, _, err := conflict.NewDetector(db).Detect([]constraint.Constraint{fd})
 	if err != nil {
@@ -48,8 +48,8 @@ func TestDeletionSets(t *testing.T) {
 
 func TestNoConflictsSingleRepair(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE r (a INT)")
-	db.MustExec("INSERT INTO r VALUES (1), (2)")
+	mustExec(db, "CREATE TABLE r (a INT)")
+	mustExec(db, "INSERT INTO r VALUES (1), (2)")
 	e := &Enumerator{DB: db, H: conflict.NewHypergraph()}
 	sets, err := e.DeletionSets()
 	if err != nil {
@@ -136,8 +136,8 @@ func TestPossibleAnswers(t *testing.T) {
 
 func TestSelfConflictExcludedEverywhere(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE acct (id INT, bal INT)")
-	db.MustExec("INSERT INTO acct VALUES (1, 50), (2, -10)")
+	mustExec(db, "CREATE TABLE acct (id INT, bal INT)")
+	mustExec(db, "INSERT INTO acct VALUES (1, 50), (2, -10)")
 	den, err := constraint.ParseDenial("acct a WHERE a.bal < 0")
 	if err != nil {
 		t.Fatal(err)
@@ -164,9 +164,9 @@ func TestLimit(t *testing.T) {
 	// 12 disjoint binary conflicts → 2^12 = 4096 repairs; limit of 100
 	// must trip.
 	db := engine.New()
-	db.MustExec("CREATE TABLE r (id INT, v INT)")
+	mustExec(db, "CREATE TABLE r (id INT, v INT)")
 	for i := 0; i < 12; i++ {
-		db.MustExec(insertPair(i))
+		mustExec(db, insertPair(i))
 	}
 	fd := constraint.FD{Rel: "r", LHS: []string{"id"}, RHS: []string{"v"}}
 	h, _, _, err := conflict.NewDetector(db).Detect([]constraint.Constraint{fd})
@@ -194,8 +194,8 @@ func TestOverlappingEdgesMinimality(t *testing.T) {
 	// Rows: a=(1,x) conflicts with b=(1,y) and c=(1,z); b conflicts with c.
 	// Triangle → repairs keep exactly one of {a,b,c}: 3 repairs.
 	db := engine.New()
-	db.MustExec("CREATE TABLE r (id INT, v TEXT)")
-	db.MustExec("INSERT INTO r VALUES (1,'x'), (1,'y'), (1,'z')")
+	mustExec(db, "CREATE TABLE r (id INT, v TEXT)")
+	mustExec(db, "INSERT INTO r VALUES (1,'x'), (1,'y'), (1,'z')")
 	fd := constraint.FD{Rel: "r", LHS: []string{"id"}, RHS: []string{"v"}}
 	h, _, _, err := conflict.NewDetector(db).Detect([]constraint.Constraint{fd})
 	if err != nil {

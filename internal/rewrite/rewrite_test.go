@@ -17,8 +17,8 @@ import (
 func newDB(t *testing.T) *engine.DB {
 	t.Helper()
 	db := engine.New()
-	db.MustExec("CREATE TABLE emp (id INT, salary INT)")
-	db.MustExec("INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150), (3, 300), (3, 400), (4, 50)")
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150), (3, 300), (3, 400), (4, 50)")
 	return db
 }
 
@@ -98,8 +98,8 @@ func TestRewriteSelectionMatchesOracle(t *testing.T) {
 
 func TestRewriteJoinMatchesOracle(t *testing.T) {
 	db := newDB(t)
-	db.MustExec("CREATE TABLE dept (eid INT, dname TEXT)")
-	db.MustExec("INSERT INTO dept VALUES (1, 'eng'), (2, 'ops'), (2, 'hr')")
+	mustExec(db, "CREATE TABLE dept (eid INT, dname TEXT)")
+	mustExec(db, "INSERT INTO dept VALUES (1, 'eng'), (2, 'ops'), (2, 'hr')")
 	cs := []constraint.Constraint{
 		fd(),
 		constraint.FD{Rel: "dept", LHS: []string{"eid"}, RHS: []string{"dname"}},
@@ -118,10 +118,10 @@ func TestRewriteJoinMatchesOracle(t *testing.T) {
 
 func TestRewriteExclusionConstraint(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE staff (ssn INT, nm TEXT)")
-	db.MustExec("CREATE TABLE extern (ssn INT, firm TEXT)")
-	db.MustExec("INSERT INTO staff VALUES (1, 'ann'), (2, 'bob')")
-	db.MustExec("INSERT INTO extern VALUES (2, 'acme'), (3, 'init')")
+	mustExec(db, "CREATE TABLE staff (ssn INT, nm TEXT)")
+	mustExec(db, "CREATE TABLE extern (ssn INT, firm TEXT)")
+	mustExec(db, "INSERT INTO staff VALUES (1, 'ann'), (2, 'bob')")
+	mustExec(db, "INSERT INTO extern VALUES (2, 'acme'), (3, 'init')")
 	den, err := constraint.ParseDenial("staff s, extern x WHERE s.ssn = x.ssn")
 	if err != nil {
 		t.Fatal(err)
@@ -142,8 +142,8 @@ func TestRewriteExclusionConstraint(t *testing.T) {
 
 func TestRewriteUnaryDenial(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE acct (id INT, bal INT)")
-	db.MustExec("INSERT INTO acct VALUES (1, 50), (2, -10)")
+	mustExec(db, "CREATE TABLE acct (id INT, bal INT)")
+	mustExec(db, "INSERT INTO acct VALUES (1, 50), (2, -10)")
 	den, err := constraint.ParseDenial("acct a WHERE a.bal < 0")
 	if err != nil {
 		t.Fatal(err)
@@ -190,7 +190,7 @@ func TestRewriteRejectsUnion(t *testing.T) {
 
 func TestRewriteRejectsTernaryConstraints(t *testing.T) {
 	db := engine.New()
-	db.MustExec("CREATE TABLE r (a INT)")
+	mustExec(db, "CREATE TABLE r (a INT)")
 	den, err := constraint.ParseDenial("r x, r y, r z WHERE x.a = y.a AND y.a = z.a")
 	if err != nil {
 		t.Fatal(err)

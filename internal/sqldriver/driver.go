@@ -9,9 +9,13 @@ import (
 	"database/sql/driver"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
+	"strings"
 	"sync"
 
 	"hippo/internal/engine"
+	"hippo/internal/value"
 )
 
 func init() {
@@ -54,8 +58,9 @@ func (d *Driver) Open(name string) (driver.Conn, error) {
 
 type conn struct{ db *engine.DB }
 
-// Prepare returns a statement. The SQL dialect has no placeholders, so the
-// statement is just the deferred text.
+// Prepare returns a statement. '?' placeholders are bound at Exec/Query
+// time (the engine dialect has no placeholder token, so binding renders
+// literals at this layer).
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	return &stmt{db: c.db, sql: query}, nil
 }
@@ -79,31 +84,158 @@ type stmt struct {
 
 func (s *stmt) Close() error { return nil }
 
-// NumInput reports no placeholder support.
-func (s *stmt) NumInput() int { return 0 }
+// NumInput reports the number of '?' placeholders in the statement (those
+// inside string literals and line comments do not count).
+func (s *stmt) NumInput() int {
+	n, _, _ := scanPlaceholders(s.sql, nil)
+	return n
+}
 
-// Exec runs a DDL/DML statement.
+// Exec runs a DDL/DML statement, binding '?' placeholders to args.
 func (s *stmt) Exec(args []driver.Value) (driver.Result, error) {
-	if len(args) > 0 {
-		return nil, fmt.Errorf("sqldriver: placeholders are not supported")
+	sql, err := bindPlaceholders(s.sql, args)
+	if err != nil {
+		return nil, err
 	}
-	_, n, err := s.db.Exec(s.sql)
+	_, n, err := s.db.Exec(sql)
 	if err != nil {
 		return nil, err
 	}
 	return result{rows: int64(n)}, nil
 }
 
-// Query runs a SELECT statement.
+// Query runs a SELECT statement, binding '?' placeholders to args.
 func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
-	if len(args) > 0 {
-		return nil, fmt.Errorf("sqldriver: placeholders are not supported")
+	sql, err := bindPlaceholders(s.sql, args)
+	if err != nil {
+		return nil, err
 	}
-	res, err := s.db.Query(s.sql)
+	res, err := s.db.Query(sql)
 	if err != nil {
 		return nil, err
 	}
 	return &rows{res: res}, nil
+}
+
+// bindPlaceholders substitutes args for the statement's '?' markers. The
+// engine's SQL dialect has no placeholder token, so binding happens here,
+// at the JDBC-shim layer the package stands in for: each argument is
+// converted through value.FromGo (the same coercion surface tuples use)
+// and rendered as a literal the lexer round-trips exactly.
+func bindPlaceholders(sql string, args []driver.Value) (string, error) {
+	want, bound, err := scanPlaceholders(sql, args)
+	if err != nil {
+		return "", err
+	}
+	if want != len(args) {
+		return "", fmt.Errorf("sqldriver: statement has %d placeholders, got %d arguments", want, len(args))
+	}
+	if want == 0 {
+		return sql, nil
+	}
+	return bound, nil
+}
+
+// scanPlaceholders walks sql, skipping single-quoted string literals
+// (with ” escapes) and line comments, and counts '?' markers. With args
+// != nil it also rewrites each marker to the literal form of the
+// corresponding argument (running past len(args) is an error); in
+// count-only mode (args == nil, as NumInput calls it per execution) no
+// rewritten string is assembled.
+func scanPlaceholders(sql string, args []driver.Value) (int, string, error) {
+	var b *strings.Builder
+	if args != nil {
+		b = &strings.Builder{}
+		b.Grow(len(sql))
+	}
+	n := 0
+	for i := 0; i < len(sql); i++ {
+		c := sql[i]
+		switch {
+		case c == '\'':
+			j := i + 1
+			for j < len(sql) {
+				if sql[j] == '\'' {
+					if j+1 < len(sql) && sql[j+1] == '\'' {
+						j += 2
+						continue
+					}
+					break
+				}
+				j++
+			}
+			if j < len(sql) {
+				j++ // include the closing quote
+			}
+			if b != nil {
+				b.WriteString(sql[i:j])
+			}
+			i = j - 1
+		case c == '-' && i+1 < len(sql) && sql[i+1] == '-':
+			j := i
+			for j < len(sql) && sql[j] != '\n' {
+				j++
+			}
+			if b != nil {
+				b.WriteString(sql[i:j])
+			}
+			i = j - 1
+		case c == '?':
+			if b != nil {
+				if n >= len(args) {
+					return n + 1, "", fmt.Errorf("sqldriver: placeholder %d has no argument", n+1)
+				}
+				lit, err := literal(args[n])
+				if err != nil {
+					return n, "", fmt.Errorf("sqldriver: argument %d: %w", n+1, err)
+				}
+				b.WriteString(lit)
+			}
+			n++
+		default:
+			if b != nil {
+				b.WriteByte(c)
+			}
+		}
+	}
+	if b == nil {
+		return n, "", nil
+	}
+	return n, b.String(), nil
+}
+
+// literal renders one bound argument as a SQL literal of the engine
+// dialect.
+func literal(arg driver.Value) (string, error) {
+	v, err := value.FromGo(arg)
+	if err != nil {
+		return "", err
+	}
+	switch {
+	case v.IsNull():
+		return "NULL", nil
+	case v.K == value.KindInt:
+		return strconv.FormatInt(v.I, 10), nil
+	case v.K == value.KindFloat:
+		if math.IsNaN(v.F) || math.IsInf(v.F, 0) {
+			return "", fmt.Errorf("non-finite float %v cannot be bound", v.F)
+		}
+		s := strconv.FormatFloat(v.F, 'g', -1, 64)
+		// Keep integral floats float-typed through the lexer.
+		if !strings.ContainsAny(s, ".eE") {
+			s += ".0"
+		}
+		return s, nil
+	case v.K == value.KindText:
+		return "'" + strings.ReplaceAll(v.S, "'", "''") + "'", nil
+	case v.K == value.KindBool:
+		if v.B {
+			return "TRUE", nil
+		}
+		return "FALSE", nil
+	default:
+		return "", fmt.Errorf("unsupported value kind %v", v.K)
+	}
 }
 
 type result struct{ rows int64 }

@@ -89,14 +89,81 @@ func TestUnregisteredDSN(t *testing.T) {
 	}
 }
 
-func TestPlaceholdersRejected(t *testing.T) {
+func TestPlaceholderBinding(t *testing.T) {
 	_, db := openTestDB(t, "t3")
-	db.Exec("CREATE TABLE q (x INT)")
-	if _, err := db.Exec("INSERT INTO q VALUES (1)", 42); err == nil {
-		t.Error("args with no placeholders should fail")
+	if _, err := db.Exec("CREATE TABLE q (id INT, name TEXT, score FLOAT, ok BOOL)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO q VALUES (?, ?, ?, ?)", 1, "o'hara", 2.5, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO q VALUES (?, ?, ?, ?)", 2, "bob -- not a comment", nil, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("INSERT INTO q VALUES (?, ?, ?, ?)", int64(3), []byte("carol"), -1e21, true); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quoted text with an embedded quote round-trips.
+	var name string
+	if err := db.QueryRow("SELECT name FROM q WHERE id = ?", 1).Scan(&name); err != nil {
+		t.Fatal(err)
+	}
+	if name != "o'hara" {
+		t.Errorf("name = %q", name)
+	}
+	// NULL bound via nil arg.
+	var score sql.NullFloat64
+	if err := db.QueryRow("SELECT score FROM q WHERE id = ?", 2).Scan(&score); err != nil {
+		t.Fatal(err)
+	}
+	if score.Valid {
+		t.Error("expected NULL score")
+	}
+	// Exponent-form float round-trips through the lexer.
+	if err := db.QueryRow("SELECT score FROM q WHERE id = ?", 3).Scan(&score); err != nil {
+		t.Fatal(err)
+	}
+	if !score.Valid || score.Float64 != -1e21 {
+		t.Errorf("score = %+v, want -1e21", score)
+	}
+	// Prepared statements report and enforce the placeholder count.
+	st, err := db.Prepare("SELECT id FROM q WHERE id = ? AND ok = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var id int64
+	if err := st.QueryRow(3, true).Scan(&id); err != nil || id != 3 {
+		t.Fatalf("prepared scan: id=%d err=%v", id, err)
+	}
+	if _, err := st.Query(3); err == nil {
+		t.Error("missing argument should fail")
 	}
 	if _, err := db.Query("SELECT * FROM q", 42); err == nil {
-		t.Error("query args should fail")
+		t.Error("arg without a placeholder should fail")
+	}
+}
+
+func TestPlaceholderMarkersInsideLiteralsDontBind(t *testing.T) {
+	_, db := openTestDB(t, "t3b")
+	if _, err := db.Exec("CREATE TABLE q (x INT, s TEXT)"); err != nil {
+		t.Fatal(err)
+	}
+	// The '?' inside the string literal is data, not a placeholder.
+	if _, err := db.Exec("INSERT INTO q VALUES (?, 'really?')", 1); err != nil {
+		t.Fatal(err)
+	}
+	var s string
+	if err := db.QueryRow("SELECT s FROM q WHERE x = ?", 1).Scan(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s != "really?" {
+		t.Errorf("s = %q", s)
+	}
+	// A '?' after a line comment is ignored too.
+	if _, err := db.Exec("INSERT INTO q VALUES (?, 'c') -- trailing ? comment", 2); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -27,6 +27,36 @@ func Parse(src string) (Statement, error) {
 	return st, nil
 }
 
+// ParseScript parses a semicolon-separated sequence of statements — the
+// input format of batch files and hippoctl's \batch mode. Line comments
+// are allowed, empty statements are skipped, and a trailing semicolon is
+// optional.
+func ParseScript(src string) ([]Statement, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	var out []Statement
+	for {
+		for p.accept(";") {
+		}
+		if p.atEOF() {
+			return out, nil
+		}
+		st, err := p.parseStatement()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, st)
+		if !p.atEOF() {
+			if err := p.expect(";"); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
 // ParseQuery parses a SELECT query (with optional set operations).
 func ParseQuery(src string) (*Query, error) {
 	st, err := Parse(src)

@@ -54,6 +54,67 @@ type Change struct {
 	Tuple value.Tuple // stored (coerced) values; must not be mutated
 }
 
+// TableChange qualifies a change-feed event with the emitting table. It is
+// the unit the engine's group-commit path buffers while a batch runs and
+// hands to CoalesceChanges before delivery.
+type TableChange struct {
+	Table  string
+	Change Change
+}
+
+// CoalesceChanges collapses the buffered change feed of one atomic batch:
+// a row inserted and deleted within the same batch never became visible to
+// any published view, so both events vanish — no delta probe, no cache
+// invalidation, no listener work for it. Because RowIDs are never reused,
+// a RowID sees at most one insert and one delete, so cancellation is the
+// only rewrite; chains like delete(old)+insert(new) on the same key are
+// distinct RowIDs and pass through, which is exactly last-writer-wins for
+// an update expressed as delete+insert. Surviving events keep their
+// original relative order. The input slice is returned unchanged when
+// nothing cancels.
+func CoalesceChanges(feed []TableChange) []TableChange {
+	type key struct {
+		table string
+		row   RowID
+	}
+	var (
+		inserted map[key]int // feed index of a batch-local insert
+		drop     []bool
+		dropped  int
+	)
+	for i, tc := range feed {
+		k := key{tc.Table, tc.Change.Row}
+		switch tc.Change.Kind {
+		case ChangeInsert:
+			if inserted == nil {
+				inserted = make(map[key]int)
+			}
+			inserted[k] = i
+		case ChangeDelete:
+			j, ok := inserted[k]
+			if !ok {
+				continue // deletes a pre-batch row; keep
+			}
+			if drop == nil {
+				drop = make([]bool, len(feed))
+			}
+			drop[i], drop[j] = true, true
+			dropped += 2
+			delete(inserted, k)
+		}
+	}
+	if dropped == 0 {
+		return feed
+	}
+	out := make([]TableChange, 0, len(feed)-dropped)
+	for i, tc := range feed {
+		if !drop[i] {
+			out = append(out, tc)
+		}
+	}
+	return out
+}
+
 // Relation is the read surface shared by live tables and immutable
 // snapshots. Plans, the tuple index, and the repair enumerator read
 // through it so the same code serves both the live database and a pinned
@@ -215,10 +276,33 @@ func (t *Table) writableSlab(si int) *slab {
 func (t *Table) Insert(row value.Tuple) (RowID, error) {
 	t.emitMu.Lock()
 	defer t.emitMu.Unlock()
+	id, ch, obs, err := t.insert(row)
+	if err != nil {
+		return id, err
+	}
+	t.notify(obs, ch)
+	return id, nil
+}
+
+// InsertCapture is Insert with observer delivery withheld: the change-feed
+// event is returned to the caller instead. The engine's group-commit path
+// buffers captured events across a batch and delivers the coalesced set at
+// the end (or discards it on rollback); callers must hold the engine write
+// sequencer so the deferred delivery stays in mutation order.
+func (t *Table) InsertCapture(row value.Tuple) (RowID, Change, error) {
+	t.emitMu.Lock()
+	defer t.emitMu.Unlock()
+	id, ch, _, err := t.insert(row)
+	return id, ch, err
+}
+
+// insert performs the mutation. The caller holds emitMu (and keeps it
+// through notification, so the change feed stays in mutation order).
+func (t *Table) insert(row value.Tuple) (RowID, Change, []func(Change), error) {
 	t.mu.Lock()
 	if len(row) != t.schema.Len() {
 		t.mu.Unlock()
-		return -1, fmt.Errorf("storage: table %s expects %d values, got %d",
+		return -1, Change{}, nil, fmt.Errorf("storage: table %s expects %d values, got %d",
 			t.name, t.schema.Len(), len(row))
 	}
 	stored := make(value.Tuple, len(row))
@@ -226,7 +310,7 @@ func (t *Table) Insert(row value.Tuple) (RowID, error) {
 		cv, err := value.Coerce(v, t.schema.Columns[i].Type)
 		if err != nil {
 			t.mu.Unlock()
-			return -1, fmt.Errorf("storage: table %s column %s: %v",
+			return -1, Change{}, nil, fmt.Errorf("storage: table %s column %s: %v",
 				t.name, t.schema.Columns[i].Name, err)
 		}
 		stored[i] = cv
@@ -247,8 +331,7 @@ func (t *Table) Insert(row value.Tuple) (RowID, error) {
 	}
 	obs := t.observers
 	t.mu.Unlock()
-	t.notify(obs, Change{Kind: ChangeInsert, Row: id, Tuple: stored})
-	return id, nil
+	return id, Change{Kind: ChangeInsert, Row: id, Tuple: stored}, obs, nil
 }
 
 // Delete tombstones a row. Deleting an already-dead or out-of-range row is
@@ -256,15 +339,34 @@ func (t *Table) Insert(row value.Tuple) (RowID, error) {
 func (t *Table) Delete(id RowID) error {
 	t.emitMu.Lock()
 	defer t.emitMu.Unlock()
+	ch, obs, err := t.delete(id)
+	if err != nil {
+		return err
+	}
+	t.notify(obs, ch)
+	return nil
+}
+
+// DeleteCapture is Delete with observer delivery withheld; see
+// InsertCapture.
+func (t *Table) DeleteCapture(id RowID) (Change, error) {
+	t.emitMu.Lock()
+	defer t.emitMu.Unlock()
+	ch, _, err := t.delete(id)
+	return ch, err
+}
+
+// delete performs the mutation; the caller holds emitMu (see insert).
+func (t *Table) delete(id RowID) (Change, []func(Change), error) {
 	t.mu.Lock()
 	if int(id) < 0 || int(id) >= t.nrows {
 		t.mu.Unlock()
-		return fmt.Errorf("storage: table %s has no row %d", t.name, id)
+		return Change{}, nil, fmt.Errorf("storage: table %s has no row %d", t.name, id)
 	}
 	si, off := int(id)>>slabShift, int(id)&slabMask
 	if t.slabs[si].dead[off] {
 		t.mu.Unlock()
-		return fmt.Errorf("storage: table %s row %d already deleted", t.name, id)
+		return Change{}, nil, fmt.Errorf("storage: table %s row %d already deleted", t.name, id)
 	}
 	s := t.writableSlab(si)
 	s.dead[off] = true
@@ -276,7 +378,33 @@ func (t *Table) Delete(id RowID) error {
 	}
 	obs := t.observers
 	t.mu.Unlock()
-	t.notify(obs, Change{Kind: ChangeDelete, Row: id, Tuple: gone})
+	return Change{Kind: ChangeDelete, Row: id, Tuple: gone}, obs, nil
+}
+
+// Resurrect clears the tombstone of a deleted row, restoring it under its
+// original RowID with its index entries. No change-feed event is emitted:
+// the engine's batch rollback uses it to undo a captured (never delivered)
+// delete, so to every observer the row was simply never touched.
+func (t *Table) Resurrect(id RowID) error {
+	t.emitMu.Lock()
+	defer t.emitMu.Unlock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if int(id) < 0 || int(id) >= t.nrows {
+		return fmt.Errorf("storage: table %s has no row %d", t.name, id)
+	}
+	si, off := int(id)>>slabShift, int(id)&slabMask
+	if !t.slabs[si].dead[off] {
+		return fmt.Errorf("storage: table %s row %d is not deleted", t.name, id)
+	}
+	s := t.writableSlab(si)
+	s.dead[off] = false
+	t.live++
+	t.version++
+	row := s.rows[off]
+	for _, idx := range t.indexes {
+		idx.add(row, id)
+	}
 	return nil
 }
 

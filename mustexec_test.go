@@ -1,0 +1,14 @@
+package hippo
+
+import "hippo/internal/engine"
+
+// mustExec runs a setup statement, panicking on failure — the test-local
+// replacement for the removed DB.MustExec (library code now always
+// returns errors instead of crashing the process).
+func mustExec(db interface {
+	Exec(string) (*engine.Result, int, error)
+}, sql string) {
+	if _, _, err := db.Exec(sql); err != nil {
+		panic(err)
+	}
+}

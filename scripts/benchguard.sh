@@ -5,10 +5,11 @@
 # deliberately short).
 #
 # Covered: the Go benchmark wrappers for E1 (repair-enumeration demo),
-# E10 (incremental maintenance), E11 (concurrent serving), and E12
-# (verdict cache), each run exactly once (-benchtime=1x), plus the
-# hippobench CLI path for the same experiments at quick scale. The E12
-# quick-scale table is additionally recorded to BENCH_E12.json.
+# E10 (incremental maintenance), E11 (concurrent serving), E12 (verdict
+# cache), and E13 (group-commit batch pipeline), each run exactly once
+# (-benchtime=1x), plus the hippobench CLI path for the same experiments
+# at quick scale. The E12 and E13 quick-scale tables are additionally
+# recorded to BENCH_E12.json / BENCH_E13.json.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -17,7 +18,7 @@ echo "== build =="
 go build ./...
 
 echo "== bench wrappers (benchtime=1x) =="
-go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent|BenchmarkE12VerdictCache)$' -benchtime=1x .
+go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent|BenchmarkE12VerdictCache|BenchmarkE13BatchPipeline)$' -benchtime=1x .
 
 echo "== hippobench CLI (quick scale) =="
 for exp in e1 e10 e11; do
@@ -27,5 +28,9 @@ done
 echo "== E12 record (BENCH_E12.json) =="
 go run ./cmd/hippobench -exp e12 -scale quick -json > BENCH_E12.json
 cat BENCH_E12.json
+
+echo "== E13 record (BENCH_E13.json) =="
+go run ./cmd/hippobench -exp e13 -scale quick -json > BENCH_E13.json
+cat BENCH_E13.json
 
 echo "benchguard: OK"
