@@ -36,6 +36,7 @@ import (
 	"hippo/internal/constraint"
 	"hippo/internal/core"
 	"hippo/internal/engine"
+	"hippo/internal/envelope"
 	"hippo/internal/prover"
 	"hippo/internal/repair"
 	"hippo/internal/value"
@@ -88,7 +89,7 @@ func (db *DB) Exec(sql string) (*Result, int, error) {
 // published query view — and hence no ConsistentQuery — ever observes a
 // prefix of it, statements see the effects of earlier statements in the
 // batch, and a failing statement rolls the entire batch back (the typed
-// *engine.BatchError names it). The batch's change feed is coalesced
+// *BatchError names it). The batch's change feed is coalesced
 // before it reaches the conflict stage, so a row inserted and deleted
 // within one batch costs no delta probe and no cache invalidation, and
 // the next consistent query folds the whole batch into the hypergraph
@@ -299,6 +300,17 @@ func (db *DB) System() *core.System { return db.sys }
 
 // FormatStats renders run statistics for display.
 func FormatStats(st *Stats) string { return core.FormatStats(st) }
+
+// BatchError reports which statement stopped an ExecBatch; the batch was
+// rolled back and none of its changes became visible. Recover it with
+// errors.As to learn the 0-based Index of the failing statement.
+type BatchError = engine.BatchError
+
+// ErrUnsupported marks a query shape outside the SJUD class Hippo
+// supports. Every unsupported-shape rejection from ConsistentQuery wraps
+// it, so callers can test errors.Is(err, ErrUnsupported) instead of
+// matching message text.
+var ErrUnsupported = envelope.ErrUnsupported
 
 // Oracle re-exports the repair enumerator type for advanced callers.
 type Oracle = repair.Enumerator

@@ -1,0 +1,63 @@
+package hippo_test
+
+import (
+	"errors"
+	"testing"
+
+	"hippo"
+)
+
+// These tests compile against the public package surface only — no
+// hippo/internal imports — proving an external consumer can recover the
+// documented error types (hippo.BatchError, hippo.ErrUnsupported)
+// without naming internal packages.
+
+func TestPublicBatchErrorContract(t *testing.T) {
+	db := hippo.Open()
+	for _, q := range []string{
+		"CREATE TABLE emp (id INT, salary INT)",
+		"INSERT INTO emp VALUES (1, 100)",
+	} {
+		if _, _, err := db.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.AddFD("emp", []string{"id"}, []string{"salary"})
+
+	_, err := db.ExecBatch("INSERT INTO emp VALUES (2, 200)", "DROP TABLE emp")
+	var be *hippo.BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("err = %v (%T), want *hippo.BatchError", err, err)
+	}
+	if be.Index != 1 {
+		t.Errorf("failing statement index = %d, want 1", be.Index)
+	}
+	res, _, err := db.ConsistentQuery("SELECT * FROM emp WHERE id = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Error("rolled-back batch leaked a row")
+	}
+}
+
+func TestPublicErrUnsupportedContract(t *testing.T) {
+	db := hippo.Open()
+	for _, q := range []string{
+		"CREATE TABLE emp (id INT, salary INT)",
+		"INSERT INTO emp VALUES (1, 100)",
+	} {
+		if _, _, err := db.Exec(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.AddFD("emp", []string{"id"}, []string{"salary"})
+
+	_, _, err := db.ConsistentQuery("SELECT id FROM emp")
+	if err == nil {
+		t.Fatal("existential projection should be rejected")
+	}
+	if !errors.Is(err, hippo.ErrUnsupported) {
+		t.Errorf("err = %v, want errors.Is(err, hippo.ErrUnsupported)", err)
+	}
+}

@@ -31,9 +31,12 @@ import (
 )
 
 // ErrUnsupported marks a query shape outside the SJUD class Hippo
-// supports. Every rejection CheckQuery (and hence ConsistentQuery)
-// produces wraps it, so callers can test errors.Is(err, ErrUnsupported)
-// instead of matching message text; no unsupported shape panics.
+// supports. Every unsupported-shape rejection CheckQuery (and hence
+// ConsistentQuery) produces wraps it, so callers can test
+// errors.Is(err, ErrUnsupported) instead of matching message text; no
+// unsupported shape panics. Malformed-plan errors (e.g. a projection
+// column index outside its input's arity, which no SQL input can
+// produce) are internal invariant violations and do not wrap it.
 var ErrUnsupported = errors.New("unsupported query shape")
 
 // CheckQuery validates that a plan is within Hippo's supported SJUD
