@@ -83,6 +83,10 @@ func BenchmarkE12VerdictCache(b *testing.B) { runExperiment(b, "e12") }
 // throughput vs batch size.
 func BenchmarkE13BatchPipeline(b *testing.B) { runExperiment(b, "e13") }
 
+// BenchmarkE14DurableWrites — WAL-logged vs in-memory write throughput
+// and recovery time vs WAL length.
+func BenchmarkE14DurableWrites(b *testing.B) { runExperiment(b, "e14") }
+
 // BenchmarkAblationPruning — prover DFS with vs without early pruning.
 func BenchmarkAblationPruning(b *testing.B) { runExperiment(b, "ablation-pruning") }
 

@@ -18,12 +18,19 @@
 //	\load <file.sql>            execute semicolon-separated statements from a file
 //	\batch <file.sql>           group-commit a file: DML runs apply atomically
 //	\batch ... \end             collect statements, then apply them as one batch
+//	\checkpoint                 snapshot durable state and truncate the WAL (-dir mode)
 //	\help                       this text
 //	\quit                       exit
+//
+// With -dir <path> the database is durable: tables, indexes, and
+// constraints persist under the directory through a write-ahead log and
+// checkpoints, and restarting hippoctl with the same -dir resumes exactly
+// where the last session committed.
 package main
 
 import (
 	"bufio"
+	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -36,9 +43,26 @@ import (
 )
 
 func main() {
-	db := hippo.Open()
-	fmt.Printf("%s — type \\help for commands\n", hippo.Version)
+	var (
+		dir    = flag.String("dir", "", "durability directory (empty: in-memory)")
+		noSync = flag.Bool("nosync", false, "skip per-commit fsync (with -dir)")
+	)
+	flag.Parse()
+	db, err := hippo.OpenOptions(hippo.Options{Dir: *dir, NoSync: *noSync})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hippoctl: %v\n", err)
+		os.Exit(1)
+	}
+	if *dir != "" {
+		fmt.Printf("%s — durable at %s — type \\help for commands\n", hippo.Version, *dir)
+	} else {
+		fmt.Printf("%s — type \\help for commands\n", hippo.Version)
+	}
 	repl(db, os.Stdin, os.Stdout)
+	if err := db.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "hippoctl: close: %v\n", err)
+		os.Exit(1)
+	}
 }
 
 func repl(db *hippo.DB, in io.Reader, out io.Writer) {
@@ -98,6 +122,12 @@ func runBatchScript(db *hippo.DB, out io.Writer, src string) {
 		counts, err := eng.ApplyBatch(run)
 		if err != nil {
 			fmt.Fprintf(out, "error: %v (batch rolled back)\n", err)
+			return false
+		}
+		// Engine-level writes bypass the public wrapper's automatic
+		// checkpoint trigger, so bound the WAL here.
+		if err := db.System().MaybeCheckpoint(); err != nil {
+			fmt.Fprintf(out, "error: %v (writes committed; checkpoint failed)\n", err)
 			return false
 		}
 		for _, n := range counts {
@@ -162,8 +192,11 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 			fmt.Fprintln(out, "usage: \\key <rel> <a,b>")
 			break
 		}
-		db.AddKey(parts[0], strings.Split(parts[1], ",")...)
-		fmt.Fprintln(out, "ok")
+		if err := db.AddKey(parts[0], strings.Split(parts[1], ",")...); err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+		} else {
+			fmt.Fprintln(out, "ok")
+		}
 	case "denial":
 		if err := db.AddDenial(rest); err != nil {
 			fmt.Fprintf(out, "error: %v\n", err)
@@ -216,6 +249,13 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 		c := sys.CacheStats()
 		fmt.Fprintf(out, "verdict-cache: entries=%d hits=%d misses=%d stores=%d invalidated=%d evicted=%d resets=%d\n",
 			c.Entries, c.Hits, c.Misses, c.Stores, c.Invalidated, c.Evicted, c.Resets)
+	case "checkpoint":
+		t0 := time.Now()
+		if err := db.Checkpoint(); err != nil {
+			fmt.Fprintf(out, "error: %v\n", err)
+			break
+		}
+		fmt.Fprintf(out, "checkpoint written, WAL truncated (%v)\n", time.Since(t0))
 	case "repairs":
 		n, err := db.CountRepairs()
 		if err != nil {
@@ -248,8 +288,18 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 			break
 		}
 		for i, st := range stmts {
-			if _, _, err := db.Engine().ExecStmt(st); err != nil {
+			res, _, err := db.Engine().ExecStmt(st)
+			if err != nil {
 				fmt.Fprintf(out, "error at statement %d: %v\n", i+1, err)
+				return true
+			}
+			if res != nil {
+				continue // a SELECT: nothing committed, no checkpoint pressure
+			}
+			// Engine-level writes bypass the public wrapper's automatic
+			// checkpoint trigger, so bound the WAL while loading.
+			if err := db.System().MaybeCheckpoint(); err != nil {
+				fmt.Fprintf(out, "error at statement %d: %v (statement committed; checkpoint failed)\n", i+1, err)
 				return true
 			}
 		}
@@ -296,4 +346,5 @@ const helpText = `  SQL statements run directly (CREATE TABLE / INSERT / DELETE 
   \load <file.sql>            run statements from a file
   \batch <file.sql>           group-commit a file (DML runs apply atomically)
   \batch ... \end             collect statements, apply as one atomic batch
+  \checkpoint                 snapshot durable state, truncate the WAL (-dir mode)
   \quit                       exit`

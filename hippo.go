@@ -29,6 +29,7 @@
 package hippo
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 
@@ -40,6 +41,7 @@ import (
 	"hippo/internal/prover"
 	"hippo/internal/repair"
 	"hippo/internal/value"
+	"hippo/internal/wal"
 )
 
 // DB is a Hippo database handle: an embedded SQL engine plus a set of
@@ -60,9 +62,82 @@ type Value = value.Value
 // Tuple is a row of values.
 type Tuple = value.Tuple
 
-// Open creates an empty Hippo database.
+// Open creates an empty in-memory Hippo database.
 func Open() *DB {
 	return &DB{sys: core.NewSystem(engine.New(), nil)}
+}
+
+// Options configure OpenOptions.
+type Options struct {
+	// Dir, when non-empty, selects durable mode: all tables, indexes, and
+	// constraints persist under this directory through a write-ahead log
+	// and periodic checkpoints, and opening an existing directory recovers
+	// its exact pre-crash state (committed batches are atomic on disk: a
+	// crash never resurfaces a batch prefix). Empty Dir opens the same
+	// in-memory database Open does.
+	Dir string
+	// NoSync skips the per-commit fsync. Commits then survive a process
+	// crash (the OS page cache holds them) but not an OS crash.
+	NoSync bool
+	// CheckpointBytes bounds the live WAL segment: once a committed write
+	// pushes the segment past this size, the engine snapshots the database
+	// into a checkpoint and rotates the log (keeping recovery time
+	// proportional to the threshold, not to history). 0 selects the
+	// default (8 MiB); negative disables automatic checkpoints, leaving
+	// rotation to explicit Checkpoint calls.
+	CheckpointBytes int64
+}
+
+// OpenOptions creates a Hippo database per o — in-memory when o.Dir is
+// empty, durable otherwise. Durable opening fails if the directory's log
+// or checkpoint is damaged (errors.Is(err, ErrCorrupt)); a torn trailing
+// record from a crash mid-commit is not damage and recovers cleanly.
+func OpenOptions(o Options) (*DB, error) {
+	if o.Dir == "" {
+		return Open(), nil
+	}
+	sys, err := core.OpenDurable(core.DurableOptions{
+		Dir:             o.Dir,
+		NoSync:          o.NoSync,
+		CheckpointBytes: o.CheckpointBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DB{sys: sys}, nil
+}
+
+// Checkpoint serializes the current database state, installs it durably,
+// and truncates the write-ahead log — bounding the work the next open
+// must replay. It errors on an in-memory database.
+func (db *DB) Checkpoint() error { return db.sys.Checkpoint() }
+
+// Close releases the database: for durable mode it flushes and seals the
+// write-ahead log. With default syncing every committed write is already
+// on disk; in NoSync mode the flush here is what makes a clean shutdown
+// durable. The handle must not be used afterwards.
+func (db *DB) Close() error { return db.sys.Close() }
+
+// ErrCorrupt marks damaged durable state: OpenOptions refuses to guess
+// past a checksum-failed record or checkpoint and returns an error
+// matching this sentinel instead of silently skipping committed writes.
+var ErrCorrupt = wal.ErrCorrupt
+
+// ErrCheckpoint marks an automatic-checkpoint failure surfaced by Exec or
+// ExecBatch. The write that triggered the checkpoint COMMITTED — it is
+// durable in the log and visible to queries; only the log-compaction
+// checkpoint failed. Callers must not retry the statement on an error
+// matching this sentinel.
+var ErrCheckpoint = errors.New("hippo: automatic checkpoint failed")
+
+// maybeCheckpoint runs the automatic checkpoint after a committed write,
+// wrapping any failure in ErrCheckpoint so it cannot be mistaken for a
+// failed statement.
+func (db *DB) maybeCheckpoint() error {
+	if err := db.sys.MaybeCheckpoint(); err != nil {
+		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
+	}
+	return nil
 }
 
 // Wrap builds a Hippo handle over an existing engine database.
@@ -71,7 +146,11 @@ func Wrap(db *engine.DB) *DB {
 }
 
 // Engine exposes the underlying engine for advanced use (e.g. registering
-// it with the database/sql driver).
+// it with the database/sql driver). In durable mode, writes issued
+// directly on the engine are logged like any other commit but do NOT
+// trigger the automatic checkpoint (that hook lives in this wrapper's
+// Exec/ExecBatch); heavy engine-level writers should call Checkpoint —
+// or System().MaybeCheckpoint — themselves to bound the log.
 func (db *DB) Engine() *engine.DB { return db.sys.DB() }
 
 // Exec runs any SQL statement (DDL, DML, or SELECT) directly against the
@@ -80,7 +159,13 @@ func (db *DB) Engine() *engine.DB { return db.sys.DB() }
 // as deltas and are folded into the hypergraph incrementally by the next
 // consistent query, while DDL forces a full re-detection.
 func (db *DB) Exec(sql string) (*Result, int, error) {
-	return db.sys.DB().Exec(sql)
+	res, n, err := db.sys.DB().Exec(sql)
+	// Only writes move the log; a SELECT (non-nil result) must neither
+	// stall on a checkpoint nor report a checkpoint failure.
+	if err == nil && res == nil {
+		err = db.maybeCheckpoint()
+	}
+	return res, n, err
 }
 
 // ExecBatch applies a sequence of DML statements (INSERT/DELETE) as one
@@ -95,7 +180,11 @@ func (db *DB) Exec(sql string) (*Result, int, error) {
 // the next consistent query folds the whole batch into the hypergraph
 // under one freeze and one view publication.
 func (db *DB) ExecBatch(sqls ...string) ([]int, error) {
-	return db.sys.DB().ExecBatch(sqls)
+	counts, err := db.sys.DB().ExecBatch(sqls)
+	if err == nil {
+		err = db.maybeCheckpoint()
+	}
+	return counts, err
 }
 
 // Query evaluates a SELECT directly on the stored database, ignoring
@@ -104,14 +193,19 @@ func (db *DB) Query(sql string) (*Result, error) {
 	return db.sys.DB().Query(sql)
 }
 
-// AddFD declares the functional dependency rel: lhs → rhs.
-func (db *DB) AddFD(rel string, lhs, rhs []string) {
-	db.sys.AddConstraint(constraint.FD{Rel: rel, LHS: lhs, RHS: rhs})
+// AddFD declares the functional dependency rel: lhs → rhs. The
+// constraint is validated against the catalog — rel must exist and the
+// columns must resolve — and rejected here rather than by a later query;
+// in durable mode the error also reports a failure to persist the
+// declaration. A constraint that errors is not registered.
+func (db *DB) AddFD(rel string, lhs, rhs []string) error {
+	return db.sys.AddConstraint(constraint.FD{Rel: rel, LHS: lhs, RHS: rhs})
 }
 
 // AddKey declares cols as a key of rel (an FD cols → all other columns).
-func (db *DB) AddKey(rel string, cols ...string) {
-	db.sys.AddConstraint(constraint.Key{Rel: rel, Cols: cols})
+// See AddFD for the validation and error contract.
+func (db *DB) AddKey(rel string, cols ...string) error {
+	return db.sys.AddConstraint(constraint.Key{Rel: rel, Cols: cols})
 }
 
 // AddFDSpec parses an FD of the form "rel: a,b -> c".
@@ -120,8 +214,7 @@ func (db *DB) AddFDSpec(spec string) error {
 	if err != nil {
 		return err
 	}
-	db.sys.AddConstraint(fd)
-	return nil
+	return db.sys.AddConstraint(fd)
 }
 
 // AddDenial parses and registers a general denial constraint, written as
@@ -135,8 +228,7 @@ func (db *DB) AddDenial(spec string) error {
 	if err != nil {
 		return err
 	}
-	db.sys.AddConstraint(d)
-	return nil
+	return db.sys.AddConstraint(d)
 }
 
 // Constraints returns string forms of the registered constraints.

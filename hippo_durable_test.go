@@ -1,0 +1,327 @@
+package hippo
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"hippo/internal/value"
+)
+
+// openDurable opens a durable database, failing the test on error.
+func openDurable(t *testing.T, dir string) *DB {
+	t.Helper()
+	db, err := OpenOptions(Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("OpenOptions(%s): %v", dir, err)
+	}
+	return db
+}
+
+// sortedRows renders a result's rows sorted, for order-free comparison.
+func sortedRows(res *Result) []string {
+	out := make([]string, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, r.Key())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// componentFPs returns the sorted conflict-component fingerprints — the
+// hypergraph-identity part of the recovery equality checks.
+func componentFPs(t *testing.T, db *DB) []uint64 {
+	t.Helper()
+	if _, err := db.Analyze(); err != nil {
+		t.Fatal(err)
+	}
+	comps := db.System().Hypergraph().Components()
+	fps := make([]uint64, 0, len(comps))
+	for _, c := range comps {
+		fps = append(fps, c.FP)
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i] < fps[j] })
+	return fps
+}
+
+func equalUint64s(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRecoveryReopenRoundTrip drives the full durable lifecycle through
+// the public API — DDL, constraints, single statements, batches, an
+// explicit checkpoint, post-checkpoint writes — and reopens twice,
+// asserting plain queries, consistent answers, and conflict components
+// all survive identically.
+func TestRecoveryReopenRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(db, "CREATE TABLE emp (id INT, name TEXT, salary INT)")
+	mustExec(db, `INSERT INTO emp VALUES (1, 'ann', 100), (1, 'ann', 200), (2, 'bob', 150)`)
+	if err := db.AddFD("emp", []string{"id"}, []string{"salary"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.ExecBatch(
+		"INSERT INTO emp VALUES (3, 'eve', 300)",
+		"DELETE FROM emp WHERE id = 2",
+		"INSERT INTO emp VALUES (2, 'bob', 175)",
+	); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(db, "INSERT INTO emp VALUES (4, 'dan', 50)")
+	mustExec(db, "CREATE INDEX emp_id ON emp (id)")
+
+	plain, err := db.Query("SELECT * FROM emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cq, _, err := db.ConsistentQuery("SELECT * FROM emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fps := componentFPs(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for round := 0; round < 2; round++ {
+		db2 := openDurable(t, dir)
+		if got := db2.Constraints(); len(got) != 1 || !strings.Contains(got[0], "FD emp") {
+			t.Fatalf("round %d: recovered constraints %v", round, got)
+		}
+		plain2, err := db2.Query("SELECT * FROM emp")
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if a, b := sortedRows(plain), sortedRows(plain2); !equalStrings(a, b) {
+			t.Fatalf("round %d: plain rows diverged:\n%v\n%v", round, a, b)
+		}
+		cq2, _, err := db2.ConsistentQuery("SELECT * FROM emp")
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if a, b := sortedRows(cq), sortedRows(cq2); !equalStrings(a, b) {
+			t.Fatalf("round %d: consistent answers diverged:\n%v\n%v", round, a, b)
+		}
+		if got := componentFPs(t, db2); !equalUint64s(fps, got) {
+			t.Fatalf("round %d: component fingerprints diverged: %v vs %v", round, fps, got)
+		}
+		// The declared index must have been rebuilt.
+		tab, err := db2.Engine().Table("emp")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := tab.Index([]int{0}); !ok {
+			t.Fatalf("round %d: index on emp(id) not restored", round)
+		}
+		if err := db2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRecoveryDropTableAndRecreate exercises DDL replay across a table's
+// whole lifecycle: create, fill, drop, recreate under the same name with a
+// different shape.
+func TestRecoveryDropTableAndRecreate(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(db, "CREATE TABLE r (a INT, b INT)")
+	mustExec(db, "INSERT INTO r VALUES (1, 2), (3, 4)")
+	mustExec(db, "DROP TABLE r")
+	mustExec(db, "CREATE TABLE r (s TEXT)")
+	mustExec(db, "INSERT INTO r VALUES ('alive')")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDurable(t, dir)
+	defer db2.Close()
+	res, err := db2.Query("SELECT * FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0] != value.Text("alive") {
+		t.Fatalf("recovered rows %v", res.Rows)
+	}
+	if res.Schema.Len() != 1 {
+		t.Fatalf("recovered schema %v", res.Schema)
+	}
+}
+
+// TestRecoveryCorruptLogSurfacesTyped flips a byte in the WAL and asserts
+// the public sentinel: opening must fail with hippo.ErrCorrupt, not panic
+// and not silently skip the damaged record.
+func TestRecoveryCorruptLogSurfacesTyped(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(db, "CREATE TABLE r (a INT)")
+	mustExec(db, "INSERT INTO r VALUES (1), (2), (3)")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var log string
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".log") {
+			log = filepath.Join(dir, e.Name())
+		}
+	}
+	if log == "" {
+		t.Fatal("no WAL segment found")
+	}
+	data, err := os.ReadFile(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte inside the FIRST record's payload: mid-log damage (the
+	// INSERT record follows) is corruption, not a recoverable torn tail.
+	data[17+8+1] ^= 0x20 // segment header + frame header + 1
+	if err := os.WriteFile(log, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenOptions(Options{Dir: dir}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("got %v, want hippo.ErrCorrupt", err)
+	}
+}
+
+// TestRecoveryAutoCheckpoint drives enough writes through a tiny
+// CheckpointBytes threshold to force automatic rotations, then reopens and
+// checks nothing was lost across the checkpoint boundary.
+func TestRecoveryAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	db, err := OpenOptions(Options{Dir: dir, CheckpointBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustExec(db, "CREATE TABLE r (a INT)")
+	for i := 0; i < 40; i++ {
+		if _, _, err := db.Exec("INSERT INTO r VALUES (" + value.Int(int64(i)).String() + ")"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.System().WALBytes() > 1<<12 {
+		t.Fatalf("WAL grew to %d bytes despite auto-checkpointing", db.System().WALBytes())
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDurable(t, dir)
+	defer db2.Close()
+	res, err := db2.Query("SELECT * FROM r")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 40 {
+		t.Fatalf("recovered %d rows, want 40", len(res.Rows))
+	}
+}
+
+// TestRecoveryConstraintOnDroppedTable pins the tolerant-open contract: a
+// constraint whose table was later dropped (every step individually
+// legal) must not brick the directory. Reopen succeeds, plain SQL serves,
+// the semantic error surfaces per consistent query — and recreating the
+// table repairs it online, exactly like in-memory mode.
+func TestRecoveryConstraintOnDroppedTable(t *testing.T) {
+	dir := t.TempDir()
+	db := openDurable(t, dir)
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	if err := db.AddFD("emp", []string{"id"}, []string{"salary"}); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(db, "CREATE TABLE other (x INT)")
+	mustExec(db, "INSERT INTO other VALUES (42)")
+	mustExec(db, "DROP TABLE emp")
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDurable(t, dir)
+	defer db2.Close()
+	res, err := db2.Query("SELECT * FROM other")
+	if err != nil || len(res.Rows) != 1 {
+		t.Fatalf("plain SQL must survive a dangling constraint: %v (%d rows)", err, len(res.Rows))
+	}
+	if _, _, err := db2.ConsistentQuery("SELECT * FROM other"); err == nil {
+		t.Fatal("consistent query should surface the dangling-constraint error")
+	}
+	// Recreating the table repairs the system online.
+	mustExec(db2, "CREATE TABLE emp (id INT, salary INT)")
+	if _, _, err := db2.ConsistentQuery("SELECT * FROM other"); err != nil {
+		t.Fatalf("consistent query after repair: %v", err)
+	}
+}
+
+// TestAddConstraintValidatesEagerly: a typo'd constraint must be rejected
+// at declaration — identically in-memory and durable — and must never
+// reach the durable log (where it would fail every later open).
+func TestAddConstraintValidatesEagerly(t *testing.T) {
+	dir := t.TempDir()
+	dur := openDurable(t, dir)
+	mem := Open()
+	for _, db := range []*DB{dur, mem} {
+		mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+		if err := db.AddFD("emp", []string{"nope"}, []string{"salary"}); err == nil {
+			t.Fatal("FD on a missing column must be rejected")
+		}
+		if err := db.AddFD("ghost", []string{"id"}, []string{"salary"}); err == nil {
+			t.Fatal("FD on a missing table must be rejected")
+		}
+		if err := db.AddDenial("ghost g WHERE g.id = 0"); err == nil {
+			t.Fatal("denial on a missing table must be rejected")
+		}
+		if err := db.AddFD("emp", []string{"id"}, []string{"salary"}); err != nil {
+			t.Fatalf("valid FD rejected: %v", err)
+		}
+	}
+	if err := dur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDurable(t, dir)
+	defer db2.Close()
+	if got := db2.Constraints(); len(got) != 1 {
+		t.Fatalf("recovered constraints %v, want exactly the valid FD", got)
+	}
+	if _, _, err := db2.ConsistentQuery("SELECT * FROM emp"); err != nil {
+		t.Fatalf("recovered system must analyze cleanly: %v", err)
+	}
+}
+
+// TestDurableRejectsCheckpointInMemory pins the error contract for
+// in-memory handles.
+func TestDurableRejectsCheckpointInMemory(t *testing.T) {
+	db := Open()
+	if err := db.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint on an in-memory database must error")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("Close on an in-memory database: %v", err)
+	}
+}

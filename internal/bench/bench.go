@@ -238,6 +238,7 @@ func RunAll(w io.Writer, sc Scale) error {
 		E11ConcurrentServing,
 		E12VerdictCache,
 		E13BatchPipeline,
+		E14DurableWrites,
 		AblationPruning,
 		AblationDetection,
 	}
@@ -253,7 +254,7 @@ func RunAll(w io.Writer, sc Scale) error {
 	return nil
 }
 
-// Run executes a single experiment by id ("e1".."e13", "ablation-pruning",
+// Run executes a single experiment by id ("e1".."e14", "ablation-pruning",
 // "ablation-detection").
 func Run(id string, sc Scale) (Table, error) {
 	switch strings.ToLower(id) {
@@ -283,6 +284,8 @@ func Run(id string, sc Scale) (Table, error) {
 		return E12VerdictCache(sc)
 	case "e13", "batch":
 		return E13BatchPipeline(sc)
+	case "e14", "durable", "wal":
+		return E14DurableWrites(sc)
 	case "ablation-pruning":
 		return AblationPruning(sc)
 	case "ablation-detection":

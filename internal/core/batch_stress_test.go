@@ -67,10 +67,21 @@ func TestBatchAtomicityStress(t *testing.T) {
 			defer wg.Done()
 			lastGen := int64(-1)
 			for !done.Load() {
-				res, _, err := sys.ConsistentQuery("SELECT * FROM gen", Options{})
+				res, st, err := sys.ConsistentQuery("SELECT * FROM gen", Options{})
 				if err != nil {
 					errs <- fmt.Errorf("reader %d: %w", r, err)
 					return
+				}
+				if len(res.Rows) == 0 && lastGen < 0 && st.Epoch == 1 {
+					// Bounded staleness (documented in core.currentView):
+					// while a refresh is in flight, readers are served the
+					// newest PUBLISHED view — until the first post-seed
+					// publication lands, that is the initial empty view
+					// (epoch 1, from Analyze), which is itself a batch
+					// boundary. Pinning the exemption to that epoch keeps
+					// it from masking a real mid-batch empty view, which
+					// would carry a later epoch.
+					continue
 				}
 				if len(res.Rows) != rowsPerGen {
 					errs <- fmt.Errorf("reader %d saw %d rows (a batch prefix), want %d: %v",

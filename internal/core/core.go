@@ -42,6 +42,7 @@ import (
 	"hippo/internal/sqlparse"
 	"hippo/internal/storage"
 	"hippo/internal/verdictcache"
+	"hippo/internal/wal"
 )
 
 // ProverMode selects how the Prover answers membership checks.
@@ -202,6 +203,13 @@ type System struct {
 	// is invalidated delta-precisely at each publication and cleared on
 	// full re-detections. Internally synchronized.
 	vcache *verdictcache.Cache
+
+	// store is the WAL/checkpoint store of a durable system (nil when
+	// in-memory); ckptMu serializes checkpoints and ckptBytes is the
+	// automatic rotation threshold. See durable.go.
+	store     *wal.Store
+	ckptMu    sync.Mutex
+	ckptBytes int64
 }
 
 // NewSystem creates a Hippo system over db with the given constraints and
@@ -220,13 +228,20 @@ func NewSystem(db *engine.DB, cs []constraint.Constraint) *System {
 	return s
 }
 
-// Close unsubscribes the system from the database's change feed and drops
-// any queued deltas. The system must not be queried afterwards.
-func (s *System) Close() {
+// Close unsubscribes the system from the database's change feed, drops
+// any queued deltas, and — for durable systems — detaches the commit log
+// and seals the WAL. The system must not be queried afterwards.
+func (s *System) Close() error {
 	s.db.RemoveListener(s)
+	var err error
+	if s.store != nil {
+		s.db.SetCommitLog(nil)
+		err = s.store.Close()
+	}
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
 	s.pending = nil
+	return err
 }
 
 // DB exposes the underlying engine (for loading data and running ordinary
@@ -242,13 +257,44 @@ func (s *System) Constraints() []constraint.Constraint {
 	return out
 }
 
-// AddConstraint registers another constraint and schedules a full
-// re-detection (incremental probes are compiled per constraint set).
-func (s *System) AddConstraint(c constraint.Constraint) {
+// AddConstraint validates the constraint against the current catalog and
+// registers it, scheduling a full re-detection (incremental probes are
+// compiled per constraint set). Validation is eager so a typo'd relation
+// or column is reported here, not by a later query — and, on a durable
+// system, never reaches the log. Durable systems log the constraint —
+// synced — before registering it, so a declaration either survives
+// restarts or reports why it will not.
+func (s *System) AddConstraint(c constraint.Constraint) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if err := s.validateConstraintLocked(c); err != nil {
+		return fmt.Errorf("core: invalid constraint %s: %w", c, err)
+	}
+	if s.store != nil {
+		if err := s.store.AppendConstraint(c); err != nil {
+			return fmt.Errorf("core: logging constraint %s: %w", c, err)
+		}
+	}
 	s.constraints = append(s.constraints, c)
 	s.invalidateLocked()
+	return nil
+}
+
+// validateConstraintLocked checks that the constraint lowers to a denial
+// under the current catalog and that every atom names an existing table.
+// (A denial's condition is validated by compilation at detection time;
+// schema changes after registration surface there too.)
+func (s *System) validateConstraintLocked(c constraint.Constraint) error {
+	d, err := c.Denial(s.db)
+	if err != nil {
+		return err
+	}
+	for _, a := range d.Atoms {
+		if _, err := s.db.TableSchema(a.Rel); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // invalidateLocked schedules a full re-detection and marks the published

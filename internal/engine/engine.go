@@ -51,6 +51,10 @@ type DB struct {
 	tables  map[string]*storage.Table
 	queries atomic.Int64
 
+	// clog, when attached, durably records every commit before its change
+	// feed is delivered; guarded by wseq (see SetCommitLog).
+	clog CommitLog
+
 	lmu       sync.RWMutex
 	listeners []ChangeListener
 }
@@ -148,18 +152,29 @@ func (db *DB) TableNames() []string {
 	return names
 }
 
-// CreateTable registers a new table built from the given schema.
+// CreateTable registers a new table built from the given schema. With a
+// commit log attached, the registration is durably logged before it is
+// announced; a log failure unregisters the table and reports the error.
 func (db *DB) CreateTable(name string, s schema.Schema) (*storage.Table, error) {
 	db.wseq.Lock()
 	defer db.wseq.Unlock()
-	db.mu.Lock()
 	key := strings.ToLower(name)
-	if _, ok := db.tables[key]; ok {
-		db.mu.Unlock()
+	db.mu.RLock()
+	_, exists := db.tables[key]
+	db.mu.RUnlock()
+	if exists {
 		return nil, fmt.Errorf("engine: table %q already exists", name)
 	}
 	t := storage.NewTable(key, s)
 	t.Observe(func(ch storage.Change) { db.notifyData(key, ch) })
+	// Durable before visible: the DDL record must be on disk before any
+	// reader can resolve the table — otherwise a crash (or append failure)
+	// would retract a table queries already observed. The existence check
+	// above cannot race: the write sequencer serializes all DDL.
+	if err := db.logDDL(createTableSQL(key, t.Schema())); err != nil {
+		return nil, err
+	}
+	db.mu.Lock()
 	db.tables[key] = t
 	db.mu.Unlock()
 	db.notifySchema("create table " + key)
@@ -205,6 +220,12 @@ func (db *DB) ExecStmt(st sqlparse.Statement) (*Result, int, error) {
 		}
 		return nil, 0, nil
 	case *sqlparse.CreateIndex:
+		// Resolve the table under the write sequencer: resolving it first
+		// would let a concurrent DROP TABLE log its record ahead of this
+		// statement's, leaving a dangling CREATE INDEX in the log that
+		// recovery could never replay.
+		db.wseq.Lock()
+		defer db.wseq.Unlock()
 		t, err := db.Table(s.Table)
 		if err != nil {
 			return nil, 0, err
@@ -218,22 +239,33 @@ func (db *DB) ExecStmt(st sqlparse.Statement) (*Result, int, error) {
 			}
 			cols[i] = idx
 		}
-		db.wseq.Lock()
-		_, ierr := t.EnsureIndex(cols)
-		db.wseq.Unlock()
-		if ierr != nil {
-			return nil, 0, ierr
+		if _, err := t.EnsureIndex(cols); err != nil {
+			return nil, 0, err
+		}
+		// Index definitions replay from the log so access paths survive a
+		// restart. A log failure leaves the in-memory index in place —
+		// indexes are performance state, not data — but still surfaces.
+		if err := db.logDDL(s.String()); err != nil {
+			return nil, 0, err
 		}
 		return nil, 0, nil
 	case *sqlparse.DropTable:
 		db.wseq.Lock()
 		defer db.wseq.Unlock()
-		db.mu.Lock()
 		key := strings.ToLower(s.Name)
-		if _, ok := db.tables[key]; !ok {
-			db.mu.Unlock()
+		db.mu.RLock()
+		_, ok := db.tables[key]
+		db.mu.RUnlock()
+		if !ok {
 			return nil, 0, fmt.Errorf("engine: no such table %q", s.Name)
 		}
+		// Durable before visible (see CreateTable): readers keep resolving
+		// the table until the drop is on disk, so a failed or torn append
+		// never retracts an observed catalog change.
+		if err := db.logDDL("DROP TABLE " + key); err != nil {
+			return nil, 0, err
+		}
+		db.mu.Lock()
 		delete(db.tables, key)
 		db.mu.Unlock()
 		db.notifySchema("drop table " + key)
@@ -302,7 +334,12 @@ func (db *DB) RunPlanRaw(plan ra.Node) (*Result, error) {
 func (db *DB) execInsert(s *sqlparse.Insert) (int, error) {
 	db.wseq.Lock()
 	defer db.wseq.Unlock()
-	return db.execInsertFrozen(s, nil)
+	if db.clog == nil {
+		return db.execInsertFrozen(s, nil)
+	}
+	return db.execLogged(func(feed *[]storage.TableChange) (int, error) {
+		return db.execInsertFrozen(s, feed)
+	})
 }
 
 // execInsertFrozen applies an INSERT while the caller holds the write
@@ -367,7 +404,12 @@ func (db *DB) execInsertFrozen(s *sqlparse.Insert, feed *[]storage.TableChange) 
 func (db *DB) execDelete(s *sqlparse.Delete) (int, error) {
 	db.wseq.Lock()
 	defer db.wseq.Unlock()
-	return db.execDeleteFrozen(s, nil)
+	if db.clog == nil {
+		return db.execDeleteFrozen(s, nil)
+	}
+	return db.execLogged(func(feed *[]storage.TableChange) (int, error) {
+		return db.execDeleteFrozen(s, feed)
+	})
 }
 
 // execDeleteFrozen applies a DELETE while the caller holds the write
@@ -483,8 +525,12 @@ func (db *DB) ApplyBatch(stmts []sqlparse.Statement) ([]int, error) {
 		}
 		affected[i] = n
 	}
-	for _, tc := range storage.CoalesceChanges(feed) {
-		db.notifyData(tc.Table, tc.Change)
+	// Commit point: with a log attached, the batch must be durable before
+	// any listener (and hence any published view) can observe it. A log
+	// failure rolls the whole batch back — never a prefix on disk, never a
+	// prefix in memory.
+	if err := db.commitLogged(feed, storage.CoalesceChanges(feed)); err != nil {
+		return nil, err
 	}
 	return affected, nil
 }

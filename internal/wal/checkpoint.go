@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+
+	"hippo/internal/constraint"
+	"hippo/internal/value"
+)
+
+// Checkpoint is a serialized full database state: every table's slot
+// layout (live rows and tombstones, so RowIDs — the conflict hypergraph's
+// vertex identity — survive a restart bit-for-bit), the declared index
+// column sets, and the registered constraints. Seq names the WAL segment
+// the checkpoint hands off to: recovery loads the newest checkpoint and
+// replays only segments with sequence ≥ Seq.
+type Checkpoint struct {
+	Seq         uint64
+	Constraints []constraint.Constraint
+	Tables      []TableState
+}
+
+// TableState is one table's checkpointed slot layout.
+type TableState struct {
+	Name    string
+	Columns []ColumnState
+	// Rows holds one entry per allocated slot (RowIDs [0, len)); the entry
+	// at a dead slot is ignored (stored as an empty tuple).
+	Rows []value.Tuple
+	// Dead marks tombstoned slots, parallel to Rows.
+	Dead []bool
+	// Indexes lists the column sets of declared indexes; recovery rebuilds
+	// them from the restored rows.
+	Indexes [][]int
+}
+
+// ColumnState is one column declaration.
+type ColumnState struct {
+	Name string
+	Type value.Kind
+}
+
+// checkpoint files: 8-byte magic + 1-byte version, then one CRC-framed
+// payload (same framing as WAL records). The file is written to a
+// temporary name, fsynced, and renamed into place, so a crashed checkpoint
+// write is invisible to recovery.
+const (
+	ckpMagic   = "HIPPOCKP"
+	ckpVersion = 1
+)
+
+// EncodeCheckpoint renders a checkpoint as a complete file image.
+func EncodeCheckpoint(ck *Checkpoint) ([]byte, error) {
+	body := putUvarint(nil, ck.Seq)
+	body = putUvarint(body, uint64(len(ck.Constraints)))
+	for _, c := range ck.Constraints {
+		spec, err := EncodeConstraint(c)
+		if err != nil {
+			return nil, err
+		}
+		body = putString(body, spec)
+	}
+	body = putUvarint(body, uint64(len(ck.Tables)))
+	for _, ts := range ck.Tables {
+		if len(ts.Rows) != len(ts.Dead) {
+			return nil, fmt.Errorf("wal: table %s: %d rows vs %d liveness slots",
+				ts.Name, len(ts.Rows), len(ts.Dead))
+		}
+		body = putString(body, ts.Name)
+		body = putUvarint(body, uint64(len(ts.Columns)))
+		for _, c := range ts.Columns {
+			body = putString(body, c.Name)
+			body = append(body, byte(c.Type))
+		}
+		body = putUvarint(body, uint64(len(ts.Rows)))
+		for i, row := range ts.Rows {
+			if ts.Dead[i] {
+				body = append(body, 1)
+				continue // tombstoned slot: liveness marker only, no tuple
+			}
+			body = append(body, 0)
+			body = putTuple(body, row)
+		}
+		body = putUvarint(body, uint64(len(ts.Indexes)))
+		for _, cols := range ts.Indexes {
+			body = putUvarint(body, uint64(len(cols)))
+			for _, c := range cols {
+				body = putUvarint(body, uint64(c))
+			}
+		}
+	}
+	out := make([]byte, 0, len(ckpMagic)+1+frameHeaderLen+len(body))
+	out = append(out, ckpMagic...)
+	out = append(out, ckpVersion)
+	return appendFrame(out, body), nil
+}
+
+// DecodeCheckpoint parses a checkpoint file image. Damage is reported as a
+// *CorruptError matching ErrCorrupt.
+func DecodeCheckpoint(data []byte, path string) (*Checkpoint, error) {
+	hdrLen := len(ckpMagic) + 1
+	if len(data) < hdrLen+frameHeaderLen {
+		return nil, &CorruptError{Path: path, Reason: "short checkpoint header"}
+	}
+	if string(data[:len(ckpMagic)]) != ckpMagic {
+		return nil, &CorruptError{Path: path, Reason: "bad checkpoint magic"}
+	}
+	if v := data[len(ckpMagic)]; v != ckpVersion {
+		return nil, &CorruptError{Path: path,
+			Reason: fmt.Sprintf("unsupported checkpoint version %d", v)}
+	}
+	frame := data[hdrLen:]
+	n := binary.LittleEndian.Uint32(frame[0:4])
+	if uint64(n) != uint64(len(frame)-frameHeaderLen) {
+		return nil, &CorruptError{Path: path, Offset: int64(hdrLen),
+			Reason: fmt.Sprintf("checkpoint body length %d, frame declares %d", len(frame)-frameHeaderLen, n)}
+	}
+	body := frame[frameHeaderLen:]
+	if got, want := crc32.Checksum(body, crcTable), binary.LittleEndian.Uint32(frame[4:8]); got != want {
+		return nil, &CorruptError{Path: path, Offset: int64(hdrLen),
+			Reason: fmt.Sprintf("checkpoint checksum mismatch (%08x != %08x)", got, want)}
+	}
+	ck, err := decodeCheckpointBody(body)
+	if err != nil {
+		return nil, &CorruptError{Path: path, Offset: int64(hdrLen),
+			Reason: "undecodable checkpoint: " + err.Error()}
+	}
+	return ck, nil
+}
+
+func decodeCheckpointBody(body []byte) (*Checkpoint, error) {
+	d := &decoder{data: body}
+	ck := &Checkpoint{Seq: d.uvarint()}
+	ncs := d.uvarint()
+	if d.err == nil && ncs > uint64(len(body)) {
+		d.fail("constraint count %d exceeds payload", ncs)
+	}
+	for i := uint64(0); i < ncs && d.err == nil; i++ {
+		spec := d.string()
+		if d.err != nil {
+			break
+		}
+		c, err := DecodeConstraint(spec)
+		if err != nil {
+			return nil, err
+		}
+		ck.Constraints = append(ck.Constraints, c)
+	}
+	nt := d.uvarint()
+	if d.err == nil && nt > uint64(len(body)) {
+		d.fail("table count %d exceeds payload", nt)
+	}
+	for i := uint64(0); i < nt && d.err == nil; i++ {
+		var ts TableState
+		ts.Name = d.string()
+		ncols := d.uvarint()
+		if d.err == nil && ncols > uint64(len(body)) {
+			d.fail("column count %d exceeds payload", ncols)
+		}
+		for j := uint64(0); j < ncols && d.err == nil; j++ {
+			ts.Columns = append(ts.Columns, ColumnState{Name: d.string(), Type: value.Kind(d.byte())})
+		}
+		nslots := d.uvarint()
+		if d.err == nil && nslots > uint64(len(body)) {
+			d.fail("slot count %d exceeds payload", nslots)
+		}
+		for j := uint64(0); j < nslots && d.err == nil; j++ {
+			dead := d.byte() != 0
+			ts.Dead = append(ts.Dead, dead)
+			if dead {
+				ts.Rows = append(ts.Rows, nil)
+				continue
+			}
+			ts.Rows = append(ts.Rows, d.tuple())
+		}
+		nidx := d.uvarint()
+		if d.err == nil && nidx > uint64(len(body)) {
+			d.fail("index count %d exceeds payload", nidx)
+		}
+		for j := uint64(0); j < nidx && d.err == nil; j++ {
+			nc := d.uvarint()
+			if d.err == nil && nc > uint64(len(body)) {
+				d.fail("index column count %d exceeds payload", nc)
+			}
+			cols := make([]int, 0, nc)
+			for k := uint64(0); k < nc && d.err == nil; k++ {
+				cols = append(cols, int(d.uvarint()))
+			}
+			ts.Indexes = append(ts.Indexes, cols)
+		}
+		if d.err != nil {
+			break
+		}
+		ck.Tables = append(ck.Tables, ts)
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	if d.off != len(body) {
+		return nil, fmt.Errorf("%d trailing bytes after checkpoint body", len(body)-d.off)
+	}
+	return ck, nil
+}

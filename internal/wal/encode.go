@@ -1,0 +1,320 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+
+	"hippo/internal/constraint"
+	"hippo/internal/storage"
+	"hippo/internal/value"
+)
+
+// The binary vocabulary shared by record payloads and checkpoints:
+// unsigned varints for counts and ids, length-prefixed strings, and typed
+// scalar values (kind byte followed by a kind-specific body). Decoding is
+// defensive throughout — every length is bounds-checked against the
+// remaining input — because a CRC-valid payload from a newer or buggy
+// writer must fail with an error, never a panic.
+
+func putUvarint(dst []byte, v uint64) []byte {
+	return binary.AppendUvarint(dst, v)
+}
+
+func putString(dst []byte, s string) []byte {
+	dst = putUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func putValue(dst []byte, v value.Value) []byte {
+	dst = append(dst, byte(v.K))
+	switch v.K {
+	case value.KindInt:
+		dst = binary.AppendVarint(dst, v.I)
+	case value.KindFloat:
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v.F))
+		dst = append(dst, b[:]...)
+	case value.KindText:
+		dst = putString(dst, v.S)
+	case value.KindBool:
+		if v.B {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+	}
+	return dst
+}
+
+func putTuple(dst []byte, t value.Tuple) []byte {
+	dst = putUvarint(dst, uint64(len(t)))
+	for _, v := range t {
+		dst = putValue(dst, v)
+	}
+	return dst
+}
+
+// decoder consumes a payload front to back, latching the first error.
+type decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("bad uvarint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		d.fail("bad varint at %d", d.off)
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.data) {
+		d.fail("unexpected end of payload at %d", d.off)
+		return 0
+	}
+	b := d.data[d.off]
+	d.off++
+	return b
+}
+
+func (d *decoder) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.data) {
+		d.fail("short payload: need %d bytes at %d of %d", n, d.off, len(d.data))
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) string() string {
+	n := d.uvarint()
+	if d.err != nil {
+		return ""
+	}
+	if n > uint64(len(d.data)-d.off) {
+		d.fail("string length %d exceeds payload", n)
+		return ""
+	}
+	return string(d.bytes(int(n)))
+}
+
+func (d *decoder) value() value.Value {
+	switch k := value.Kind(d.byte()); k {
+	case value.KindNull:
+		return value.Null()
+	case value.KindInt:
+		return value.Int(d.varint())
+	case value.KindFloat:
+		b := d.bytes(8)
+		if d.err != nil {
+			return value.Null()
+		}
+		return value.Float(math.Float64frombits(binary.LittleEndian.Uint64(b)))
+	case value.KindText:
+		return value.Text(d.string())
+	case value.KindBool:
+		return value.Bool(d.byte() != 0)
+	default:
+		d.fail("unknown value kind %d", k)
+		return value.Null()
+	}
+}
+
+func (d *decoder) tuple() value.Tuple {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.data)-d.off) { // each value takes ≥1 byte
+		d.fail("tuple arity %d exceeds payload", n)
+		return nil
+	}
+	t := make(value.Tuple, n)
+	for i := range t {
+		t[i] = d.value()
+	}
+	return t
+}
+
+// encodeBatch renders a RecordBatch payload from a coalesced change feed.
+// Delete changes carry only their RowID: replay tombstones the row in
+// place, so logging the deleted tuple would pay fsync'd bytes per commit
+// for data recovery never reads (decoded delete records have a nil
+// Tuple).
+func encodeBatch(feed []storage.TableChange) []byte {
+	dst := []byte{byte(RecordBatch)}
+	dst = putUvarint(dst, uint64(len(feed)))
+	for _, tc := range feed {
+		dst = putString(dst, tc.Table)
+		dst = append(dst, byte(tc.Change.Kind))
+		dst = putUvarint(dst, uint64(tc.Change.Row))
+		if tc.Change.Kind == storage.ChangeInsert {
+			dst = putTuple(dst, tc.Change.Tuple)
+		}
+	}
+	return dst
+}
+
+// encodeDDL renders a RecordDDL payload from re-parseable SQL text.
+func encodeDDL(stmt string) []byte {
+	dst := []byte{byte(RecordDDL)}
+	return putString(dst, stmt)
+}
+
+// encodeConstraintRecord renders a RecordConstraint payload.
+func encodeConstraintRecord(c constraint.Constraint) ([]byte, error) {
+	spec, err := EncodeConstraint(c)
+	if err != nil {
+		return nil, err
+	}
+	dst := []byte{byte(RecordConstraint)}
+	return putString(dst, spec), nil
+}
+
+// decodeRecord parses a record payload (kind byte + body).
+func decodeRecord(payload []byte) (Record, error) {
+	d := &decoder{data: payload}
+	kind := RecordKind(d.byte())
+	var rec Record
+	rec.Kind = kind
+	switch kind {
+	case RecordBatch:
+		n := d.uvarint()
+		if d.err == nil && n > uint64(len(payload)) {
+			d.fail("batch count %d exceeds payload", n)
+		}
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			table := d.string()
+			ck := storage.ChangeKind(d.byte())
+			if d.err == nil && ck != storage.ChangeInsert && ck != storage.ChangeDelete {
+				d.fail("unknown change kind %d", ck)
+			}
+			row := d.uvarint()
+			var tuple value.Tuple
+			if ck == storage.ChangeInsert {
+				tuple = d.tuple()
+			}
+			if d.err != nil {
+				break
+			}
+			rec.Batch = append(rec.Batch, storage.TableChange{
+				Table:  table,
+				Change: storage.Change{Kind: ck, Row: storage.RowID(row), Tuple: tuple},
+			})
+		}
+	case RecordDDL:
+		rec.Stmt = d.string()
+	case RecordConstraint:
+		spec := d.string()
+		if d.err == nil {
+			c, err := DecodeConstraint(spec)
+			if err != nil {
+				return Record{}, err
+			}
+			rec.Constraint = c
+		}
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record kind %d", kind)
+	}
+	if d.err != nil {
+		return Record{}, d.err
+	}
+	if d.off != len(payload) {
+		return Record{}, fmt.Errorf("wal: %d trailing bytes after %s record", len(payload)-d.off, kind)
+	}
+	return rec, nil
+}
+
+// Constraint specs are logged as tagged text using the same grammars the
+// interactive shell accepts, so a spec in the log is exactly what a user
+// could have typed. Fields are separated by the unit separator (0x1f),
+// which cannot appear in identifiers.
+const specSep = "\x1f"
+
+// EncodeConstraint renders a constraint as its durable spec string.
+// Exclusion constraints are lowered to their denial form first; constraint
+// types unknown to this package are rejected rather than silently dropped.
+func EncodeConstraint(c constraint.Constraint) (string, error) {
+	switch t := c.(type) {
+	case constraint.FD:
+		return strings.Join([]string{"fd", t.Rel,
+			strings.Join(t.LHS, ","), strings.Join(t.RHS, ",")}, specSep), nil
+	case constraint.Key:
+		return strings.Join([]string{"key", t.Rel, strings.Join(t.Cols, ",")}, specSep), nil
+	case constraint.Denial:
+		return "denial" + specSep + denialSpec(t), nil
+	case constraint.Exclusion:
+		d, err := t.Denial(nil)
+		if err != nil {
+			return "", err
+		}
+		return "denial" + specSep + denialSpec(d), nil
+	default:
+		return "", fmt.Errorf("wal: constraint type %T is not serializable", c)
+	}
+}
+
+// denialSpec renders a denial in the "atoms WHERE cond" grammar of
+// constraint.ParseDenial.
+func denialSpec(d constraint.Denial) string {
+	return strings.TrimPrefix(d.String(), "FORBID ")
+}
+
+// DecodeConstraint parses a spec produced by EncodeConstraint.
+func DecodeConstraint(spec string) (constraint.Constraint, error) {
+	parts := strings.Split(spec, specSep)
+	switch parts[0] {
+	case "fd":
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("wal: malformed fd spec %q", spec)
+		}
+		return constraint.ParseFD(parts[1] + ": " + parts[2] + " -> " + parts[3])
+	case "key":
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("wal: malformed key spec %q", spec)
+		}
+		return constraint.Key{Rel: parts[1], Cols: strings.Split(parts[2], ",")}, nil
+	case "denial":
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("wal: malformed denial spec %q", spec)
+		}
+		return constraint.ParseDenial(parts[1])
+	default:
+		return nil, fmt.Errorf("wal: unknown constraint spec kind %q", parts[0])
+	}
+}

@@ -1,0 +1,95 @@
+package wal
+
+import (
+	"errors"
+	"sync"
+)
+
+// ErrInjectedCrash is the error a CrashInjector-wrapped sink returns once
+// its byte budget is exhausted: the simulated machine is "down", so every
+// later write and sync fails too.
+var ErrInjectedCrash = errors.New("wal: injected crash")
+
+// CrashInjector simulates a crash at an exact byte position in the durable
+// write stream. It wraps every sink the store opens (plug Wrap into
+// Options.WrapSyncer); writes pass through until the shared budget is
+// exhausted, the write that crosses the budget is cut mid-buffer — leaving
+// a torn record on disk, exactly like power loss under a real append — and
+// everything after returns ErrInjectedCrash.
+//
+// The budget is shared across all wrapped files (segments and checkpoint
+// temporaries), so one injector sweeps a whole workload's write stream:
+// running the same deterministic workload under increasing budgets crashes
+// it at every byte boundary the log ever passes through.
+type CrashInjector struct {
+	mu      sync.Mutex
+	budget  int64
+	tripped bool
+	written int64
+}
+
+// NewCrashInjector returns an injector that lets budget bytes through
+// before cutting the stream.
+func NewCrashInjector(budget int64) *CrashInjector {
+	return &CrashInjector{budget: budget}
+}
+
+// Wrap wraps one sink; it matches the Options.WrapSyncer signature.
+func (ci *CrashInjector) Wrap(_ string, s Syncer) Syncer {
+	return &crashSyncer{ci: ci, under: s}
+}
+
+// Tripped reports whether the simulated crash has happened.
+func (ci *CrashInjector) Tripped() bool {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return ci.tripped
+}
+
+// Written reports the bytes let through so far; a run with an effectively
+// unlimited budget uses it to learn the workload's total write volume.
+func (ci *CrashInjector) Written() int64 {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	return ci.written
+}
+
+type crashSyncer struct {
+	ci    *CrashInjector
+	under Syncer
+}
+
+func (cs *crashSyncer) Write(p []byte) (int, error) {
+	ci := cs.ci
+	ci.mu.Lock()
+	if ci.tripped {
+		ci.mu.Unlock()
+		return 0, ErrInjectedCrash
+	}
+	n := int64(len(p))
+	if n > ci.budget {
+		n = ci.budget
+		ci.tripped = true
+	}
+	ci.budget -= n
+	ci.written += n
+	ci.mu.Unlock()
+	if n > 0 {
+		if w, err := cs.under.Write(p[:n]); err != nil {
+			return w, err
+		}
+	}
+	if int(n) < len(p) {
+		return int(n), ErrInjectedCrash
+	}
+	return int(n), nil
+}
+
+func (cs *crashSyncer) Sync() error {
+	if cs.ci.Tripped() {
+		return ErrInjectedCrash
+	}
+	return cs.under.Sync()
+}
+
+func (cs *crashSyncer) Close() error { return cs.under.Close() }

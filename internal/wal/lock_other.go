@@ -1,0 +1,12 @@
+//go:build !unix
+
+package wal
+
+import "os"
+
+// lockDir on platforms without flock keeps the LOCK file open but cannot
+// exclude a second process. Single-writer discipline is then the
+// operator's responsibility; the unix build enforces it.
+func lockDir(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+}

@@ -1,0 +1,24 @@
+//go:build unix
+
+package wal
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockDir takes the single-writer guard on a durability directory: an
+// exclusive flock on its LOCK file. The lock is released by Close — or by
+// the OS when the holding process dies, so a crash never blocks recovery.
+func lockDir(path string) (*os.File, error) {
+	lock, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(lock.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		lock.Close()
+		return nil, fmt.Errorf("wal: %s is held by another process: %w", path, err)
+	}
+	return lock, nil
+}

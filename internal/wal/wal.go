@@ -1,0 +1,262 @@
+// Package wal implements the durability layer beneath the Hippo engine: a
+// length-prefixed, CRC32C-checksummed, fsync-on-commit write-ahead log of
+// committed change batches and DDL/constraint statements, plus serialized
+// full-state checkpoints and the segment store that ties them together.
+//
+// # Record framing
+//
+// A log segment is a 17-byte header (magic, format version, segment
+// sequence number) followed by records. Each record is framed as
+//
+//	uint32 LE  payload length
+//	uint32 LE  CRC32C (Castagnoli) of the payload
+//	payload    kind byte + kind-specific body
+//
+// The unit of logging is the unit of atomicity: one committed group-commit
+// batch (its coalesced change feed) is exactly one record, appended and
+// fsynced while the engine still holds the write sequencer, so a batch is
+// atomic on disk precisely when it is atomic in published query views.
+//
+// # Damage model
+//
+// Reading distinguishes two failure shapes, both reported as a typed
+// *CorruptError matching ErrCorrupt:
+//
+//   - a torn tail (Torn=true): damage whose frame extends to the end of
+//     the data — a truncated length prefix, a payload shorter than its
+//     declared length, or a final record whose full length is present
+//     but whose checksum fails. All are indistinguishable from the
+//     residue of a crash mid-append (a power loss can persist the frame
+//     header and the file size without all payload pages); recovery
+//     truncates the tail and keeps everything before it, as journaling
+//     systems conventionally do.
+//   - corruption (Torn=false): a checksum or framing failure followed by
+//     more log — damage mid-history cannot be crash residue, because
+//     appends never wrote past an unsynced record. Recovery must not
+//     guess past it; the store surfaces the error instead of silently
+//     skipping records.
+//
+// In both cases no record at or after the damage is ever returned, so a
+// committed prefix is all a reader can observe.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"hippo/internal/constraint"
+	"hippo/internal/storage"
+)
+
+// ErrCorrupt marks unreadable WAL or checkpoint data. Every damage report
+// from this package matches it under errors.Is; inspect the wrapped
+// *CorruptError for the location and whether the damage is a recoverable
+// torn tail.
+var ErrCorrupt = errors.New("wal: corrupt")
+
+// CorruptError describes damaged log or checkpoint data: where it was
+// found and whether it is a torn tail (trailing incomplete record — the
+// normal residue of a crash, recoverable by truncation) or genuine
+// corruption (checksum mismatch on a complete record).
+type CorruptError struct {
+	Path   string // file the damage was found in ("" for in-memory readers)
+	Offset int64  // byte offset of the damaged record's frame
+	Reason string
+	Torn   bool // damage extends to end of data; truncating recovers
+}
+
+// Error formats the damage report.
+func (e *CorruptError) Error() string {
+	kind := "corrupt"
+	if e.Torn {
+		kind = "torn"
+	}
+	if e.Path != "" {
+		return fmt.Sprintf("wal: %s record in %s at offset %d: %s", kind, e.Path, e.Offset, e.Reason)
+	}
+	return fmt.Sprintf("wal: %s record at offset %d: %s", kind, e.Offset, e.Reason)
+}
+
+// Is matches ErrCorrupt so callers can errors.Is without naming the
+// concrete type.
+func (e *CorruptError) Is(target error) bool { return target == ErrCorrupt }
+
+// Syncer is the sink a log writes records through: an io.Writer with the
+// durability barrier the commit path relies on. *os.File satisfies it;
+// tests inject wrappers (see CrashInjector) to cut writes mid-record and
+// simulate crashes at arbitrary byte positions.
+type Syncer interface {
+	io.Writer
+	// Sync forces written data to stable storage (fsync).
+	Sync() error
+	// Close releases the sink. Data must have been Synced to be durable.
+	Close() error
+}
+
+// RecordKind discriminates the logged record types.
+type RecordKind uint8
+
+const (
+	// RecordBatch is one committed atomic batch: the coalesced change feed
+	// of a group commit (or of a single DML statement).
+	RecordBatch RecordKind = iota + 1
+	// RecordDDL is one schema statement (CREATE TABLE / DROP TABLE /
+	// CREATE INDEX), stored as re-parseable SQL text.
+	RecordDDL
+	// RecordConstraint is one registered integrity constraint.
+	RecordConstraint
+)
+
+// String names the record kind.
+func (k RecordKind) String() string {
+	switch k {
+	case RecordBatch:
+		return "batch"
+	case RecordDDL:
+		return "ddl"
+	case RecordConstraint:
+		return "constraint"
+	default:
+		return fmt.Sprintf("RecordKind(%d)", uint8(k))
+	}
+}
+
+// Record is one decoded WAL record. Exactly the field matching Kind is
+// populated. Delete changes in a Batch carry a nil Tuple: replay
+// tombstones the row by id, so the deleted values are never logged.
+type Record struct {
+	Kind       RecordKind
+	Batch      []storage.TableChange // RecordBatch
+	Stmt       string                // RecordDDL
+	Constraint constraint.Constraint // RecordConstraint
+}
+
+const (
+	// segment header: 8-byte magic, 1-byte version, 8-byte LE sequence.
+	segMagic     = "HIPPOWAL"
+	segVersion   = 1
+	segHeaderLen = len(segMagic) + 1 + 8
+
+	frameHeaderLen = 8 // uint32 length + uint32 crc
+
+	// maxRecordLen bounds a single record payload; a length prefix past it
+	// is structurally impossible and treated as corruption rather than an
+	// attempt to allocate garbage.
+	maxRecordLen = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends the record framing (length, CRC32C, payload) for
+// payload to dst and returns the extended slice.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// segmentHeader renders the header for a segment with the given sequence.
+func segmentHeader(seq uint64) []byte {
+	hdr := make([]byte, 0, segHeaderLen)
+	hdr = append(hdr, segMagic...)
+	hdr = append(hdr, segVersion)
+	var s [8]byte
+	binary.LittleEndian.PutUint64(s[:], seq)
+	return append(hdr, s[:]...)
+}
+
+// parseSegmentHeader validates a segment header and returns its sequence.
+func parseSegmentHeader(data []byte, path string) (uint64, error) {
+	if len(data) < segHeaderLen {
+		return 0, &CorruptError{Path: path, Offset: 0, Reason: "short segment header", Torn: true}
+	}
+	if string(data[:len(segMagic)]) != segMagic {
+		return 0, &CorruptError{Path: path, Offset: 0, Reason: "bad segment magic"}
+	}
+	if v := data[len(segMagic)]; v != segVersion {
+		return 0, &CorruptError{Path: path, Offset: int64(len(segMagic)),
+			Reason: fmt.Sprintf("unsupported segment version %d", v)}
+	}
+	return binary.LittleEndian.Uint64(data[len(segMagic)+1 : segHeaderLen]), nil
+}
+
+// ReadSegment decodes a whole WAL segment image. It returns the segment
+// sequence, every intact record in order, and the byte length of the good
+// prefix (header plus complete records). A non-nil error is always a
+// *CorruptError: Torn=true for damage extending to the end of the data —
+// crash residue, recoverable by truncating the file to goodLen — and
+// Torn=false for checksum or framing damage followed by more log. Records
+// at or after the damage are never returned.
+func ReadSegment(data []byte, path string) (seq uint64, recs []Record, goodLen int64, err error) {
+	seq, err = parseSegmentHeader(data, path)
+	if err != nil {
+		return 0, nil, 0, err
+	}
+	off := int64(segHeaderLen)
+	for int(off) < len(data) {
+		rest := data[off:]
+		if len(rest) < frameHeaderLen {
+			return seq, recs, off, &CorruptError{Path: path, Offset: off,
+				Reason: "truncated length prefix", Torn: true}
+		}
+		n := binary.LittleEndian.Uint32(rest[0:4])
+		// A declared frame reaching past the end of the data is tail
+		// damage (a truncated append, or a garbage length field written by
+		// a dying machine) — UNLESS an intact record hides inside the
+		// claimed span, which proves committed appends followed and the
+		// length prefix itself rotted: that is corruption, and truncation
+		// would silently destroy those records.
+		if int64(n) > int64(len(rest)-frameHeaderLen) {
+			return seq, recs, off, &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("record body truncated (%d of %d bytes)", len(rest)-frameHeaderLen, n),
+				Torn:   !containsValidRecord(rest[frameHeaderLen:])}
+		}
+		if n > maxRecordLen {
+			return seq, recs, off, &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("impossible record length %d", n)}
+		}
+		payload := rest[frameHeaderLen : frameHeaderLen+int(n)]
+		if got, want := crc32.Checksum(payload, crcTable), binary.LittleEndian.Uint32(rest[4:8]); got != want {
+			// A checksum-failed FINAL record is crash residue too: power
+			// loss can persist the frame header and file size before all
+			// payload pages land. Mid-log (more data follows) it is
+			// corruption.
+			return seq, recs, off, &CorruptError{Path: path, Offset: off,
+				Reason: fmt.Sprintf("checksum mismatch (%08x != %08x)", got, want),
+				Torn:   frameHeaderLen+int(n) == len(rest)}
+		}
+		rec, derr := decodeRecord(payload)
+		if derr != nil {
+			return seq, recs, off, &CorruptError{Path: path, Offset: off,
+				Reason: "undecodable payload: " + derr.Error()}
+		}
+		recs = append(recs, rec)
+		off += int64(frameHeaderLen) + int64(n)
+	}
+	return seq, recs, off, nil
+}
+
+// containsValidRecord reports whether any offset of data starts an intact
+// CRC-verified record frame. It is the damage classifier's re-sync probe:
+// an intact record after a bad length prefix proves committed appends
+// followed the damage, so the prefix rotted (corruption) rather than the
+// log having ended there (crash residue). The CRC makes a false positive
+// on arbitrary garbage astronomically unlikely.
+func containsValidRecord(data []byte) bool {
+	for off := 0; off+frameHeaderLen < len(data); off++ {
+		n := binary.LittleEndian.Uint32(data[off : off+4])
+		if n == 0 || int64(n) > int64(len(data)-off-frameHeaderLen) {
+			continue
+		}
+		payload := data[off+frameHeaderLen : off+frameHeaderLen+int(n)]
+		if crc32.Checksum(payload, crcTable) == binary.LittleEndian.Uint32(data[off+4:off+8]) {
+			return true
+		}
+	}
+	return false
+}

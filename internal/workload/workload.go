@@ -7,11 +7,41 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"hippo/internal/engine"
 	"hippo/internal/schema"
 	"hippo/internal/value"
 )
+
+// insertAll loads rows through the engine's write path as chunked
+// multi-row INSERT statements. Generators must not write to storage
+// behind the engine's back: engine-level writes feed the change listeners
+// and — in durable mode — the commit log, so a generated instance behaves
+// exactly like user-loaded data (and persists when the target is durable).
+func insertAll(db *engine.DB, table string, rows []value.Tuple) error {
+	const chunk = 256
+	for start := 0; start < len(rows); start += chunk {
+		end := start + chunk
+		if end > len(rows) {
+			end = len(rows)
+		}
+		var b strings.Builder
+		b.WriteString("INSERT INTO ")
+		b.WriteString(table)
+		b.WriteString(" VALUES ")
+		for i, r := range rows[start:end] {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(value.TupleString(r))
+		}
+		if _, _, err := db.Exec(b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
 
 // EmpConfig describes an employee-table instance.
 type EmpConfig struct {
@@ -41,18 +71,18 @@ func Emp(db *engine.DB, cfg EmpConfig) (EmpReport, error) {
 	if name == "" {
 		name = "emp"
 	}
-	t, err := db.CreateTable(name, schema.New(
+	if _, err := db.CreateTable(name, schema.New(
 		schema.Column{Name: "id", Type: value.KindInt},
 		schema.Column{Name: "name", Type: value.KindText},
 		schema.Column{Name: "dept", Type: value.KindInt},
 		schema.Column{Name: "salary", Type: value.KindInt},
-	))
-	if err != nil {
+	)); err != nil {
 		return EmpReport{}, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	rep := EmpReport{}
 	nConf := int(float64(cfg.N) * cfg.ConflictRate)
+	rows := make([]value.Tuple, 0, cfg.N+nConf)
 	for i := 0; i < cfg.N; i++ {
 		salary := 30000 + rng.Intn(120000)
 		row := value.Tuple{
@@ -61,20 +91,19 @@ func Emp(db *engine.DB, cfg EmpConfig) (EmpReport, error) {
 			value.Int(int64(i % 100)),
 			value.Int(int64(salary)),
 		}
-		if _, err := t.Insert(row); err != nil {
-			return rep, err
-		}
+		rows = append(rows, row)
 		rep.Rows++
 		if i < nConf {
 			// Duplicate with a different salary → FD violation on id.
 			dup := row.Clone()
 			dup[3] = value.Int(int64(salary + 1 + rng.Intn(50000)))
-			if _, err := t.Insert(dup); err != nil {
-				return rep, err
-			}
+			rows = append(rows, dup)
 			rep.Rows++
 			rep.Conflicts++
 		}
+	}
+	if err := insertAll(db, name, rows); err != nil {
+		return rep, err
 	}
 	return rep, nil
 }
@@ -90,26 +119,23 @@ type DeptConfig struct {
 // Dept creates dept(id, dname, budget) with N clean rows (no conflicts),
 // matching the dept ids assigned by Emp (0..99 by default).
 func Dept(db *engine.DB, cfg DeptConfig) error {
-	t, err := db.CreateTable("dept", schema.New(
+	if _, err := db.CreateTable("dept", schema.New(
 		schema.Column{Name: "id", Type: value.KindInt},
 		schema.Column{Name: "dname", Type: value.KindText},
 		schema.Column{Name: "budget", Type: value.KindInt},
-	))
-	if err != nil {
+	)); err != nil {
 		return err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := make([]value.Tuple, 0, cfg.N)
 	for i := 0; i < cfg.N; i++ {
-		_, err := t.Insert(value.Tuple{
+		rows = append(rows, value.Tuple{
 			value.Int(int64(i)),
 			value.Text(fmt.Sprintf("dept%03d", i)),
 			value.Int(int64(100000 + rng.Intn(900000))),
 		})
-		if err != nil {
-			return err
-		}
 	}
-	return nil
+	return insertAll(db, "dept", rows)
 }
 
 // SourcesConfig describes a two-source integration scenario: both sources
@@ -130,35 +156,31 @@ type SourcesConfig struct {
 // number of disagreeing keys. The matching constraint is
 // FD merged: k -> v.
 func Sources(db *engine.DB, cfg SourcesConfig) (int, error) {
-	t, err := db.CreateTable("merged", schema.New(
+	if _, err := db.CreateTable("merged", schema.New(
 		schema.Column{Name: "src", Type: value.KindText},
 		schema.Column{Name: "k", Type: value.KindInt},
 		schema.Column{Name: "v", Type: value.KindInt},
-	))
-	if err != nil {
+	)); err != nil {
 		return 0, err
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	overlap := int(float64(cfg.N) * cfg.OverlapRate)
 	disagreements := 0
+	rows := make([]value.Tuple, 0, cfg.N+overlap)
 	for i := 0; i < cfg.N; i++ {
 		v := rng.Intn(1000)
-		if _, err := t.Insert(value.Tuple{
+		rows = append(rows, value.Tuple{
 			value.Text("s1"), value.Int(int64(i)), value.Int(int64(v)),
-		}); err != nil {
-			return disagreements, err
-		}
+		})
 		if i < overlap {
 			// Source 2 disagrees on this key.
-			if _, err := t.Insert(value.Tuple{
+			rows = append(rows, value.Tuple{
 				value.Text("s2"), value.Int(int64(i)), value.Int(int64(v + 1 + rng.Intn(100))),
-			}); err != nil {
-				return disagreements, err
-			}
+			})
 			disagreements++
 		}
 	}
-	return disagreements, nil
+	return disagreements, insertAll(db, "merged", rows)
 }
 
 // UpdateMix returns a deterministic mixed DML statement stream over the
