@@ -87,6 +87,11 @@ func BenchmarkE13BatchPipeline(b *testing.B) { runExperiment(b, "e13") }
 // and recovery time vs WAL length.
 func BenchmarkE14DurableWrites(b *testing.B) { runExperiment(b, "e14") }
 
+// BenchmarkE15StreamingEval — streaming iterator engine + cost-based
+// planner vs the materialized pre-planner baseline (allocations via
+// -benchmem reflect both paths; the E15 table itself reports the split).
+func BenchmarkE15StreamingEval(b *testing.B) { runExperiment(b, "e15") }
+
 // BenchmarkAblationPruning — prover DFS with vs without early pruning.
 func BenchmarkAblationPruning(b *testing.B) { runExperiment(b, "ablation-pruning") }
 

@@ -124,12 +124,8 @@ func runBatchScript(db *hippo.DB, out io.Writer, src string) {
 			fmt.Fprintf(out, "error: %v (batch rolled back)\n", err)
 			return false
 		}
-		// Engine-level writes bypass the public wrapper's automatic
-		// checkpoint trigger, so bound the WAL here.
-		if err := db.System().MaybeCheckpoint(); err != nil {
-			fmt.Fprintf(out, "error: %v (writes committed; checkpoint failed)\n", err)
-			return false
-		}
+		// The background checkpointer rides the engine change feed, so
+		// these engine-level writes bound the WAL automatically.
 		for _, n := range counts {
 			rows += n
 		}
@@ -287,19 +283,11 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 			fmt.Fprintf(out, "error: %v\n", err)
 			break
 		}
+		// Engine-level writes feed the background checkpointer through
+		// the change feed, so the WAL stays bounded while loading.
 		for i, st := range stmts {
-			res, _, err := db.Engine().ExecStmt(st)
-			if err != nil {
+			if _, _, err := db.Engine().ExecStmt(st); err != nil {
 				fmt.Fprintf(out, "error at statement %d: %v\n", i+1, err)
-				return true
-			}
-			if res != nil {
-				continue // a SELECT: nothing committed, no checkpoint pressure
-			}
-			// Engine-level writes bypass the public wrapper's automatic
-			// checkpoint trigger, so bound the WAL while loading.
-			if err := db.System().MaybeCheckpoint(); err != nil {
-				fmt.Fprintf(out, "error at statement %d: %v (statement committed; checkpoint failed)\n", i+1, err)
 				return true
 			}
 		}

@@ -80,11 +80,12 @@ type Options struct {
 	// crash (the OS page cache holds them) but not an OS crash.
 	NoSync bool
 	// CheckpointBytes bounds the live WAL segment: once a committed write
-	// pushes the segment past this size, the engine snapshots the database
-	// into a checkpoint and rotates the log (keeping recovery time
-	// proportional to the threshold, not to history). 0 selects the
-	// default (8 MiB); negative disables automatic checkpoints, leaving
-	// rotation to explicit Checkpoint calls.
+	// pushes the segment past this size, a background checkpointer
+	// snapshots the database into a checkpoint and rotates the log
+	// (keeping recovery time proportional to the threshold, not to
+	// history) without stalling the writer. 0 selects the default (8 MiB);
+	// negative disables automatic checkpoints, leaving rotation to
+	// explicit Checkpoint calls.
 	CheckpointBytes int64
 }
 
@@ -124,17 +125,20 @@ func (db *DB) Close() error { return db.sys.Close() }
 var ErrCorrupt = wal.ErrCorrupt
 
 // ErrCheckpoint marks an automatic-checkpoint failure surfaced by Exec or
-// ExecBatch. The write that triggered the checkpoint COMMITTED — it is
-// durable in the log and visible to queries; only the log-compaction
-// checkpoint failed. Callers must not retry the statement on an error
-// matching this sentinel.
+// ExecBatch. Automatic checkpoints run on a background goroutine, so the
+// failure may surface on a later write than the one whose commit grew the
+// log past the threshold; either way the reporting statement COMMITTED —
+// it is durable in the log and visible to queries; only the
+// log-compaction checkpoint failed. Callers must not retry the statement
+// on an error matching this sentinel. Close also drains an uncollected
+// failure.
 var ErrCheckpoint = errors.New("hippo: automatic checkpoint failed")
 
-// maybeCheckpoint runs the automatic checkpoint after a committed write,
-// wrapping any failure in ErrCheckpoint so it cannot be mistaken for a
-// failed statement.
-func (db *DB) maybeCheckpoint() error {
-	if err := db.sys.MaybeCheckpoint(); err != nil {
+// checkpointHealth surfaces a background-checkpoint failure after a
+// committed write, wrapping it in ErrCheckpoint so it cannot be mistaken
+// for a failed statement.
+func (db *DB) checkpointHealth() error {
+	if err := db.sys.TakeCheckpointError(); err != nil {
 		return fmt.Errorf("%w: %w", ErrCheckpoint, err)
 	}
 	return nil
@@ -147,10 +151,10 @@ func Wrap(db *engine.DB) *DB {
 
 // Engine exposes the underlying engine for advanced use (e.g. registering
 // it with the database/sql driver). In durable mode, writes issued
-// directly on the engine are logged like any other commit but do NOT
-// trigger the automatic checkpoint (that hook lives in this wrapper's
-// Exec/ExecBatch); heavy engine-level writers should call Checkpoint —
-// or System().MaybeCheckpoint — themselves to bound the log.
+// directly on the engine are logged like any other commit and — because
+// the automatic checkpointer rides the engine's change feed, not this
+// wrapper — still trigger automatic checkpoints; no manual Checkpoint
+// calls are needed to bound the log.
 func (db *DB) Engine() *engine.DB { return db.sys.DB() }
 
 // Exec runs any SQL statement (DDL, DML, or SELECT) directly against the
@@ -160,10 +164,10 @@ func (db *DB) Engine() *engine.DB { return db.sys.DB() }
 // consistent query, while DDL forces a full re-detection.
 func (db *DB) Exec(sql string) (*Result, int, error) {
 	res, n, err := db.sys.DB().Exec(sql)
-	// Only writes move the log; a SELECT (non-nil result) must neither
-	// stall on a checkpoint nor report a checkpoint failure.
+	// Only writes report checkpoint health; a SELECT (non-nil result)
+	// must not report a background checkpoint failure.
 	if err == nil && res == nil {
-		err = db.maybeCheckpoint()
+		err = db.checkpointHealth()
 	}
 	return res, n, err
 }
@@ -182,7 +186,7 @@ func (db *DB) Exec(sql string) (*Result, int, error) {
 func (db *DB) ExecBatch(sqls ...string) ([]int, error) {
 	counts, err := db.sys.DB().ExecBatch(sqls)
 	if err == nil {
-		err = db.maybeCheckpoint()
+		err = db.checkpointHealth()
 	}
 	return counts, err
 }
@@ -288,6 +292,16 @@ func WithoutPruning() Option {
 // candidate is re-certified from scratch (the E12 baseline).
 func WithoutVerdictCache() Option {
 	return func(o *core.Options) { o.DisableVerdictCache = true }
+}
+
+// WithMaterializedEvaluation opts out of the streaming operator engine
+// and cost-based planner: the envelope is fully evaluated in the written
+// join order (access-path selection only) before certification begins.
+// Answers are identical either way (pinned by differential tests); the
+// knob exists as the E15 baseline and as an escape hatch should a plan
+// regress.
+func WithMaterializedEvaluation() Option {
+	return func(o *core.Options) { o.Materialized = true }
 }
 
 // WithGlobalCertification disables the prover's component decomposition,

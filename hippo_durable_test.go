@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"hippo/internal/value"
 )
@@ -228,8 +229,14 @@ func TestRecoveryAutoCheckpoint(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if db.System().WALBytes() > 1<<12 {
-		t.Fatalf("WAL grew to %d bytes despite auto-checkpointing", db.System().WALBytes())
+	// Checkpoints run on a background goroutine; give it a bounded window
+	// to absorb the burst before asserting the log stayed bounded.
+	deadline := time.Now().Add(5 * time.Second)
+	for db.System().WALBytes() > 1<<12 {
+		if time.Now().After(deadline) {
+			t.Fatalf("WAL grew to %d bytes despite auto-checkpointing", db.System().WALBytes())
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 	if err := db.Close(); err != nil {
 		t.Fatal(err)

@@ -130,6 +130,16 @@ func TestOptions(t *testing.T) {
 	if stNoPrune.Answers != 2 {
 		t.Errorf("pruning off changed answers: %+v", stNoPrune)
 	}
+	_, stMat, err := db.ConsistentQuery("SELECT * FROM emp", WithMaterializedEvaluation())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stMat.Streamed {
+		t.Error("WithMaterializedEvaluation should opt out of streaming")
+	}
+	if stMat.Answers != 2 {
+		t.Errorf("materialized evaluation changed answers: %+v", stMat)
+	}
 }
 
 func TestConstraintRegistration(t *testing.T) {

@@ -239,6 +239,7 @@ func RunAll(w io.Writer, sc Scale) error {
 		E12VerdictCache,
 		E13BatchPipeline,
 		E14DurableWrites,
+		E15StreamingEval,
 		AblationPruning,
 		AblationDetection,
 	}
@@ -254,7 +255,7 @@ func RunAll(w io.Writer, sc Scale) error {
 	return nil
 }
 
-// Run executes a single experiment by id ("e1".."e14", "ablation-pruning",
+// Run executes a single experiment by id ("e1".."e15", "ablation-pruning",
 // "ablation-detection").
 func Run(id string, sc Scale) (Table, error) {
 	switch strings.ToLower(id) {
@@ -286,6 +287,8 @@ func Run(id string, sc Scale) (Table, error) {
 		return E13BatchPipeline(sc)
 	case "e14", "durable", "wal":
 		return E14DurableWrites(sc)
+	case "e15", "streaming":
+		return E15StreamingEval(sc)
 	case "ablation-pruning":
 		return AblationPruning(sc)
 	case "ablation-detection":

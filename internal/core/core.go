@@ -25,8 +25,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +43,7 @@ import (
 	"hippo/internal/rewrite"
 	"hippo/internal/sqlparse"
 	"hippo/internal/storage"
+	"hippo/internal/value"
 	"hippo/internal/verdictcache"
 	"hippo/internal/wal"
 )
@@ -85,6 +88,11 @@ type Options struct {
 	// prover: one blocking-edge search over all negative atoms jointly,
 	// as before component maintenance existed. Implies an uncached run.
 	GlobalCertification bool
+	// Materialized disables streaming evaluation: the envelope is fully
+	// materialized through the legacy access-path-only plan before any
+	// certification starts, reproducing the pre-planner pipeline. It is
+	// the baseline of the E15 experiment and a differential-testing knob.
+	Materialized bool
 }
 
 // Stats reports one ConsistentQuery run, stage by stage (mirroring the
@@ -108,6 +116,17 @@ type Stats struct {
 	Workers      int    // certification worker-pool size used
 	QueryPlan    string // formatted input plan
 	EnvelopePlan string // formatted envelope plan
+	// Streamed reports whether the run used the streaming pipeline
+	// (envelope rows certified as produced) or the materialized baseline.
+	Streamed bool
+	// JoinOrder is the planner-chosen base-relation access order of the
+	// envelope's physical plan (streaming runs only).
+	JoinOrder string
+	// PeakIntermediate is the per-query intermediate high-water mark in
+	// rows: the largest row set any single blocking operator held
+	// materialized (streaming), or the full candidate count (materialized
+	// baseline, which holds the whole envelope output at once).
+	PeakIntermediate int64
 }
 
 // MaintenanceStats accumulates conflict-hypergraph and snapshot upkeep
@@ -206,11 +225,21 @@ type System struct {
 
 	// store is the WAL/checkpoint store of a durable system (nil when
 	// in-memory); ckptMu serializes checkpoints and ckptBytes is the
-	// automatic rotation threshold. See durable.go.
+	// automatic rotation threshold. The automatic checkpointer runs as a
+	// background goroutine nudged by the change feed (ckptCh) and stopped
+	// by Close (ckptStop/ckptDone); a failed automatic checkpoint parks in
+	// ckptFail until TakeCheckpointError collects it. See durable.go.
 	store     *wal.Store
 	ckptMu    sync.Mutex
 	ckptBytes int64
+	ckptCh    chan struct{}
+	ckptStop  chan struct{}
+	ckptDone  chan struct{}
+	ckptFail  atomic.Pointer[errBox]
 }
+
+// errBox wraps an error for atomic storage.
+type errBox struct{ err error }
 
 // NewSystem creates a Hippo system over db with the given constraints and
 // subscribes it to db's change feed. Call Analyze (or let the first query
@@ -229,14 +258,24 @@ func NewSystem(db *engine.DB, cs []constraint.Constraint) *System {
 }
 
 // Close unsubscribes the system from the database's change feed, drops
-// any queued deltas, and — for durable systems — detaches the commit log
-// and seals the WAL. The system must not be queried afterwards.
+// any queued deltas, and — for durable systems — stops the automatic
+// checkpointer (letting it take a final checkpoint if one is due),
+// detaches the commit log, and seals the WAL. An automatic-checkpoint
+// failure nobody collected yet is returned here rather than dropped. The
+// system must not be queried afterwards.
 func (s *System) Close() error {
 	s.db.RemoveListener(s)
 	var err error
 	if s.store != nil {
+		if s.ckptStop != nil {
+			close(s.ckptStop)
+			<-s.ckptDone
+		}
 		s.db.SetCommitLog(nil)
 		err = s.store.Close()
+		if cerr := s.TakeCheckpointError(); cerr != nil && err == nil {
+			err = cerr
+		}
 	}
 	s.qmu.Lock()
 	defer s.qmu.Unlock()
@@ -330,6 +369,7 @@ func (s *System) DataChanged(table string, ch storage.Change) {
 	}
 	s.qmu.Unlock()
 	s.stale.Store(true)
+	s.nudgeCheckpointer()
 }
 
 // SchemaChanged schedules a full re-detection: DDL changes the relation
@@ -348,6 +388,7 @@ func (s *System) SchemaChanged(string) {
 	s.pending = nil
 	s.qmu.Unlock()
 	s.stale.Store(true)
+	s.nudgeCheckpointer()
 }
 
 // Invalidate forces a full re-detection before the next consistent query.
@@ -781,38 +822,116 @@ func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*e
 	stats.EnvelopePlan = ra.Format(env)
 	stats.Envelope = time.Since(t0)
 
-	// Evaluation of the envelope against the view's storage snapshot.
-	t0 = time.Now()
-	candidates, err := v.snap.RunPlan(env)
+	// Evaluation + Prover. The default path streams envelope rows straight
+	// into the certification workers, so evaluation and proving overlap;
+	// opts.Materialized keeps the legacy evaluate-then-certify pipeline.
+	var answers *engine.Result
+	if opts.Materialized {
+		answers, err = s.certifyMaterialized(v, plan, env, opts, stats)
+	} else {
+		answers, err = s.certifyStreaming(v, plan, env, opts, stats)
+	}
 	if err != nil {
 		return nil, nil, err
 	}
+	stats.Answers = len(answers.Rows)
+
+	// Re-apply ORDER BY / LIMIT to the certified answers (innermost
+	// decorator first, i.e. reverse peel order).
+	if len(decorators) > 0 {
+		node := ra.Node(&ra.Values{Sch: answers.Schema, Rows: answers.Rows})
+		for i := len(decorators) - 1; i >= 0; i-- {
+			node = decorators[i](node)
+		}
+		rows, err := ra.Materialize(context.Background(), node)
+		if err != nil {
+			return nil, nil, err
+		}
+		answers = &engine.Result{Schema: node.Schema(), Rows: rows}
+	}
+	stats.EngineQuery = s.db.QueryCount() - queriesBefore
+	stats.Total = time.Since(start)
+	return answers, stats, nil
+}
+
+// certConfig is the certification setup shared by the streaming and
+// materialized paths: the membership backend and the verdict-cache wiring.
+type certConfig struct {
+	member      prover.Membership
+	useCache    bool
+	querySig    string
+	compResolve verdictcache.ComponentResolver
+}
+
+func (s *System) certConfig(v *queryView, opts Options, stats *Stats) certConfig {
+	cfg := certConfig{}
+	if opts.Mode == ProverNaive {
+		cfg.member = prover.NaiveMembership{DB: v.snap, TI: v.ti}
+	} else {
+		cfg.member = prover.IndexedMembership{TI: v.ti}
+	}
+	// Verdicts hit the cache first (default mode only: ablation and
+	// baseline modes must measure real work), and misses are certified
+	// with dependency tracking and stored for later views.
+	cfg.useCache = opts.Mode == ProverIndexed && !opts.DisablePruning &&
+		!opts.Serialized && !opts.DisableVerdictCache && !opts.GlobalCertification
+	if cfg.useCache {
+		cfg.querySig = verdictcache.QuerySignature(stats.QueryPlan)
+		cfg.compResolve = v.hg.Graph().Component
+	}
+	return cfg
+}
+
+// newProver builds one certification worker's prover.
+func (s *System) newProver(v *queryView, cfg certConfig, opts Options, compPool chan struct{}) *prover.Prover {
+	p := prover.New(v.hg.Graph(), cfg.member)
+	p.DisablePruning = opts.DisablePruning
+	p.DisableComponents = opts.GlobalCertification
+	p.Pool = compPool
+	return p
+}
+
+// certifyOne decides one candidate: verdict cache first when enabled,
+// full certification otherwise.
+func (s *System) certifyOne(p *prover.Prover, cfg certConfig, v *queryView, plan ra.Node, row value.Tuple, hits, misses *atomic.Int64) (bool, error) {
+	if cfg.useCache {
+		key := verdictcache.Key(cfg.querySig, row.Key())
+		if verdict, ok := s.vcache.Lookup(key, v.epoch, cfg.compResolve); ok {
+			hits.Add(1)
+			return verdict, nil
+		}
+		misses.Add(1)
+		ok, deps, err := p.CertifyAnswer(plan, row)
+		if err != nil {
+			return false, err
+		}
+		s.vcache.Store(key, v.epoch, ok, deps.Atoms, deps.Comps)
+		return ok, nil
+	}
+	return p.IsConsistentAnswer(plan, row)
+}
+
+// certifyMaterialized is the legacy evaluate-then-certify pipeline: the
+// envelope is fully materialized (with access-path selection only — the
+// pre-planner evaluation strategy), then certification fans out over the
+// candidate slice. Kept as the opt-out baseline of the E15 experiment.
+func (s *System) certifyMaterialized(v *queryView, plan, env ra.Node, opts Options, stats *Stats) (*engine.Result, error) {
+	t0 := time.Now()
+	candidates, err := v.snap.RunPlanLegacy(env)
+	if err != nil {
+		return nil, err
+	}
 	stats.Evaluation = time.Since(t0)
 	stats.Candidates = len(candidates.Rows)
+	stats.PeakIntermediate = int64(len(candidates.Rows))
 
 	// Prover: keep candidates that hold in every repair. Each membership
 	// check is independent, so certification fans out over a bounded pool
 	// of workers (one prover each — the view's hypergraph and tuple index
 	// are immutable) and results are collected by candidate position, so
-	// the answer order matches the sequential run exactly. Verdicts hit
-	// the cache first (default mode only: ablation and baseline modes
-	// must measure real work), and misses are certified with dependency
-	// tracking and stored for later views.
+	// the answer order matches the sequential run exactly.
 	t0 = time.Now()
-	var member prover.Membership
-	if opts.Mode == ProverNaive {
-		member = prover.NaiveMembership{DB: v.snap, TI: v.ti}
-	} else {
-		member = prover.IndexedMembership{TI: v.ti}
-	}
-	useCache := opts.Mode == ProverIndexed && !opts.DisablePruning &&
-		!opts.Serialized && !opts.DisableVerdictCache && !opts.GlobalCertification
-	var querySig string
-	var compResolve verdictcache.ComponentResolver
-	if useCache {
-		querySig = verdictcache.QuerySignature(stats.QueryPlan)
-		compResolve = v.hg.Graph().Component
-	}
+	cfg := s.certConfig(v, opts, stats)
 	poolSize := runtime.GOMAXPROCS(0)
 	workers := poolSize
 	if workers > len(candidates.Rows) {
@@ -835,10 +954,7 @@ func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*e
 	var failed atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		p := prover.New(v.hg.Graph(), member)
-		p.DisablePruning = opts.DisablePruning
-		p.DisableComponents = opts.GlobalCertification
-		p.Pool = compPool
+		p := s.newProver(v, cfg, opts, compPool)
 		provers[w] = p
 		wg.Add(1)
 		go func(w int, p *prover.Prover) {
@@ -848,26 +964,7 @@ func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*e
 				if i >= len(candidates.Rows) {
 					return
 				}
-				row := candidates.Rows[i]
-				if useCache {
-					key := verdictcache.Key(querySig, row.Key())
-					if verdict, ok := s.vcache.Lookup(key, v.epoch, compResolve); ok {
-						cacheHits.Add(1)
-						keep[i] = verdict
-						continue
-					}
-					cacheMisses.Add(1)
-					ok, deps, err := p.CertifyAnswer(plan, row)
-					if err != nil {
-						errs[w] = err
-						failed.Store(true)
-						return
-					}
-					s.vcache.Store(key, v.epoch, ok, deps.Atoms, deps.Comps)
-					keep[i] = ok
-					continue
-				}
-				ok, err := p.IsConsistentAnswer(plan, row)
+				ok, err := s.certifyOne(p, cfg, v, plan, candidates.Rows[i], &cacheHits, &cacheMisses)
 				if err != nil {
 					errs[w] = err
 					failed.Store(true)
@@ -882,7 +979,7 @@ func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*e
 	stats.CacheMisses = cacheMisses.Load()
 	for _, err := range errs {
 		if err != nil {
-			return nil, nil, err
+			return nil, err
 		}
 	}
 	answers := &engine.Result{Schema: plan.Schema()}
@@ -895,24 +992,136 @@ func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*e
 	for _, p := range provers {
 		stats.ProverStats.Add(p.Stats)
 	}
-	stats.Answers = len(answers.Rows)
+	return answers, nil
+}
 
-	// Re-apply ORDER BY / LIMIT to the certified answers (innermost
-	// decorator first, i.e. reverse peel order).
-	if len(decorators) > 0 {
-		node := ra.Node(&ra.Values{Sch: answers.Schema, Rows: answers.Rows})
-		for i := len(decorators) - 1; i >= 0; i-- {
-			node = decorators[i](node)
-		}
-		rows, err := ra.Materialize(node)
-		if err != nil {
-			return nil, nil, err
-		}
-		answers = &engine.Result{Schema: node.Schema(), Rows: rows}
+// candItem is one candidate flowing through the streaming pipeline. The
+// producer allocates it, exactly one worker writes keep, and the producer
+// goroutine reads it after the workers are joined.
+type candItem struct {
+	row  value.Tuple
+	keep bool
+}
+
+// certifyStreaming evaluates the envelope through the cost-based planner
+// as a pull iterator and certifies candidates as they are produced: the
+// envelope evaluation and the prover overlap instead of running in
+// sequence, and the candidate set is never the only thing the run holds
+// materialized. Worker errors cancel the iterator tree via context;
+// answers keep candidate production order, matching the sequential run.
+func (s *System) certifyStreaming(v *queryView, plan, env ra.Node, opts Options, stats *Stats) (*engine.Result, error) {
+	t0 := time.Now()
+	cfg := s.certConfig(v, opts, stats)
+	phys := engine.Optimize(env)
+	stats.JoinOrder = planLeafOrder(phys)
+	stats.Streamed = true
+
+	es := &ra.ExecStats{}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx = ra.WithExecStats(ctx, es)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
 	}
-	stats.EngineQuery = s.db.QueryCount() - queriesBefore
-	stats.Total = time.Since(start)
-	return answers, stats, nil
+	stats.Workers = workers
+	queue := make(chan *candItem, workers*4)
+	provers := make([]*prover.Prover, workers)
+	errs := make([]error, workers)
+	var cacheHits, cacheMisses atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		p := s.newProver(v, cfg, opts, nil)
+		provers[w] = p
+		wg.Add(1)
+		go func(w int, p *prover.Prover) {
+			defer wg.Done()
+			for item := range queue {
+				if failed.Load() {
+					continue // drain so the producer never blocks
+				}
+				ok, err := s.certifyOne(p, cfg, v, plan, item.row, &cacheHits, &cacheMisses)
+				if err != nil {
+					errs[w] = err
+					failed.Store(true)
+					cancel()
+					continue
+				}
+				item.keep = ok
+			}
+		}(w, p)
+	}
+
+	it, err := v.snap.OpenPlan(ctx, phys)
+	var items []*candItem
+	var evalErr error
+	if err != nil {
+		evalErr = err
+	} else {
+		for !failed.Load() {
+			row, ok, err := it.Next()
+			if err != nil {
+				evalErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+			item := &candItem{row: row}
+			items = append(items, item)
+			queue <- item
+		}
+		if cerr := it.Close(); cerr != nil && evalErr == nil {
+			evalErr = cerr
+		}
+	}
+	close(queue)
+	wg.Wait()
+
+	stats.CacheHits = cacheHits.Load()
+	stats.CacheMisses = cacheMisses.Load()
+	stats.Candidates = len(items)
+	stats.PeakIntermediate = es.PeakIntermediate()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	answers := &engine.Result{Schema: plan.Schema()}
+	for _, item := range items {
+		if item.keep {
+			answers.Rows = append(answers.Rows, item.row)
+		}
+	}
+	// Evaluation and proving overlap in this path; both report the
+	// pipeline's wall time.
+	stats.Evaluation = time.Since(t0)
+	stats.ProverTime = stats.Evaluation
+	for _, p := range provers {
+		stats.ProverStats.Add(p.Stats)
+	}
+	return answers, nil
+}
+
+// planLeafOrder renders the planner-chosen access order of a physical
+// plan: the base relations left to right, as they land in the executed
+// join tree.
+func planLeafOrder(phys ra.Node) string {
+	var names []string
+	ra.Walk(phys, func(n ra.Node) {
+		switch t := n.(type) {
+		case *ra.Scan:
+			names = append(names, t.Table.Name())
+		case *ra.IndexLookup:
+			names = append(names, t.Table.Name()+"[idx]")
+		}
+	})
+	return strings.Join(names, ",")
 }
 
 // Rewriter returns the query-rewriting baseline prepared for this
@@ -965,8 +1174,17 @@ func (s *System) Support(sql string) (SupportSummary, error) {
 
 // FormatStats renders a run's statistics as a compact multi-line report.
 func FormatStats(st *Stats) string {
+	eval := "streamed"
+	if !st.Streamed {
+		eval = "materialized"
+	}
+	order := st.JoinOrder
+	if order == "" {
+		order = "-"
+	}
 	return fmt.Sprintf(
 		"mode=%s candidates=%d answers=%d workers=%d epoch=%d\n"+
+			"planner: eval=%s join-order=%s peak-intermediate-rows=%d\n"+
 			"envelope=%v evaluation=%v prover=%v total=%v\n"+
 			"membership-checks=%d disjuncts=%d blocker-choices=%d engine-queries=%d\n"+
 			"hypergraph: edges=%d conflicting-tuples=%d max-degree=%d components=%d max-component=%d\n"+
@@ -974,6 +1192,7 @@ func FormatStats(st *Stats) string {
 			"maintenance: deltas=%d edges+%d edges-%d full-rebuilds=%d\n"+
 			"snapshots: published=%d reclaimed=%d slabs-reclaimed=%d",
 		st.ProverMode, st.Candidates, st.Answers, st.Workers, st.Epoch,
+		eval, order, st.PeakIntermediate,
 		st.Envelope, st.Evaluation, st.ProverTime, st.Total,
 		st.ProverStats.MembershipChecks, st.ProverStats.Disjuncts,
 		st.ProverStats.BlockerChoices, st.EngineQuery,

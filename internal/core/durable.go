@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"hippo/internal/constraint"
 	"hippo/internal/engine"
@@ -92,6 +93,10 @@ func OpenDurable(o DurableOptions) (*System, error) {
 	if sys.ckptBytes == 0 {
 		sys.ckptBytes = DefaultCheckpointBytes
 	}
+	sys.ckptCh = make(chan struct{}, 1)
+	sys.ckptStop = make(chan struct{})
+	sys.ckptDone = make(chan struct{})
+	go sys.checkpointLoop()
 	db.SetCommitLog(st)
 	// Rebuild all derived state and publish the first view only after the
 	// data is fully restored, so no query can observe a partial recovery.
@@ -224,12 +229,73 @@ func (s *System) checkpoint(min int64) error {
 
 // MaybeCheckpoint runs Checkpoint when the live WAL segment has outgrown
 // the configured threshold; it is a no-op for in-memory systems and when
-// automatic checkpoints are disabled.
+// automatic checkpoints are disabled. The background checkpointer calls
+// it after every committed write; it remains exported for callers that
+// want to force the threshold check synchronously.
 func (s *System) MaybeCheckpoint() error {
 	if s.store == nil || s.ckptBytes <= 0 || s.store.SegmentBytes() < s.ckptBytes {
 		return nil
 	}
 	return s.checkpoint(s.ckptBytes)
+}
+
+// checkpointPollInterval is the automatic checkpointer's fallback poll
+// cadence, backstopping any nudge lost to the channel's single-slot
+// buffer (the send is non-blocking by design — writers never wait).
+const checkpointPollInterval = time.Second
+
+// checkpointLoop is the automatic checkpointer: it runs MaybeCheckpoint
+// whenever a committed write nudges it (and on a slow poll as a
+// backstop), entirely off the write path — commit latency never includes
+// a checkpoint. A failure parks in ckptFail for the next
+// TakeCheckpointError; on shutdown it takes one final threshold check so
+// a burst of writes right before Close still bounds the log.
+func (s *System) checkpointLoop() {
+	defer close(s.ckptDone)
+	t := time.NewTicker(checkpointPollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ckptStop:
+			s.noteCheckpointErr(s.MaybeCheckpoint())
+			return
+		case <-s.ckptCh:
+		case <-t.C:
+		}
+		s.noteCheckpointErr(s.MaybeCheckpoint())
+	}
+}
+
+// nudgeCheckpointer wakes the automatic checkpointer without blocking:
+// callers hold the engine write sequencer, so a full channel just means a
+// wake-up is already pending.
+func (s *System) nudgeCheckpointer() {
+	if s.ckptCh == nil {
+		return
+	}
+	select {
+	case s.ckptCh <- struct{}{}:
+	default:
+	}
+}
+
+// noteCheckpointErr parks a failed automatic checkpoint until collected.
+func (s *System) noteCheckpointErr(err error) {
+	if err != nil {
+		s.ckptFail.Store(&errBox{err: err})
+	}
+}
+
+// TakeCheckpointError returns and clears the most recent automatic-
+// checkpoint failure (nil if none since the last call). The write that
+// triggered the failed checkpoint committed; only log compaction failed.
+// The hippo wrapper surfaces this from Exec/ExecBatch, and Close drains
+// it so an uncollected failure is never silently dropped.
+func (s *System) TakeCheckpointError() error {
+	if b := s.ckptFail.Swap(nil); b != nil {
+		return b.err
+	}
+	return nil
 }
 
 // liveIndexDefsFrozen captures each table's declared index column sets.

@@ -1,0 +1,314 @@
+package engine
+
+import (
+	"sort"
+
+	"hippo/internal/ra"
+)
+
+// Cost-based physical planning over inner-join clusters. costPlan runs
+// before access-path selection and rewrites every maximal cluster of
+// Select/Join/Product nodes:
+//
+//  1. every conjunct referencing columns of a single input is pushed
+//     below the joins onto that input;
+//  2. cross-input conjuncts become join predicates, turning written
+//     cartesian products with equality filters into hash joins;
+//  3. inputs are joined greedily smallest-estimated-first, preferring
+//     inputs connected to the already-joined set by an equality conjunct
+//     (cross products are deferred to last);
+//  4. a final projection restores the original column order, so the
+//     rewrite is invisible to the plan's consumers.
+//
+// When any input's cardinality cannot be estimated the original input
+// order is kept (the rewrite still applies pushdown and join formation),
+// so planning is deterministic with or without statistics.
+
+// costPlan rewrites n bottom-up, optimizing each join cluster.
+func costPlan(n ra.Node) ra.Node {
+	switch t := n.(type) {
+	case *ra.Select, *ra.Join, *ra.Product:
+		inputs, conjs := flattenCluster(n)
+		if len(inputs) == 1 && len(conjs) == 0 {
+			// Nothing clustered (e.g. bare Scan child): keep shape.
+			return rebuildDefault(t)
+		}
+		return assembleCluster(inputs, conjs)
+	case *ra.Project:
+		return &ra.Project{Child: costPlan(t.Child), Exprs: t.Exprs, Names: t.Names, Distinct: t.Distinct}
+	case *ra.SemiJoin:
+		return &ra.SemiJoin{L: costPlan(t.L), R: costPlan(t.R), Pred: t.Pred}
+	case *ra.AntiJoin:
+		return &ra.AntiJoin{L: costPlan(t.L), R: costPlan(t.R), Pred: t.Pred}
+	case *ra.Union:
+		return &ra.Union{L: costPlan(t.L), R: costPlan(t.R)}
+	case *ra.Diff:
+		return &ra.Diff{L: costPlan(t.L), R: costPlan(t.R)}
+	case *ra.Intersect:
+		return &ra.Intersect{L: costPlan(t.L), R: costPlan(t.R)}
+	case *ra.DistinctNode:
+		return &ra.DistinctNode{Child: costPlan(t.Child)}
+	case *ra.Sort:
+		return &ra.Sort{Child: costPlan(t.Child), Keys: t.Keys}
+	case *ra.Limit:
+		return &ra.Limit{Child: costPlan(t.Child), N: t.N}
+	default:
+		return n
+	}
+}
+
+// rebuildDefault recurses into a Select/Join/Product whose cluster was
+// trivial, keeping its own shape.
+func rebuildDefault(n ra.Node) ra.Node {
+	switch t := n.(type) {
+	case *ra.Select:
+		return &ra.Select{Child: costPlan(t.Child), Pred: t.Pred}
+	case *ra.Join:
+		return &ra.Join{L: costPlan(t.L), R: costPlan(t.R), Pred: t.Pred}
+	case *ra.Product:
+		return &ra.Product{L: costPlan(t.L), R: costPlan(t.R)}
+	default:
+		return n
+	}
+}
+
+// flattenCluster decomposes a maximal Select/Join/Product subtree into
+// its leaf inputs (each recursively cost-planned, in original
+// left-to-right order) and all predicate conjuncts, with column indexes
+// relative to the concatenation of the inputs in that original order.
+func flattenCluster(n ra.Node) (inputs []ra.Node, conjs []ra.Expr) {
+	switch t := n.(type) {
+	case *ra.Select:
+		inputs, conjs = flattenCluster(t.Child)
+		conjs = append(conjs, ra.Conjuncts(t.Pred)...)
+		return inputs, conjs
+	case *ra.Join:
+		return flattenBinary(t.L, t.R, t.Pred)
+	case *ra.Product:
+		return flattenBinary(t.L, t.R, nil)
+	default:
+		return []ra.Node{costPlan(n)}, nil
+	}
+}
+
+func flattenBinary(l, r ra.Node, pred ra.Expr) ([]ra.Node, []ra.Expr) {
+	li, lc := flattenCluster(l)
+	ri, rc := flattenCluster(r)
+	leftArity := 0
+	for _, in := range li {
+		leftArity += in.Schema().Len()
+	}
+	conjs := lc
+	for _, c := range rc {
+		conjs = append(conjs, ra.ShiftColumns(c, leftArity))
+	}
+	if pred != nil {
+		conjs = append(conjs, ra.Conjuncts(pred)...)
+	}
+	return append(li, ri...), conjs
+}
+
+// assembleCluster plans one flattened cluster back into a physical tree.
+func assembleCluster(inputs []ra.Node, conjs []ra.Expr) ra.Node {
+	offs := make([]int, len(inputs))
+	arity := make([]int, len(inputs))
+	total := 0
+	for i, in := range inputs {
+		offs[i] = total
+		arity[i] = in.Schema().Len()
+		total += arity[i]
+	}
+	inputOf := func(col int) int {
+		for i := len(offs) - 1; i >= 0; i-- {
+			if col >= offs[i] {
+				return i
+			}
+		}
+		return 0
+	}
+
+	// Partition conjuncts: single-input ones are pushed onto their input,
+	// constant ones become a top-level residual, the rest join inputs.
+	perInput := make([][]ra.Expr, len(inputs))
+	var joinConjs []ra.Expr
+	var constConjs []ra.Expr
+	for _, c := range conjs {
+		cols := ra.ColumnsUsed(c)
+		switch {
+		case len(cols) == 0:
+			constConjs = append(constConjs, c)
+		case allSameInput(cols, inputOf):
+			i := inputOf(cols[0])
+			off := offs[i]
+			perInput[i] = append(perInput[i], ra.MapColumns(c, func(x int) int { return x - off }))
+		default:
+			joinConjs = append(joinConjs, c)
+		}
+	}
+	for i, preds := range perInput {
+		if p := ra.Conjoin(preds...); p != nil {
+			inputs[i] = &ra.Select{Child: inputs[i], Pred: p}
+		}
+	}
+
+	order := joinOrder(inputs, joinConjs, inputOf)
+
+	// Build the left-deep tree in the chosen order, remapping predicate
+	// columns as inputs land at their new offsets.
+	newPos := make([]int, total) // original global index -> new global index
+	for i := range newPos {
+		newPos[i] = -1
+	}
+	attached := make([]bool, len(joinConjs))
+	placed := make([]bool, len(inputs))
+	var tree ra.Node
+	newTotal := 0
+	for _, idx := range order {
+		for c := 0; c < arity[idx]; c++ {
+			newPos[offs[idx]+c] = newTotal + c
+		}
+		newTotal += arity[idx]
+		placed[idx] = true
+		if tree == nil {
+			tree = inputs[idx]
+			continue
+		}
+		var preds []ra.Expr
+		for ci, c := range joinConjs {
+			if attached[ci] || !allPlaced(ra.ColumnsUsed(c), inputOf, placed) {
+				continue
+			}
+			attached[ci] = true
+			preds = append(preds, ra.MapColumns(c, func(x int) int { return newPos[x] }))
+		}
+		if p := ra.Conjoin(preds...); p != nil {
+			tree = &ra.Join{L: tree, R: inputs[idx], Pred: p}
+		} else {
+			tree = &ra.Product{L: tree, R: inputs[idx]}
+		}
+	}
+	if p := ra.Conjoin(constConjs...); p != nil {
+		tree = &ra.Select{Child: tree, Pred: p}
+	}
+
+	// Restore the original column order when the join order changed it.
+	identity := true
+	for i, p := range newPos {
+		if p != i {
+			identity = false
+			break
+		}
+	}
+	if !identity {
+		exprs := make([]ra.Expr, total)
+		for i := range exprs {
+			exprs[i] = ra.Col{Index: newPos[i]}
+		}
+		tree = &ra.Project{Child: tree, Exprs: exprs}
+	}
+	return tree
+}
+
+// joinOrder picks the input order: greedy smallest-estimated-first among
+// inputs connected by an equality conjunct to the joined set, deferring
+// cross products. Missing estimates keep the written order.
+func joinOrder(inputs []ra.Node, joinConjs []ra.Expr, inputOf func(int) int) []int {
+	n := len(inputs)
+	order := make([]int, 0, n)
+	if n <= 2 {
+		// Nothing to reorder at the cluster level (build-side choice
+		// inside Join.Open handles two-input asymmetry).
+		for i := 0; i < n; i++ {
+			order = append(order, i)
+		}
+		return order
+	}
+	est := make([]int64, n)
+	for i, in := range inputs {
+		est[i] = ra.EstimateCard(in)
+		if est[i] < 0 {
+			for j := 0; j < n; j++ {
+				order = append(order, j)
+			}
+			return order
+		}
+	}
+	// connected[i][j]: an equality conjunct links inputs i and j.
+	connected := make([][]bool, n)
+	for i := range connected {
+		connected[i] = make([]bool, n)
+	}
+	for _, c := range joinConjs {
+		cmp, ok := c.(ra.Cmp)
+		if !ok || cmp.Op != ra.EQ {
+			continue
+		}
+		cols := ra.ColumnsUsed(c)
+		ins := map[int]bool{}
+		for _, col := range cols {
+			ins[inputOf(col)] = true
+		}
+		list := make([]int, 0, len(ins))
+		for i := range ins {
+			list = append(list, i)
+		}
+		sort.Ints(list)
+		for a := 0; a < len(list); a++ {
+			for b := a + 1; b < len(list); b++ {
+				connected[list[a]][list[b]] = true
+				connected[list[b]][list[a]] = true
+			}
+		}
+	}
+	used := make([]bool, n)
+	pick := func(candidates func(int) bool) int {
+		best := -1
+		for i := 0; i < n; i++ {
+			if used[i] || !candidates(i) {
+				continue
+			}
+			if best < 0 || est[i] < est[best] {
+				best = i
+			}
+		}
+		return best
+	}
+	first := pick(func(int) bool { return true })
+	used[first] = true
+	order = append(order, first)
+	for len(order) < n {
+		next := pick(func(i int) bool {
+			for _, o := range order {
+				if connected[o][i] {
+					return true
+				}
+			}
+			return false
+		})
+		if next < 0 {
+			next = pick(func(int) bool { return true })
+		}
+		used[next] = true
+		order = append(order, next)
+	}
+	return order
+}
+
+func allSameInput(cols []int, inputOf func(int) int) bool {
+	first := inputOf(cols[0])
+	for _, c := range cols[1:] {
+		if inputOf(c) != first {
+			return false
+		}
+	}
+	return true
+}
+
+func allPlaced(cols []int, inputOf func(int) int, placed []bool) bool {
+	for _, c := range cols {
+		if !placed[inputOf(c)] {
+			return false
+		}
+	}
+	return true
+}

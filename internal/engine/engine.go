@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -306,25 +307,25 @@ func (db *DB) RunQuery(q *sqlparse.Query) (*Result, error) {
 }
 
 // RunPlan executes a relational algebra plan and materializes the result.
-// Access-path optimization (equality predicates over existing indexes) is
-// applied as a physical rewrite here, so logical plans handed to the CQA
-// pipeline stay within the SJUD operator set.
+// Physical planning — the cost-based stage (pushdown, join ordering) and
+// access-path selection — is applied as a rewrite here, so logical plans
+// handed to the CQA pipeline stay within the SJUD operator set.
 func (db *DB) RunPlan(plan ra.Node) (*Result, error) {
 	db.queries.Add(1)
-	rows, err := ra.Materialize(optimize(plan))
+	rows, err := ra.Materialize(context.Background(), optimize(plan))
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Schema: plan.Schema(), Rows: rows}, nil
 }
 
-// RunPlanRaw executes a plan without the access-path optimization. The
-// naive prover uses it so each membership check pays the full per-query
-// evaluation cost, standing in for the per-check RDBMS round trip of the
-// paper's base version.
+// RunPlanRaw executes a plan without any optimization. The naive prover
+// uses it so each membership check pays the full per-query evaluation
+// cost, standing in for the per-check RDBMS round trip of the paper's
+// base version.
 func (db *DB) RunPlanRaw(plan ra.Node) (*Result, error) {
 	db.queries.Add(1)
-	rows, err := ra.Materialize(plan)
+	rows, err := ra.Materialize(context.Background(), plan)
 	if err != nil {
 		return nil, err
 	}

@@ -6,16 +6,29 @@ import (
 	"hippo/internal/value"
 )
 
-// optimize applies access-path selection to a plan: a Select over a Scan
-// whose predicate contains constant equality conjuncts covering an
+// optimize is the engine's full planning pipeline: the cost-based stage
+// (predicate pushdown, product-to-join conversion, join ordering — see
+// costplan.go) followed by access-path selection.
+func optimize(n ra.Node) ra.Node {
+	return accessPaths(costPlan(n))
+}
+
+// Optimize exposes the engine's physical planner: it turns a logical plan
+// into the executable plan RunPlan would run, for callers that open the
+// iterator tree themselves (streaming evaluation) or want to inspect the
+// chosen shape.
+func Optimize(plan ra.Node) ra.Node { return optimize(plan) }
+
+// accessPaths applies access-path selection to a plan: a Select over a
+// Scan whose predicate contains constant equality conjuncts covering an
 // existing index of the table is rewritten to an IndexLookup plus a
 // residual Select. Only indexes that already exist are used (CREATE INDEX
 // or earlier conflict analysis creates them); the optimizer never builds
 // one speculatively.
-func optimize(n ra.Node) ra.Node {
+func accessPaths(n ra.Node) ra.Node {
 	switch t := n.(type) {
 	case *ra.Select:
-		child := optimize(t.Child)
+		child := accessPaths(t.Child)
 		if scan, ok := child.(*ra.Scan); ok {
 			if rewritten, ok := tryIndexLookup(scan, t.Pred); ok {
 				return rewritten
@@ -23,27 +36,27 @@ func optimize(n ra.Node) ra.Node {
 		}
 		return &ra.Select{Child: child, Pred: t.Pred}
 	case *ra.Project:
-		return &ra.Project{Child: optimize(t.Child), Exprs: t.Exprs, Names: t.Names, Distinct: t.Distinct}
+		return &ra.Project{Child: accessPaths(t.Child), Exprs: t.Exprs, Names: t.Names, Distinct: t.Distinct}
 	case *ra.Product:
-		return &ra.Product{L: optimize(t.L), R: optimize(t.R)}
+		return &ra.Product{L: accessPaths(t.L), R: accessPaths(t.R)}
 	case *ra.Join:
-		return &ra.Join{L: optimize(t.L), R: optimize(t.R), Pred: t.Pred}
+		return &ra.Join{L: accessPaths(t.L), R: accessPaths(t.R), Pred: t.Pred}
 	case *ra.SemiJoin:
-		return &ra.SemiJoin{L: optimize(t.L), R: optimize(t.R), Pred: t.Pred}
+		return &ra.SemiJoin{L: accessPaths(t.L), R: accessPaths(t.R), Pred: t.Pred}
 	case *ra.AntiJoin:
-		return &ra.AntiJoin{L: optimize(t.L), R: optimize(t.R), Pred: t.Pred}
+		return &ra.AntiJoin{L: accessPaths(t.L), R: accessPaths(t.R), Pred: t.Pred}
 	case *ra.Union:
-		return &ra.Union{L: optimize(t.L), R: optimize(t.R)}
+		return &ra.Union{L: accessPaths(t.L), R: accessPaths(t.R)}
 	case *ra.Diff:
-		return &ra.Diff{L: optimize(t.L), R: optimize(t.R)}
+		return &ra.Diff{L: accessPaths(t.L), R: accessPaths(t.R)}
 	case *ra.Intersect:
-		return &ra.Intersect{L: optimize(t.L), R: optimize(t.R)}
+		return &ra.Intersect{L: accessPaths(t.L), R: accessPaths(t.R)}
 	case *ra.DistinctNode:
-		return &ra.DistinctNode{Child: optimize(t.Child)}
+		return &ra.DistinctNode{Child: accessPaths(t.Child)}
 	case *ra.Sort:
-		return &ra.Sort{Child: optimize(t.Child), Keys: t.Keys}
+		return &ra.Sort{Child: accessPaths(t.Child), Keys: t.Keys}
 	case *ra.Limit:
-		return &ra.Limit{Child: optimize(t.Child), N: t.N}
+		return &ra.Limit{Child: accessPaths(t.Child), N: t.N}
 	default:
 		return n
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -164,7 +165,7 @@ func TestIndexLookupNode(t *testing.T) {
 		Index: idx,
 		Key:   []ra.Expr{ra.Const{V: value.Int(1)}},
 	}
-	rows, err := ra.Materialize(n)
+	rows, err := ra.Materialize(context.Background(), n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestIndexLookupNode(t *testing.T) {
 	}
 	// Key arity mismatch errors.
 	bad := &ra.IndexLookup{Table: tb, Index: idx, Key: nil}
-	if _, err := ra.Materialize(bad); err == nil {
+	if _, err := ra.Materialize(context.Background(), bad); err == nil {
 		t.Error("key arity mismatch should error")
 	}
 }

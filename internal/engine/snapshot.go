@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -76,26 +77,50 @@ func (s *Snapshot) PlanQuery(q *sqlparse.Query) (ra.Node, error) {
 	return planQuery(s, q)
 }
 
-// RunPlan executes a plan with access-path optimization and materializes
-// the result, counting the execution on the parent database.
+// RunPlan executes a plan through the full planner (cost-based stage plus
+// access paths) and materializes the result, counting the execution on
+// the parent database.
 func (s *Snapshot) RunPlan(plan ra.Node) (*Result, error) {
 	s.db.queries.Add(1)
-	rows, err := ra.Materialize(optimize(plan))
+	rows, err := ra.Materialize(context.Background(), optimize(plan))
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Schema: plan.Schema(), Rows: rows}, nil
 }
 
-// RunPlanRaw executes a plan without the access-path optimization (see
-// DB.RunPlanRaw).
-func (s *Snapshot) RunPlanRaw(plan ra.Node) (*Result, error) {
+// RunPlanLegacy executes a plan with access-path selection only, skipping
+// the cost-based stage — the pre-planner evaluation strategy, kept as an
+// opt-out baseline for comparison and for callers that need the written
+// join order verbatim.
+func (s *Snapshot) RunPlanLegacy(plan ra.Node) (*Result, error) {
 	s.db.queries.Add(1)
-	rows, err := ra.Materialize(plan)
+	rows, err := ra.Materialize(context.Background(), accessPaths(plan))
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Schema: plan.Schema(), Rows: rows}, nil
+}
+
+// RunPlanRaw executes a plan without any optimization (see DB.RunPlanRaw).
+func (s *Snapshot) RunPlanRaw(plan ra.Node) (*Result, error) {
+	s.db.queries.Add(1)
+	rows, err := ra.Materialize(context.Background(), plan)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schema: plan.Schema(), Rows: rows}, nil
+}
+
+// OpenPlan opens the iterator tree of an already-physical plan (as
+// produced by Optimize) under ctx, so the caller can consume rows
+// incrementally and feed them into downstream work while evaluation is
+// still running. The caller must Close the iterator; cancelling ctx stops
+// leaf iterators within a bounded number of rows. The execution counts as
+// one query.
+func (s *Snapshot) OpenPlan(ctx context.Context, phys ra.Node) (ra.Iterator, error) {
+	s.db.queries.Add(1)
+	return phys.Open(ctx)
 }
 
 // Query parses, plans, and executes a SELECT against the snapshot.

@@ -1,0 +1,86 @@
+package ra
+
+import (
+	"context"
+	"sync/atomic"
+
+	"hippo/internal/value"
+)
+
+// ExecStats collects execution telemetry for one plan run. A caller that
+// wants it installs a fresh ExecStats into the context with WithExecStats
+// before Open; blocking operators (hash-join builds, product and set-op
+// inner sides, sort buffers) report the row counts they hold materialized.
+// All methods are safe for concurrent use and tolerate a nil receiver.
+type ExecStats struct {
+	peak  atomic.Int64
+	total atomic.Int64
+}
+
+// noteIntermediate records one blocking operator materializing n rows.
+func (s *ExecStats) noteIntermediate(n int) {
+	if s == nil {
+		return
+	}
+	s.total.Add(int64(n))
+	for {
+		cur := s.peak.Load()
+		if int64(n) <= cur || s.peak.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// PeakIntermediate returns the largest row count any single blocking
+// operator held materialized during the run — the per-query intermediate
+// memory high-water mark, in rows.
+func (s *ExecStats) PeakIntermediate() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.peak.Load()
+}
+
+// IntermediateRows returns the total rows materialized across all
+// blocking operators of the run.
+func (s *ExecStats) IntermediateRows() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.total.Load()
+}
+
+type execStatsKey struct{}
+
+// WithExecStats attaches st to the context; operators opened under it
+// report their intermediate materializations there.
+func WithExecStats(ctx context.Context, st *ExecStats) context.Context {
+	return context.WithValue(ctx, execStatsKey{}, st)
+}
+
+// StatsFrom extracts the ExecStats installed by WithExecStats (nil if
+// none — the nil receiver is safe to use).
+func StatsFrom(ctx context.Context) *ExecStats {
+	if ctx == nil {
+		return nil
+	}
+	st, _ := ctx.Value(execStatsKey{}).(*ExecStats)
+	return st
+}
+
+// cancelCheckInterval is how many rows a leaf iterator produces between
+// context-cancellation checks: frequent enough to kill a runaway query
+// promptly, cheap enough to vanish in the per-row cost.
+const cancelCheckInterval = 256
+
+// materializeNoted drains a node like Materialize and reports the held
+// row count to the context's ExecStats — the shared path for every
+// blocking operator's build side.
+func materializeNoted(ctx context.Context, n Node) ([]value.Tuple, error) {
+	rows, err := Materialize(ctx, n)
+	if err != nil {
+		return nil, err
+	}
+	StatsFrom(ctx).noteIntermediate(len(rows))
+	return rows, nil
+}

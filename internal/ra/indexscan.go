@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"fmt"
 
 	"hippo/internal/schema"
@@ -38,7 +39,12 @@ func (n *IndexLookup) String() string {
 }
 
 // Open evaluates the key and streams the matching live rows.
-func (n *IndexLookup) Open() (Iterator, error) {
+func (n *IndexLookup) Open(ctx context.Context) (Iterator, error) {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	if len(n.Key) != len(n.Index.Columns()) {
 		return nil, fmt.Errorf("ra: index lookup key arity %d != index arity %d",
 			len(n.Key), len(n.Index.Columns()))

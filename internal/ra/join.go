@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"fmt"
 
 	"hippo/internal/schema"
@@ -67,30 +68,65 @@ func (j *Join) Children() []Node { return []Node{j.L, j.R} }
 
 func (j *Join) String() string { return fmt.Sprintf("Join(%v)", j.Pred) }
 
-// Open builds the hash table on the right input and streams the left.
-func (j *Join) Open() (Iterator, error) {
+// Open executes the join. For equi-joins the hash table is built on the
+// side with the smaller estimated cardinality and the other side streams
+// as the probe, so the materialized footprint is min(|L|,|R|), not
+// whichever side happened to be written second. When estimates are
+// unavailable the build side defaults to the right input (the historical
+// order). Output rows are always L++R regardless of build side.
+func (j *Join) Open(ctx context.Context) (Iterator, error) {
 	if j.Pred == nil {
-		return (&Product{L: j.L, R: j.R}).Open()
+		return (&Product{L: j.L, R: j.R}).Open(ctx)
 	}
 	leftArity := j.L.Schema().Len()
 	lc, rc, residual := equiPairs(j.Pred, leftArity)
-	right, err := Materialize(j.R)
-	if err != nil {
-		return nil, err
-	}
-	lit, err := j.L.Open()
-	if err != nil {
-		return nil, err
-	}
 	if len(lc) == 0 {
-		// No equality columns: nested loop with full predicate.
+		// No equality columns: nested loop with full predicate, right
+		// side materialized.
+		right, err := materializeNoted(ctx, j.R)
+		if err != nil {
+			return nil, err
+		}
+		lit, err := j.L.Open(ctx)
+		if err != nil {
+			return nil, err
+		}
 		return &nestedJoinIter{left: lit, right: right, pred: j.Pred}, nil
 	}
+	buildLeft := false
+	if el, er := EstimateCard(j.L), EstimateCard(j.R); el >= 0 && er >= 0 && el < er {
+		buildLeft = true
+	}
+	if buildLeft {
+		build, err := materializeNoted(ctx, j.L)
+		if err != nil {
+			return nil, err
+		}
+		probe, err := j.R.Open(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &hashJoinIter{
+			probe:     probe,
+			table:     hashPartition(build, lc),
+			probeCols: rc,
+			residual:  residual,
+			buildLeft: true,
+		}, nil
+	}
+	build, err := materializeNoted(ctx, j.R)
+	if err != nil {
+		return nil, err
+	}
+	probe, err := j.L.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
 	return &hashJoinIter{
-		left:     lit,
-		table:    hashPartition(right, rc),
-		leftCols: lc,
-		residual: residual,
+		probe:     probe,
+		table:     hashPartition(build, rc),
+		probeCols: lc,
+		residual:  residual,
 	}, nil
 }
 
@@ -129,20 +165,29 @@ func (it *nestedJoinIter) Next() (value.Tuple, bool, error) {
 
 func (it *nestedJoinIter) Close() error { return it.left.Close() }
 
+// hashJoinIter streams the probe side against a materialized hash table.
+// With buildLeft set, the table holds left rows and the probe is the
+// right input; emitted rows are still left++right.
 type hashJoinIter struct {
-	left     Iterator
-	table    map[string][]value.Tuple
-	leftCols []int
-	residual Expr
-	cur      value.Tuple
-	matches  []value.Tuple
-	mi       int
+	probe     Iterator
+	table     map[string][]value.Tuple
+	probeCols []int
+	residual  Expr
+	buildLeft bool
+	cur       value.Tuple
+	matches   []value.Tuple
+	mi        int
 }
 
 func (it *hashJoinIter) Next() (value.Tuple, bool, error) {
 	for {
 		for it.mi < len(it.matches) {
-			out := value.Concat(it.cur, it.matches[it.mi])
+			var out value.Tuple
+			if it.buildLeft {
+				out = value.Concat(it.matches[it.mi], it.cur)
+			} else {
+				out = value.Concat(it.cur, it.matches[it.mi])
+			}
 			it.mi++
 			if it.residual != nil {
 				pass, err := EvalPredicate(it.residual, out)
@@ -155,17 +200,17 @@ func (it *hashJoinIter) Next() (value.Tuple, bool, error) {
 			}
 			return out, true, nil
 		}
-		row, ok, err := it.left.Next()
+		row, ok, err := it.probe.Next()
 		if err != nil || !ok {
 			return nil, false, err
 		}
 		it.cur = row
-		it.matches = it.table[value.KeyOf(row, it.leftCols)]
+		it.matches = it.table[value.KeyOf(row, it.probeCols)]
 		it.mi = 0
 	}
 }
 
-func (it *hashJoinIter) Close() error { return it.left.Close() }
+func (it *hashJoinIter) Close() error { return it.probe.Close() }
 
 // SemiJoin emits left rows that have at least one matching right row (⋉).
 // The output schema is the left schema.
@@ -183,8 +228,8 @@ func (j *SemiJoin) Children() []Node { return []Node{j.L, j.R} }
 func (j *SemiJoin) String() string { return fmt.Sprintf("SemiJoin(%v)", j.Pred) }
 
 // Open executes the semi-join, hash-accelerated when possible.
-func (j *SemiJoin) Open() (Iterator, error) {
-	return openMatchIter(j.L, j.R, j.Pred, true)
+func (j *SemiJoin) Open(ctx context.Context) (Iterator, error) {
+	return openMatchIter(ctx, j.L, j.R, j.Pred, true)
 }
 
 // AntiJoin emits left rows that have no matching right row (▷). The output
@@ -204,24 +249,25 @@ func (j *AntiJoin) Children() []Node { return []Node{j.L, j.R} }
 func (j *AntiJoin) String() string { return fmt.Sprintf("AntiJoin(%v)", j.Pred) }
 
 // Open executes the anti-join, hash-accelerated when possible.
-func (j *AntiJoin) Open() (Iterator, error) {
-	return openMatchIter(j.L, j.R, j.Pred, false)
+func (j *AntiJoin) Open(ctx context.Context) (Iterator, error) {
+	return openMatchIter(ctx, j.L, j.R, j.Pred, false)
 }
 
 // openMatchIter drives both semi- and anti-joins: keep left rows whose
-// match-existence equals want.
-func openMatchIter(l, r Node, pred Expr, want bool) (Iterator, error) {
+// match-existence equals want. The right side is the lookup set and is
+// always the materialized one; the left streams.
+func openMatchIter(ctx context.Context, l, r Node, pred Expr, want bool) (Iterator, error) {
 	leftArity := l.Schema().Len()
 	var lc, rc []int
 	var residual Expr
 	if pred != nil {
 		lc, rc, residual = equiPairs(pred, leftArity)
 	}
-	right, err := Materialize(r)
+	right, err := materializeNoted(ctx, r)
 	if err != nil {
 		return nil, err
 	}
-	lit, err := l.Open()
+	lit, err := l.Open(ctx)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,251 @@
+package ra
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"hippo/internal/schema"
+	"hippo/internal/value"
+)
+
+// The streaming engine hands resource ownership down the iterator tree:
+// whoever opens an iterator must close it exactly once, including when a
+// sibling's Open fails, when Next errors mid-stream, and when the context
+// is cancelled. These tests pin that invariant with a counting wrapper
+// node spliced into every interesting position of each operator.
+
+var errInjected = errors.New("injected failure")
+
+// leakTracker counts iterator opens and closes across one plan run.
+type leakTracker struct {
+	opens, closes int
+}
+
+func (tr *leakTracker) check(t *testing.T) {
+	t.Helper()
+	if tr.opens == 0 {
+		t.Fatal("plan never opened a tracked iterator")
+	}
+	if tr.opens != tr.closes {
+		t.Fatalf("iterator leak: %d opened, %d closed", tr.opens, tr.closes)
+	}
+}
+
+// leakNode wraps a child, counting every iterator it hands out. openErr
+// makes Open itself fail; failAfter >= 0 makes the iterator error after
+// that many Next calls (so failAfter=0 fails on the first pull, which is
+// what a build side sees while materializing).
+type leakNode struct {
+	Child     Node
+	tr        *leakTracker
+	openErr   error
+	failAfter int
+}
+
+func wrap(tr *leakTracker, n Node) *leakNode {
+	return &leakNode{Child: n, tr: tr, failAfter: -1}
+}
+
+func (l *leakNode) Schema() schema.Schema { return l.Child.Schema() }
+func (l *leakNode) Children() []Node      { return []Node{l.Child} }
+func (l *leakNode) String() string        { return "leak(" + l.Child.String() + ")" }
+
+func (l *leakNode) Open(ctx context.Context) (Iterator, error) {
+	if l.openErr != nil {
+		return nil, l.openErr
+	}
+	it, err := l.Child.Open(ctx)
+	if err != nil {
+		return nil, err
+	}
+	l.tr.opens++
+	return &leakIter{child: it, ctx: ctx, node: l}, nil
+}
+
+type leakIter struct {
+	child  Iterator
+	ctx    context.Context
+	node   *leakNode
+	n      int
+	closed bool
+}
+
+func (it *leakIter) Next() (value.Tuple, bool, error) {
+	if err := it.ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	if it.node.failAfter >= 0 && it.n >= it.node.failAfter {
+		return nil, false, errInjected
+	}
+	it.n++
+	return it.child.Next()
+}
+
+func (it *leakIter) Close() error {
+	if !it.closed {
+		it.closed = true
+		it.node.tr.closes++
+	}
+	return it.child.Close()
+}
+
+// leakPlans builds one instance of every operator shape with tracked
+// wrappers at each input. The left input has 3 rows, the right 2.
+func leakPlans(t *testing.T, tr *leakTracker) map[string]Node {
+	t.Helper()
+	l := mkTable(t, "l", []string{"a", "b"}, []int64{1, 10}, []int64{2, 20}, []int64{3, 30})
+	r := mkTable(t, "r", []string{"a", "c"}, []int64{1, 100}, []int64{2, 200})
+	wl := func() Node { return wrap(tr, &Scan{Table: l}) }
+	wr := func() Node { return wrap(tr, &Scan{Table: r}) }
+	eq := Cmp{Op: EQ, L: Col{Index: 0}, R: Col{Index: 2}}
+	lt := Cmp{Op: LT, L: Col{Index: 0}, R: Col{Index: 2}}
+	// Set operations need union-compatible inputs: project both to column 0.
+	first := func(n Node) Node {
+		return &Project{Child: n, Exprs: []Expr{Col{Index: 0}}, Names: []string{"a"}}
+	}
+	return map[string]Node{
+		"select":    &Select{Child: wl(), Pred: Cmp{Op: GE, L: Col{Index: 0}, R: Const{V: value.Int(2)}}},
+		"project":   &Project{Child: wl(), Exprs: []Expr{Col{Index: 1}}, Names: []string{"b"}},
+		"distinct":  &DistinctNode{Child: wl()},
+		"sort":      &Sort{Child: wl(), Keys: []SortKey{{Expr: Col{Index: 0}}}},
+		"limit":     &Limit{Child: wl(), N: 2},
+		"product":   &Product{L: wl(), R: wr()},
+		"hash-join": &Join{L: wl(), R: wr(), Pred: eq},
+		"loop-join": &Join{L: wl(), R: wr(), Pred: lt},
+		"semijoin":  &SemiJoin{L: wl(), R: wr(), Pred: eq},
+		"antijoin":  &AntiJoin{L: wl(), R: wr(), Pred: eq},
+		"union":     &Union{L: first(wl()), R: first(wr())},
+		"diff":      &Diff{L: first(wl()), R: first(wr())},
+		"intersect": &Intersect{L: first(wl()), R: first(wr())},
+	}
+}
+
+// TestIteratorCloseOnDrain: the happy path closes everything it opened.
+func TestIteratorCloseOnDrain(t *testing.T) {
+	tr := &leakTracker{}
+	for name, plan := range leakPlans(t, tr) {
+		if _, err := Materialize(context.Background(), plan); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	tr.check(t)
+}
+
+// TestIteratorCloseOnNextError: a mid-stream error from any input still
+// leaves every opened iterator closed once the root is closed — the
+// contract Materialize and the streaming certifier rely on.
+func TestIteratorCloseOnNextError(t *testing.T) {
+	// failAt chooses which tracked wrapper (in Open order) fails, and
+	// after how many rows; every (operator, input, offset) combination in
+	// range is exercised.
+	for _, failAt := range []struct{ idx, after int }{
+		{0, 0}, {0, 1}, {1, 0}, {1, 1},
+	} {
+		tr := &leakTracker{}
+		for name, plan := range leakPlans(t, tr) {
+			var wrappers []*leakNode
+			Walk(plan, func(n Node) {
+				if ln, ok := n.(*leakNode); ok {
+					wrappers = append(wrappers, ln)
+				}
+			})
+			if failAt.idx >= len(wrappers) {
+				continue
+			}
+			for _, w := range wrappers {
+				w.failAfter = -1
+			}
+			wrappers[failAt.idx].failAfter = failAt.after
+			if _, err := Materialize(context.Background(), plan); !errors.Is(err, errInjected) {
+				t.Fatalf("%s (fail wrapper %d after %d): got err %v, want injected",
+					name, failAt.idx, failAt.after, err)
+			}
+		}
+		tr.check(t)
+	}
+}
+
+// TestIteratorCloseOnOpenError: when one input's Open fails, inputs the
+// operator already opened (or fully materialized) are not leaked.
+func TestIteratorCloseOnOpenError(t *testing.T) {
+	for _, failIdx := range []int{0, 1} {
+		tr := &leakTracker{}
+		for name, plan := range leakPlans(t, tr) {
+			var wrappers []*leakNode
+			Walk(plan, func(n Node) {
+				if ln, ok := n.(*leakNode); ok {
+					wrappers = append(wrappers, ln)
+				}
+			})
+			if failIdx >= len(wrappers) {
+				continue
+			}
+			for _, w := range wrappers {
+				w.openErr = nil
+			}
+			wrappers[failIdx].openErr = errInjected
+			if _, err := Materialize(context.Background(), plan); !errors.Is(err, errInjected) {
+				t.Fatalf("%s (open-fail wrapper %d): got err %v, want injected", name, failIdx, err)
+			}
+			for _, w := range wrappers {
+				w.openErr = nil
+			}
+		}
+		tr.check(t)
+	}
+}
+
+// TestIteratorCloseOnCancel: cancelling the context mid-stream surfaces
+// the cancellation as a Next error and the tree still closes completely.
+func TestIteratorCloseOnCancel(t *testing.T) {
+	tr := &leakTracker{}
+	for name, plan := range leakPlans(t, tr) {
+		ctx, cancel := context.WithCancel(context.Background())
+		it, err := plan.Open(ctx)
+		if err != nil {
+			t.Fatalf("%s: open: %v", name, err)
+		}
+		// Pull one row if the plan yields any, then cancel and keep pulling
+		// until the cancellation propagates.
+		_, _, _ = it.Next()
+		cancel()
+		var lastErr error
+		for i := 0; i < 1000; i++ {
+			_, ok, err := it.Next()
+			if err != nil {
+				lastErr = err
+				break
+			}
+			if !ok {
+				break
+			}
+		}
+		if lastErr != nil && !errors.Is(lastErr, context.Canceled) {
+			t.Fatalf("%s: got err %v, want context.Canceled", name, lastErr)
+		}
+		if err := it.Close(); err != nil {
+			t.Fatalf("%s: close: %v", name, err)
+		}
+		// Close must be idempotent and not double-count.
+		if err := it.Close(); err != nil {
+			t.Fatalf("%s: second close: %v", name, err)
+		}
+	}
+	tr.check(t)
+}
+
+// TestScanCancellation: a real leaf iterator (storage cursor scan) honors
+// cancellation on its own, without a wrapper doing the check.
+func TestScanCancellation(t *testing.T) {
+	rows := make([][]int64, 600) // > cancelCheckInterval so the check fires
+	for i := range rows {
+		rows[i] = []int64{int64(i)}
+	}
+	tb := mkTable(t, "big", []string{"a"}, rows...)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Materialize(ctx, &Scan{Table: tb}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got err %v, want context.Canceled", err)
+	}
+}

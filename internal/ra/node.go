@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"fmt"
 
 	"hippo/internal/schema"
@@ -13,7 +14,11 @@ type Node interface {
 	// Schema returns the output schema of the operator.
 	Schema() schema.Schema
 	// Open starts execution and returns an iterator over the results.
-	Open() (Iterator, error)
+	// The context cancels execution: leaf iterators check it
+	// periodically, so a cancelled query stops producing rows within a
+	// bounded number of steps anywhere in the tree. Callers that do not
+	// need cancellation pass context.Background().
+	Open(ctx context.Context) (Iterator, error)
 	// Children returns the operator's inputs, left to right.
 	Children() []Node
 	// String renders a one-line description of this operator (not its
@@ -31,8 +36,8 @@ type Iterator interface {
 }
 
 // Materialize drains a node into a slice.
-func Materialize(n Node) ([]value.Tuple, error) {
-	it, err := n.Open()
+func Materialize(ctx context.Context, n Node) ([]value.Tuple, error) {
+	it, err := n.Open(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -84,10 +89,35 @@ func (s *Scan) Schema() schema.Schema {
 	return s.Table.Schema().WithQualifier(q)
 }
 
-// Open returns an iterator over the table's live rows.
-func (s *Scan) Open() (Iterator, error) {
-	return &sliceIter{rows: s.Table.Rows()}, nil
+// Open streams the table's live rows through a storage cursor — no
+// materialized copy of the table is ever built.
+func (s *Scan) Open(ctx context.Context) (Iterator, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return &scanIter{ctx: ctx, cur: s.Table.Cursor()}, nil
 }
+
+// scanIter pulls rows from a storage cursor, checking for cancellation
+// every cancelCheckInterval rows.
+type scanIter struct {
+	ctx context.Context
+	cur storage.Cursor
+	n   int
+}
+
+func (s *scanIter) Next() (value.Tuple, bool, error) {
+	if s.n%cancelCheckInterval == 0 {
+		if err := s.ctx.Err(); err != nil {
+			return nil, false, err
+		}
+	}
+	s.n++
+	row, ok := s.cur.Next()
+	return row, ok, nil
+}
+
+func (s *scanIter) Close() error { return nil }
 
 // Children returns no inputs.
 func (s *Scan) Children() []Node { return nil }
@@ -109,8 +139,8 @@ type Select struct {
 func (s *Select) Schema() schema.Schema { return s.Child.Schema() }
 
 // Open returns a filtering iterator.
-func (s *Select) Open() (Iterator, error) {
-	it, err := s.Child.Open()
+func (s *Select) Open(ctx context.Context) (Iterator, error) {
+	it, err := s.Child.Open(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -180,8 +210,8 @@ func (p *Project) Schema() schema.Schema {
 }
 
 // Open returns the projecting iterator.
-func (p *Project) Open() (Iterator, error) {
-	it, err := p.Child.Open()
+func (p *Project) Open(ctx context.Context) (Iterator, error) {
+	it, err := p.Child.Open(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -267,12 +297,12 @@ type Product struct{ L, R Node }
 func (p *Product) Schema() schema.Schema { return p.L.Schema().Concat(p.R.Schema()) }
 
 // Open materializes the right input and streams the left.
-func (p *Product) Open() (Iterator, error) {
-	right, err := Materialize(p.R)
+func (p *Product) Open(ctx context.Context) (Iterator, error) {
+	right, err := materializeNoted(ctx, p.R)
 	if err != nil {
 		return nil, err
 	}
-	lit, err := p.L.Open()
+	lit, err := p.L.Open(ctx)
 	if err != nil {
 		return nil, err
 	}

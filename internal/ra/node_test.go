@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -33,7 +34,7 @@ func mkTable(t *testing.T, name string, cols []string, rows ...[]int64) *storage
 // rowsOf materializes and renders sorted row strings for comparison.
 func rowsOf(t *testing.T, n Node) []string {
 	t.Helper()
-	rows, err := Materialize(n)
+	rows, err := Materialize(context.Background(), n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestJoinHashAndNested(t *testing.T) {
 		R:    &Scan{Table: dept},
 		Pred: Cmp{Op: LT, L: Col{Index: 0}, R: Col{Index: 3}},
 	}
-	rows, err := Materialize(j3)
+	rows, err := Materialize(context.Background(), j3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestJoinHashAndNested(t *testing.T) {
 
 	// Nil predicate degenerates to product.
 	j4 := &Join{L: &Scan{Table: emp}, R: &Scan{Table: dept}}
-	rows, _ = Materialize(j4)
+	rows, _ = Materialize(context.Background(), j4)
 	if len(rows) != 6 {
 		t.Errorf("nil-pred join rows = %d", len(rows))
 	}
@@ -171,7 +172,7 @@ func TestJoinHashAndNested(t *testing.T) {
 		R:    &Scan{Table: dept},
 		Pred: Cmp{Op: EQ, L: Col{Index: 2}, R: Col{Index: 1}},
 	}
-	rows, _ = Materialize(j5)
+	rows, _ = Materialize(context.Background(), j5)
 	if len(rows) != 3 {
 		t.Errorf("reversed equi join rows = %d", len(rows))
 	}
@@ -222,13 +223,13 @@ func TestUnionDiffIntersect(t *testing.T) {
 
 	// Incompatible arity errors.
 	two := mkTable(t, "two", []string{"x", "y"}, []int64{1, 2})
-	if _, err := Materialize(&Union{L: &Scan{Table: a}, R: &Scan{Table: two}}); err == nil {
+	if _, err := Materialize(context.Background(), &Union{L: &Scan{Table: a}, R: &Scan{Table: two}}); err == nil {
 		t.Error("union arity mismatch should error")
 	}
-	if _, err := Materialize(&Diff{L: &Scan{Table: a}, R: &Scan{Table: two}}); err == nil {
+	if _, err := Materialize(context.Background(), &Diff{L: &Scan{Table: a}, R: &Scan{Table: two}}); err == nil {
 		t.Error("diff arity mismatch should error")
 	}
-	if _, err := Materialize(&Intersect{L: &Scan{Table: a}, R: &Scan{Table: two}}); err == nil {
+	if _, err := Materialize(context.Background(), &Intersect{L: &Scan{Table: a}, R: &Scan{Table: two}}); err == nil {
 		t.Error("intersect arity mismatch should error")
 	}
 }

@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -21,31 +22,59 @@ func (u *Union) Children() []Node { return []Node{u.L, u.R} }
 func (u *Union) String() string { return "Union" }
 
 // Open validates compatibility and streams deduplicated rows, left first.
-func (u *Union) Open() (Iterator, error) {
+// Neither input is materialized; the only state is the dedup set over the
+// rows already emitted.
+func (u *Union) Open(ctx context.Context) (Iterator, error) {
 	if err := schema.TypesCompatible(u.L.Schema(), u.R.Schema()); err != nil {
 		return nil, fmt.Errorf("ra: union: %v", err)
 	}
-	left, err := Materialize(u.L)
+	lit, err := u.L.Open(ctx)
 	if err != nil {
 		return nil, err
 	}
-	right, err := Materialize(u.R)
-	if err != nil {
-		return nil, err
-	}
-	seen := make(map[string]bool, len(left)+len(right))
-	out := make([]value.Tuple, 0, len(left)+len(right))
-	for _, rows := range [][]value.Tuple{left, right} {
-		for _, r := range rows {
-			k := r.Key()
-			if !seen[k] {
-				seen[k] = true
-				out = append(out, r)
-			}
-		}
-	}
-	return &sliceIter{rows: out}, nil
+	return &unionIter{ctx: ctx, cur: lit, next: u.R, seen: map[string]bool{}}, nil
 }
+
+// unionIter drains the left iterator, then lazily opens and drains the
+// right node, suppressing duplicates across both.
+type unionIter struct {
+	ctx  context.Context
+	cur  Iterator
+	next Node // right input, opened when the left is exhausted; nil after
+	seen map[string]bool
+}
+
+func (it *unionIter) Next() (value.Tuple, bool, error) {
+	for {
+		row, ok, err := it.cur.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if !ok {
+			if it.next == nil {
+				return nil, false, nil
+			}
+			if err := it.cur.Close(); err != nil {
+				return nil, false, err
+			}
+			rit, err := it.next.Open(it.ctx)
+			if err != nil {
+				// cur stays set (already closed; Close is idempotent).
+				return nil, false, err
+			}
+			it.cur, it.next = rit, nil
+			continue
+		}
+		k := row.Key()
+		if it.seen[k] {
+			continue
+		}
+		it.seen[k] = true
+		return row, true, nil
+	}
+}
+
+func (it *unionIter) Close() error { return it.cur.Close() }
 
 // Diff is set difference (−). Inputs must be union-compatible; the output
 // schema is the left schema and output rows are deduplicated.
@@ -59,12 +88,13 @@ func (d *Diff) Children() []Node { return []Node{d.L, d.R} }
 
 func (d *Diff) String() string { return "Diff" }
 
-// Open validates compatibility and streams L rows absent from R.
-func (d *Diff) Open() (Iterator, error) {
+// Open validates compatibility, materializes the right side into a drop
+// set, and streams deduplicated left rows not present in it.
+func (d *Diff) Open(ctx context.Context) (Iterator, error) {
 	if err := schema.TypesCompatible(d.L.Schema(), d.R.Schema()); err != nil {
 		return nil, fmt.Errorf("ra: difference: %v", err)
 	}
-	right, err := Materialize(d.R)
+	right, err := materializeNoted(ctx, d.R)
 	if err != nil {
 		return nil, err
 	}
@@ -72,21 +102,11 @@ func (d *Diff) Open() (Iterator, error) {
 	for _, r := range right {
 		drop[r.Key()] = true
 	}
-	left, err := Materialize(d.L)
+	lit, err := d.L.Open(ctx)
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[string]bool, len(left))
-	out := make([]value.Tuple, 0, len(left))
-	for _, r := range left {
-		k := r.Key()
-		if drop[k] || seen[k] {
-			continue
-		}
-		seen[k] = true
-		out = append(out, r)
-	}
-	return &sliceIter{rows: out}, nil
+	return &filterKeyIter{child: lit, keys: drop, want: false, seen: map[string]bool{}}, nil
 }
 
 // Intersect is set intersection (∩). Inputs must be union-compatible; the
@@ -101,12 +121,13 @@ func (n *Intersect) Children() []Node { return []Node{n.L, n.R} }
 
 func (n *Intersect) String() string { return "Intersect" }
 
-// Open validates compatibility and streams L rows present in R.
-func (n *Intersect) Open() (Iterator, error) {
+// Open validates compatibility, materializes the right side into a keep
+// set, and streams deduplicated left rows present in it.
+func (n *Intersect) Open(ctx context.Context) (Iterator, error) {
 	if err := schema.TypesCompatible(n.L.Schema(), n.R.Schema()); err != nil {
 		return nil, fmt.Errorf("ra: intersect: %v", err)
 	}
-	right, err := Materialize(n.R)
+	right, err := materializeNoted(ctx, n.R)
 	if err != nil {
 		return nil, err
 	}
@@ -114,22 +135,39 @@ func (n *Intersect) Open() (Iterator, error) {
 	for _, r := range right {
 		keep[r.Key()] = true
 	}
-	left, err := Materialize(n.L)
+	lit, err := n.L.Open(ctx)
 	if err != nil {
 		return nil, err
 	}
-	seen := make(map[string]bool)
-	out := make([]value.Tuple, 0, len(left))
-	for _, r := range left {
-		k := r.Key()
-		if !keep[k] || seen[k] {
+	return &filterKeyIter{child: lit, keys: keep, want: true, seen: map[string]bool{}}, nil
+}
+
+// filterKeyIter streams deduplicated child rows whose key membership in
+// keys equals want — the shared body of Diff (want=false) and Intersect
+// (want=true).
+type filterKeyIter struct {
+	child Iterator
+	keys  map[string]bool
+	want  bool
+	seen  map[string]bool
+}
+
+func (it *filterKeyIter) Next() (value.Tuple, bool, error) {
+	for {
+		row, ok, err := it.child.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		k := row.Key()
+		if it.keys[k] != it.want || it.seen[k] {
 			continue
 		}
-		seen[k] = true
-		out = append(out, r)
+		it.seen[k] = true
+		return row, true, nil
 	}
-	return &sliceIter{rows: out}, nil
 }
+
+func (it *filterKeyIter) Close() error { return it.child.Close() }
 
 // DistinctNode removes duplicate rows from its child.
 type DistinctNode struct{ Child Node }
@@ -143,8 +181,8 @@ func (d *DistinctNode) Children() []Node { return []Node{d.Child} }
 func (d *DistinctNode) String() string { return "Distinct" }
 
 // Open streams deduplicated child rows.
-func (d *DistinctNode) Open() (Iterator, error) {
-	it, err := d.Child.Open()
+func (d *DistinctNode) Open(ctx context.Context) (Iterator, error) {
+	it, err := d.Child.Open(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -188,7 +226,7 @@ func (v *Values) Children() []Node { return nil }
 func (v *Values) String() string { return fmt.Sprintf("Values(%d rows)", len(v.Rows)) }
 
 // Open streams the constant rows.
-func (v *Values) Open() (Iterator, error) { return &sliceIter{rows: v.Rows}, nil }
+func (v *Values) Open(context.Context) (Iterator, error) { return &sliceIter{rows: v.Rows}, nil }
 
 // Format renders the whole plan tree with indentation.
 func Format(n Node) string {

@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -38,9 +39,10 @@ func (s *Sort) String() string {
 	return fmt.Sprintf("Sort(%s)", strings.Join(parts, ", "))
 }
 
-// Open materializes, sorts, and streams the rows.
-func (s *Sort) Open() (Iterator, error) {
-	rows, err := Materialize(s.Child)
+// Open materializes, sorts, and streams the rows (sorting is inherently
+// blocking; the buffer is reported to the context's ExecStats).
+func (s *Sort) Open(ctx context.Context) (Iterator, error) {
+	rows, err := materializeNoted(ctx, s.Child)
 	if err != nil {
 		return nil, err
 	}
@@ -94,8 +96,8 @@ func (l *Limit) Children() []Node { return []Node{l.Child} }
 func (l *Limit) String() string { return fmt.Sprintf("Limit(%d)", l.N) }
 
 // Open streams up to N child rows.
-func (l *Limit) Open() (Iterator, error) {
-	it, err := l.Child.Open()
+func (l *Limit) Open(ctx context.Context) (Iterator, error) {
+	it, err := l.Child.Open(ctx)
 	if err != nil {
 		return nil, err
 	}

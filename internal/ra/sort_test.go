@@ -1,6 +1,7 @@
 package ra
 
 import (
+	"context"
 	"testing"
 
 	"hippo/internal/value"
@@ -13,7 +14,7 @@ func TestSortBasic(t *testing.T) {
 		Child: &Scan{Table: tb},
 		Keys:  []SortKey{{Expr: Col{Index: 0}}, {Expr: Col{Index: 1}, Desc: true}},
 	}
-	rows, err := Materialize(n)
+	rows, err := Materialize(context.Background(), n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestSortStability(t *testing.T) {
 	tb := mkTable(t, "r", []string{"a", "b"},
 		[]int64{1, 10}, []int64{1, 20}, []int64{1, 30})
 	n := &Sort{Child: &Scan{Table: tb}, Keys: []SortKey{{Expr: Col{Index: 0}}}}
-	rows, err := Materialize(n)
+	rows, err := Materialize(context.Background(), n)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestSortExpressionError(t *testing.T) {
 		Child: &Scan{Table: tb},
 		Keys:  []SortKey{{Expr: Arith{Op: Div, L: Col{Index: 0}, R: Const{V: value.Int(0)}}}},
 	}
-	if _, err := Materialize(n); err == nil {
+	if _, err := Materialize(context.Background(), n); err == nil {
 		t.Error("sort key error should propagate")
 	}
 }
@@ -64,7 +65,7 @@ func TestLimit(t *testing.T) {
 	}{{0, 0}, {2, 2}, {3, 3}, {99, 3}}
 	for _, c := range cases {
 		lim := &Limit{Child: &Scan{Table: tb}, N: c.n}
-		rows, err := Materialize(lim)
+		rows, err := Materialize(context.Background(), lim)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func TestSortWithNulls(t *testing.T) {
 		},
 	}
 	n := &Sort{Child: v, Keys: []SortKey{{Expr: Col{Index: 0}}}}
-	rows, err := Materialize(n)
+	rows, err := Materialize(context.Background(), n)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,6 +27,11 @@ type TableSnapshot struct {
 	// once per table version.
 	idxOnce sync.Once
 	fullIdx atomic.Pointer[Index]
+
+	// stats holds the planner's cardinality estimates, built lazily like
+	// fullIdx and likewise paid at most once per table version.
+	statsOnce sync.Once
+	stats     atomic.Pointer[TableStats]
 }
 
 // Name returns the table name.
@@ -108,6 +113,23 @@ func (s *TableSnapshot) Rows() []value.Tuple {
 		return nil
 	})
 	return out
+}
+
+// Cursor returns a streaming iterator over the snapshot's live rows in
+// RowID order. The slab set is immutable, so the walk is lock-free and
+// zero-copy.
+func (s *TableSnapshot) Cursor() Cursor { return &slabCursor{slabs: s.slabs} }
+
+// Stats returns the snapshot's cardinality estimates, computing them on
+// first use (safe for concurrent callers). Snapshots of an unchanged
+// table are shared, so the sampling cost is paid at most once per table
+// version — and only when a planner actually asks.
+func (s *TableSnapshot) Stats() TableStats {
+	s.statsOnce.Do(func() {
+		st := computeStats(s.Cursor(), s.schema.Len(), s.live)
+		s.stats.Store(&st)
+	})
+	return *s.stats.Load()
 }
 
 // FullRowIndex returns the full-row hash index over the snapshot, building

@@ -1,0 +1,94 @@
+package storage
+
+import (
+	"hippo/internal/value"
+)
+
+// Cursor streams live rows in RowID order without materializing them.
+// Cursors are not safe for concurrent use; obtain one per consumer.
+type Cursor interface {
+	// Next returns the next live row, or ok=false at exhaustion. The
+	// returned tuple must not be mutated.
+	Next() (row value.Tuple, ok bool)
+}
+
+// slabCursor walks a sealed slab set directly — the zero-copy cursor
+// behind both TableSnapshot.Cursor and Table.Cursor (which serves from
+// its cached snapshot, so writers never race the walk).
+type slabCursor struct {
+	slabs []*slab
+	si    int
+	off   int
+}
+
+func (c *slabCursor) Next() (value.Tuple, bool) {
+	for c.si < len(c.slabs) {
+		sl := c.slabs[c.si]
+		for c.off < len(sl.rows) {
+			off := c.off
+			c.off++
+			if !sl.dead[off] {
+				return sl.rows[off], true
+			}
+		}
+		c.si++
+		c.off = 0
+	}
+	return nil, false
+}
+
+// TableStats carries the cardinality estimates the cost-based planner
+// reads: an exact live-row count and per-column distinct-count estimates.
+// Distinct counts are sampled on large tables (see statsSampleRows), so
+// they guide plan choice but must not be treated as exact; a zero entry
+// means unknown.
+type TableStats struct {
+	Rows     int
+	Distinct []int
+}
+
+// statsSampleRows bounds the rows scanned for distinct-count estimation,
+// keeping stats maintenance O(1)-ish per table version regardless of
+// table size. Sampling is the live-row prefix in RowID order, so the
+// estimate is deterministic for a given table state.
+const statsSampleRows = 4096
+
+// computeStats scans up to statsSampleRows live rows from cur and
+// extrapolates per-column distinct counts to live total rows.
+func computeStats(cur Cursor, cols, live int) TableStats {
+	st := TableStats{Rows: live, Distinct: make([]int, cols)}
+	if live == 0 || cols == 0 {
+		return st
+	}
+	sets := make([]map[string]struct{}, cols)
+	colOf := make([][]int, cols)
+	for i := range sets {
+		sets[i] = make(map[string]struct{})
+		colOf[i] = []int{i}
+	}
+	sampled := 0
+	for sampled < statsSampleRows {
+		row, ok := cur.Next()
+		if !ok {
+			break
+		}
+		sampled++
+		for i := 0; i < cols && i < len(row); i++ {
+			sets[i][value.KeyOf(row, colOf[i])] = struct{}{}
+		}
+	}
+	for i, set := range sets {
+		d := len(set)
+		if sampled > 0 && live > sampled && d*2 > sampled {
+			// The column kept producing fresh values through the whole
+			// sample — extrapolate linearly. A plateaued column (few
+			// distinct values) keeps its sampled count.
+			d = d * live / sampled
+		}
+		if d > live {
+			d = live
+		}
+		st.Distinct[i] = d
+	}
+	return st
+}

@@ -142,6 +142,15 @@ type Relation interface {
 	// FullRowIndex returns a hash index over the entire row, building it
 	// on first use. It backs tuple-membership checks.
 	FullRowIndex() (*Index, error)
+	// Cursor returns a streaming iterator over all live rows in RowID
+	// order. Live tables serve it from their cached snapshot, so an
+	// in-flight cursor observes a consistent cut even while writers
+	// proceed.
+	Cursor() Cursor
+	// Stats returns cardinality estimates for cost-based planning: an
+	// exact live-row count plus sampled per-column distinct counts,
+	// cached per table version.
+	Stats() TableStats
 }
 
 const (
@@ -459,6 +468,15 @@ func (t *Table) Rows() []value.Tuple {
 	}
 	return out
 }
+
+// Cursor returns a streaming iterator over the live rows. It is served
+// from the table's cached snapshot: the walk needs no locking and stays
+// consistent while writers proceed (they clone sealed slabs).
+func (t *Table) Cursor() Cursor { return t.Snapshot().Cursor() }
+
+// Stats returns planner cardinality estimates, computed lazily and cached
+// per table version via the snapshot.
+func (t *Table) Stats() TableStats { return t.Snapshot().Stats() }
 
 // Snapshot returns an immutable point-in-time view of the table. Taking a
 // snapshot seals the current slabs — writers clone a sealed slab before
