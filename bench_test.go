@@ -5,7 +5,9 @@
 //	go test -bench=. -benchmem
 //
 // For the full paper-scale sweep with Markdown tables, use cmd/hippobench.
-package hippo
+// External test package: internal/bench's E16 harness imports the root
+// hippo package, so an in-package test file would form an import cycle.
+package hippo_test
 
 import (
 	"io"
@@ -91,6 +93,11 @@ func BenchmarkE14DurableWrites(b *testing.B) { runExperiment(b, "e14") }
 // planner vs the materialized pre-planner baseline (allocations via
 // -benchmem reflect both paths; the E15 table itself reports the split).
 func BenchmarkE15StreamingEval(b *testing.B) { runExperiment(b, "e15") }
+
+// BenchmarkE16ServerTier — the hippod HTTP serving tier: concurrent
+// connection sweep, 50ms-deadline enforcement on both evaluation paths,
+// and a mid-flight drain with a goroutine-leak count.
+func BenchmarkE16ServerTier(b *testing.B) { runExperiment(b, "e16") }
 
 // BenchmarkAblationPruning — prover DFS with vs without early pruning.
 func BenchmarkAblationPruning(b *testing.B) { runExperiment(b, "ablation-pruning") }

@@ -29,6 +29,7 @@
 package hippo
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -163,7 +164,15 @@ func (db *DB) Engine() *engine.DB { return db.sys.DB() }
 // as deltas and are folded into the hypergraph incrementally by the next
 // consistent query, while DDL forces a full re-detection.
 func (db *DB) Exec(sql string) (*Result, int, error) {
-	res, n, err := db.sys.DB().Exec(sql)
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec honoring ctx: an already-expired context is
+// rejected before any work is dispatched, SELECT evaluation dies within a
+// bounded number of rows of cancellation, and long INSERT/DELETE
+// statements abort between rows.
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, int, error) {
+	res, n, err := db.sys.DB().ExecContext(ctx, sql)
 	// Only writes report checkpoint health; a SELECT (non-nil result)
 	// must not report a background checkpoint failure.
 	if err == nil && res == nil {
@@ -184,7 +193,15 @@ func (db *DB) Exec(sql string) (*Result, int, error) {
 // the next consistent query folds the whole batch into the hypergraph
 // under one freeze and one view publication.
 func (db *DB) ExecBatch(sqls ...string) ([]int, error) {
-	counts, err := db.sys.DB().ExecBatch(sqls)
+	return db.ExecBatchContext(context.Background(), sqls...)
+}
+
+// ExecBatchContext is ExecBatch honoring ctx. Cancellation mid-batch
+// rolls the entire batch back (atomicity is never traded for latency: a
+// deadline aborts a batch, it cannot truncate one) and reports a
+// *BatchError wrapping the context's error.
+func (db *DB) ExecBatchContext(ctx context.Context, sqls ...string) ([]int, error) {
+	counts, err := db.sys.DB().ExecBatchContext(ctx, sqls)
 	if err == nil {
 		err = db.checkpointHealth()
 	}
@@ -195,6 +212,12 @@ func (db *DB) ExecBatch(sqls ...string) ([]int, error) {
 // inconsistency — the "plain SQL" baseline of the paper's demonstration.
 func (db *DB) Query(sql string) (*Result, error) {
 	return db.sys.DB().Query(sql)
+}
+
+// QueryContext is Query honoring ctx: evaluation aborts within a bounded
+// number of rows of cancellation or an expired deadline.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return db.sys.DB().QueryContext(ctx, sql)
 }
 
 // AddFD declares the functional dependency rel: lhs → rhs. The
@@ -318,11 +341,20 @@ func WithGlobalCertification() Option {
 // writers: each is served from an immutable snapshot-isolated query view
 // (see Snapshot for pinning one view across several queries).
 func (db *DB) ConsistentQuery(sql string, opts ...Option) (*Result, *Stats, error) {
+	return db.ConsistentQueryContext(context.Background(), sql, opts...)
+}
+
+// ConsistentQueryContext is ConsistentQuery honoring ctx: cancellation or
+// an expired deadline aborts the run — envelope evaluation stops within a
+// bounded number of rows and certification stops between candidates — on
+// both the streaming pipeline and the materialized baseline
+// (WithMaterializedEvaluation), returning the context's error.
+func (db *DB) ConsistentQueryContext(ctx context.Context, sql string, opts ...Option) (*Result, *Stats, error) {
 	var o core.Options
 	for _, f := range opts {
 		f(&o)
 	}
-	return db.sys.ConsistentQuery(sql, o)
+	return db.sys.ConsistentQueryContext(ctx, sql, o)
 }
 
 // Snap is a pinned snapshot-isolated view of the database: a consistent
@@ -340,11 +372,17 @@ func (db *DB) Snapshot() (*Snap, error) {
 // ConsistentQueryAt computes consistent answers against a pinned
 // snapshot: repeated calls see one immutable database state.
 func (db *DB) ConsistentQueryAt(sn *Snap, sql string, opts ...Option) (*Result, *Stats, error) {
+	return db.ConsistentQueryAtContext(context.Background(), sn, sql, opts...)
+}
+
+// ConsistentQueryAtContext is ConsistentQueryAt honoring ctx (see
+// ConsistentQueryContext for the cancellation contract).
+func (db *DB) ConsistentQueryAtContext(ctx context.Context, sn *Snap, sql string, opts ...Option) (*Result, *Stats, error) {
 	var o core.Options
 	for _, f := range opts {
 		f(&o)
 	}
-	return db.sys.ConsistentQueryAt(sn, sql, o)
+	return db.sys.ConsistentQueryAtContext(ctx, sn, sql, o)
 }
 
 // RewrittenQuery computes consistent answers via the query-rewriting

@@ -240,6 +240,7 @@ func RunAll(w io.Writer, sc Scale) error {
 		E13BatchPipeline,
 		E14DurableWrites,
 		E15StreamingEval,
+		E16ServerTier,
 		AblationPruning,
 		AblationDetection,
 	}
@@ -255,7 +256,7 @@ func RunAll(w io.Writer, sc Scale) error {
 	return nil
 }
 
-// Run executes a single experiment by id ("e1".."e15", "ablation-pruning",
+// Run executes a single experiment by id ("e1".."e16", "ablation-pruning",
 // "ablation-detection").
 func Run(id string, sc Scale) (Table, error) {
 	switch strings.ToLower(id) {
@@ -289,6 +290,8 @@ func Run(id string, sc Scale) (Table, error) {
 		return E14DurableWrites(sc)
 	case "e15", "streaming":
 		return E15StreamingEval(sc)
+	case "e16", "server", "serving":
+		return E16ServerTier(sc)
 	case "ablation-pruning":
 		return AblationPruning(sc)
 	case "ablation-detection":

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hippo"
+	"hippo/internal/engine"
+	"hippo/internal/hclient"
+	"hippo/internal/server"
+	"hippo/internal/workload"
+)
+
+// E16ServerTier measures the hippod serving tier end to end over real
+// HTTP connections:
+//
+//   - a connection sweep (up to the many-hundreds regime) of concurrent
+//     clients looping the standard consistent selection query, reporting
+//     throughput and latency percentiles — the serving-tier analogue of
+//     E11, with the wire, JSON, and admission layers included;
+//   - deadline enforcement: a 50ms server-side deadline against a
+//     long-running join on both evaluation paths, reporting how far past
+//     the deadline the error returns (the context-cancellation contract
+//     as a measured latency bound, not just a test assertion);
+//   - graceful drain under load: the server is drained while the top
+//     configuration's clients are mid-flight, and the row reports how
+//     many goroutines outlived the teardown (want 0).
+func E16ServerTier(sc Scale) (Table, error) {
+	n := sc.N
+	window := sc.Window
+	if window <= 0 {
+		window = 200 * time.Millisecond
+	}
+	t := Table{
+		ID: "E16",
+		Title: fmt.Sprintf("Serving tier: concurrent HTTP clients over hippod (n=%d, window=%v)",
+			n, window),
+		Header: []string{"config", "conns", "queries", "qps", "p50 ms", "p99 ms", "note"},
+		Notes: "Clients loop the E3 selection query as /v1/consistent-query requests over a shared " +
+			"HTTP transport sized to the connection count. deadline rows issue one long group-join " +
+			"consistent query with timeout_ms=50 and report the observed abort latency on each " +
+			"evaluation path. The drain row cancels in-flight queries mid-run and counts goroutines " +
+			"surviving the teardown.",
+	}
+
+	runtime.GC()
+	baseline := runtime.NumGoroutine()
+
+	// Serving sweep: the emp workload behind the full HTTP stack.
+	conns := []int{16, 128, 512}
+	for _, cn := range conns {
+		row, err := serveWindow(n, cn, window, false)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	// Deadline enforcement on a long join, both evaluation paths.
+	for _, materialized := range []bool{false, true} {
+		row, err := deadlineRow(n, materialized)
+		if err != nil {
+			return t, err
+		}
+		t.Rows = append(t.Rows, row)
+	}
+
+	// Drain under load at the top connection count, then leak check.
+	row, err := serveWindow(n, conns[len(conns)-1], window, true)
+	if err != nil {
+		return t, err
+	}
+	leaked := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		leaked = runtime.NumGoroutine() - baseline
+		if leaked <= 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if leaked < 0 {
+		leaked = 0
+	}
+	row[6] = fmt.Sprintf("%s; %d goroutines leaked", row[6], leaked)
+	t.Rows = append(t.Rows, row)
+	return t, nil
+}
+
+// newServedDB stands up the serving tier over a fresh emp instance and
+// returns a client plus the teardown.
+func newServedDB(n, maxInflight int) (*hclient.Client, func() error, error) {
+	edb := engine.New()
+	if _, err := workload.Emp(edb, workload.EmpConfig{N: n, ConflictRate: 0.02, Seed: 31}); err != nil {
+		return nil, nil, err
+	}
+	db := hippo.Wrap(edb)
+	if err := db.AddFD("emp", []string{"id"}, []string{"salary"}); err != nil {
+		return nil, nil, err
+	}
+	srv := server.New(db, server.Config{MaxInFlight: maxInflight})
+	ts := httptest.NewServer(srv)
+	hc := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        maxInflight,
+		MaxIdleConnsPerHost: maxInflight,
+	}}
+	c := hclient.New(ts.URL, hc)
+	teardown := func() error {
+		srv.Drain()
+		hc.CloseIdleConnections()
+		ts.Close()
+		return srv.Close()
+	}
+	return c, teardown, nil
+}
+
+// serveWindow runs cn closed-loop clients for the window and reports one
+// table row. With drainMidFlight, the server is drained while clients
+// are still running; cancelled requests are expected and counted.
+func serveWindow(n, cn int, window time.Duration, drainMidFlight bool) ([]string, error) {
+	c, teardown, err := newServedDB(n, 2*cn)
+	if err != nil {
+		return nil, err
+	}
+	var (
+		stop      atomic.Bool
+		mu        sync.Mutex
+		lats      []time.Duration
+		cancelled atomic.Int64
+		failed    atomic.Int64
+		wg        sync.WaitGroup
+	)
+	ctx := context.Background()
+	for i := 0; i < cn; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []time.Duration
+			for !stop.Load() {
+				t0 := time.Now()
+				_, err := c.ConsistentQuery(ctx, selectionQuery, hclient.QueryOpts{Timeout: 30 * time.Second})
+				if err != nil {
+					// During a mid-flight drain, cancellations and refusals
+					// are the expected outcome, not failures.
+					cancelled.Add(1)
+					if !drainMidFlight {
+						failed.Add(1)
+					}
+					return
+				}
+				local = append(local, time.Since(t0))
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	time.Sleep(window)
+	var terr error
+	if drainMidFlight {
+		terr = teardown() // drain first: in-flight requests die via ctx
+		stop.Store(true)
+		wg.Wait()
+	} else {
+		stop.Store(true)
+		wg.Wait()
+		terr = teardown()
+	}
+	if terr != nil {
+		return nil, terr
+	}
+	if f := failed.Load(); f > 0 {
+		return nil, fmt.Errorf("bench e16: %d requests failed outside drain", f)
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	config := "serve"
+	note := "-"
+	if drainMidFlight {
+		config = "drain"
+		note = fmt.Sprintf("drained mid-flight; %d requests cancelled cleanly", cancelled.Load())
+	}
+	return []string{
+		config, fmt.Sprint(cn), fmt.Sprint(len(lats)),
+		fmt.Sprintf("%.0f", float64(len(lats))/window.Seconds()),
+		ms(pct(0.50)), ms(pct(0.99)), note,
+	}, nil
+}
+
+// deadlineRow issues one long-running consistent join query with a 50ms
+// server-side deadline and reports the observed abort latency.
+func deadlineRow(n int, materialized bool) ([]string, error) {
+	edb := engine.New()
+	var rows []string
+	for i := 0; i < n; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d)", i, i%4))
+	}
+	for _, q := range []string{
+		"CREATE TABLE a (id INT, grp INT)",
+		"CREATE TABLE b (id INT, grp INT)",
+		"INSERT INTO a VALUES " + strings.Join(rows, ", "),
+		"INSERT INTO b VALUES " + strings.Join(rows, ", "),
+	} {
+		if _, _, err := edb.Exec(q); err != nil {
+			return nil, err
+		}
+	}
+	db := hippo.Wrap(edb)
+	if err := db.AddFD("a", []string{"id"}, []string{"grp"}); err != nil {
+		return nil, err
+	}
+	srv := server.New(db, server.Config{})
+	ts := httptest.NewServer(srv)
+	defer func() { ts.Close(); srv.Close() }()
+	c := hclient.New(ts.URL, ts.Client())
+
+	const deadline = 50 * time.Millisecond
+	t0 := time.Now()
+	_, err := c.ConsistentQuery(context.Background(),
+		"SELECT * FROM a, b WHERE a.grp = b.grp",
+		hclient.QueryOpts{Timeout: deadline, Materialized: materialized})
+	elapsed := time.Since(t0)
+	if err == nil {
+		return nil, fmt.Errorf("bench e16: deadline query completed (grow n beyond %d)", n)
+	}
+	if !errors.Is(err, hclient.ErrDeadline) {
+		return nil, fmt.Errorf("bench e16: deadline query failed with %v, want deadline", err)
+	}
+	config := "deadline-streamed"
+	if materialized {
+		config = "deadline-materialized"
+	}
+	return []string{
+		config, "1", "1", "-", "-", ms(elapsed),
+		fmt.Sprintf("50ms deadline honored in %.2fx", float64(elapsed)/float64(deadline)),
+	}, nil
+}

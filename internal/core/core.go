@@ -26,6 +26,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -720,6 +721,12 @@ func (sn *Snapshot) Close() {
 // snapshot: repeated calls observe the same database state regardless of
 // concurrent writers.
 func (s *System) ConsistentQueryAt(sn *Snapshot, sql string, opts Options) (*engine.Result, *Stats, error) {
+	return s.ConsistentQueryAtContext(context.Background(), sn, sql, opts)
+}
+
+// ConsistentQueryAtContext is ConsistentQueryAt under ctx (see
+// ConsistentQueryContext for the cancellation contract).
+func (s *System) ConsistentQueryAtContext(ctx context.Context, sn *Snapshot, sql string, opts Options) (*engine.Result, *Stats, error) {
 	q, err := sqlparse.ParseQuery(sql)
 	if err != nil {
 		return nil, nil, err
@@ -729,11 +736,20 @@ func (s *System) ConsistentQueryAt(sn *Snapshot, sql string, opts Options) (*eng
 		return nil, nil, err
 	}
 	// The plan is already bound to the pinned snapshot — no rebind.
-	return s.runQueryViewBound(sn.v, plan, opts)
+	return s.runQueryViewBound(ctx, sn.v, plan, opts)
 }
 
 // ConsistentQuery computes the consistent answers to an SJUD SQL query.
 func (s *System) ConsistentQuery(sql string, opts Options) (*engine.Result, *Stats, error) {
+	return s.ConsistentQueryContext(context.Background(), sql, opts)
+}
+
+// ConsistentQueryContext is ConsistentQuery honoring ctx: cancellation or
+// an expired deadline aborts the run — envelope evaluation stops within a
+// bounded number of rows and certification workers stop between
+// candidates — on both the streaming pipeline and the materialized
+// baseline, returning the context's error.
+func (s *System) ConsistentQueryContext(ctx context.Context, sql string, opts Options) (*engine.Result, *Stats, error) {
 	q, err := sqlparse.ParseQuery(sql)
 	if err != nil {
 		return nil, nil, err
@@ -742,7 +758,7 @@ func (s *System) ConsistentQuery(sql string, opts Options) (*engine.Result, *Sta
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.ConsistentQueryPlan(plan, opts)
+	return s.ConsistentQueryPlanContext(ctx, plan, opts)
 }
 
 // ConsistentQueryPlan computes consistent answers for an already-planned
@@ -753,6 +769,12 @@ func (s *System) ConsistentQuery(sql string, opts Options) (*engine.Result, *Sta
 // rebound to the query view's snapshot, so evaluation and certification
 // see one consistent cut even while writers are active.
 func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result, *Stats, error) {
+	return s.ConsistentQueryPlanContext(context.Background(), plan, opts)
+}
+
+// ConsistentQueryPlanContext is ConsistentQueryPlan under ctx (see
+// ConsistentQueryContext).
+func (s *System) ConsistentQueryPlanContext(ctx context.Context, plan ra.Node, opts Options) (*engine.Result, *Stats, error) {
 	if opts.Serialized {
 		s.mu.Lock()
 		v, err := s.refreshViewLocked()
@@ -762,29 +784,29 @@ func (s *System) ConsistentQueryPlan(plan ra.Node, opts Options) (*engine.Result
 		}
 		s.mu.RLock()
 		defer s.mu.RUnlock()
-		return s.runQueryView(v, plan, opts)
+		return s.runQueryView(ctx, v, plan, opts)
 	}
 	v, err := s.currentView()
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.runQueryView(v, plan, opts)
+	return s.runQueryView(ctx, v, plan, opts)
 }
 
 // runQueryView rebinds the plan's base-relation accesses onto the view's
 // snapshot, then executes it.
-func (s *System) runQueryView(v *queryView, plan ra.Node, opts Options) (*engine.Result, *Stats, error) {
+func (s *System) runQueryView(ctx context.Context, v *queryView, plan ra.Node, opts Options) (*engine.Result, *Stats, error) {
 	plan, err := engine.Rebind(plan, v.snap)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.runQueryViewBound(v, plan, opts)
+	return s.runQueryViewBound(ctx, v, plan, opts)
 }
 
 // runQueryViewBound executes the envelope/evaluate/certify pipeline
 // against an immutable query view; the plan must already be bound to the
 // view's snapshot. It takes no locks.
-func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*engine.Result, *Stats, error) {
+func (s *System) runQueryViewBound(ctx context.Context, v *queryView, plan ra.Node, opts Options) (*engine.Result, *Stats, error) {
 	// Peel trailing Sort/Limit decorators (outermost first).
 	var decorators []func(ra.Node) ra.Node
 	for {
@@ -827,9 +849,9 @@ func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*e
 	// opts.Materialized keeps the legacy evaluate-then-certify pipeline.
 	var answers *engine.Result
 	if opts.Materialized {
-		answers, err = s.certifyMaterialized(v, plan, env, opts, stats)
+		answers, err = s.certifyMaterialized(ctx, v, plan, env, opts, stats)
 	} else {
-		answers, err = s.certifyStreaming(v, plan, env, opts, stats)
+		answers, err = s.certifyStreaming(ctx, v, plan, env, opts, stats)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -843,7 +865,7 @@ func (s *System) runQueryViewBound(v *queryView, plan ra.Node, opts Options) (*e
 		for i := len(decorators) - 1; i >= 0; i-- {
 			node = decorators[i](node)
 		}
-		rows, err := ra.Materialize(context.Background(), node)
+		rows, err := ra.Materialize(ctx, node)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -915,9 +937,11 @@ func (s *System) certifyOne(p *prover.Prover, cfg certConfig, v *queryView, plan
 // envelope is fully materialized (with access-path selection only — the
 // pre-planner evaluation strategy), then certification fans out over the
 // candidate slice. Kept as the opt-out baseline of the E15 experiment.
-func (s *System) certifyMaterialized(v *queryView, plan, env ra.Node, opts Options, stats *Stats) (*engine.Result, error) {
+// The caller's ctx aborts both stages: the envelope scan dies inside
+// Materialize, and certification workers stop between candidates.
+func (s *System) certifyMaterialized(ctx context.Context, v *queryView, plan, env ra.Node, opts Options, stats *Stats) (*engine.Result, error) {
 	t0 := time.Now()
-	candidates, err := v.snap.RunPlanLegacy(env)
+	candidates, err := v.snap.RunPlanLegacyContext(ctx, env)
 	if err != nil {
 		return nil, err
 	}
@@ -960,6 +984,11 @@ func (s *System) certifyMaterialized(v *queryView, plan, env ra.Node, opts Optio
 		go func(w int, p *prover.Prover) {
 			defer wg.Done()
 			for !failed.Load() {
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= len(candidates.Rows) {
 					return
@@ -977,10 +1006,8 @@ func (s *System) certifyMaterialized(v *queryView, plan, env ra.Node, opts Optio
 	wg.Wait()
 	stats.CacheHits = cacheHits.Load()
 	stats.CacheMisses = cacheMisses.Load()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	if err := firstCertErr(nil, errs); err != nil {
+		return nil, err
 	}
 	answers := &engine.Result{Schema: plan.Schema()}
 	for i, cand := range candidates.Rows {
@@ -995,6 +1022,27 @@ func (s *System) certifyMaterialized(v *queryView, plan, env ra.Node, opts Optio
 	return answers, nil
 }
 
+// firstCertErr selects the error a certification run reports, from the
+// evaluation error plus the per-worker errors. A non-cancellation failure
+// wins: a worker error cancels the shared context, so cancellation echoes
+// from the other workers may coexist with the root cause. When only the
+// caller's own cancellation fired, that context error is what comes back.
+func firstCertErr(evalErr error, errs []error) error {
+	var first error
+	for _, err := range append([]error{evalErr}, errs...) {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // candItem is one candidate flowing through the streaming pipeline. The
 // producer allocates it, exactly one worker writes keep, and the producer
 // goroutine reads it after the workers are joined.
@@ -1007,9 +1055,11 @@ type candItem struct {
 // as a pull iterator and certifies candidates as they are produced: the
 // envelope evaluation and the prover overlap instead of running in
 // sequence, and the candidate set is never the only thing the run holds
-// materialized. Worker errors cancel the iterator tree via context;
+// materialized. Worker errors cancel the iterator tree via context, and
+// the pipeline's context descends from the caller's, so an outside
+// deadline or cancellation kills evaluation and certification together;
 // answers keep candidate production order, matching the sequential run.
-func (s *System) certifyStreaming(v *queryView, plan, env ra.Node, opts Options, stats *Stats) (*engine.Result, error) {
+func (s *System) certifyStreaming(ctx context.Context, v *queryView, plan, env ra.Node, opts Options, stats *Stats) (*engine.Result, error) {
 	t0 := time.Now()
 	cfg := s.certConfig(v, opts, stats)
 	phys := engine.Optimize(env)
@@ -1017,7 +1067,7 @@ func (s *System) certifyStreaming(v *queryView, plan, env ra.Node, opts Options,
 	stats.Streamed = true
 
 	es := &ra.ExecStats{}
-	ctx, cancel := context.WithCancel(context.Background())
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	ctx = ra.WithExecStats(ctx, es)
 
@@ -1041,6 +1091,11 @@ func (s *System) certifyStreaming(v *queryView, plan, env ra.Node, opts Options,
 			for item := range queue {
 				if failed.Load() {
 					continue // drain so the producer never blocks
+				}
+				if err := ctx.Err(); err != nil {
+					errs[w] = err
+					failed.Store(true)
+					continue
 				}
 				ok, err := s.certifyOne(p, cfg, v, plan, item.row, &cacheHits, &cacheMisses)
 				if err != nil {
@@ -1084,13 +1139,8 @@ func (s *System) certifyStreaming(v *queryView, plan, env ra.Node, opts Options,
 	stats.CacheMisses = cacheMisses.Load()
 	stats.Candidates = len(items)
 	stats.PeakIntermediate = es.PeakIntermediate()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	if evalErr != nil {
-		return nil, evalErr
+	if err := firstCertErr(evalErr, errs); err != nil {
+		return nil, err
 	}
 	answers := &engine.Result{Schema: plan.Schema()}
 	for _, item := range items {

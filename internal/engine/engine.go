@@ -201,15 +201,33 @@ func (r *Result) Columns() []string {
 // and affected = number of rows returned; for DML, affected counts changed
 // rows and the result is nil.
 func (db *DB) Exec(sql string) (*Result, int, error) {
+	return db.ExecContext(context.Background(), sql)
+}
+
+// ExecContext is Exec honoring ctx: an expired context is reported before
+// any work is dispatched, SELECT evaluation is cancellable row by row, and
+// long INSERT/DELETE statements abort between rows (a statement that
+// already mutated rows when the context fires still completes or fails as
+// a whole — per-statement atomicity is not affected).
+func (db *DB) ExecContext(ctx context.Context, sql string) (*Result, int, error) {
 	st, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, 0, err
 	}
-	return db.ExecStmt(st)
+	return db.ExecStmtContext(ctx, st)
 }
 
 // ExecStmt executes a parsed statement.
 func (db *DB) ExecStmt(st sqlparse.Statement) (*Result, int, error) {
+	return db.ExecStmtContext(context.Background(), st)
+}
+
+// ExecStmtContext executes a parsed statement under ctx (see ExecContext
+// for the cancellation contract).
+func (db *DB) ExecStmtContext(ctx context.Context, st sqlparse.Statement) (*Result, int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
 	switch s := st.(type) {
 	case *sqlparse.CreateTable:
 		cols := make([]schema.Column, len(s.Columns))
@@ -272,13 +290,13 @@ func (db *DB) ExecStmt(st sqlparse.Statement) (*Result, int, error) {
 		db.notifySchema("drop table " + key)
 		return nil, 0, nil
 	case *sqlparse.Insert:
-		n, err := db.execInsert(s)
+		n, err := db.execInsert(ctx, s)
 		return nil, n, err
 	case *sqlparse.Delete:
-		n, err := db.execDelete(s)
+		n, err := db.execDelete(ctx, s)
 		return nil, n, err
 	case *sqlparse.Query:
-		res, err := db.RunQuery(s)
+		res, err := db.RunQueryContext(ctx, s)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -290,20 +308,31 @@ func (db *DB) ExecStmt(st sqlparse.Statement) (*Result, int, error) {
 
 // Query parses and executes a SELECT.
 func (db *DB) Query(sql string) (*Result, error) {
+	return db.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under ctx: evaluation aborts within a bounded
+// number of rows once the context is cancelled or its deadline passes.
+func (db *DB) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	q, err := sqlparse.ParseQuery(sql)
 	if err != nil {
 		return nil, err
 	}
-	return db.RunQuery(q)
+	return db.RunQueryContext(ctx, q)
 }
 
 // RunQuery plans and executes a parsed query.
 func (db *DB) RunQuery(q *sqlparse.Query) (*Result, error) {
+	return db.RunQueryContext(context.Background(), q)
+}
+
+// RunQueryContext plans and executes a parsed query under ctx.
+func (db *DB) RunQueryContext(ctx context.Context, q *sqlparse.Query) (*Result, error) {
 	plan, err := db.PlanQuery(q)
 	if err != nil {
 		return nil, err
 	}
-	return db.RunPlan(plan)
+	return db.RunPlanContext(ctx, plan)
 }
 
 // RunPlan executes a relational algebra plan and materializes the result.
@@ -311,8 +340,14 @@ func (db *DB) RunQuery(q *sqlparse.Query) (*Result, error) {
 // access-path selection — is applied as a rewrite here, so logical plans
 // handed to the CQA pipeline stay within the SJUD operator set.
 func (db *DB) RunPlan(plan ra.Node) (*Result, error) {
+	return db.RunPlanContext(context.Background(), plan)
+}
+
+// RunPlanContext is RunPlan under ctx; leaf iterators observe
+// cancellation within a bounded number of rows.
+func (db *DB) RunPlanContext(ctx context.Context, plan ra.Node) (*Result, error) {
 	db.queries.Add(1)
-	rows, err := ra.Materialize(context.Background(), optimize(plan))
+	rows, err := ra.Materialize(ctx, optimize(plan))
 	if err != nil {
 		return nil, err
 	}
@@ -332,22 +367,24 @@ func (db *DB) RunPlanRaw(plan ra.Node) (*Result, error) {
 	return &Result{Schema: plan.Schema(), Rows: rows}, nil
 }
 
-func (db *DB) execInsert(s *sqlparse.Insert) (int, error) {
+func (db *DB) execInsert(ctx context.Context, s *sqlparse.Insert) (int, error) {
 	db.wseq.Lock()
 	defer db.wseq.Unlock()
 	if db.clog == nil {
-		return db.execInsertFrozen(s, nil)
+		return db.execInsertFrozen(ctx, s, nil)
 	}
 	return db.execLogged(func(feed *[]storage.TableChange) (int, error) {
-		return db.execInsertFrozen(s, feed)
+		return db.execInsertFrozen(ctx, s, feed)
 	})
 }
 
 // execInsertFrozen applies an INSERT while the caller holds the write
 // sequencer. With feed == nil, change events are delivered to listeners
 // immediately (statement-at-a-time mode); otherwise they are captured into
-// feed for the batch path to coalesce, deliver, or roll back.
-func (db *DB) execInsertFrozen(s *sqlparse.Insert, feed *[]storage.TableChange) (int, error) {
+// feed for the batch path to coalesce, deliver, or roll back. A cancelled
+// ctx stops the statement between rows; the rows already inserted stand
+// (single statements are not rolled back — batches are, by ApplyBatch).
+func (db *DB) execInsertFrozen(ctx context.Context, s *sqlparse.Insert, feed *[]storage.TableChange) (int, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return 0, err
@@ -370,6 +407,11 @@ func (db *DB) execInsertFrozen(s *sqlparse.Insert, feed *[]storage.TableChange) 
 	}
 	inserted := 0
 	for _, rowExprs := range s.Rows {
+		if inserted%cancelCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return inserted, err
+			}
+		}
 		if len(rowExprs) != len(positions) {
 			return inserted, fmt.Errorf("engine: INSERT expects %d values, got %d",
 				len(positions), len(rowExprs))
@@ -402,20 +444,26 @@ func (db *DB) execInsertFrozen(s *sqlparse.Insert, feed *[]storage.TableChange) 
 	return inserted, nil
 }
 
-func (db *DB) execDelete(s *sqlparse.Delete) (int, error) {
+func (db *DB) execDelete(ctx context.Context, s *sqlparse.Delete) (int, error) {
 	db.wseq.Lock()
 	defer db.wseq.Unlock()
 	if db.clog == nil {
-		return db.execDeleteFrozen(s, nil)
+		return db.execDeleteFrozen(ctx, s, nil)
 	}
 	return db.execLogged(func(feed *[]storage.TableChange) (int, error) {
-		return db.execDeleteFrozen(s, feed)
+		return db.execDeleteFrozen(ctx, s, feed)
 	})
 }
 
+// cancelCheckRows is how many rows a DML loop processes between context
+// checks (mirroring ra's leaf-iterator cadence).
+const cancelCheckRows = 256
+
 // execDeleteFrozen applies a DELETE while the caller holds the write
-// sequencer; see execInsertFrozen for the feed contract.
-func (db *DB) execDeleteFrozen(s *sqlparse.Delete, feed *[]storage.TableChange) (int, error) {
+// sequencer; see execInsertFrozen for the feed and cancellation contract
+// (the predicate scan aborts on a cancelled ctx before any row is
+// deleted; the delete loop aborts between rows).
+func (db *DB) execDeleteFrozen(ctx context.Context, s *sqlparse.Delete, feed *[]storage.TableChange) (int, error) {
 	t, err := db.Table(s.Table)
 	if err != nil {
 		return 0, err
@@ -428,7 +476,14 @@ func (db *DB) execDeleteFrozen(s *sqlparse.Delete, feed *[]storage.TableChange) 
 		}
 	}
 	var doomed []storage.RowID
+	scanned := 0
 	err = t.Scan(func(id storage.RowID, row value.Tuple) error {
+		if scanned%cancelCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		scanned++
 		if pred == nil {
 			doomed = append(doomed, id)
 			return nil
@@ -446,6 +501,11 @@ func (db *DB) execDeleteFrozen(s *sqlparse.Delete, feed *[]storage.TableChange) 
 		return 0, err
 	}
 	for i, id := range doomed {
+		if i%cancelCheckRows == 0 {
+			if err := ctx.Err(); err != nil {
+				return i, err
+			}
+		}
 		if feed == nil {
 			if err := t.Delete(id); err != nil {
 				return i, err
@@ -492,6 +552,14 @@ func (e *BatchError) Unwrap() error { return e.Err }
 // returned *BatchError names the failing statement. On success the
 // per-statement affected-row counts are returned.
 func (db *DB) ApplyBatch(stmts []sqlparse.Statement) ([]int, error) {
+	return db.ApplyBatchContext(context.Background(), stmts)
+}
+
+// ApplyBatchContext is ApplyBatch under ctx. Cancellation is observed
+// between (and within) statements and rolls the entire batch back through
+// the normal failure path, so atomicity holds: a deadline can abort a
+// batch, never truncate one.
+func (db *DB) ApplyBatchContext(ctx context.Context, stmts []sqlparse.Statement) ([]int, error) {
 	for i, st := range stmts {
 		switch st.(type) {
 		case *sqlparse.Insert, *sqlparse.Delete:
@@ -506,12 +574,14 @@ func (db *DB) ApplyBatch(stmts []sqlparse.Statement) ([]int, error) {
 	affected := make([]int, len(stmts))
 	for i, st := range stmts {
 		var n int
-		var err error
-		switch s := st.(type) {
-		case *sqlparse.Insert:
-			n, err = db.execInsertFrozen(s, &feed)
-		case *sqlparse.Delete:
-			n, err = db.execDeleteFrozen(s, &feed)
+		err := ctx.Err()
+		if err == nil {
+			switch s := st.(type) {
+			case *sqlparse.Insert:
+				n, err = db.execInsertFrozen(ctx, s, &feed)
+			case *sqlparse.Delete:
+				n, err = db.execDeleteFrozen(ctx, s, &feed)
+			}
 		}
 		if err != nil {
 			if rbErr := db.rollbackFrozen(feed); rbErr != nil {
@@ -539,6 +609,11 @@ func (db *DB) ApplyBatch(stmts []sqlparse.Statement) ([]int, error) {
 // ExecBatch parses sqls and applies them with ApplyBatch. A parse error
 // aborts before anything runs.
 func (db *DB) ExecBatch(sqls []string) ([]int, error) {
+	return db.ExecBatchContext(context.Background(), sqls)
+}
+
+// ExecBatchContext is ExecBatch under ctx (see ApplyBatchContext).
+func (db *DB) ExecBatchContext(ctx context.Context, sqls []string) ([]int, error) {
 	stmts := make([]sqlparse.Statement, len(sqls))
 	for i, q := range sqls {
 		st, err := sqlparse.Parse(q)
@@ -547,7 +622,7 @@ func (db *DB) ExecBatch(sqls []string) ([]int, error) {
 		}
 		stmts[i] = st
 	}
-	return db.ApplyBatch(stmts)
+	return db.ApplyBatchContext(ctx, stmts)
 }
 
 // rollbackFrozen undoes captured (never delivered) changes in reverse

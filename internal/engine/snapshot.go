@@ -81,8 +81,14 @@ func (s *Snapshot) PlanQuery(q *sqlparse.Query) (ra.Node, error) {
 // access paths) and materializes the result, counting the execution on
 // the parent database.
 func (s *Snapshot) RunPlan(plan ra.Node) (*Result, error) {
+	return s.RunPlanContext(context.Background(), plan)
+}
+
+// RunPlanContext is RunPlan under ctx: evaluation aborts within a bounded
+// number of rows of the context being cancelled or its deadline passing.
+func (s *Snapshot) RunPlanContext(ctx context.Context, plan ra.Node) (*Result, error) {
 	s.db.queries.Add(1)
-	rows, err := ra.Materialize(context.Background(), optimize(plan))
+	rows, err := ra.Materialize(ctx, optimize(plan))
 	if err != nil {
 		return nil, err
 	}
@@ -94,8 +100,15 @@ func (s *Snapshot) RunPlan(plan ra.Node) (*Result, error) {
 // opt-out baseline for comparison and for callers that need the written
 // join order verbatim.
 func (s *Snapshot) RunPlanLegacy(plan ra.Node) (*Result, error) {
+	return s.RunPlanLegacyContext(context.Background(), plan)
+}
+
+// RunPlanLegacyContext is RunPlanLegacy under ctx. The materialized
+// consistent-query path runs envelopes through it, so a deadline kills a
+// materialized evaluation exactly as it kills a streamed one.
+func (s *Snapshot) RunPlanLegacyContext(ctx context.Context, plan ra.Node) (*Result, error) {
 	s.db.queries.Add(1)
-	rows, err := ra.Materialize(context.Background(), accessPaths(plan))
+	rows, err := ra.Materialize(ctx, accessPaths(plan))
 	if err != nil {
 		return nil, err
 	}
@@ -104,8 +117,13 @@ func (s *Snapshot) RunPlanLegacy(plan ra.Node) (*Result, error) {
 
 // RunPlanRaw executes a plan without any optimization (see DB.RunPlanRaw).
 func (s *Snapshot) RunPlanRaw(plan ra.Node) (*Result, error) {
+	return s.RunPlanRawContext(context.Background(), plan)
+}
+
+// RunPlanRawContext is RunPlanRaw under ctx.
+func (s *Snapshot) RunPlanRawContext(ctx context.Context, plan ra.Node) (*Result, error) {
 	s.db.queries.Add(1)
-	rows, err := ra.Materialize(context.Background(), plan)
+	rows, err := ra.Materialize(ctx, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -125,6 +143,11 @@ func (s *Snapshot) OpenPlan(ctx context.Context, phys ra.Node) (ra.Iterator, err
 
 // Query parses, plans, and executes a SELECT against the snapshot.
 func (s *Snapshot) Query(sql string) (*Result, error) {
+	return s.QueryContext(context.Background(), sql)
+}
+
+// QueryContext is Query under ctx (see RunPlanContext).
+func (s *Snapshot) QueryContext(ctx context.Context, sql string) (*Result, error) {
 	q, err := sqlparse.ParseQuery(sql)
 	if err != nil {
 		return nil, err
@@ -133,7 +156,7 @@ func (s *Snapshot) Query(sql string) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.RunPlan(plan)
+	return s.RunPlanContext(ctx, plan)
 }
 
 // NumSlabs returns the total number of row slabs the snapshot references.

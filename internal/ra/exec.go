@@ -73,6 +73,24 @@ func StatsFrom(ctx context.Context) *ExecStats {
 // promptly, cheap enough to vanish in the per-row cost.
 const cancelCheckInterval = 256
 
+// cancelCheck rations context checks to one per cancelCheckInterval
+// calls. Leaf iterators check ctx as they pull storage rows, but join and
+// product iterators can emit thousands of output rows from buffered
+// matches per leaf pull — embedding one of these in their Next bounds how
+// far a cancelled plan can run past its deadline by output rows too, not
+// just input rows.
+type cancelCheck struct {
+	ctx context.Context
+	n   int
+}
+
+func (c *cancelCheck) err() error {
+	if c.n++; c.n%cancelCheckInterval != 0 {
+		return nil
+	}
+	return c.ctx.Err()
+}
+
 // materializeNoted drains a node like Materialize and reports the held
 // row count to the context's ExecStats — the shared path for every
 // blocking operator's build side.

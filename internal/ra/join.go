@@ -91,7 +91,7 @@ func (j *Join) Open(ctx context.Context) (Iterator, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &nestedJoinIter{left: lit, right: right, pred: j.Pred}, nil
+		return &nestedJoinIter{left: lit, right: right, pred: j.Pred, cc: cancelCheck{ctx: ctx}}, nil
 	}
 	buildLeft := false
 	if el, er := EstimateCard(j.L), EstimateCard(j.R); el >= 0 && er >= 0 && el < er {
@@ -112,6 +112,7 @@ func (j *Join) Open(ctx context.Context) (Iterator, error) {
 			probeCols: rc,
 			residual:  residual,
 			buildLeft: true,
+			cc:        cancelCheck{ctx: ctx},
 		}, nil
 	}
 	build, err := materializeNoted(ctx, j.R)
@@ -127,6 +128,7 @@ func (j *Join) Open(ctx context.Context) (Iterator, error) {
 		table:     hashPartition(build, rc),
 		probeCols: lc,
 		residual:  residual,
+		cc:        cancelCheck{ctx: ctx},
 	}, nil
 }
 
@@ -137,6 +139,7 @@ type nestedJoinIter struct {
 	cur     value.Tuple
 	haveCur bool
 	ri      int
+	cc      cancelCheck
 }
 
 func (it *nestedJoinIter) Next() (value.Tuple, bool, error) {
@@ -149,6 +152,9 @@ func (it *nestedJoinIter) Next() (value.Tuple, bool, error) {
 			it.cur, it.haveCur, it.ri = row, true, 0
 		}
 		for it.ri < len(it.right) {
+			if err := it.cc.err(); err != nil {
+				return nil, false, err
+			}
 			out := value.Concat(it.cur, it.right[it.ri])
 			it.ri++
 			pass, err := EvalPredicate(it.pred, out)
@@ -177,11 +183,15 @@ type hashJoinIter struct {
 	cur       value.Tuple
 	matches   []value.Tuple
 	mi        int
+	cc        cancelCheck
 }
 
 func (it *hashJoinIter) Next() (value.Tuple, bool, error) {
 	for {
 		for it.mi < len(it.matches) {
+			if err := it.cc.err(); err != nil {
+				return nil, false, err
+			}
 			var out value.Tuple
 			if it.buildLeft {
 				out = value.Concat(it.matches[it.mi], it.cur)

@@ -306,7 +306,7 @@ func (p *Product) Open(ctx context.Context) (Iterator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &productIter{left: lit, right: right}, nil
+	return &productIter{left: lit, right: right, cc: cancelCheck{ctx: ctx}}, nil
 }
 
 // Children returns both inputs.
@@ -320,9 +320,13 @@ type productIter struct {
 	cur     value.Tuple
 	haveCur bool
 	ri      int
+	cc      cancelCheck
 }
 
 func (p *productIter) Next() (value.Tuple, bool, error) {
+	if err := p.cc.err(); err != nil {
+		return nil, false, err
+	}
 	for {
 		if !p.haveCur {
 			row, ok, err := p.left.Next()

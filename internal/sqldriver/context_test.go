@@ -1,0 +1,100 @@
+package sqldriver
+
+import (
+	"context"
+	"database/sql"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bigJoinDB registers an engine whose self-join is expensive enough that
+// deadline tests abort it mid-flight rather than racing completion.
+func bigJoinDB(t *testing.T, name string, n int) *sql.DB {
+	t.Helper()
+	_, db := openTestDB(t, name)
+	if _, err := db.Exec("CREATE TABLE j (id INT, grp INT)"); err != nil {
+		t.Fatal(err)
+	}
+	var rows []string
+	for i := 0; i < n; i++ {
+		rows = append(rows, fmt.Sprintf("(%d, %d)", i, i%4))
+	}
+	if _, err := db.Exec("INSERT INTO j VALUES " + strings.Join(rows, ", ")); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// An already-cancelled context fails before any engine dispatch, on
+// every context entry point the driver exposes.
+func TestAlreadyCancelledContext(t *testing.T) {
+	db := bigJoinDB(t, "ctx1", 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := db.QueryContext(ctx, "SELECT * FROM j"); !errors.Is(err, context.Canceled) {
+		t.Errorf("QueryContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := db.ExecContext(ctx, "INSERT INTO j VALUES (99, 0)"); !errors.Is(err, context.Canceled) {
+		t.Errorf("ExecContext: err = %v, want context.Canceled", err)
+	}
+	st, err := db.Prepare("SELECT * FROM j WHERE id = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if _, err := st.QueryContext(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("StmtQueryContext: err = %v, want context.Canceled", err)
+	}
+	if _, err := st.ExecContext(ctx, 1); !errors.Is(err, context.Canceled) {
+		t.Errorf("StmtExecContext: err = %v, want context.Canceled", err)
+	}
+
+	// The cancelled statement dispatched nothing: the table is unchanged.
+	var n int64
+	rows, err := db.Query("SELECT id FROM j WHERE id = 99")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	if n != 0 {
+		t.Errorf("cancelled ExecContext inserted %d rows, want 0", n)
+	}
+}
+
+// A deadline expiring mid-query aborts the engine's row loops: the error
+// comes back as context.DeadlineExceeded well before the query would
+// have finished, proving the ctx reaches past the driver shim.
+func TestQueryContextDeadline(t *testing.T) {
+	db := bigJoinDB(t, "ctx2", 4000)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	rows, err := db.QueryContext(ctx, "SELECT * FROM j AS a, j AS b WHERE a.grp = b.grp")
+	if err == nil {
+		rows.Close()
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(t0); elapsed > time.Second {
+		t.Fatalf("deadline enforcement took %v", elapsed)
+	}
+}
+
+// Named arguments are rejected: the dialect only has ordinal '?'
+// placeholders, and silently misbinding them would corrupt queries.
+func TestNamedArgsRejected(t *testing.T) {
+	db := bigJoinDB(t, "ctx3", 4)
+	_, err := db.QueryContext(context.Background(),
+		"SELECT * FROM j WHERE id = ?", sql.Named("id", 1))
+	if err == nil || !strings.Contains(err.Error(), "named argument") {
+		t.Fatalf("err = %v, want named-argument rejection", err)
+	}
+}

@@ -5,6 +5,7 @@
 package sqldriver
 
 import (
+	"context"
 	"database/sql"
 	"database/sql/driver"
 	"fmt"
@@ -58,6 +59,17 @@ func (d *Driver) Open(name string) (driver.Conn, error) {
 
 type conn struct{ db *engine.DB }
 
+// The connection and statement speak the context-aware driver
+// interfaces, so database/sql never falls back to its goroutine-based
+// cancellation shim: the context reaches the engine's own row loops.
+var (
+	_ driver.ConnPrepareContext = (*conn)(nil)
+	_ driver.ExecerContext      = (*conn)(nil)
+	_ driver.QueryerContext     = (*conn)(nil)
+	_ driver.StmtExecContext    = (*stmt)(nil)
+	_ driver.StmtQueryContext   = (*stmt)(nil)
+)
+
 // Prepare returns a statement. '?' placeholders are bound at Exec/Query
 // time (the engine dialect has no placeholder token, so binding renders
 // literals at this layer).
@@ -65,8 +77,75 @@ func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	return &stmt{db: c.db, sql: query}, nil
 }
 
+// PrepareContext returns a statement. The context covers preparation
+// only (which is immediate here), per the driver contract; execution
+// contexts arrive through the Stmt*Context methods.
+func (c *conn) PrepareContext(ctx context.Context, query string) (driver.Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return &stmt{db: c.db, sql: query}, nil
+}
+
+// ExecContext runs a statement without a prepared-statement round trip,
+// honoring ctx: an already-expired context fails before dispatch, and a
+// deadline or cancellation aborts the engine's row loops mid-flight.
+func (c *conn) ExecContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Result, error) {
+	vals, err := ordinalArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sql, err := bindPlaceholders(query, vals)
+	if err != nil {
+		return nil, err
+	}
+	_, n, err := c.db.ExecContext(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	return result{rows: int64(n)}, nil
+}
+
+// QueryContext runs a SELECT without a prepared-statement round trip,
+// honoring ctx like ExecContext.
+func (c *conn) QueryContext(ctx context.Context, query string, args []driver.NamedValue) (driver.Rows, error) {
+	vals, err := ordinalArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sql, err := bindPlaceholders(query, vals)
+	if err != nil {
+		return nil, err
+	}
+	res, err := c.db.QueryContext(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
 // Close releases the connection (a no-op for the in-process engine).
 func (c *conn) Close() error { return nil }
+
+// ordinalArgs converts named driver values to positional ones. The
+// engine dialect only has ordinal '?' placeholders, so named arguments
+// are rejected rather than silently misbound.
+func ordinalArgs(args []driver.NamedValue) ([]driver.Value, error) {
+	vals := make([]driver.Value, len(args))
+	for i, a := range args {
+		if a.Name != "" {
+			return nil, fmt.Errorf("sqldriver: named argument %q is not supported (use ordinal '?' placeholders)", a.Name)
+		}
+		vals[i] = a.Value
+	}
+	return vals, nil
+}
 
 // Begin starts a transaction. The engine is auto-commit only; the returned
 // transaction is a no-op wrapper so database/sql helpers keep working.
@@ -111,6 +190,47 @@ func (s *stmt) Query(args []driver.Value) (driver.Rows, error) {
 		return nil, err
 	}
 	res, err := s.db.Query(sql)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{res: res}, nil
+}
+
+// ExecContext runs the prepared statement under ctx: checked before
+// dispatch and threaded into the engine's execution loops.
+func (s *stmt) ExecContext(ctx context.Context, args []driver.NamedValue) (driver.Result, error) {
+	vals, err := ordinalArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sql, err := bindPlaceholders(s.sql, vals)
+	if err != nil {
+		return nil, err
+	}
+	_, n, err := s.db.ExecContext(ctx, sql)
+	if err != nil {
+		return nil, err
+	}
+	return result{rows: int64(n)}, nil
+}
+
+// QueryContext runs the prepared SELECT under ctx, like ExecContext.
+func (s *stmt) QueryContext(ctx context.Context, args []driver.NamedValue) (driver.Rows, error) {
+	vals, err := ordinalArgs(args)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	sql, err := bindPlaceholders(s.sql, vals)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.db.QueryContext(ctx, sql)
 	if err != nil {
 		return nil, err
 	}

@@ -7,11 +7,12 @@
 # Covered: the Go benchmark wrappers for E1 (repair-enumeration demo),
 # E10 (incremental maintenance), E11 (concurrent serving), E12 (verdict
 # cache), E13 (group-commit batch pipeline), E14 (durable WAL writes +
-# recovery), and E15 (streaming evaluation + cost-based planning vs the
-# materialized baseline), each run exactly once (-benchtime=1x), plus the
-# hippobench CLI path for the same experiments at quick scale. The
-# E12/E13/E14/E15 quick-scale tables are additionally recorded to
-# BENCH_E1x.json.
+# recovery), E15 (streaming evaluation + cost-based planning vs the
+# materialized baseline), and E16 (the hippod HTTP serving tier:
+# connection sweep, deadline enforcement, drain/leak check), each run
+# exactly once (-benchtime=1x), plus the hippobench CLI path for the same
+# experiments at quick scale. The E12/E13/E14/E15/E16 quick-scale tables
+# are additionally recorded to BENCH_E1x.json.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -20,7 +21,7 @@ echo "== build =="
 go build ./...
 
 echo "== bench wrappers (benchtime=1x) =="
-go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent|BenchmarkE12VerdictCache|BenchmarkE13BatchPipeline|BenchmarkE14DurableWrites|BenchmarkE15StreamingEval)$' -benchtime=1x .
+go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent|BenchmarkE12VerdictCache|BenchmarkE13BatchPipeline|BenchmarkE14DurableWrites|BenchmarkE15StreamingEval|BenchmarkE16ServerTier)$' -benchtime=1x .
 
 echo "== hippobench CLI (quick scale) =="
 for exp in e1 e10 e11; do
@@ -42,5 +43,9 @@ cat BENCH_E14.json
 echo "== E15 record (BENCH_E15.json) =="
 go run ./cmd/hippobench -exp e15 -scale quick -json > BENCH_E15.json
 cat BENCH_E15.json
+
+echo "== E16 record (BENCH_E16.json) =="
+go run ./cmd/hippobench -exp e16 -scale quick -json > BENCH_E16.json
+cat BENCH_E16.json
 
 echo "benchguard: OK"

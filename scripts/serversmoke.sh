@@ -1,0 +1,59 @@
+#!/usr/bin/env sh
+# Server smoke test: boot hippod, configure it entirely over the wire
+# (schema, conflicting data, the FD), check one consistent query filters
+# the conflict, then send SIGTERM and require a clean graceful-drain
+# exit (status 0). Pure liveness — no timing assertions.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ADDR=127.0.0.1:18931
+BASE="http://$ADDR"
+BIN="$(mktemp -d)/hippod"
+
+echo "== build =="
+go build -o "$BIN" ./cmd/hippod
+
+echo "== start =="
+"$BIN" -addr "$ADDR" &
+PID=$!
+trap 'kill -9 $PID 2>/dev/null || true' EXIT
+
+# Wait for the health endpoint (up to ~10s).
+i=0
+until curl -fsS "$BASE/health" >/dev/null 2>&1; do
+  i=$((i + 1))
+  if [ "$i" -ge 100 ]; then
+    echo "serversmoke: server never became healthy" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+echo "== configure over the wire =="
+curl -fsS "$BASE/v1/exec" -d '{"sql":"CREATE TABLE emp (id INT, salary INT)"}' >/dev/null
+curl -fsS "$BASE/v1/batch" -d '{"sqls":["INSERT INTO emp VALUES (1, 100)","INSERT INTO emp VALUES (1, 200)","INSERT INTO emp VALUES (2, 150)"]}' >/dev/null
+curl -fsS "$BASE/v1/fd" -d '{"spec":"emp: id -> salary"}' >/dev/null
+
+echo "== consistent query =="
+ANSWER="$(curl -fsS "$BASE/v1/consistent-query" -d '{"sql":"SELECT * FROM emp"}')"
+echo "$ANSWER"
+case "$ANSWER" in
+  *'[[2,150]]'*) ;;
+  *)
+    echo "serversmoke: expected consistent answer [[2,150]], got: $ANSWER" >&2
+    exit 1
+    ;;
+esac
+
+echo "== graceful drain (SIGTERM) =="
+kill -TERM "$PID"
+STATUS=0
+wait "$PID" || STATUS=$?
+trap - EXIT
+if [ "$STATUS" -ne 0 ]; then
+  echo "serversmoke: drain exited with status $STATUS, want 0" >&2
+  exit 1
+fi
+
+echo "serversmoke: OK"
