@@ -99,6 +99,22 @@ func BenchmarkE15StreamingEval(b *testing.B) { runExperiment(b, "e15") }
 // and a mid-flight drain with a goroutine-leak count.
 func BenchmarkE16ServerTier(b *testing.B) { runExperiment(b, "e16") }
 
+// BenchmarkE17ShardScaling — component-sharded certification (K=4) vs
+// unsharded (K=1) under a GOMAXPROCS sweep, with sharded-vs-unsharded
+// answer equality asserted inside the harness. The wrapper restricts the
+// sweep to GOMAXPROCS=1 so -benchtime=1x stays fast; the full 1/2/4/8
+// sweep runs via cmd/hippobench -exp e17 (see scripts/benchguard.sh).
+func BenchmarkE17ShardScaling(b *testing.B) {
+	sc := benchScale()
+	sc.Procs = []int{1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := bench.Run("e17", sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkAblationPruning — prover DFS with vs without early pruning.
 func BenchmarkAblationPruning(b *testing.B) { runExperiment(b, "ablation-pruning") }
 

@@ -1,4 +1,4 @@
-// Command hippobench runs the Hippo experiment suite (E1–E16 plus
+// Command hippobench runs the Hippo experiment suite (E1–E17 plus
 // ablations, see DESIGN.md §3) and prints each result as a Markdown table,
 // ready to paste into EXPERIMENTS.md.
 //
@@ -9,6 +9,7 @@
 //	hippobench -exp e3         # a single experiment
 //	hippobench -exp e12 -json  # machine-readable record (e.g. BENCH_E12.json)
 //	hippobench -sizes 1000,5000,20000
+//	hippobench -exp e17 -procs 1,2,4  # bound the GOMAXPROCS sweep (E17)
 package main
 
 import (
@@ -24,12 +25,13 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: all, e1..e16, ablation-pruning, ablation-detection")
+		exp     = flag.String("exp", "all", "experiment id: all, e1..e17, ablation-pruning, ablation-detection")
 		scale   = flag.String("scale", "full", "preset scale: quick or full")
 		sizes   = flag.String("sizes", "", "comma-separated size override for sweeps (e.g. 1000,5000,20000)")
 		n       = flag.Int("n", 0, "fixed-size override for E4/E6/E7/E9/E10/E12")
 		reps    = flag.Int("reps", 0, "repetitions per timing (min kept)")
 		jsonOut = flag.Bool("json", false, "emit the result table as JSON (single -exp only)")
+		procs   = flag.String("procs", "", "comma-separated GOMAXPROCS sweep for E17 (default 1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -60,6 +62,18 @@ func main() {
 	}
 	if *reps > 0 {
 		sc.Reps = *reps
+	}
+	if *procs != "" {
+		var out []int
+		for _, part := range strings.Split(*procs, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(os.Stderr, "hippobench: bad procs %q\n", part)
+				os.Exit(2)
+			}
+			out = append(out, v)
+		}
+		sc.Procs = out
 	}
 
 	if strings.EqualFold(*exp, "all") {

@@ -88,6 +88,14 @@ type Options struct {
 	// negative disables automatic checkpoints, leaving rotation to
 	// explicit Checkpoint calls.
 	CheckpointBytes int64
+	// CertShards is the certification shard count K: the conflict
+	// hypergraph, tuple index, and verdict invalidation are partitioned by
+	// connected component over K shards, so delta folding and cache
+	// invalidation parallelize across them. 0 and 1 select the unsharded
+	// configuration, which is bit-identical to prior releases. The shard
+	// layout is derived state, never persisted: a durable directory can be
+	// reopened with any K. Capped at core.MaxShards.
+	CertShards int
 }
 
 // OpenOptions creates a Hippo database per o — in-memory when o.Dir is
@@ -96,12 +104,13 @@ type Options struct {
 // record from a crash mid-commit is not damage and recovers cleanly.
 func OpenOptions(o Options) (*DB, error) {
 	if o.Dir == "" {
-		return Open(), nil
+		return &DB{sys: core.NewSystemShards(engine.New(), nil, o.CertShards)}, nil
 	}
 	sys, err := core.OpenDurable(core.DurableOptions{
 		Dir:             o.Dir,
 		NoSync:          o.NoSync,
 		CheckpointBytes: o.CheckpointBytes,
+		Shards:          o.CertShards,
 	})
 	if err != nil {
 		return nil, err

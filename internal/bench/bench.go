@@ -54,6 +54,8 @@ type Scale struct {
 	Reps int
 	// Window is the measurement window per E11 concurrency configuration.
 	Window time.Duration
+	// Procs is the GOMAXPROCS sweep for E17 (nil = the default 1/2/4/8).
+	Procs []int
 }
 
 // QuickScale keeps everything small enough for unit tests and -bench runs.
@@ -241,6 +243,7 @@ func RunAll(w io.Writer, sc Scale) error {
 		E14DurableWrites,
 		E15StreamingEval,
 		E16ServerTier,
+		E17ShardScaling,
 		AblationPruning,
 		AblationDetection,
 	}
@@ -256,7 +259,7 @@ func RunAll(w io.Writer, sc Scale) error {
 	return nil
 }
 
-// Run executes a single experiment by id ("e1".."e16", "ablation-pruning",
+// Run executes a single experiment by id ("e1".."e17", "ablation-pruning",
 // "ablation-detection").
 func Run(id string, sc Scale) (Table, error) {
 	switch strings.ToLower(id) {
@@ -292,6 +295,8 @@ func Run(id string, sc Scale) (Table, error) {
 		return E15StreamingEval(sc)
 	case "e16", "server", "serving":
 		return E16ServerTier(sc)
+	case "e17", "shard", "scaling":
+		return E17ShardScaling(sc)
 	case "ablation-pruning":
 		return AblationPruning(sc)
 	case "ablation-detection":

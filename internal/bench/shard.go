@@ -1,0 +1,241 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"hippo/internal/constraint"
+	"hippo/internal/core"
+	"hippo/internal/engine"
+	"hippo/internal/value"
+	"hippo/internal/workload"
+)
+
+// e17Shards is the shard count K for the sharded configuration. Matches
+// the GOMAXPROCS sweep midpoint so every shard can own a core at procs=4.
+const e17Shards = 4
+
+// empSystemShards is empSystem with a shard count: the same emp(n, rate)
+// instance with FD id → salary, certified over K component shards.
+func empSystemShards(n int, rate float64, seed int64, k int) (*core.System, error) {
+	db := engine.New()
+	if _, err := workload.Emp(db, workload.EmpConfig{N: n, ConflictRate: rate, Seed: seed}); err != nil {
+		return nil, err
+	}
+	if err := workload.Dept(db, workload.DeptConfig{N: 100, Seed: seed + 1}); err != nil {
+		return nil, err
+	}
+	fd := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
+	sys := core.NewSystemShards(db, []constraint.Constraint{fd}, k)
+	if _, err := sys.Analyze(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// e17AnswersKey canonicalizes a consistent-answer set for cross-config
+// equality checks: sorted tuple strings, independent of shard layout.
+func e17AnswersKey(sys *core.System, q string) (string, error) {
+	res, _, err := sys.ConsistentQuery(q, core.Options{})
+	if err != nil {
+		return "", err
+	}
+	out := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		out[i] = value.TupleString(r)
+	}
+	sort.Strings(out)
+	return strings.Join(out, "\n"), nil
+}
+
+// e17UpdateInterleaved drains a deterministic update-interleaved workload:
+// batches of inserts (a mix of fresh and FD-conflicting ids) and deletes
+// applied via ExecBatch, each followed by one consistent query that forces
+// the batch through delta folding, cache invalidation, and certification.
+// Returns statements certified per second plus the final answer key.
+func e17UpdateInterleaved(n int, seed int64, k int) (float64, string, error) {
+	sys, err := empSystemShards(n, 0.02, seed, k)
+	if err != nil {
+		return 0, "", err
+	}
+	defer sys.Close()
+	db := sys.DB()
+
+	const rounds, batch = 8, 32
+	next := 10 * n
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		stmts := make([]string, 0, batch)
+		for b := 0; b < batch; b++ {
+			switch {
+			case b%8 == 7:
+				stmts = append(stmts, fmt.Sprintf(
+					"DELETE FROM emp WHERE id = %d", (r*batch+b*7)%n))
+			case b%5 == 0:
+				// Re-insert an existing id with a different salary: an FD
+				// conflict that lands in (or merges) a component.
+				id := (r*31 + b*13) % n
+				stmts = append(stmts, fmt.Sprintf(
+					"INSERT INTO emp VALUES (%d, 'c%d', %d, %d)", id, id, id%100, 60000+id%1000))
+			default:
+				next++
+				stmts = append(stmts, fmt.Sprintf(
+					"INSERT INTO emp VALUES (%d, 'u%d', %d, %d)", next, next, next%100, 90000+next%20000))
+			}
+		}
+		if _, err := db.ExecBatch(stmts); err != nil {
+			return 0, "", err
+		}
+		if _, _, err := sys.ConsistentQuery(selectionQuery, core.Options{}); err != nil {
+			return 0, "", err
+		}
+	}
+	elapsed := time.Since(t0)
+	key, err := e17AnswersKey(sys, selectionQuery)
+	if err != nil {
+		return 0, "", err
+	}
+	return float64(rounds*batch) / elapsed.Seconds(), key, nil
+}
+
+// e17HotQuery serves repeated consistent queries against a warm verdict
+// cache, with one localized conflicting insert between rounds so each
+// round re-certifies only the touched components. Returns queries served
+// per second plus the final answer key.
+func e17HotQuery(n int, seed int64, k int) (float64, string, error) {
+	sys, err := empSystemShards(n, 0.02, seed, k)
+	if err != nil {
+		return 0, "", err
+	}
+	defer sys.Close()
+	db := sys.DB()
+
+	// Warm the cache so the measured rounds exercise the hit path plus
+	// shard-local invalidation, not cold certification.
+	if _, _, err := sys.ConsistentQuery(selectionQuery, core.Options{}); err != nil {
+		return 0, "", err
+	}
+
+	const rounds, queriesPer = 10, 8
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		id := (r * 17) % n
+		if _, _, err := db.Exec(fmt.Sprintf(
+			"INSERT INTO emp VALUES (%d, 'h%d', %d, %d)", id, r, id%100, 50000+r)); err != nil {
+			return 0, "", err
+		}
+		for i := 0; i < queriesPer; i++ {
+			if _, _, err := sys.ConsistentQuery(selectionQuery, core.Options{}); err != nil {
+				return 0, "", err
+			}
+		}
+	}
+	elapsed := time.Since(t0)
+	key, err := e17AnswersKey(sys, selectionQuery)
+	if err != nil {
+		return 0, "", err
+	}
+	return float64(rounds*queriesPer) / elapsed.Seconds(), key, nil
+}
+
+// E17ShardScaling — component-sharded certification under a GOMAXPROCS
+// sweep: K=1 (unsharded) vs K=4 on an update-interleaved workload (batch
+// drain through the parallel per-shard fold) and a hot-query workload
+// (warm verdict cache with localized invalidation). Both configurations
+// replay identical statement sequences and the harness asserts their
+// consistent answers are equal in every cell; a mismatch fails the
+// experiment rather than producing a table.
+func E17ShardScaling(sc Scale) (Table, error) {
+	procs := sc.Procs
+	if len(procs) == 0 {
+		procs = []int{1, 2, 4, 8}
+	}
+	n := sc.N
+	if n > 8000 {
+		n = 8000 // bound the 2×2×len(procs) sweep at full scale
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	tbl := Table{
+		ID:    "E17",
+		Title: "Component-sharded certification: GOMAXPROCS scaling (K=1 vs K=4)",
+		Header: []string{"workload", "GOMAXPROCS", "K=1 ops/s",
+			fmt.Sprintf("K=%d ops/s", e17Shards), "sharded/unsharded"},
+	}
+
+	workloads := []struct {
+		name string
+		run  func(n int, seed int64, k int) (float64, string, error)
+	}{
+		{"update-interleaved", e17UpdateInterleaved},
+		{"hot-query", e17HotQuery},
+	}
+
+	// Sharded update-interleaved throughput by procs, for the self-scaling
+	// ratio (procs=4 vs procs=1) reported in Notes.
+	updSharded := map[int]float64{}
+
+	for _, wl := range workloads {
+		for _, p := range procs {
+			runtime.GOMAXPROCS(p)
+			best1, bestK := 0.0, 0.0
+			reps := sc.Reps
+			if reps < 1 {
+				reps = 1
+			}
+			for rep := 0; rep < reps; rep++ {
+				seed := int64(91)
+				r1, key1, err := wl.run(n, seed, 1)
+				if err != nil {
+					return Table{}, fmt.Errorf("E17 %s procs=%d K=1: %w", wl.name, p, err)
+				}
+				rK, keyK, err := wl.run(n, seed, e17Shards)
+				if err != nil {
+					return Table{}, fmt.Errorf("E17 %s procs=%d K=%d: %w", wl.name, p, e17Shards, err)
+				}
+				if key1 != keyK {
+					return Table{}, fmt.Errorf(
+						"E17 %s procs=%d: sharded answers diverged from unsharded on an identical statement sequence",
+						wl.name, p)
+				}
+				if r1 > best1 {
+					best1 = r1
+				}
+				if rK > bestK {
+					bestK = rK
+				}
+			}
+			if wl.name == "update-interleaved" {
+				updSharded[p] = bestK
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				wl.name,
+				fmt.Sprintf("%d", p),
+				fmt.Sprintf("%.0f", best1),
+				fmt.Sprintf("%.0f", bestK),
+				fmt.Sprintf("%.2fx", bestK/best1),
+			})
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+
+	notes := fmt.Sprintf(
+		"Update-interleaved: %d-statement ExecBatch groups (fresh inserts, FD-conflicting re-inserts, deletes) "+
+			"drained through the per-shard parallel fold, one consistent query per batch; ops/s counts statements "+
+			"certified. Hot-query: repeated %q against a warm verdict cache with one localized conflicting insert "+
+			"per round; ops/s counts queries served. K=%d vs K=1 replay identical statement sequences; answer "+
+			"equality is asserted in-harness at every cell. Host CPUs: %d (sweep GOMAXPROCS %v; speedups at "+
+			"GOMAXPROCS above the host core count are bounded by physical parallelism).",
+		32, selectionQuery, e17Shards, runtime.NumCPU(), procs)
+	if s1, s4 := updSharded[1], updSharded[4]; s1 > 0 && s4 > 0 {
+		notes += fmt.Sprintf(
+			" Sharded update-interleaved self-scaling: %.2fx at GOMAXPROCS=4 vs 1.", s4/s1)
+	}
+	tbl.Notes = notes
+	return tbl, nil
+}

@@ -1,6 +1,9 @@
 package conflict
 
-import "hash/fnv"
+import (
+	"hash/fnv"
+	"slices"
+)
 
 // Connected-component maintenance.
 //
@@ -153,6 +156,26 @@ func edgeHash(key string) uint64 {
 	return z
 }
 
+// componentEdges returns the live edges of the component containing v, in
+// slot (insertion) order, or nil when v is conflict-free. This is the unit
+// a ShardedHypergraph moves during a cross-shard migration.
+func (h *Hypergraph) componentEdges(v Vertex) []Edge {
+	if _, ok := h.st.compOf[v]; !ok {
+		return nil
+	}
+	_, slots := h.st.compWalk(v)
+	idxs := make([]int, 0, len(slots))
+	for idx := range slots {
+		idxs = append(idxs, idx)
+	}
+	slices.Sort(idxs)
+	out := make([]Edge, len(idxs))
+	for i, idx := range idxs {
+		out[i] = h.st.edges[idx]
+	}
+	return out
+}
+
 // compWalk collects the connected component containing start: its vertex
 // set and live edge slots, walking the byVertex adjacency.
 func (st *hgState) compWalk(start Vertex) ([]Vertex, map[int]struct{}) {
@@ -206,7 +229,7 @@ func (h *Hypergraph) compEdgeAdded(e Edge) {
 			keep = id
 		}
 	} else {
-		st.nextComp++
+		st.nextComp += st.stride
 		keep = st.nextComp
 	}
 	for id := range oldIDs {
@@ -218,7 +241,7 @@ func (h *Hypergraph) compEdgeAdded(e Edge) {
 	h.logTouched(keep)
 	verts, slots := st.compWalk(e.Verts[0])
 	st.setComponent(keep, verts, slots)
-	if h.changes != nil {
+	if h.changes != nil && !h.migrating {
 		for _, v := range e.Verts {
 			h.changes.AddedEdgeVerts[v] = struct{}{}
 		}
@@ -255,7 +278,7 @@ func (h *Hypergraph) compEdgeRemoved(e Edge) {
 		}
 		id := old
 		if !first {
-			st.nextComp++
+			st.nextComp += st.stride
 			id = st.nextComp
 		}
 		first = false

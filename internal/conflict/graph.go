@@ -1,0 +1,43 @@
+package conflict
+
+// Graph is the read surface of a conflict hypergraph — the shard boundary
+// of the certification plane. The prover's blocker search, the repair
+// enumerator, and the core's component resolver all consume this interface
+// rather than a concrete *Hypergraph, so the same certification code runs
+// against a single graph, a component-sharded graph, and — because every
+// method is defined per component and no hyperedge crosses a component
+// boundary — would run unchanged against a remote shard in a future
+// multi-process split.
+//
+// Implementations: *Hypergraph (one partition) and *ShardedHypergraph
+// (K partitions keyed by component id).
+type Graph interface {
+	// Component labeling. Ids are stable while a component's edge set is
+	// untouched; fingerprints are XOR-of-edge-hashes and therefore agree
+	// across partitionings for equal edge sets.
+	ComponentOf(v Vertex) (ComponentRef, bool)
+	Component(id uint64) (Component, bool)
+	Components() []Component
+	NumComponents() int
+
+	// Per-vertex structure: everything the blocker search touches.
+	EdgesContaining(v Vertex) []Edge
+	Degree(v Vertex) int
+	InConflict(v Vertex) bool
+
+	// Independence checks over vertex sets.
+	Independent(s VertexSet) bool
+	IndependentWith(s VertexSet, extra ...Vertex) bool
+
+	// Whole-graph enumeration and reporting.
+	Edges() []Edge
+	NumEdges() int
+	NumConflictingVertices() int
+	ConflictingVertices() []Vertex
+	Stats() Stats
+}
+
+var (
+	_ Graph = (*Hypergraph)(nil)
+	_ Graph = (*ShardedHypergraph)(nil)
+)

@@ -1,0 +1,455 @@
+package conflict
+
+import "slices"
+
+// Component-sharded conflict hypergraph.
+//
+// Because no hyperedge crosses a connected-component boundary, the
+// hypergraph partitions exactly by component: each of K shards is a plain
+// Hypergraph owning a disjoint set of components, and every read the
+// certification plane issues (ComponentOf, EdgesContaining, independence
+// checks) resolves entirely within one shard. Component ids are allocated
+// with stride K and base i on shard i, so id % K names the owning shard in
+// O(1) and ids never collide across shards.
+//
+// The only cross-shard event is a merge: an inserted edge whose endpoints
+// lie in components currently owned by different shards. The edge is
+// routed to a deterministic owner (the shard holding the most edges among
+// the involved components, ties to the lowest shard index) and the other
+// shards' components migrate there first — their edges are removed from
+// the source shard and re-added in the owner — after which the insert
+// applies shard-locally. Splits never cross shards: the parts of a split
+// component get fresh ids from the owning shard's allocator and stay put.
+//
+// With K = 1 every operation delegates to the single underlying
+// Hypergraph, and the allocator (base 0, stride 1) yields the exact id
+// sequence a standalone graph would: the unsharded configuration is
+// bit-identical to the pre-shard code path.
+
+// ShardedHypergraph partitions a conflict hypergraph by connected
+// component over K shards. Mutations follow the same single-writer
+// discipline as Hypergraph (the core serializes writers); reads are safe
+// concurrently with other reads.
+type ShardedHypergraph struct {
+	shards []*Hypergraph
+	k      int
+
+	migrations   int64 // components moved between shards by merges
+	reclamations int64 // emptied shards whose state was released
+}
+
+// NewShardedHypergraph returns an empty K-way sharded hypergraph (K < 1 is
+// treated as 1).
+func NewShardedHypergraph(k int) *ShardedHypergraph {
+	if k < 1 {
+		k = 1
+	}
+	sh := &ShardedHypergraph{shards: make([]*Hypergraph, k), k: k}
+	for i := range sh.shards {
+		sh.shards[i] = newHypergraphStrided(uint64(i), uint64(k))
+	}
+	return sh
+}
+
+// shardHypergraph wraps an existing standalone graph as a 1-way sharded
+// container without copying: the full-detection path hands its freshly
+// built Hypergraph straight to the certification plane when K = 1.
+func shardHypergraph1(h *Hypergraph) *ShardedHypergraph {
+	return &ShardedHypergraph{shards: []*Hypergraph{h}, k: 1}
+}
+
+// ShardHypergraph repartitions a fully detected standalone graph into a
+// K-way sharded one by replaying its edges. K = 1 wraps the graph in place
+// (same state, same allocator — the id sequence already matches).
+func ShardHypergraph(h *Hypergraph, k int) *ShardedHypergraph {
+	if k < 1 {
+		k = 1
+	}
+	if k == 1 {
+		return shardHypergraph1(h)
+	}
+	sh := NewShardedHypergraph(k)
+	for _, e := range h.Edges() {
+		sh.AddEdge(e.Verts, e.Label)
+	}
+	return sh
+}
+
+// NumShards returns K.
+func (g *ShardedHypergraph) NumShards() int { return g.k }
+
+// Migrations returns how many components moved between shards due to
+// cross-shard merges.
+func (g *ShardedHypergraph) Migrations() int64 { return g.migrations }
+
+// Reclamations returns how many times an emptied shard's state was
+// released.
+func (g *ShardedHypergraph) Reclamations() int64 { return g.reclamations }
+
+// ShardOfComponent returns the index of the shard owning component id.
+func (g *ShardedHypergraph) ShardOfComponent(id uint64) int { return int(id % uint64(g.k)) }
+
+// shardOfVertex returns the index of the shard whose graph contains v, or
+// -1 when v is conflict-free everywhere. A conflicting vertex appears in
+// exactly one shard (its component's owner).
+func (g *ShardedHypergraph) shardOfVertex(v Vertex) int {
+	for i, h := range g.shards {
+		if h.InConflict(v) {
+			return i
+		}
+	}
+	return -1
+}
+
+// ShardInfo summarizes one shard for stats surfaces.
+type ShardInfo struct {
+	Shard      int
+	Edges      int
+	Components int
+	Vertices   int
+}
+
+// ShardStats reports per-shard sizes.
+func (g *ShardedHypergraph) ShardStats() []ShardInfo {
+	out := make([]ShardInfo, g.k)
+	for i, h := range g.shards {
+		out[i] = ShardInfo{
+			Shard:      i,
+			Edges:      h.NumEdges(),
+			Components: h.NumComponents(),
+			Vertices:   h.NumConflictingVertices(),
+		}
+	}
+	return out
+}
+
+// --- Mutations -----------------------------------------------------------
+
+// AddEdge inserts a hyperedge, routing it to the shard owning its
+// endpoints' components. When the endpoints span several shards the
+// involved components first migrate to a deterministic owner: the shard
+// whose involved components carry the most edges (ties to the lowest
+// index), so the bulk of the merged component never moves. An edge among
+// all-new vertices lands on edgeHash(key) % K. Reports whether the edge
+// was new.
+func (g *ShardedHypergraph) AddEdge(verts []Vertex, label string) bool {
+	if g.k == 1 {
+		return g.shards[0].AddEdge(verts, label)
+	}
+	e := newEdge(verts, label)
+	if len(e.Verts) == 0 {
+		return false
+	}
+	owner := g.routeEdge(e)
+	return g.shards[owner].AddEdge(e.Verts, e.Label)
+}
+
+// routeEdge picks (and prepares, migrating if needed) the owner shard for
+// a canonicalized edge. The caller applies the edge there afterwards.
+func (g *ShardedHypergraph) routeEdge(e Edge) int {
+	// Weight per shard: total edges of the involved components it owns.
+	weight := make(map[int]int)
+	seen := make(map[uint64]Vertex) // involved component id -> a member vertex
+	for _, v := range e.Verts {
+		for i, h := range g.shards {
+			if ref, ok := h.ComponentOf(v); ok {
+				if _, dup := seen[ref.ID]; !dup {
+					seen[ref.ID] = v
+					c, _ := h.Component(ref.ID)
+					weight[i] += c.Edges
+				}
+				break
+			}
+		}
+	}
+	if len(weight) == 0 {
+		return int(edgeHash(e.key()) % uint64(g.k))
+	}
+	owner := -1
+	for i := 0; i < g.k; i++ {
+		if w, ok := weight[i]; ok && (owner == -1 || w > weight[owner]) {
+			owner = i
+		}
+	}
+	ids := make([]uint64, 0, len(seen))
+	for id := range seen {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids) // deterministic migration order
+	for _, id := range ids {
+		if from := g.ShardOfComponent(id); from != owner {
+			g.migrate(seen[id], from, owner)
+		}
+	}
+	return owner
+}
+
+// migrate moves the component containing v from one shard to another: its
+// edges are removed at the source (logging the old id as touched) and
+// re-added at the destination with AddedEdgeVerts recording suppressed —
+// the moved vertices' old component ids cover their invalidation.
+func (g *ShardedHypergraph) migrate(v Vertex, from, to int) {
+	src, dst := g.shards[from], g.shards[to]
+	edges := src.componentEdges(v)
+	for _, e := range edges {
+		src.RemoveEdge(e.Verts)
+	}
+	dst.migrating = true
+	for _, e := range edges {
+		dst.AddEdge(e.Verts, e.Label)
+	}
+	dst.migrating = false
+	g.migrations++
+	g.reclaimEmptyShard(from)
+}
+
+// RemoveVertex deletes every hyperedge containing v from its owning shard,
+// returning the number of edges removed.
+func (g *ShardedHypergraph) RemoveVertex(v Vertex) int {
+	if g.k == 1 {
+		return g.shards[0].RemoveVertex(v)
+	}
+	i := g.shardOfVertex(v)
+	if i < 0 {
+		return 0
+	}
+	n := g.shards[i].RemoveVertex(v)
+	g.reclaimEmptyShard(i)
+	return n
+}
+
+// RemoveEdge deletes the hyperedge with exactly the given vertex set.
+func (g *ShardedHypergraph) RemoveEdge(verts []Vertex) bool {
+	if g.k == 1 {
+		return g.shards[0].RemoveEdge(verts)
+	}
+	for i, h := range g.shards {
+		if h.RemoveEdge(verts) {
+			g.reclaimEmptyShard(i)
+			return true
+		}
+	}
+	return false
+}
+
+// reclaimEmptyShard releases an emptied shard's state (preserving its id
+// allocator). K = 1 keeps the standalone graph untouched for bit-identity
+// with the pre-shard path.
+func (g *ShardedHypergraph) reclaimEmptyShard(i int) {
+	if g.k == 1 {
+		return
+	}
+	if g.shards[i].reclaimEmptyState() {
+		g.reclamations++
+	}
+}
+
+// --- Change log ----------------------------------------------------------
+
+// BeginChangeLog starts component-change recording on every shard.
+func (g *ShardedHypergraph) BeginChangeLog() {
+	for _, h := range g.shards {
+		h.BeginChangeLog()
+	}
+}
+
+// TakeChangeLog merges and clears the per-shard logs.
+func (g *ShardedHypergraph) TakeChangeLog() *ChangeLog {
+	out := newChangeLog()
+	for _, h := range g.shards {
+		log := h.TakeChangeLog()
+		for id := range log.Touched {
+			out.Touched[id] = struct{}{}
+		}
+		for v := range log.AddedEdgeVerts {
+			out.AddedEdgeVerts[v] = struct{}{}
+		}
+	}
+	return out
+}
+
+// --- Snapshots -----------------------------------------------------------
+
+// ShardedSnapshot is an immutable published view of a sharded hypergraph,
+// mirroring HypergraphSnapshot: per-shard states freeze copy-on-write, and
+// the composite read handle serves lock-free concurrent readers.
+type ShardedSnapshot struct {
+	g *ShardedHypergraph
+}
+
+// Snapshot freezes the current state of every shard. O(K); the next
+// mutation of a shard pays that shard's state copy only.
+func (g *ShardedHypergraph) Snapshot() *ShardedSnapshot {
+	shs := make([]*Hypergraph, g.k)
+	for i, h := range g.shards {
+		shs[i] = h.Snapshot().Graph()
+	}
+	return &ShardedSnapshot{g: &ShardedHypergraph{shards: shs, k: g.k}}
+}
+
+// Graph returns the snapshot's composite read handle. It must not be
+// mutated (see HypergraphSnapshot.Graph).
+func (s *ShardedSnapshot) Graph() *ShardedHypergraph { return s.g }
+
+// Stats summarizes the snapshot.
+func (s *ShardedSnapshot) Stats() Stats { return s.g.Stats() }
+
+// NumEdges returns the number of live hyperedges in the snapshot.
+func (s *ShardedSnapshot) NumEdges() int { return s.g.NumEdges() }
+
+// Edges returns all live hyperedges of the snapshot.
+func (s *ShardedSnapshot) Edges() []Edge { return s.g.Edges() }
+
+// ComponentOf returns the component containing v in the snapshot.
+func (s *ShardedSnapshot) ComponentOf(v Vertex) (ComponentRef, bool) { return s.g.ComponentOf(v) }
+
+// Components lists the snapshot's connected components.
+func (s *ShardedSnapshot) Components() []Component { return s.g.Components() }
+
+// NumComponents returns the snapshot's component count.
+func (s *ShardedSnapshot) NumComponents() int { return s.g.NumComponents() }
+
+// --- Graph (read) interface ----------------------------------------------
+
+// ComponentOf returns the component containing v. At most one shard knows
+// v; K is small, so the probe is a handful of map lookups.
+func (g *ShardedHypergraph) ComponentOf(v Vertex) (ComponentRef, bool) {
+	for _, h := range g.shards {
+		if ref, ok := h.ComponentOf(v); ok {
+			return ref, true
+		}
+	}
+	return ComponentRef{}, false
+}
+
+// Component returns the component with the given id, resolved directly on
+// its owning shard (id % K).
+func (g *ShardedHypergraph) Component(id uint64) (Component, bool) {
+	return g.shards[g.ShardOfComponent(id)].Component(id)
+}
+
+// Components lists every connected component across all shards.
+func (g *ShardedHypergraph) Components() []Component {
+	out := make([]Component, 0)
+	for _, h := range g.shards {
+		out = append(out, h.Components()...)
+	}
+	return out
+}
+
+// NumComponents returns the total component count.
+func (g *ShardedHypergraph) NumComponents() int {
+	n := 0
+	for _, h := range g.shards {
+		n += h.NumComponents()
+	}
+	return n
+}
+
+// EdgesContaining returns the hyperedges that contain v.
+func (g *ShardedHypergraph) EdgesContaining(v Vertex) []Edge {
+	if i := g.shardOfVertex(v); i >= 0 {
+		return g.shards[i].EdgesContaining(v)
+	}
+	return nil
+}
+
+// Degree returns the number of hyperedges containing v.
+func (g *ShardedHypergraph) Degree(v Vertex) int {
+	if i := g.shardOfVertex(v); i >= 0 {
+		return g.shards[i].Degree(v)
+	}
+	return 0
+}
+
+// InConflict reports whether v participates in any hyperedge.
+func (g *ShardedHypergraph) InConflict(v Vertex) bool { return g.shardOfVertex(v) >= 0 }
+
+// Independent reports whether s contains no complete hyperedge. Every
+// edge lives in exactly one shard, so the check is the conjunction of the
+// per-shard checks.
+func (g *ShardedHypergraph) Independent(s VertexSet) bool {
+	for _, h := range g.shards {
+		if !h.Independent(s) {
+			return false
+		}
+	}
+	return true
+}
+
+// IndependentWith reports whether s ∪ {extra...} stays independent. An
+// edge through an added vertex lies wholly in that vertex's component's
+// shard, and extras sharing an edge share a component, so grouping extras
+// by owning shard and checking each group against its shard is exact;
+// conflict-free extras have no incident edges and cannot matter.
+func (g *ShardedHypergraph) IndependentWith(s VertexSet, extra ...Vertex) bool {
+	if g.k == 1 {
+		return g.shards[0].IndependentWith(s, extra...)
+	}
+	for _, h := range g.shards {
+		var mine []Vertex
+		for _, v := range extra {
+			if h.InConflict(v) {
+				mine = append(mine, v)
+			}
+		}
+		if len(mine) > 0 && !h.IndependentWith(s, mine...) {
+			return false
+		}
+	}
+	return true
+}
+
+// Edges returns all live hyperedges across shards.
+func (g *ShardedHypergraph) Edges() []Edge {
+	out := make([]Edge, 0, g.NumEdges())
+	for _, h := range g.shards {
+		out = append(out, h.Edges()...)
+	}
+	return out
+}
+
+// NumEdges returns the number of live hyperedges.
+func (g *ShardedHypergraph) NumEdges() int {
+	n := 0
+	for _, h := range g.shards {
+		n += h.NumEdges()
+	}
+	return n
+}
+
+// NumConflictingVertices returns the number of distinct conflicting tuples.
+func (g *ShardedHypergraph) NumConflictingVertices() int {
+	n := 0
+	for _, h := range g.shards {
+		n += h.NumConflictingVertices()
+	}
+	return n
+}
+
+// ConflictingVertices lists every vertex in at least one hyperedge.
+func (g *ShardedHypergraph) ConflictingVertices() []Vertex {
+	out := make([]Vertex, 0, g.NumConflictingVertices())
+	for _, h := range g.shards {
+		out = append(out, h.ConflictingVertices()...)
+	}
+	return out
+}
+
+// Stats computes summary statistics over all shards.
+func (g *ShardedHypergraph) Stats() Stats {
+	if g.k == 1 {
+		return g.shards[0].Stats()
+	}
+	var out Stats
+	for _, h := range g.shards {
+		st := h.Stats()
+		out.Edges += st.Edges
+		out.ConflictingVertices += st.ConflictingVertices
+		out.Components += st.Components
+		out.MaxDegree = max(out.MaxDegree, st.MaxDegree)
+		out.MaxEdgeSize = max(out.MaxEdgeSize, st.MaxEdgeSize)
+		out.MaxComponent = max(out.MaxComponent, st.MaxComponent)
+	}
+	return out
+}

@@ -1,0 +1,329 @@
+package conflict
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"hippo/internal/storage"
+)
+
+func sv(rel string, row int) Vertex { return Vertex{Rel: rel, Row: storage.RowID(row)} }
+
+// checkShardInvariants asserts the structural invariants of the sharded
+// container: every component id resolves to its owning shard (id % K), no
+// vertex is labeled in more than one shard, no edge appears in more than
+// one shard, and ShardStats sums match the aggregate view.
+func checkShardInvariants(t *testing.T, g *ShardedHypergraph, ctx string) {
+	t.Helper()
+	for i, h := range g.shards {
+		for _, c := range h.Components() {
+			if got := g.ShardOfComponent(c.ID); got != i {
+				t.Fatalf("%s: shard %d holds component %d, but id routes to shard %d", ctx, i, c.ID, got)
+			}
+		}
+	}
+	seenV := make(map[Vertex]int)
+	for i, h := range g.shards {
+		for _, v := range h.ConflictingVertices() {
+			if prev, dup := seenV[v]; dup {
+				t.Fatalf("%s: vertex %v labeled in shards %d and %d", ctx, v, prev, i)
+			}
+			seenV[v] = i
+		}
+	}
+	seenE := make(map[string]int)
+	for i, h := range g.shards {
+		for _, e := range h.Edges() {
+			if prev, dup := seenE[e.key()]; dup {
+				t.Fatalf("%s: edge %v present in shards %d and %d", ctx, e, prev, i)
+			}
+			seenE[e.key()] = i
+		}
+	}
+	edges, comps, verts := 0, 0, 0
+	for _, si := range g.ShardStats() {
+		edges += si.Edges
+		comps += si.Components
+		verts += si.Vertices
+	}
+	if edges != g.NumEdges() || comps != g.NumComponents() || verts != g.NumConflictingVertices() {
+		t.Fatalf("%s: ShardStats sums (e=%d c=%d v=%d) disagree with aggregate (e=%d c=%d v=%d)",
+			ctx, edges, comps, verts, g.NumEdges(), g.NumComponents(), g.NumConflictingVertices())
+	}
+}
+
+// shardedOp is one scripted mutation for the table-driven routing tests.
+type shardedOp struct {
+	add    []Vertex // insert this edge…
+	delV   *Vertex  // …or remove this vertex's edges
+	delE   []Vertex // …or remove exactly this edge
+	expect func(t *testing.T, g *ShardedHypergraph)
+}
+
+// TestShardRoutingScenarios drives the cross-shard cases the router must
+// handle: merge-on-insert landing components from different shards on one
+// owner, walk-based split-on-delete keeping the parts in the owning shard,
+// and empty-shard state reclamation.
+func TestShardRoutingScenarios(t *testing.T) {
+	const k = 4
+	g := NewShardedHypergraph(k)
+
+	// Seed eight disjoint 2-vertex components; their hash routing scatters
+	// them over the shards.
+	for i := 0; i < 8; i++ {
+		if !g.AddEdge([]Vertex{sv("r", 2*i), sv("r", 2*i+1)}, "seed") {
+			t.Fatalf("seed edge %d not added", i)
+		}
+	}
+	checkShardInvariants(t, g, "after seed")
+
+	// Find two seed components owned by different shards.
+	var a, b Vertex
+	refA, _ := g.ComponentOf(sv("r", 0))
+	found := false
+	for i := 1; i < 8 && !found; i++ {
+		ref, _ := g.ComponentOf(sv("r", 2*i))
+		if g.ShardOfComponent(ref.ID) != g.ShardOfComponent(refA.ID) {
+			a, b = sv("r", 0), sv("r", 2*i)
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("hash routing put all 8 seed components on one shard; test needs at least two shards used")
+	}
+
+	// Cross-shard merge-on-insert: the bridging edge pulls both components
+	// onto one owner shard and the merged component routes there.
+	g.BeginChangeLog()
+	oldA, _ := g.ComponentOf(a)
+	oldB, _ := g.ComponentOf(b)
+	migBefore := g.Migrations()
+	if !g.AddEdge([]Vertex{a, b}, "bridge") {
+		t.Fatal("bridge edge not added")
+	}
+	ra, okA := g.ComponentOf(a)
+	rb, okB := g.ComponentOf(b)
+	if !okA || !okB || ra.ID != rb.ID {
+		t.Fatalf("merge failed: ComponentOf(a)=%v,%v ComponentOf(b)=%v,%v", ra, okA, rb, okB)
+	}
+	if c, _ := g.Component(ra.ID); c.Verts != 4 || c.Edges != 3 {
+		t.Fatalf("merged component has verts=%d edges=%d, want 4/3", c.Verts, c.Edges)
+	}
+	if g.Migrations() == migBefore {
+		t.Fatal("cross-shard merge recorded no migration")
+	}
+	log := g.TakeChangeLog()
+	for _, id := range []uint64{oldA.ID, oldB.ID} {
+		if _, ok := log.Touched[id]; !ok {
+			t.Errorf("change log missing pre-merge component id %d (cache invalidation would leak)", id)
+		}
+	}
+	checkShardInvariants(t, g, "after merge")
+
+	// Walk-based split-on-delete: removing the bridge's endpoint splits the
+	// component; the parts stay in the owning shard (fresh ids from its
+	// strided allocator) and route back to it.
+	owner := g.ShardOfComponent(ra.ID)
+	if n := g.RemoveVertex(a); n == 0 {
+		t.Fatal("RemoveVertex removed nothing")
+	}
+	rb2, ok := g.ComponentOf(b)
+	if !ok {
+		t.Fatal("b lost its component after split")
+	}
+	if got := g.ShardOfComponent(rb2.ID); got != owner {
+		t.Fatalf("split part routed to shard %d, want owning shard %d", got, owner)
+	}
+	checkShardInvariants(t, g, "after split")
+
+	// Empty-shard reclamation: removing every edge releases emptied shard
+	// state while preserving allocators.
+	recBefore := g.Reclamations()
+	for _, e := range g.Edges() {
+		g.RemoveEdge(e.Verts)
+	}
+	if g.NumEdges() != 0 || g.NumComponents() != 0 {
+		t.Fatalf("graph not empty after removing all edges: e=%d c=%d", g.NumEdges(), g.NumComponents())
+	}
+	if g.Reclamations() == recBefore {
+		t.Fatal("emptying the graph reclaimed no shard state")
+	}
+	// Fresh ids must still be allocated with the per-shard stride (never a
+	// duplicate of a pre-reclamation id of another shard's residue).
+	g.AddEdge([]Vertex{sv("x", 0), sv("x", 1)}, "post")
+	ref, _ := g.ComponentOf(sv("x", 0))
+	if int(ref.ID%k) != g.ShardOfComponent(ref.ID) {
+		t.Fatalf("post-reclamation id %d does not route to its shard", ref.ID)
+	}
+	checkShardInvariants(t, g, "after reclamation")
+}
+
+// TestShardRoutingDeterministic asserts that replaying the same mutation
+// script yields identical component ids, owners, and counters — the
+// routing pipeline has no map-iteration nondeterminism.
+func TestShardRoutingDeterministic(t *testing.T) {
+	build := func() (*ShardedHypergraph, string) {
+		g := NewShardedHypergraph(3)
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 200; i++ {
+			switch rng.Intn(3) {
+			case 0, 1:
+				g.AddEdge([]Vertex{sv("t", rng.Intn(40)), sv("t", rng.Intn(40))}, "e")
+			default:
+				v := sv("t", rng.Intn(40))
+				g.RemoveVertex(v)
+			}
+		}
+		verts := g.ConflictingVertices()
+		sort.Slice(verts, func(a, b int) bool {
+			if verts[a].Rel != verts[b].Rel {
+				return verts[a].Rel < verts[b].Rel
+			}
+			return verts[a].Row < verts[b].Row
+		})
+		sig := fmt.Sprintf("mig=%d rec=%d", g.Migrations(), g.Reclamations())
+		for _, v := range verts {
+			ref, _ := g.ComponentOf(v)
+			sig += fmt.Sprintf(";%v=%d/%d", v, ref.ID, ref.FP)
+		}
+		return g, sig
+	}
+	g1, sig1 := build()
+	_, sig2 := build()
+	if sig1 != sig2 {
+		t.Fatal("same script produced different shard states")
+	}
+	checkShardInvariants(t, g1, "deterministic build")
+}
+
+// TestShardedK1BitIdentity drives a K=1 sharded graph and a plain
+// Hypergraph through the same script and asserts identical component ids,
+// fingerprints, and edge sets — the unsharded configuration is exactly the
+// legacy code path.
+func TestShardedK1BitIdentity(t *testing.T) {
+	g := NewShardedHypergraph(1)
+	h := NewHypergraph()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 300; i++ {
+		switch rng.Intn(3) {
+		case 0, 1:
+			verts := []Vertex{sv("t", rng.Intn(30)), sv("t", rng.Intn(30))}
+			if ga, ha := g.AddEdge(verts, "e"), h.AddEdge(verts, "e"); ga != ha {
+				t.Fatalf("step %d: AddEdge returned %v (sharded) vs %v (plain)", i, ga, ha)
+			}
+		default:
+			v := sv("t", rng.Intn(30))
+			if gn, hn := g.RemoveVertex(v), h.RemoveVertex(v); gn != hn {
+				t.Fatalf("step %d: RemoveVertex removed %d (sharded) vs %d (plain)", i, gn, hn)
+			}
+		}
+	}
+	if g.NumEdges() != h.NumEdges() || g.NumComponents() != h.NumComponents() {
+		t.Fatalf("aggregate mismatch: sharded e=%d c=%d, plain e=%d c=%d",
+			g.NumEdges(), g.NumComponents(), h.NumEdges(), h.NumComponents())
+	}
+	for _, v := range h.ConflictingVertices() {
+		gr, gok := g.ComponentOf(v)
+		hr, hok := h.ComponentOf(v)
+		if gok != hok || gr != hr {
+			t.Fatalf("vertex %v: sharded ref %v/%v, plain ref %v/%v — K=1 must be bit-identical", v, gr, gok, hr, hok)
+		}
+	}
+	if g.Migrations() != 0 || g.Reclamations() != 0 {
+		t.Fatalf("K=1 recorded migrations=%d reclamations=%d, want 0/0", g.Migrations(), g.Reclamations())
+	}
+}
+
+// TestShardedMatchesPlainRandomized replays a random script into a K-way
+// sharded graph and a plain graph and asserts the partition semantics
+// agree: same edge multiset, same conflicting vertices, same component
+// grouping (ids differ; the partition may not), and agreeing independence
+// answers.
+func TestShardedMatchesPlainRandomized(t *testing.T) {
+	for _, k := range []int{2, 3, 4} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			g := NewShardedHypergraph(k)
+			h := NewHypergraph()
+			rng := rand.New(rand.NewSource(int64(100 + k)))
+			for i := 0; i < 400; i++ {
+				switch rng.Intn(4) {
+				case 0, 1, 2:
+					n := 2 + rng.Intn(2) // binary and ternary edges
+					verts := make([]Vertex, n)
+					for j := range verts {
+						verts[j] = sv("t", rng.Intn(36))
+					}
+					g.AddEdge(verts, "e")
+					h.AddEdge(verts, "e")
+				default:
+					v := sv("t", rng.Intn(36))
+					g.RemoveVertex(v)
+					h.RemoveVertex(v)
+				}
+			}
+			checkShardInvariants(t, g, "randomized")
+
+			ge, he := make(map[string]bool), make(map[string]bool)
+			for _, e := range g.Edges() {
+				ge[e.key()] = true
+			}
+			for _, e := range h.Edges() {
+				he[e.key()] = true
+			}
+			if len(ge) != len(he) || len(ge) != g.NumEdges() {
+				t.Fatalf("edge sets differ: sharded %d, plain %d", len(ge), len(he))
+			}
+			for key := range he {
+				if !ge[key] {
+					t.Fatalf("plain edge %q missing from sharded graph", key)
+				}
+			}
+
+			// Same partition: vertices share a sharded component iff they
+			// share a plain component.
+			gID := make(map[Vertex]uint64)
+			hID := make(map[Vertex]uint64)
+			for _, v := range h.ConflictingVertices() {
+				gr, ok := g.ComponentOf(v)
+				if !ok {
+					t.Fatalf("vertex %v unlabeled in sharded graph", v)
+				}
+				hr, _ := h.ComponentOf(v)
+				gID[v], hID[v] = gr.ID, hr.ID
+			}
+			g2h := make(map[uint64]uint64)
+			h2g := make(map[uint64]uint64)
+			for v := range hID {
+				if id, ok := g2h[gID[v]]; ok && id != hID[v] {
+					t.Fatalf("sharded component %d spans plain components %d and %d", gID[v], id, hID[v])
+				}
+				if id, ok := h2g[hID[v]]; ok && id != gID[v] {
+					t.Fatalf("plain component %d split across sharded components %d and %d", hID[v], id, gID[v])
+				}
+				g2h[gID[v]] = hID[v]
+				h2g[hID[v]] = gID[v]
+			}
+
+			// Independence agreement on random vertex sets.
+			verts := h.ConflictingVertices()
+			if len(verts) == 0 {
+				t.Skip("degenerate script: no conflicts")
+			}
+			for trial := 0; trial < 100; trial++ {
+				s := VertexSet{}
+				for j := 0; j < 1+rng.Intn(4); j++ {
+					s[verts[rng.Intn(len(verts))]] = true
+				}
+				extra := verts[rng.Intn(len(verts))]
+				if gi, hi := g.Independent(s), h.Independent(s); gi != hi {
+					t.Fatalf("Independent(%v): sharded %v, plain %v", s, gi, hi)
+				}
+				if gi, hi := g.IndependentWith(s, extra), h.IndependentWith(s, extra); gi != hi {
+					t.Fatalf("IndependentWith(%v, %v): sharded %v, plain %v", s, extra, gi, hi)
+				}
+			}
+		})
+	}
+}

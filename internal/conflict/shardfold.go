@@ -1,0 +1,381 @@
+package conflict
+
+import (
+	"sort"
+	"strings"
+	"sync"
+
+	"hippo/internal/storage"
+)
+
+// Parallel shard fold: draining a batch of DML deltas into a sharded
+// hypergraph in three phases.
+//
+//  1. Probe (parallel, read-only): every insert delta's violation edges
+//     are enumerated into a private collector — no graph mutation, so the
+//     probes fan out across workers. An insert whose row is deleted later
+//     in the same batch is skipped (its edges would be transient), and no
+//     probed edge can reference any batch-deleted row: probes read storage
+//     after the whole batch committed, where those rows are tombstoned.
+//     With deletions excluded this way, the surviving primitive operations
+//     commute across components, so per-shard application needs no global
+//     order — only each shard's own statement order.
+//  2. Route (sequential): a union-find over routing keys — the existing
+//     component of each endpoint, or the vertex itself when conflict-free
+//     — groups operations that may interact. Each group is assigned a
+//     deterministic owner shard (heaviest involved shard by edge count,
+//     ties to the lowest index; a hash of the group's first edge when all
+//     endpoints are new), and components owned elsewhere migrate to it.
+//  3. Apply (parallel): each shard folds its own operation queue, in the
+//     original statement order, entirely shard-locally — separate state,
+//     separate change log, no shared locks.
+type FoldOp struct {
+	// Delete names a vertex whose incident edges must be removed.
+	Delete *Vertex
+	// Edges are the pre-probed violation edges of one insert delta.
+	Edges []ProbedEdge
+}
+
+// ProbedEdge is one violation edge found by a read-only probe, already
+// canonicalized (sorted, deduplicated vertex set).
+type ProbedEdge struct {
+	Verts []Vertex
+	Label string
+	key   string
+}
+
+// edgeCollector accumulates probed edges without touching any graph. It
+// deduplicates within itself only; the owning shard deduplicates against
+// existing edges at apply time.
+type edgeCollector struct {
+	edges []ProbedEdge
+	keys  map[string]struct{}
+}
+
+func (c *edgeCollector) AddEdge(verts []Vertex, label string) bool {
+	e := newEdge(verts, label)
+	if len(e.Verts) == 0 {
+		return false
+	}
+	k := e.key()
+	if _, ok := c.keys[k]; ok {
+		return false
+	}
+	if c.keys == nil {
+		c.keys = make(map[string]struct{})
+	}
+	c.keys[k] = struct{}{}
+	c.edges = append(c.edges, ProbedEdge{Verts: e.Verts, Label: e.Label, key: k})
+	return true
+}
+
+// ProbeInsert enumerates the violation edges an insert delta introduces,
+// without mutating the hypergraph. It reads only table and index state, so
+// concurrent calls are safe while writes are frozen. Returns the probed
+// edges and the number of tuple combinations examined.
+func (inc *IncrementalDetector) ProbeInsert(d Delta) ([]ProbedEdge, int64, error) {
+	rel := strings.ToLower(d.Table)
+	pin := &pinnedRow{ID: d.Change.Row, Row: d.Change.Tuple}
+	var col edgeCollector
+	var stats DetectStats
+	if err := runProbes(&col, inc.probes[rel], pin, &stats); err != nil {
+		return nil, 0, err
+	}
+	return col.edges, stats.Combinations, nil
+}
+
+// FoldBatch drains a batch of deltas into a sharded hypergraph using the
+// three-phase parallel pipeline above, with up to `workers` concurrent
+// goroutines in the probe and apply phases. Statement order is preserved
+// per shard. On a probe error the graph is left unchanged and the caller
+// must fall back to a full re-detection.
+func (inc *IncrementalDetector) FoldBatch(g *ShardedHypergraph, deltas []Delta, workers int) error {
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Deleted-vertex set: inserts of these rows are skipped (their edges
+	// would be removed again within the batch).
+	deleted := make(map[Vertex]struct{})
+	for _, d := range deltas {
+		if d.Change.Kind == storage.ChangeDelete {
+			deleted[Vertex{Rel: strings.ToLower(d.Table), Row: d.Change.Row}] = struct{}{}
+		}
+	}
+
+	// Phase 1: parallel read-only probes, one op slot per delta.
+	ops := make([]FoldOp, len(deltas))
+	combos := make([]int64, len(deltas))
+	errs := make([]error, len(deltas))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, d := range deltas {
+		rel := strings.ToLower(d.Table)
+		if d.Change.Kind == storage.ChangeDelete {
+			v := Vertex{Rel: rel, Row: d.Change.Row}
+			ops[i].Delete = &v
+			continue
+		}
+		if _, gone := deleted[Vertex{Rel: rel, Row: d.Change.Row}]; gone {
+			continue // transient insert: edges would not survive the batch
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, d Delta) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			edges, n, err := inc.ProbeInsert(d)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			// Defensive: drop any edge touching a batch-deleted row (none
+			// should exist — tombstoned rows are invisible to probes).
+			kept := edges[:0]
+			for _, e := range edges {
+				ok := true
+				for _, v := range e.Verts {
+					if _, gone := deleted[v]; gone {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					kept = append(kept, e)
+				}
+			}
+			ops[i].Edges = kept
+			combos[i] = n
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+
+	// Phase 2: sequential routing — union-find, owner choice, migrations.
+	shardOps := g.routeOps(ops)
+
+	// Phase 3: parallel shard-local apply in per-shard statement order.
+	added := make([]int64, g.k)
+	removed := make([]int64, g.k)
+	var awg sync.WaitGroup
+	for i := 0; i < g.k; i++ {
+		if len(shardOps[i]) == 0 {
+			continue
+		}
+		awg.Add(1)
+		go func(i int) {
+			defer awg.Done()
+			h := g.shards[i]
+			for _, op := range shardOps[i] {
+				if op.del != nil {
+					removed[i] += int64(h.RemoveVertex(*op.del))
+					continue
+				}
+				if h.AddEdge(op.edge.Verts, op.edge.Label) {
+					added[i]++
+				}
+			}
+		}(i)
+	}
+	awg.Wait()
+	for i := 0; i < g.k; i++ {
+		g.reclaimEmptyShard(i)
+	}
+
+	inc.stats.DeltasApplied += int64(len(deltas))
+	for _, n := range combos {
+		inc.stats.Combinations += n
+	}
+	for i := 0; i < g.k; i++ {
+		inc.stats.EdgesAdded += added[i]
+		inc.stats.EdgesRemoved += removed[i]
+	}
+	return nil
+}
+
+// primOp is one routed primitive mutation: a vertex deletion or a single
+// edge insertion.
+type primOp struct {
+	del  *Vertex
+	edge *ProbedEdge
+}
+
+// routeKey identifies a union-find node: an existing component (routed by
+// id) or a so-far conflict-free vertex (routed by identity).
+type routeKey struct {
+	comp   uint64
+	vert   Vertex
+	isComp bool
+}
+
+// routeOps groups the batch's primitive operations by potential
+// interaction and returns per-shard operation queues, after migrating
+// every group's components to the group's owner shard. Sequential; runs
+// between the parallel probe and apply phases.
+func (g *ShardedHypergraph) routeOps(ops []FoldOp) [][]primOp {
+	uf := newUnionFind()
+	keyOf := func(v Vertex) routeKey {
+		if ref, ok := g.ComponentOf(v); ok {
+			return routeKey{comp: ref.ID, isComp: true}
+		}
+		return routeKey{vert: v}
+	}
+
+	// Build the union-find in statement order (first-encounter order keeps
+	// group representatives deterministic).
+	type placed struct {
+		op   primOp
+		node int
+	}
+	seq := make([]placed, 0, len(ops))
+	for i := range ops {
+		if ops[i].Delete != nil {
+			v := ops[i].Delete
+			k := keyOf(*v)
+			if !k.isComp {
+				continue // conflict-free delete: no edges to remove
+			}
+			seq = append(seq, placed{op: primOp{del: v}, node: uf.node(k)})
+			continue
+		}
+		for j := range ops[i].Edges {
+			e := &ops[i].Edges[j]
+			first := uf.node(keyOf(e.Verts[0]))
+			for _, v := range e.Verts[1:] {
+				uf.union(first, uf.node(keyOf(v)))
+			}
+			seq = append(seq, placed{op: primOp{edge: e}, node: first})
+		}
+	}
+
+	// Per group: involved components (with a representative vertex for the
+	// migration walk) and the first edge key for the all-new fallback.
+	type group struct {
+		comps     []uint64
+		repVert   map[uint64]Vertex
+		firstEdge string
+	}
+	groups := make(map[int]*group)
+	getGroup := func(root int) *group {
+		gr := groups[root]
+		if gr == nil {
+			gr = &group{repVert: make(map[uint64]Vertex)}
+			groups[root] = gr
+		}
+		return gr
+	}
+	for k, n := range uf.nodes {
+		if k.isComp {
+			gr := getGroup(uf.find(n))
+			gr.comps = append(gr.comps, k.comp)
+		}
+	}
+	for _, p := range seq {
+		if p.op.edge == nil {
+			continue
+		}
+		gr := getGroup(uf.find(p.node))
+		if gr.firstEdge == "" {
+			gr.firstEdge = p.op.edge.key
+		}
+		for _, v := range p.op.edge.Verts {
+			if ref, ok := g.ComponentOf(v); ok {
+				gr.repVert[ref.ID] = v
+			}
+		}
+	}
+	// Deletes contribute representative vertices for their components too.
+	for _, p := range seq {
+		if p.op.del != nil {
+			if ref, ok := g.ComponentOf(*p.op.del); ok {
+				getGroup(uf.find(p.node)).repVert[ref.ID] = *p.op.del
+			}
+		}
+	}
+
+	// Owner per group: heaviest involved shard by component edge count,
+	// ties to the lowest index; hash of the first edge when all-new.
+	owner := make(map[int]int)
+	for root, gr := range groups {
+		sort.Slice(gr.comps, func(a, b int) bool { return gr.comps[a] < gr.comps[b] })
+		if len(gr.comps) == 0 {
+			owner[root] = int(edgeHash(gr.firstEdge) % uint64(g.k))
+			continue
+		}
+		weight := make(map[int]int)
+		for _, id := range gr.comps {
+			if c, ok := g.Component(id); ok {
+				weight[g.ShardOfComponent(id)] += c.Edges
+			}
+		}
+		best := -1
+		for i := 0; i < g.k; i++ {
+			if w, ok := weight[i]; ok && (best == -1 || w > weight[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			best = int(edgeHash(gr.firstEdge) % uint64(g.k))
+		}
+		owner[root] = best
+		for _, id := range gr.comps {
+			from := g.ShardOfComponent(id)
+			if from == best {
+				continue
+			}
+			if v, ok := gr.repVert[id]; ok {
+				g.migrate(v, from, best)
+			}
+		}
+	}
+
+	// Per-shard queues in original statement order.
+	out := make([][]primOp, g.k)
+	for _, p := range seq {
+		out[owner[uf.find(p.node)]] = append(out[owner[uf.find(p.node)]], p.op)
+	}
+	return out
+}
+
+// unionFind is a small union-find over routing keys.
+type unionFind struct {
+	nodes  map[routeKey]int
+	parent []int
+}
+
+func newUnionFind() *unionFind { return &unionFind{nodes: make(map[routeKey]int)} }
+
+func (u *unionFind) node(k routeKey) int {
+	if n, ok := u.nodes[k]; ok {
+		return n
+	}
+	n := len(u.parent)
+	u.nodes[k] = n
+	u.parent = append(u.parent, n)
+	return n
+}
+
+func (u *unionFind) find(n int) int {
+	for u.parent[n] != n {
+		u.parent[n] = u.parent[u.parent[n]]
+		n = u.parent[n]
+	}
+	return n
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	// The smaller-numbered root wins, keeping representatives stable in
+	// first-encounter order.
+	if rb < ra {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+}

@@ -115,6 +115,7 @@ type Stats struct {
 	ProverMode   ProverMode
 	Epoch        uint64 // epoch of the query view the run was served from
 	Workers      int    // certification worker-pool size used
+	Shards       int    // certification shards (K) of the serving system
 	QueryPlan    string // formatted input plan
 	EnvelopePlan string // formatted envelope plan
 	// Streamed reports whether the run used the streaming pipeline
@@ -142,6 +143,11 @@ type MaintenanceStats struct {
 	ViewsPublished int64 // query views published (== current epoch)
 	ViewsReclaimed int64 // retired views dropped after their last unpin
 	SlabsReclaimed int64 // storage slabs uniquely retired by those views
+	// Migrations counts components moved between certification shards by
+	// cross-shard merges; ShardReclaims counts emptied shards whose state
+	// was released. Both stay 0 in the unsharded (K=1) configuration.
+	Migrations    int64
+	ShardReclaims int64
 	// Cache is the verdict cache's lifetime counters, snapshotted at the
 	// view's publication (System.CacheStats reads them live).
 	Cache verdictcache.Stats
@@ -155,6 +161,8 @@ func (m MaintenanceStats) Sub(o MaintenanceStats) MaintenanceStats {
 		ViewsPublished:   m.ViewsPublished - o.ViewsPublished,
 		ViewsReclaimed:   m.ViewsReclaimed - o.ViewsReclaimed,
 		SlabsReclaimed:   m.SlabsReclaimed - o.SlabsReclaimed,
+		Migrations:       m.Migrations - o.Migrations,
+		ShardReclaims:    m.ShardReclaims - o.ShardReclaims,
 		Cache:            m.Cache.Sub(o.Cache),
 	}
 }
@@ -164,11 +172,12 @@ func (m MaintenanceStats) Sub(o MaintenanceStats) MaintenanceStats {
 type queryView struct {
 	epoch      uint64
 	snap       *engine.Snapshot
-	hg         *conflict.HypergraphSnapshot
+	hg         *conflict.ShardedSnapshot
 	ti         *conflict.TupleIndex
 	detStats   conflict.DetectStats
 	graphStats conflict.Stats
 	maint      MaintenanceStats
+	shards     int
 }
 
 // retiredView is a replaced view still pinned by at least one Snapshot,
@@ -200,11 +209,17 @@ type System struct {
 	// across a run, reproducing the old architecture's contention.
 	mu          sync.RWMutex
 	constraints []constraint.Constraint
-	hg          *conflict.Hypergraph
-	inc         *conflict.IncrementalDetector
-	detStats    conflict.DetectStats
-	epoch       uint64
-	maint       MaintenanceStats
+	hg          *conflict.ShardedHypergraph
+	// shards is the certification-plane shard count K, fixed at system
+	// creation. K = 1 (the default) delegates every operation to a single
+	// Hypergraph and drains deltas sequentially — bit-identical to the
+	// pre-shard path; K > 1 partitions the hypergraph by connected
+	// component and drains/invalidate in parallel.
+	shards   int
+	inc      *conflict.IncrementalDetector
+	detStats conflict.DetectStats
+	epoch    uint64
+	maint    MaintenanceStats
 
 	// qmu guards the delta queue shared with the engine's change feed.
 	// Writers only ever take qmu (never mu), so DML is never blocked
@@ -245,17 +260,51 @@ type errBox struct{ err error }
 // NewSystem creates a Hippo system over db with the given constraints and
 // subscribes it to db's change feed. Call Analyze (or let the first query
 // trigger it) before querying, and Close when discarding the system while
-// the database lives on.
+// the database lives on. The certification plane is unsharded (K = 1);
+// use NewSystemShards for component-sharded parallel certification.
 func NewSystem(db *engine.DB, cs []constraint.Constraint) *System {
+	return NewSystemShards(db, cs, 1)
+}
+
+// MaxShards bounds the certification shard count: component ids route as
+// id % K, and beyond a small K the per-vertex shard probes outweigh any
+// drain parallelism on realistic component size distributions.
+const MaxShards = 16
+
+// NewSystemShards is NewSystem with the certification plane partitioned
+// into K component shards (clamped to [1, MaxShards]). K = 1 is
+// bit-identical to NewSystem.
+func NewSystemShards(db *engine.DB, cs []constraint.Constraint, shards int) *System {
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > MaxShards {
+		shards = MaxShards
+	}
 	s := &System{
 		db:          db,
 		constraints: cs,
+		shards:      shards,
 		pins:        make(map[uint64]int),
 		vcache:      verdictcache.New(0),
 	}
 	s.stale.Store(true)
 	db.AddListener(s)
 	return s
+}
+
+// Shards returns the certification-plane shard count K.
+func (s *System) Shards() int { return s.shards }
+
+// ShardStats reports the live per-shard hypergraph sizes (empty before the
+// first analysis).
+func (s *System) ShardStats() []conflict.ShardInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.hg == nil {
+		return nil
+	}
+	return s.hg.ShardStats()
 }
 
 // Close unsubscribes the system from the database's change feed, drops
@@ -373,6 +422,28 @@ func (s *System) DataChanged(table string, ch storage.Change) {
 	s.nudgeCheckpointer()
 }
 
+// DataBatch queues a committed batch's coalesced change feed in one lock
+// acquisition. It implements engine.BatchListener: the engine hands whole
+// batches here instead of row by row, so a bulk load reaches the next
+// drain — and, with K > 1, the parallel fold — as one contiguous run of
+// deltas.
+func (s *System) DataBatch(changes []storage.TableChange) {
+	s.qmu.Lock()
+	if s.analyzed && !s.needFull {
+		if len(s.pending)+len(changes) > maxPendingDeltas {
+			s.needFull = true
+			s.pending = nil
+		} else {
+			for _, tc := range changes {
+				s.pending = append(s.pending, conflict.Delta{Table: tc.Table, Change: tc.Change})
+			}
+		}
+	}
+	s.qmu.Unlock()
+	s.stale.Store(true)
+	s.nudgeCheckpointer()
+}
+
 // SchemaChanged schedules a full re-detection: DDL changes the relation
 // set the tuple index and compiled probes are built over. It implements
 // engine.ChangeListener.
@@ -421,11 +492,14 @@ func (s *System) analyzeFullFrozen() error {
 	if err != nil {
 		return err
 	}
-	inc, err := conflict.NewIncrementalDetector(s.db, h, s.constraints)
+	// K = 1 adopts the detected graph in place; K > 1 repartitions it by
+	// connected component.
+	sh := conflict.ShardHypergraph(h, s.shards)
+	inc, err := conflict.NewIncrementalDetector(s.db, sh, s.constraints)
 	if err != nil {
 		return err
 	}
-	s.hg, s.inc, s.detStats = h, inc, st
+	s.hg, s.inc, s.detStats = sh, inc, st
 	s.maint.FullRebuilds++
 	s.qmu.Lock()
 	s.analyzed, s.needFull = true, false
@@ -434,13 +508,16 @@ func (s *System) analyzeFullFrozen() error {
 	return nil
 }
 
-// Hypergraph returns the live conflict hypergraph (Analyze must have
-// run). The graph is mutated in place by later delta drains; callers that
-// keep it across queries running concurrently with DML should use a
-// Snapshot instead (or Clone it).
-func (s *System) Hypergraph() *conflict.Hypergraph {
+// Hypergraph returns the live conflict graph (Analyze must have run). The
+// graph is mutated in place by later delta drains; callers that keep it
+// across queries running concurrently with DML should use a Snapshot
+// instead.
+func (s *System) Hypergraph() conflict.Graph {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
+	if s.hg == nil {
+		return nil
+	}
 	return s.hg
 }
 
@@ -565,12 +642,14 @@ func (s *System) refreshViewLocked() (*queryView, error) {
 		for id := range log.Touched {
 			touched = append(touched, id)
 		}
-		s.vcache.Advance(s.epoch, s.cacheInvalidationsFrozen(pending, log), touched)
+		s.advanceCacheFrozen(s.cacheInvalidationsFrozen(pending, log), touched)
 	} else {
 		s.vcache.Advance(s.epoch, nil, nil)
 	}
 	s.maint.Cache = s.vcache.Stats()
 	s.maint.ViewsPublished++
+	s.maint.Migrations = s.hg.Migrations()
+	s.maint.ShardReclaims = s.hg.Reclamations()
 	v := &queryView{
 		epoch:      s.epoch,
 		snap:       snap,
@@ -578,6 +657,7 @@ func (s *System) refreshViewLocked() (*queryView, error) {
 		ti:         conflict.NewSnapshotTupleIndex(snap.Tables()),
 		detStats:   s.detStats,
 		graphStats: hgSnap.Stats(),
+		shards:     s.shards,
 	}
 	if old := s.view.Load(); old != nil {
 		s.retireLocked(old, v)
@@ -616,16 +696,64 @@ func (s *System) cacheInvalidationsFrozen(pending []conflict.Delta, log *conflic
 
 // applyDeltasFrozen folds queued deltas into the hypergraph; a probe
 // failure falls back to a full rescan rather than serving wrong answers.
-// The caller holds mu and the engine write freeze.
+// The caller holds mu and the engine write freeze. With K=1 this is the
+// original sequential fold, statement by statement — bit-identical to the
+// pre-shard drain. With K>1 the batch goes through the three-phase
+// parallel pipeline (read-only probes fan out, routing is sequential,
+// per-shard application runs concurrently with no shared locks).
 func (s *System) applyDeltasFrozen(pending []conflict.Delta) error {
 	before := s.inc.Stats()
-	for _, d := range pending {
-		if err := s.inc.Apply(d); err != nil {
+	if s.shards > 1 {
+		if err := s.inc.FoldBatch(s.hg, pending, runtime.GOMAXPROCS(0)); err != nil {
 			return s.analyzeFullFrozen()
+		}
+	} else {
+		for _, d := range pending {
+			if err := s.inc.Apply(d); err != nil {
+				return s.analyzeFullFrozen()
+			}
 		}
 	}
 	s.maint.IncrementalStats.Add(s.inc.Stats().Sub(before))
 	return nil
+}
+
+// advanceCacheFrozen moves the verdict cache into the epoch being
+// published, dropping the entries the drain's invalidation set names. With
+// K=1 it is the single Advance call of the pre-shard publisher. With K>1
+// the touched component ids are partitioned by owning certification shard
+// and invalidated from one worker per shard concurrently (Invalidate is
+// concurrent-safe); the atom set rides with shard 0's worker, and the
+// epoch is sealed only after every worker finishes, preserving the
+// publisher's invariant that no entry with a stale dependency survives
+// into the new epoch. The caller holds mu and the engine write freeze.
+func (s *System) advanceCacheFrozen(atoms []string, touched []uint64) {
+	if s.shards <= 1 {
+		s.vcache.Advance(s.epoch, atoms, touched)
+		return
+	}
+	byShard := make([][]uint64, s.shards)
+	for _, id := range touched {
+		sh := s.hg.ShardOfComponent(id)
+		byShard[sh] = append(byShard[sh], id)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < s.shards; i++ {
+		var a []string
+		if i == 0 {
+			a = atoms
+		}
+		if len(a) == 0 && len(byShard[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(atoms []string, comps []uint64) {
+			defer wg.Done()
+			s.vcache.Invalidate(atoms, comps)
+		}(a, byShard[i])
+	}
+	wg.Wait()
+	s.vcache.SealEpoch(s.epoch)
 }
 
 // retireLocked accounts for a replaced view: reclaimed immediately when
@@ -831,6 +959,7 @@ func (s *System) runQueryViewBound(ctx context.Context, v *queryView, plan ra.No
 		GraphStats:  v.graphStats,
 		Maintenance: v.maint,
 		Epoch:       v.epoch,
+		Shards:      v.shards,
 		QueryPlan:   ra.Format(plan),
 	}
 	queriesBefore := s.db.QueryCount()
@@ -1233,15 +1362,15 @@ func FormatStats(st *Stats) string {
 		order = "-"
 	}
 	return fmt.Sprintf(
-		"mode=%s candidates=%d answers=%d workers=%d epoch=%d\n"+
+		"mode=%s candidates=%d answers=%d workers=%d shards=%d epoch=%d\n"+
 			"planner: eval=%s join-order=%s peak-intermediate-rows=%d\n"+
 			"envelope=%v evaluation=%v prover=%v total=%v\n"+
 			"membership-checks=%d disjuncts=%d blocker-choices=%d engine-queries=%d\n"+
 			"hypergraph: edges=%d conflicting-tuples=%d max-degree=%d components=%d max-component=%d\n"+
 			"verdict-cache: hits=%d misses=%d entries=%d invalidated=%d\n"+
-			"maintenance: deltas=%d edges+%d edges-%d full-rebuilds=%d\n"+
+			"maintenance: deltas=%d edges+%d edges-%d full-rebuilds=%d migrations=%d shard-reclaims=%d\n"+
 			"snapshots: published=%d reclaimed=%d slabs-reclaimed=%d",
-		st.ProverMode, st.Candidates, st.Answers, st.Workers, st.Epoch,
+		st.ProverMode, st.Candidates, st.Answers, st.Workers, st.Shards, st.Epoch,
 		eval, order, st.PeakIntermediate,
 		st.Envelope, st.Evaluation, st.ProverTime, st.Total,
 		st.ProverStats.MembershipChecks, st.ProverStats.Disjuncts,
@@ -1252,6 +1381,7 @@ func FormatStats(st *Stats) string {
 		st.Maintenance.Cache.Entries, st.Maintenance.Cache.Invalidated,
 		st.Maintenance.DeltasApplied, st.Maintenance.EdgesAdded,
 		st.Maintenance.EdgesRemoved, st.Maintenance.FullRebuilds,
+		st.Maintenance.Migrations, st.Maintenance.ShardReclaims,
 		st.Maintenance.ViewsPublished, st.Maintenance.ViewsReclaimed,
 		st.Maintenance.SlabsReclaimed)
 }

@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+)
+
+// TestShardedScatterGatherStress is the sharded counterpart of
+// TestConcurrentServingPrefixConsistency: a writer applies a deterministic
+// update sequence while concurrent consistent readers scatter
+// certification across K shards, asserting prefix consistency (every
+// answer set matches some prefix of the applied statements) and per-reader
+// epoch monotonicity, with cross-checks against an unsharded system fed
+// the same sequence. After shutdown a goroutine-leak gate verifies the
+// scatter/gather and maintenance machinery unwound completely. Run under
+// -race in CI.
+func TestShardedScatterGatherStress(t *testing.T) {
+	const steps = 240
+	script, legal := stressScript(steps)
+
+	baseline := runtime.NumGoroutine()
+
+	for _, k := range []int{2, 4} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			db := engine.New()
+			mustExec(db, "CREATE TABLE log (gid INT, val INT)")
+			s := NewSystemShards(db, []constraint.Constraint{
+				constraint.FD{Rel: "log", LHS: []string{"gid"}, RHS: []string{"val"}},
+			}, k)
+			if _, err := s.Analyze(); err != nil {
+				t.Fatal(err)
+			}
+
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+
+			// Writer: alternate single statements and small batches so both
+			// the per-delta and the batch change-feed paths drain through
+			// the parallel fold.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer close(done)
+				i := 0
+				for i < len(script) {
+					if i%5 == 0 && i+2 <= len(script) && script[i].insert && script[i+1].insert {
+						if _, err := db.ExecBatch([]string{
+							fmt.Sprintf("INSERT INTO log VALUES (%d, %d)", script[i].gid, script[i].val),
+							fmt.Sprintf("INSERT INTO log VALUES (%d, %d)", script[i+1].gid, script[i+1].val),
+						}); err != nil {
+							t.Errorf("batch: %v", err)
+							return
+						}
+						i += 2
+						continue
+					}
+					st := script[i]
+					if st.insert {
+						mustExec(db, fmt.Sprintf("INSERT INTO log VALUES (%d, %d)", st.gid, st.val))
+					} else {
+						mustExec(db, fmt.Sprintf("DELETE FROM log WHERE gid = %d AND val = %d", st.gid, st.val))
+					}
+					i++
+				}
+			}()
+
+			// Readers: scatter/gather certification across the K shards;
+			// answers must match a prefix, epochs must be monotone.
+			const readers = 4
+			for r := 0; r < readers; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					lastEpoch := uint64(0)
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						res, st, err := s.ConsistentQuery("SELECT * FROM log", Options{})
+						if err != nil {
+							t.Errorf("reader %d: %v", r, err)
+							return
+						}
+						key := strings.Join(rowStrings(res.Rows), " ")
+						if _, ok := legal[key]; !ok {
+							t.Errorf("reader %d: answers %q match no prefix of the update sequence", r, key)
+							return
+						}
+						if st.Epoch < lastEpoch {
+							t.Errorf("reader %d: epoch went backwards (%d after %d)", r, st.Epoch, lastEpoch)
+							return
+						}
+						if st.Shards != k {
+							t.Errorf("reader %d: served with shards=%d, want %d", r, st.Shards, k)
+							return
+						}
+						lastEpoch = st.Epoch
+					}
+				}(r)
+			}
+
+			wg.Wait()
+
+			// The final answers must observe the full sequence.
+			res, _, err := s.ConsistentQuery("SELECT * FROM log", Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			key := strings.Join(rowStrings(res.Rows), " ")
+			want := ""
+			for kk, v := range legal {
+				if v == steps {
+					want = kk
+				}
+			}
+			if key != want {
+				t.Fatalf("final answers %q != expected full-sequence answers %q", key, want)
+			}
+			if m := s.Maintenance(); m.FullRebuilds != 1 {
+				t.Errorf("sharded stress ran %d full rebuilds, want 1", m.FullRebuilds)
+			}
+			if err := s.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+
+	// Goroutine-leak gate: after both systems closed, the count must settle
+	// back to the pre-test baseline (modulo runtime helpers that may take a
+	// moment to park).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutine leak after shutdown: %d running, baseline %d\n%s",
+				runtime.NumGoroutine(), baseline, buf[:n])
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -115,9 +115,7 @@ func (db *DB) commitLogged(feed, coalesced []storage.TableChange) error {
 			return fmt.Errorf("engine: commit log append: %w", err)
 		}
 	}
-	for _, tc := range coalesced {
-		db.notifyData(tc.Table, tc.Change)
-	}
+	db.notifyBatch(coalesced)
 	return nil
 }
 

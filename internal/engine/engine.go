@@ -37,6 +37,19 @@ type ChangeListener interface {
 	SchemaChanged(reason string)
 }
 
+// BatchListener is an optional extension of ChangeListener. A listener
+// that also implements it receives each committed batch's coalesced change
+// feed as one DataBatch call instead of per-row DataChanged calls, so it
+// can route the whole batch at once — the Hippo core feeds batches through
+// the sharded parallel fold this way. Single-statement writes still arrive
+// via DataChanged. The same delivery guarantees apply: the write sequencer
+// is held, changes are in mutation order, and the listener may read but
+// not write.
+type BatchListener interface {
+	ChangeListener
+	DataBatch(changes []storage.TableChange)
+}
+
 // DB is an in-memory SQL database: a catalog of tables plus a planner and
 // executor. It is safe for concurrent use by multiple readers and writers:
 // all writers (DML and DDL issued through the engine) are serialized by a
@@ -96,6 +109,24 @@ func (db *DB) notifyData(table string, ch storage.Change) {
 	db.lmu.RUnlock()
 	for _, l := range ls {
 		l.DataChanged(table, ch)
+	}
+}
+
+// notifyBatch delivers a committed batch's coalesced change feed:
+// listeners implementing BatchListener get the whole batch in one call,
+// the rest get the per-change feed in mutation order.
+func (db *DB) notifyBatch(changes []storage.TableChange) {
+	db.lmu.RLock()
+	ls := db.listeners
+	db.lmu.RUnlock()
+	for _, l := range ls {
+		if bl, ok := l.(BatchListener); ok {
+			bl.DataBatch(changes)
+			continue
+		}
+		for _, tc := range changes {
+			l.DataChanged(tc.Table, tc.Change)
+		}
 	}
 }
 

@@ -135,9 +135,12 @@ type depTracker struct {
 	comps map[uint64]uint64 // component id -> fingerprint
 }
 
-// Prover checks candidate tuples against the conflict hypergraph.
+// Prover checks candidate tuples against the conflict hypergraph. H is
+// the shard-boundary interface: a plain *conflict.Hypergraph or a
+// component-sharded *conflict.ShardedHypergraph — every read the blocker
+// search issues resolves within one component, hence within one shard.
 type Prover struct {
-	H      *conflict.Hypergraph
+	H      conflict.Graph
 	Member Membership
 	// DisablePruning delays independence checking to complete blocker
 	// assignments (the ablation in BenchmarkAblationPruning).
@@ -157,8 +160,9 @@ type Prover struct {
 	Stats Stats
 }
 
-// New creates a prover over a hypergraph with the given membership source.
-func New(h *conflict.Hypergraph, m Membership) *Prover {
+// New creates a prover over a conflict graph with the given membership
+// source.
+func New(h conflict.Graph, m Membership) *Prover {
 	return &Prover{H: h, Member: m}
 }
 

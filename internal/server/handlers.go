@@ -79,7 +79,20 @@ type statsResponse struct {
 	ViewsPublished int64  `json:"views_published"`
 	ViewsReclaimed int64  `json:"views_reclaimed"`
 	SlabsReclaimed int64  `json:"slabs_reclaimed"`
-	Version        string `json:"version"`
+	// Certification sharding (K=1 reports shards=1, no shard list).
+	Shards        int         `json:"shards"`
+	Migrations    int64       `json:"migrations,omitempty"`
+	ShardReclaims int64       `json:"shard_reclaims,omitempty"`
+	ShardSizes    []shardWire `json:"shard_sizes,omitempty"`
+	Version       string      `json:"version"`
+}
+
+// shardWire is one certification shard's size on the wire.
+type shardWire struct {
+	Shard      int `json:"shard"`
+	Edges      int `json:"edges"`
+	Components int `json:"components"`
+	Vertices   int `json:"vertices"`
 }
 
 type errBody struct {
@@ -378,7 +391,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ViewsPublished: m.ViewsPublished,
 		ViewsReclaimed: m.ViewsReclaimed,
 		SlabsReclaimed: m.SlabsReclaimed,
+		Shards:         sys.Shards(),
+		Migrations:     m.Migrations,
+		ShardReclaims:  m.ShardReclaims,
 		Version:        hippo.Version,
+	}
+	if resp.Shards > 1 {
+		for _, si := range sys.ShardStats() {
+			resp.ShardSizes = append(resp.ShardSizes, shardWire{
+				Shard:      si.Shard,
+				Edges:      si.Edges,
+				Components: si.Components,
+				Vertices:   si.Vertices,
+			})
+		}
 	}
 	if resp.Durable {
 		resp.WALBytes = sys.WALBytes()

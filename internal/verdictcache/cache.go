@@ -256,10 +256,26 @@ func (sh *shard) unlink(key string, e *entry) {
 // by the drained deltas, or newly drawn into a conflict) or on a touched
 // component (one whose edge set — and hence fingerprint — changed).
 // Entries depending on neither survive into the new epoch. Only the view
-// publisher calls Advance; it walks the shards one at a time, and a Store
+// publisher calls Advance (directly, or as Invalidate + SealEpoch when a
+// sharded drain partitions the invalidation set across workers); a Store
 // racing ahead of it on a not-yet-advanced shard is safe — the stored
 // entry's dependencies are then checked when the walk reaches that shard.
 func (c *Cache) Advance(newEpoch uint64, atoms []string, comps []uint64) {
+	c.Invalidate(atoms, comps)
+	c.SealEpoch(newEpoch)
+}
+
+// Invalidate drops every entry depending on one of the given atoms or
+// touched component ids, without moving the epoch. It is safe for
+// concurrent use: a component-sharded drain partitions the touched set by
+// owning certification shard and invalidates from several workers at once,
+// each walking the key-hash shards independently. Returns the number of
+// entries dropped.
+func (c *Cache) Invalidate(atoms []string, comps []uint64) int64 {
+	if len(atoms) == 0 && len(comps) == 0 {
+		return 0
+	}
+	var dropped int64
 	for i := range c.shards {
 		sh := &c.shards[i]
 		sh.mu.Lock()
@@ -279,8 +295,22 @@ func (c *Cache) Advance(newEpoch uint64, atoms []string, comps []uint64) {
 				sh.unlink(key, e)
 				delete(sh.entries, key)
 				sh.stats.Invalidated++
+				dropped++
 			}
 		}
+		sh.mu.Unlock()
+	}
+	return dropped
+}
+
+// SealEpoch moves every key shard to the freshly published epoch, after
+// which stores from superseded views are rejected. The view publisher
+// calls it once per publication, after all Invalidate work for the drain
+// has finished.
+func (c *Cache) SealEpoch(newEpoch uint64) {
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
 		sh.epoch = newEpoch
 		sh.mu.Unlock()
 	}

@@ -8,11 +8,19 @@
 # E10 (incremental maintenance), E11 (concurrent serving), E12 (verdict
 # cache), E13 (group-commit batch pipeline), E14 (durable WAL writes +
 # recovery), E15 (streaming evaluation + cost-based planning vs the
-# materialized baseline), and E16 (the hippod HTTP serving tier:
-# connection sweep, deadline enforcement, drain/leak check), each run
-# exactly once (-benchtime=1x), plus the hippobench CLI path for the same
-# experiments at quick scale. The E12/E13/E14/E15/E16 quick-scale tables
-# are additionally recorded to BENCH_E1x.json.
+# materialized baseline), E16 (the hippod HTTP serving tier:
+# connection sweep, deadline enforcement, drain/leak check), and E17
+# (component-sharded certification: GOMAXPROCS sweep, sharded vs
+# unsharded with in-harness answer equality), each run exactly once
+# (-benchtime=1x), plus the hippobench CLI path for the same experiments
+# at quick scale. The E12..E17 quick-scale tables are additionally
+# recorded to BENCH_E1x.json.
+#
+# Knobs:
+#   BENCHGUARD_PROCS  comma-separated GOMAXPROCS sweep for the E17 record
+#                     (default "1,2"; set e.g. "1,2,4,8" on multi-core CI
+#                     runners). The chosen sweep dimension is recorded in
+#                     BENCH_E17.json rows and Notes.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,7 +29,7 @@ echo "== build =="
 go build ./...
 
 echo "== bench wrappers (benchtime=1x) =="
-go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent|BenchmarkE12VerdictCache|BenchmarkE13BatchPipeline|BenchmarkE14DurableWrites|BenchmarkE15StreamingEval|BenchmarkE16ServerTier)$' -benchtime=1x .
+go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent|BenchmarkE12VerdictCache|BenchmarkE13BatchPipeline|BenchmarkE14DurableWrites|BenchmarkE15StreamingEval|BenchmarkE16ServerTier|BenchmarkE17ShardScaling)$' -benchtime=1x .
 
 echo "== hippobench CLI (quick scale) =="
 for exp in e1 e10 e11; do
@@ -47,5 +55,9 @@ cat BENCH_E15.json
 echo "== E16 record (BENCH_E16.json) =="
 go run ./cmd/hippobench -exp e16 -scale quick -json > BENCH_E16.json
 cat BENCH_E16.json
+
+echo "== E17 record (BENCH_E17.json, procs=${BENCHGUARD_PROCS:-1,2}) =="
+go run ./cmd/hippobench -exp e17 -scale quick -procs "${BENCHGUARD_PROCS:-1,2}" -json > BENCH_E17.json
+cat BENCH_E17.json
 
 echo "benchguard: OK"
