@@ -115,6 +115,13 @@ func BenchmarkE17ShardScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkE18TieredPlanner — the tiered planner's compiled-rewrite fast
+// path vs the forced prover tier on the key-constraint hot query, with
+// answer-set equality and the zero-certification invariant asserted
+// inside the harness, plus the classification overhead an ineligible
+// UNION query pays.
+func BenchmarkE18TieredPlanner(b *testing.B) { runExperiment(b, "e18") }
+
 // BenchmarkAblationPruning — prover DFS with vs without early pruning.
 func BenchmarkAblationPruning(b *testing.B) { runExperiment(b, "ablation-pruning") }
 

@@ -10,10 +10,12 @@
 //	\denial <atoms WHERE cond>  declare a general denial constraint
 //	\constraints                list declared constraints
 //	\analyze                    run conflict detection, print hypergraph stats
-//	\cq <select>                consistent answers (Hippo)
+//	\cq <select>                consistent answers (tiered planner picks the strategy)
 //	\cqn <select>               consistent answers with the naive prover
+//	\cqp <select>               consistent answers pinned to the prover tier
+//	\cqr <select>               consistent answers, rewrite tier required (errors if ineligible)
 //	\rw <select>                consistent answers via query rewriting
-//	\maint                      maintenance stats (deltas, rebuilds, verdict cache)
+//	\maint                      maintenance stats (deltas, rebuilds, caches, tier counts)
 //	\repairs                    count repairs (small instances only)
 //	\load <file.sql>            execute semicolon-separated statements from a file
 //	\batch <file.sql>           group-commit a file: DML runs apply atomically
@@ -216,10 +218,15 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 		}
 		fmt.Fprintf(out, "constraints=%d edges=%d conflicting-tuples=%d max-degree=%d (%v)\n",
 			rep.Constraints, rep.Edges, rep.ConflictingTuples, rep.MaxDegree, time.Since(t0))
-	case "cq", "cqn":
+	case "cq", "cqn", "cqp", "cqr":
 		var opts []hippo.Option
-		if cmd == "cqn" {
+		switch cmd {
+		case "cqn":
 			opts = append(opts, hippo.WithNaiveProver())
+		case "cqp":
+			opts = append(opts, hippo.WithProverTier())
+		case "cqr":
+			opts = append(opts, hippo.WithRequireRewriteTier())
 		}
 		res, st, err := db.ConsistentQuery(rest, opts...)
 		if err != nil {
@@ -254,6 +261,9 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 		c := sys.CacheStats()
 		fmt.Fprintf(out, "verdict-cache: entries=%d hits=%d misses=%d stores=%d invalidated=%d evicted=%d resets=%d\n",
 			c.Entries, c.Hits, c.Misses, c.Stores, c.Invalidated, c.Evicted, c.Resets)
+		tc := db.TierCounts()
+		fmt.Fprintf(out, "tiers: rewrite=%d hybrid=%d prover=%d fallbacks=%d (constraint-epoch=%d)\n",
+			tc.Rewrite, tc.Hybrid, tc.Prover, tc.Fallbacks, sys.ConstraintEpoch())
 	case "checkpoint":
 		t0 := time.Now()
 		if err := db.Checkpoint(); err != nil {
@@ -335,10 +345,12 @@ const helpText = `  SQL statements run directly (CREATE TABLE / INSERT / DELETE 
   \denial <atoms WHERE cond>  declare a general denial constraint
   \constraints                list declared constraints
   \analyze                    run conflict detection
-  \cq <select>                consistent answers (Hippo, indexed prover)
+  \cq <select>                consistent answers (tiered planner picks the strategy)
   \cqn <select>               consistent answers (naive prover)
+  \cqp <select>               consistent answers pinned to the prover tier
+  \cqr <select>               consistent answers, rewrite tier required (errors if ineligible)
   \rw <select>                consistent answers via query rewriting
-  \maint                      maintenance stats (deltas, rebuilds, verdict cache)
+  \maint                      maintenance stats (deltas, rebuilds, caches, tier counts)
   \repairs                    count repairs (exponential; small data only)
   \load <file.sql>            run statements from a file
   \batch <file.sql>           group-commit a file (DML runs apply atomically)

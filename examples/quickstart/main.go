@@ -58,10 +58,15 @@ func main() {
 	}
 	fmt.Printf("\nconsistent answers (%d rows — true in every repair):\n", len(res.Rows))
 	printRows(res.Rows)
-	fmt.Printf("\npipeline: %d candidates from the envelope, %d certified by the prover\n",
-		stats.Candidates, stats.Answers)
-	fmt.Printf("prover did %d membership checks using the conflict hypergraph, no repairs materialized\n",
-		stats.ProverStats.MembershipChecks)
+	if stats.Strategy == "rewrite" {
+		fmt.Printf("\ntier: %s — answered by the compiled first-order rewriting, %d candidates certified\n",
+			stats.Strategy, stats.Candidates)
+	} else {
+		fmt.Printf("\ntier: %s — %d candidates from the envelope, %d certified by the prover\n",
+			stats.Strategy, stats.Candidates, stats.Answers)
+		fmt.Printf("prover did %d membership checks using the conflict hypergraph, no repairs materialized\n",
+			stats.ProverStats.MembershipChecks)
+	}
 
 	// Ground truth for the skeptical: brute force over all repairs.
 	oracle, err := db.OracleConsistentQuery(q)

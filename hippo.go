@@ -10,7 +10,11 @@
 // many); instead it builds the conflict hypergraph of constraint
 // violations once, evaluates a cheap envelope query for candidates, and
 // certifies each candidate with a polynomial-time prover over the
-// hypergraph.
+// hypergraph. A tiered planner classifies each query first: when the
+// query/constraint combination is provably rewritable, the answer comes
+// straight from a compiled first-order rewriting with zero certification,
+// and everything else falls back to the certification pipeline (see
+// WithProverTier / WithRequireRewriteTier to pin a tier).
 //
 // Quickstart:
 //
@@ -343,6 +347,34 @@ func WithMaterializedEvaluation() Option {
 func WithGlobalCertification() Option {
 	return func(o *core.Options) { o.GlobalCertification = true }
 }
+
+// WithProverTier pins this query to the prover (certification) tier,
+// bypassing the tiered planner's rewrite fast path. It is the baseline
+// for tier benchmarks and differential tests; every other tuning option
+// above implies it.
+func WithProverTier() Option {
+	return func(o *core.Options) { o.Tier = core.TierForceProver }
+}
+
+// WithRequireRewriteTier fails the query with core.ErrRewriteIneligible
+// unless the classifier serves it from the compiled first-order rewrite
+// tier — no silent fallback. Use it to assert a hot query stays on the
+// fast path.
+func WithRequireRewriteTier() Option {
+	return func(o *core.Options) { o.Tier = core.TierRequireRewrite }
+}
+
+// TierCounters counts consistent queries answered by each planner tier.
+type TierCounters = core.TierCounters
+
+// TierCounts reports how many consistent queries each tier has answered
+// over this database's lifetime, plus fast-tier run-time fallbacks.
+func (db *DB) TierCounts() TierCounters { return db.sys.TierCounts() }
+
+// ErrRewriteIneligible re-exports the sentinel WithRequireRewriteTier
+// fails with when the classifier routes the query away from the rewrite
+// tier.
+var ErrRewriteIneligible = core.ErrRewriteIneligible
 
 // ConsistentQuery computes the consistent answers to an SJUD query: the
 // tuples present in the query result of every repair. Any number of

@@ -47,11 +47,29 @@ func TestQuickstartFlow(t *testing.T) {
 	if len(got) != 2 || got[0] != "(2, 'bob', 150)" || got[1] != "(4, 'dan', 50)" {
 		t.Errorf("answers = %v", got)
 	}
-	if st.Candidates != 6 || st.Answers != 2 {
+	// The tiered planner serves this FD-only selection from the compiled
+	// rewrite — no candidates are certified.
+	if st.Strategy != "rewrite" || st.Answers != 2 {
 		t.Errorf("stats = %+v", st)
 	}
-	if !strings.Contains(FormatStats(st), "answers=2") {
+	if !strings.Contains(FormatStats(st), "answers=2") ||
+		!strings.Contains(FormatStats(st), "tier=rewrite") {
 		t.Error("FormatStats")
+	}
+	// Pinning the prover tier exercises the full certification pipeline
+	// on the same query and must agree.
+	resP, stP, err := db.ConsistentQuery("SELECT * FROM emp", WithProverTier())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotP := rows(resP); strings.Join(gotP, "|") != strings.Join(got, "|") {
+		t.Errorf("prover tier answers = %v, want %v", gotP, got)
+	}
+	if stP.Strategy != "prover" || stP.Candidates != 6 || stP.Answers != 2 {
+		t.Errorf("prover stats = %+v", stP)
+	}
+	if c := db.TierCounts(); c.Rewrite != 1 || c.Prover != 1 {
+		t.Errorf("tier counts = %+v", c)
 	}
 }
 

@@ -64,7 +64,7 @@ func E13BatchPipeline(sc Scale) (Table, error) {
 			if _, err := db.ExecBatch(stmts[pos:end]); err != nil {
 				return t, err
 			}
-			if _, _, err := sys.ConsistentQuery(selectionQuery, core.Options{}); err != nil {
+			if _, _, err := sys.ConsistentQuery(selectionQuery, core.Options{Tier: core.TierForceProver}); err != nil {
 				return t, err
 			}
 		}
@@ -72,7 +72,7 @@ func E13BatchPipeline(sc Scale) (Table, error) {
 		r.elapsed = time.Since(start)
 		m := sys.Maintenance().Sub(base)
 		r.deltas, r.views = m.DeltasApplied, m.ViewsPublished
-		res, _, err := sys.ConsistentQuery("SELECT * FROM emp", core.Options{})
+		res, _, err := sys.ConsistentQuery("SELECT * FROM emp", core.Options{Tier: core.TierForceProver})
 		if err != nil {
 			return t, err
 		}

@@ -211,7 +211,7 @@ func compare(sys *core.System, sql string, reps int) (CompareRun, error) {
 		}
 	}
 
-	st, d, err := timeConsistent(sys, sql, core.Options{}, reps)
+	st, d, err := timeConsistent(sys, sql, core.Options{Tier: core.TierForceProver}, reps)
 	if err != nil {
 		return out, err
 	}
@@ -244,6 +244,7 @@ func RunAll(w io.Writer, sc Scale) error {
 		E15StreamingEval,
 		E16ServerTier,
 		E17ShardScaling,
+		E18TieredPlanner,
 		AblationPruning,
 		AblationDetection,
 	}
@@ -259,7 +260,7 @@ func RunAll(w io.Writer, sc Scale) error {
 	return nil
 }
 
-// Run executes a single experiment by id ("e1".."e17", "ablation-pruning",
+// Run executes a single experiment by id ("e1".."e18", "ablation-pruning",
 // "ablation-detection").
 func Run(id string, sc Scale) (Table, error) {
 	switch strings.ToLower(id) {
@@ -297,6 +298,8 @@ func Run(id string, sc Scale) (Table, error) {
 		return E16ServerTier(sc)
 	case "e17", "shard", "scaling":
 		return E17ShardScaling(sc)
+	case "e18", "tier", "tiered":
+		return E18TieredPlanner(sc)
 	case "ablation-pruning":
 		return AblationPruning(sc)
 	case "ablation-detection":

@@ -96,7 +96,7 @@ func E11ConcurrentServing(sc Scale) (Table, error) {
 				}
 			}(w)
 		}
-		opts := core.Options{Serialized: serialized}
+		opts := core.Options{Serialized: serialized, Tier: core.TierForceProver}
 		for r := 0; r < c.readers; r++ {
 			wg.Add(1)
 			go func() {

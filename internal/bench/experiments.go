@@ -55,7 +55,7 @@ func E1MoreInformation(sc Scale) (Table, error) {
 			"over-reports tuples that vanish in some repair.",
 	}
 	for _, q := range queries {
-		res, _, err := sys.ConsistentQuery(q.sql, core.Options{})
+		res, _, err := sys.ConsistentQuery(q.sql, core.Options{Tier: core.TierForceProver})
 		if err != nil {
 			return t, err
 		}
@@ -93,7 +93,7 @@ func E1MoreInformation(sc Scale) (Table, error) {
 	}
 	sys2 := core.NewSystem(db2, []constraint.Constraint{excl})
 	unionSQL := "SELECT * FROM staff UNION SELECT * FROM extern"
-	res, _, err := sys2.ConsistentQuery(unionSQL, core.Options{})
+	res, _, err := sys2.ConsistentQuery(unionSQL, core.Options{Tier: core.TierForceProver})
 	if err != nil {
 		return t, err
 	}
@@ -299,7 +299,7 @@ func E6ProverModes(sc Scale) (Table, error) {
 		return t, err
 	}
 	for _, mode := range []core.ProverMode{core.ProverNaive, core.ProverIndexed} {
-		st, d, err := timeConsistent(sys, differenceQuery, core.Options{Mode: mode}, sc.Reps)
+		st, d, err := timeConsistent(sys, differenceQuery, core.Options{Mode: mode, Tier: core.TierForceProver}, sc.Reps)
 		if err != nil {
 			return t, err
 		}

@@ -74,7 +74,7 @@ func E10IncrementalMaintenance(sc Scale) (Table, error) {
 				sys.Invalidate()
 			}
 			_, st, err := sys.ConsistentQuery(
-				fmt.Sprintf("SELECT * FROM emp WHERE id = %d", (i*7)%n), core.Options{})
+				fmt.Sprintf("SELECT * FROM emp WHERE id = %d", (i*7)%n), core.Options{Tier: core.TierForceProver})
 			if err != nil {
 				return out, err
 			}

@@ -231,9 +231,11 @@ func deadlineRow(n int, materialized bool) ([]string, error) {
 
 	const deadline = 50 * time.Millisecond
 	t0 := time.Now()
+	// Pin the prover tier: the point is to abort mid-certification, and
+	// the rewrite tier would finish this join well inside the deadline.
 	_, err := c.ConsistentQuery(context.Background(),
 		"SELECT * FROM a, b WHERE a.grp = b.grp",
-		hclient.QueryOpts{Timeout: deadline, Materialized: materialized})
+		hclient.QueryOpts{Timeout: deadline, Materialized: materialized, Tier: "prover"})
 	elapsed := time.Since(t0)
 	if err == nil {
 		return nil, fmt.Errorf("bench e16: deadline query completed (grow n beyond %d)", n)

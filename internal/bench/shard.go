@@ -39,7 +39,7 @@ func empSystemShards(n int, rate float64, seed int64, k int) (*core.System, erro
 // e17AnswersKey canonicalizes a consistent-answer set for cross-config
 // equality checks: sorted tuple strings, independent of shard layout.
 func e17AnswersKey(sys *core.System, q string) (string, error) {
-	res, _, err := sys.ConsistentQuery(q, core.Options{})
+	res, _, err := sys.ConsistentQuery(q, core.Options{Tier: core.TierForceProver})
 	if err != nil {
 		return "", err
 	}
@@ -89,7 +89,7 @@ func e17UpdateInterleaved(n int, seed int64, k int) (float64, string, error) {
 		if _, err := db.ExecBatch(stmts); err != nil {
 			return 0, "", err
 		}
-		if _, _, err := sys.ConsistentQuery(selectionQuery, core.Options{}); err != nil {
+		if _, _, err := sys.ConsistentQuery(selectionQuery, core.Options{Tier: core.TierForceProver}); err != nil {
 			return 0, "", err
 		}
 	}
@@ -115,7 +115,7 @@ func e17HotQuery(n int, seed int64, k int) (float64, string, error) {
 
 	// Warm the cache so the measured rounds exercise the hit path plus
 	// shard-local invalidation, not cold certification.
-	if _, _, err := sys.ConsistentQuery(selectionQuery, core.Options{}); err != nil {
+	if _, _, err := sys.ConsistentQuery(selectionQuery, core.Options{Tier: core.TierForceProver}); err != nil {
 		return 0, "", err
 	}
 
@@ -128,7 +128,7 @@ func e17HotQuery(n int, seed int64, k int) (float64, string, error) {
 			return 0, "", err
 		}
 		for i := 0; i < queriesPer; i++ {
-			if _, _, err := sys.ConsistentQuery(selectionQuery, core.Options{}); err != nil {
+			if _, _, err := sys.ConsistentQuery(selectionQuery, core.Options{Tier: core.TierForceProver}); err != nil {
 				return 0, "", err
 			}
 		}

@@ -31,7 +31,7 @@ func E15StreamingEval(sc Scale) (Table, error) {
 		if err != nil {
 			return tbl, err
 		}
-		streamed, dStream, err := timeConsistent(sys, joinQuery, core.Options{}, sc.Reps)
+		streamed, dStream, err := timeConsistent(sys, joinQuery, core.Options{Tier: core.TierForceProver}, sc.Reps)
 		if err != nil {
 			return tbl, err
 		}

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"hippo/internal/core"
+	"hippo/internal/value"
+)
+
+// E18TieredPlanner contrasts the tiered planner's rewrite fast path with
+// the certification tier on the key-constraint hot query, and measures
+// the classification overhead an ineligible (UNION) query pays before it
+// lands on the prover. The prover is timed twice: cold (first query on a
+// fresh system, empty verdict cache — what any query pays after an
+// update invalidates its components) and warm (verdict cache fully hot,
+// the E12 steady state). The rewrite tier's claim is the cold column: it
+// answers from the compiled first-order plan with zero certification
+// work, so it never pays the cold penalty at all. The harness hard-fails
+// unless the two tiers return identical answer sets and the rewrite tier
+// certified zero candidates — the run doubles as an equivalence check,
+// not just a timing.
+func E18TieredPlanner(sc Scale) (Table, error) {
+	tbl := Table{
+		ID:    "E18",
+		Title: "Tiered planner: rewrite tier vs prover tier",
+		Header: []string{"n", "answers", "rewrite_ms", "prover_cold_ms", "prover_warm_ms",
+			"speedup_cold", "classify_us", "ineligible_classify_us"},
+		Notes: "rewrite_ms answers the hot selection from the compiled first-order plan " +
+			"(0 candidates certified, asserted). prover_cold_ms is the same query pinned to " +
+			"the certification tier on a fresh system (empty verdict cache); prover_warm_ms " +
+			"repeats it with every verdict cached (the E12 steady state). speedup_cold is " +
+			"prover_cold_ms / rewrite_ms. ineligible_classify_us is what the UNION query " +
+			"pays in classification before the prover serves it (cold, no plan-cache hit).",
+	}
+	for _, n := range sc.Sizes {
+		sys, _, err := empSystem(n, 0.02, 42)
+		if err != nil {
+			return tbl, err
+		}
+		rewRes, rewStats, err := sys.ConsistentQuery(selectionQuery,
+			core.Options{Tier: core.TierRequireRewrite})
+		if err != nil {
+			return tbl, fmt.Errorf("bench e18: rewrite tier at n=%d: %w", n, err)
+		}
+		if rewStats.Candidates != 0 {
+			return tbl, fmt.Errorf("bench e18: rewrite tier certified %d candidates, want 0", rewStats.Candidates)
+		}
+		prvRes, prvStats, err := sys.ConsistentQuery(selectionQuery,
+			core.Options{Tier: core.TierForceProver})
+		if err != nil {
+			return tbl, err
+		}
+		if got, want := answerKey(rewRes.Rows), answerKey(prvRes.Rows); got != want {
+			return tbl, fmt.Errorf("bench e18: tiers disagree at n=%d:\nrewrite: %s\nprover:  %s", n, got, want)
+		}
+
+		_, dRew, err := timeConsistent(sys, selectionQuery,
+			core.Options{Tier: core.TierRequireRewrite}, sc.Reps)
+		if err != nil {
+			return tbl, err
+		}
+
+		// Cold prover: each rep gets a fresh system (built outside the
+		// timed region) so the first certification pass pays the full
+		// verdict-cache miss, then the warm repeat on the same system.
+		reps := sc.Reps
+		if reps < 1 {
+			reps = 1
+		}
+		var dCold, dWarm time.Duration
+		for i := 0; i < reps; i++ {
+			sysC, _, err := empSystem(n, 0.02, 42)
+			if err != nil {
+				return tbl, err
+			}
+			t0 := time.Now()
+			if _, _, err := sysC.ConsistentQuery(selectionQuery,
+				core.Options{Tier: core.TierForceProver}); err != nil {
+				return tbl, err
+			}
+			d := time.Since(t0)
+			if i == 0 || d < dCold {
+				dCold = d
+			}
+			t0 = time.Now()
+			if _, _, err := sysC.ConsistentQuery(selectionQuery,
+				core.Options{Tier: core.TierForceProver}); err != nil {
+				return tbl, err
+			}
+			d = time.Since(t0)
+			if i == 0 || d < dWarm {
+				dWarm = d
+			}
+			sysC.Close()
+		}
+
+		// Ineligible query: a fresh system so classification is cold (no
+		// decision-cache hit), bounding the overhead an unlucky query pays.
+		sysCold, _, err := empSystem(n, 0.02, 43)
+		if err != nil {
+			return tbl, err
+		}
+		_, inelStats, err := sysCold.ConsistentQuery(unionQuery, core.Options{})
+		if err != nil {
+			return tbl, err
+		}
+		if inelStats.Strategy != "prover" {
+			return tbl, fmt.Errorf("bench e18: UNION query served by %q tier, want prover", inelStats.Strategy)
+		}
+		sysCold.Close()
+
+		speedup := "-"
+		if dRew > 0 {
+			speedup = fmt.Sprintf("%.2fx", float64(dCold)/float64(dRew))
+		}
+		tbl.Rows = append(tbl.Rows, []string{
+			fmt.Sprint(n),
+			fmt.Sprint(prvStats.Answers),
+			ms(dRew),
+			ms(dCold),
+			ms(dWarm),
+			speedup,
+			fmt.Sprint(rewStats.Classify.Microseconds()),
+			fmt.Sprint(inelStats.Classify.Microseconds()),
+		})
+	}
+	return tbl, nil
+}
+
+// answerKey canonicalizes an answer set: sorted tuple strings, so
+// equality is order-independent.
+func answerKey(rows []value.Tuple) string {
+	keys := make([]string, len(rows))
+	for i, r := range rows {
+		keys[i] = value.TupleString(r)
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, " ")
+}

@@ -111,7 +111,7 @@ func E12VerdictCache(sc Scale) (Table, error) {
 	}{
 		{"pr2-global", core.Options{GlobalCertification: true}},
 		{"component", core.Options{DisableVerdictCache: true}},
-		{"comp+cache", core.Options{}},
+		{"comp+cache", core.Options{Tier: core.TierForceProver}},
 	}
 	results := make([]regimeResult, len(regimes))
 	for i, r := range regimes {

@@ -136,7 +136,9 @@ func TestBatchSameKeyReinsert(t *testing.T) {
 }
 
 func runQ(sys *System, q string) (*engine.Result, error) {
-	res, _, err := sys.ConsistentQuery(q, Options{})
+	// The batch tests assert verdict-cache behavior, so pin the prover
+	// tier (the rewrite tier certifies nothing and would never touch it).
+	res, _, err := sys.ConsistentQuery(q, Options{Tier: TierForceProver})
 	return res, err
 }
 

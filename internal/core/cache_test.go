@@ -37,11 +37,11 @@ func mustCQ(t *testing.T, sys *System, sql string, opts Options) (*engine.Result
 func TestVerdictCacheRepeatHits(t *testing.T) {
 	sys := cacheSystem(t, "(1,1), (1,2), (2,5)")
 	const q = "SELECT * FROM r"
-	_, st1 := mustCQ(t, sys, q, Options{})
+	_, st1 := mustCQ(t, sys, q, Options{Tier: TierForceProver})
 	if st1.CacheMisses == 0 || st1.CacheHits != 0 {
 		t.Fatalf("first run: hits=%d misses=%d, want cold misses only", st1.CacheHits, st1.CacheMisses)
 	}
-	res, st2 := mustCQ(t, sys, q, Options{})
+	res, st2 := mustCQ(t, sys, q, Options{Tier: TierForceProver})
 	if st2.CacheMisses != 0 || st2.CacheHits != st1.CacheMisses {
 		t.Fatalf("second run: hits=%d misses=%d, want %d pure hits", st2.CacheHits, st2.CacheMisses, st1.CacheMisses)
 	}
@@ -58,12 +58,12 @@ func TestVerdictCacheRepeatHits(t *testing.T) {
 func TestVerdictCacheMembershipInvalidation(t *testing.T) {
 	sys := cacheSystem(t, "(2,5)")
 	const q = "SELECT * FROM r EXCEPT SELECT * FROM s"
-	res, _ := mustCQ(t, sys, q, Options{})
+	res, _ := mustCQ(t, sys, q, Options{Tier: TierForceProver})
 	if len(res.Rows) != 1 {
 		t.Fatalf("before insert: answers=%d, want 1", len(res.Rows))
 	}
 	mustExec(sys.DB(), "INSERT INTO s VALUES (2,5)")
-	res, st := mustCQ(t, sys, q, Options{})
+	res, st := mustCQ(t, sys, q, Options{Tier: TierForceProver})
 	if len(res.Rows) != 0 {
 		t.Fatalf("after insert into s: answers=%d, want 0 (stale cached verdict served)", len(res.Rows))
 	}
@@ -79,12 +79,12 @@ func TestVerdictCacheMembershipInvalidation(t *testing.T) {
 func TestVerdictCacheCleanToConflicting(t *testing.T) {
 	sys := cacheSystem(t, "(1,1), (1,2), (2,5)")
 	const q = "SELECT * FROM r"
-	res, _ := mustCQ(t, sys, q, Options{})
+	res, _ := mustCQ(t, sys, q, Options{Tier: TierForceProver})
 	if len(res.Rows) != 1 {
 		t.Fatalf("before: answers=%d, want 1", len(res.Rows))
 	}
 	mustExec(sys.DB(), "INSERT INTO r VALUES (2,6)") // conflicts with (2,5)
-	res, _ = mustCQ(t, sys, q, Options{})
+	res, _ = mustCQ(t, sys, q, Options{Tier: TierForceProver})
 	if len(res.Rows) != 0 {
 		t.Fatalf("after conflicting insert: answers=%d, want 0 (stale verdict for (2,5))", len(res.Rows))
 	}
@@ -95,12 +95,12 @@ func TestVerdictCacheCleanToConflicting(t *testing.T) {
 func TestVerdictCacheComponentInvalidation(t *testing.T) {
 	sys := cacheSystem(t, "(1,1), (1,2)")
 	const q = "SELECT * FROM r"
-	res, _ := mustCQ(t, sys, q, Options{})
+	res, _ := mustCQ(t, sys, q, Options{Tier: TierForceProver})
 	if len(res.Rows) != 0 {
 		t.Fatalf("before: answers=%d, want 0", len(res.Rows))
 	}
 	mustExec(sys.DB(), "DELETE FROM r WHERE b = 2")
-	res, st := mustCQ(t, sys, q, Options{})
+	res, st := mustCQ(t, sys, q, Options{Tier: TierForceProver})
 	if len(res.Rows) != 1 {
 		t.Fatalf("after delete: answers=%d, want 1", len(res.Rows))
 	}
@@ -114,14 +114,14 @@ func TestVerdictCacheComponentInvalidation(t *testing.T) {
 func TestVerdictCacheLocalizedInvalidation(t *testing.T) {
 	sys := cacheSystem(t, "(1,1), (1,2), (2,5), (2,6), (3,7)")
 	const q = "SELECT * FROM r"
-	_, st1 := mustCQ(t, sys, q, Options{})
+	_, st1 := mustCQ(t, sys, q, Options{Tier: TierForceProver})
 	cold := st1.CacheMisses
 	if cold != 5 {
 		t.Fatalf("cold misses=%d, want 5", cold)
 	}
 	// Touch only the a=1 component.
 	mustExec(sys.DB(), "INSERT INTO r VALUES (1,3)")
-	_, st2 := mustCQ(t, sys, q, Options{})
+	_, st2 := mustCQ(t, sys, q, Options{Tier: TierForceProver})
 	// New candidate (1,3) plus re-certification of the a=1 pair; (2,5),
 	// (2,6), (3,7) must come from the cache.
 	if st2.CacheHits != 3 {
@@ -153,7 +153,7 @@ func TestVerdictCacheAgreesWithUncached(t *testing.T) {
 		for _, q := range queries {
 			want, _ := mustCQ(t, cached, q, Options{DisableVerdictCache: true})
 			global, _ := mustCQ(t, cached, q, Options{GlobalCertification: true})
-			got, _ := mustCQ(t, cached, q, Options{})
+			got, _ := mustCQ(t, cached, q, Options{Tier: TierForceProver})
 			if len(got.Rows) != len(want.Rows) || len(global.Rows) != len(want.Rows) {
 				t.Fatalf("%s %q: cached=%d uncached=%d global=%d answers",
 					stage, q, len(got.Rows), len(want.Rows), len(global.Rows))

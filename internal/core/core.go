@@ -36,6 +36,7 @@ import (
 
 	"hippo/internal/conflict"
 	"hippo/internal/constraint"
+	"hippo/internal/cqaplan"
 	"hippo/internal/engine"
 	"hippo/internal/envelope"
 	"hippo/internal/prover"
@@ -94,6 +95,13 @@ type Options struct {
 	// certification starts, reproducing the pre-planner pipeline. It is
 	// the baseline of the E15 experiment and a differential-testing knob.
 	Materialized bool
+	// Tier constrains the tiered answering planner: TierAuto (default)
+	// lets the classifier route eligible queries to the rewrite or hybrid
+	// tier, TierForceProver pins the certification path, and
+	// TierRequireRewrite errors unless the rewrite tier fires. Any
+	// certification-tuning option above implies TierForceProver — those
+	// runs exist to measure the prover plane.
+	Tier TierSelect
 }
 
 // Stats reports one ConsistentQuery run, stage by stage (mirroring the
@@ -129,6 +137,23 @@ type Stats struct {
 	// materialized (streaming), or the full candidate count (materialized
 	// baseline, which holds the whole envelope output at once).
 	PeakIntermediate int64
+	// Strategy names the tier that produced the answers: "rewrite"
+	// (compiled first-order plan, zero certification), "hybrid"
+	// (residue-prefiltered envelope, certified survivors), or "prover"
+	// (full certification).
+	Strategy string
+	// TierReasons lists the classifier's reasons for ruling out the
+	// faster tiers (empty when the rewrite tier served the query).
+	TierReasons []string
+	// Classify is the tier-classification time; plan-cache hits make it
+	// near zero, so it bounds the overhead ineligible queries pay.
+	Classify time.Duration
+	// TierFallback reports that a compiled fast-tier plan failed at run
+	// time and the prover tier silently re-served the query.
+	TierFallback bool
+	// Tiers snapshots the system's lifetime per-tier counters after this
+	// run was counted.
+	Tiers TierCounters
 }
 
 // MaintenanceStats accumulates conflict-hypergraph and snapshot upkeep
@@ -239,6 +264,19 @@ type System struct {
 	// full re-detections. Internally synchronized.
 	vcache *verdictcache.Cache
 
+	// cepoch counts constraint-set and schema changes; it keys the
+	// prepared rewriter below and the compiled tier-plan cache, so both
+	// invalidate the moment a constraint registers or DDL runs. rwmu
+	// guards the rewriter memo (rwmu is a leaf lock: it is never held
+	// while taking mu, only around Prepare which read-locks mu).
+	cepoch  atomic.Uint64
+	rwmu    sync.Mutex
+	rwprep  *rewrite.Rewriter
+	rwepoch uint64
+	tiers   *cqaplan.Cache
+	tierRewrite, tierHybrid,
+	tierProver, tierFallback atomic.Int64
+
 	// store is the WAL/checkpoint store of a durable system (nil when
 	// in-memory); ckptMu serializes checkpoints and ckptBytes is the
 	// automatic rotation threshold. The automatic checkpointer runs as a
@@ -287,6 +325,7 @@ func NewSystemShards(db *engine.DB, cs []constraint.Constraint, shards int) *Sys
 		shards:      shards,
 		pins:        make(map[uint64]int),
 		vcache:      verdictcache.New(0),
+		tiers:       cqaplan.NewCache(),
 	}
 	s.stale.Store(true)
 	db.AddListener(s)
@@ -366,6 +405,9 @@ func (s *System) AddConstraint(c constraint.Constraint) error {
 	}
 	s.constraints = append(s.constraints, c)
 	s.invalidateLocked()
+	// Advance the constraint epoch: the prepared rewriter and every
+	// compiled tier plan were built against the old constraint set.
+	s.cepoch.Add(1)
 	return nil
 }
 
@@ -460,6 +502,11 @@ func (s *System) SchemaChanged(string) {
 	s.pending = nil
 	s.qmu.Unlock()
 	s.stale.Store(true)
+	// DDL changes the schemas residue predicates are compiled against:
+	// advance the constraint epoch so the rewriter and the compiled
+	// tier-plan cache rebuild (cepoch is atomic — no mu needed, matching
+	// this callback's lock-free contract).
+	s.cepoch.Add(1)
 	s.nudgeCheckpointer()
 }
 
@@ -964,28 +1011,71 @@ func (s *System) runQueryViewBound(ctx context.Context, v *queryView, plan ra.No
 	}
 	queriesBefore := s.db.QueryCount()
 
-	// Enveloping.
-	t0 := time.Now()
-	env, err := envelope.Envelope(plan)
-	if err != nil {
-		return nil, nil, err
+	// Tier classification: eligible queries run a compiled first-order
+	// plan (rewrite tier, zero certification) or a residue-prefiltered
+	// envelope (hybrid tier); everything else takes the prover tier.
+	tc0 := time.Now()
+	dec := s.tierDecision(plan, stats.QueryPlan, opts)
+	stats.Classify = time.Since(tc0)
+	stats.Strategy = dec.Tier.String()
+	stats.TierReasons = dec.ReasonStrings()
+	if opts.Tier == TierRequireRewrite && dec.Tier != cqaplan.TierRewrite {
+		return nil, nil, fmt.Errorf("%w: %s", ErrRewriteIneligible, strings.Join(stats.TierReasons, "; "))
 	}
-	stats.EnvelopePlan = ra.Format(env)
-	stats.Envelope = time.Since(t0)
 
-	// Evaluation + Prover. The default path streams envelope rows straight
-	// into the certification workers, so evaluation and proving overlap;
-	// opts.Materialized keeps the legacy evaluate-then-certify pipeline.
 	var answers *engine.Result
-	if opts.Materialized {
-		answers, err = s.certifyMaterialized(ctx, v, plan, env, opts, stats)
-	} else {
-		answers, err = s.certifyStreaming(ctx, v, plan, env, opts, stats)
+	if dec.Tier == cqaplan.TierRewrite {
+		res, rerr := s.answerRewrite(ctx, v, dec, stats)
+		switch {
+		case rerr == nil:
+			answers = res
+		case isCtxErr(ctx, rerr):
+			return nil, nil, rerr
+		default:
+			// A compiled plan failing at run time must never surface to
+			// the client: fall back to the prover tier silently.
+			stats.TierFallback = true
+			stats.Strategy = cqaplan.TierProver.String()
+		}
 	}
-	if err != nil {
-		return nil, nil, err
+
+	if answers == nil {
+		// Enveloping.
+		t0 := time.Now()
+		env, err := envelope.Envelope(plan)
+		if err != nil {
+			return nil, nil, err
+		}
+		if dec.Tier == cqaplan.TierHybrid && !stats.TierFallback && dec.Plan != nil {
+			// Hybrid tier: residues subtract candidates whose witness has
+			// a binary-violation partner — such tuples are absent from
+			// some repair, so discarding them before certification is
+			// sound and shrinks the prover's workload.
+			if pre, rerr := engine.Rebind(dec.Plan, v.snap); rerr == nil {
+				env = pre
+			} else {
+				stats.TierFallback = true
+				stats.Strategy = cqaplan.TierProver.String()
+			}
+		}
+		stats.EnvelopePlan = ra.Format(env)
+		stats.Envelope = time.Since(t0)
+
+		// Evaluation + Prover. The default path streams envelope rows
+		// straight into the certification workers, so evaluation and
+		// proving overlap; opts.Materialized keeps the legacy
+		// evaluate-then-certify pipeline.
+		if opts.Materialized {
+			answers, err = s.certifyMaterialized(ctx, v, plan, env, opts, stats)
+		} else {
+			answers, err = s.certifyStreaming(ctx, v, plan, env, opts, stats)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
 	}
 	stats.Answers = len(answers.Rows)
+	s.noteTier(stats)
 
 	// Re-apply ORDER BY / LIMIT to the certified answers (innermost
 	// decorator first, i.e. reverse peel order).
@@ -1304,9 +1394,15 @@ func planLeafOrder(phys ra.Node) string {
 }
 
 // Rewriter returns the query-rewriting baseline prepared for this
-// system's constraints (erroring if they are outside its class).
+// system's constraints (erroring if they are outside its class). The
+// rewriter is cached per constraint epoch — registering a constraint or
+// running DDL triggers a rebuild, not each call.
 func (s *System) Rewriter() (*rewrite.Rewriter, error) {
-	return rewrite.New(s.db, s.Constraints())
+	rw := s.preparedRewriter(s.cepoch.Load())
+	if err := rw.Err(); err != nil {
+		return nil, err
+	}
+	return rw, nil
 }
 
 // RepairEnumerator returns the exponential repair oracle over the current
@@ -1342,8 +1438,8 @@ func (s *System) Support(sql string) (SupportSummary, error) {
 		return out, err
 	}
 	out.Hippo = envelope.CheckQuery(plan)
-	rw, err := rewrite.New(s.db, s.Constraints())
-	if err != nil {
+	rw := s.preparedRewriter(s.cepoch.Load())
+	if err := rw.Err(); err != nil {
 		out.Rewrite = err
 	} else if _, err := rw.Rewrite(plan); err != nil {
 		out.Rewrite = err
@@ -1361,8 +1457,14 @@ func FormatStats(st *Stats) string {
 	if order == "" {
 		order = "-"
 	}
+	reasons := strings.Join(st.TierReasons, "; ")
+	if reasons == "" {
+		reasons = "-"
+	}
 	return fmt.Sprintf(
-		"mode=%s candidates=%d answers=%d workers=%d shards=%d epoch=%d\n"+
+		"tier=%s classify=%v fallback=%v reasons=%s\n"+
+			"tier-totals: rewrite=%d hybrid=%d prover=%d fallbacks=%d\n"+
+			"mode=%s candidates=%d answers=%d workers=%d shards=%d epoch=%d\n"+
 			"planner: eval=%s join-order=%s peak-intermediate-rows=%d\n"+
 			"envelope=%v evaluation=%v prover=%v total=%v\n"+
 			"membership-checks=%d disjuncts=%d blocker-choices=%d engine-queries=%d\n"+
@@ -1370,6 +1472,8 @@ func FormatStats(st *Stats) string {
 			"verdict-cache: hits=%d misses=%d entries=%d invalidated=%d\n"+
 			"maintenance: deltas=%d edges+%d edges-%d full-rebuilds=%d migrations=%d shard-reclaims=%d\n"+
 			"snapshots: published=%d reclaimed=%d slabs-reclaimed=%d",
+		st.Strategy, st.Classify, st.TierFallback, reasons,
+		st.Tiers.Rewrite, st.Tiers.Hybrid, st.Tiers.Prover, st.Tiers.Fallbacks,
 		st.ProverMode, st.Candidates, st.Answers, st.Workers, st.Shards, st.Epoch,
 		eval, order, st.PeakIntermediate,
 		st.Envelope, st.Evaluation, st.ProverTime, st.Total,

@@ -283,7 +283,7 @@ func TestRecoveryRolledBackBatchIsInvisible(t *testing.T) {
 	if err := sys.AddConstraint(constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}); err != nil {
 		t.Fatal(err)
 	}
-	warm, _, err := sys.ConsistentQuery("SELECT * FROM emp", Options{})
+	warm, _, err := sys.ConsistentQuery("SELECT * FROM emp", Options{Tier: TierForceProver})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +305,7 @@ func TestRecoveryRolledBackBatchIsInvisible(t *testing.T) {
 	if got := sys.WALBytes(); got != walBefore {
 		t.Fatalf("rolled-back batch wrote %d WAL bytes", got-walBefore)
 	}
-	res, _, err := sys.ConsistentQuery("SELECT * FROM emp", Options{})
+	res, _, err := sys.ConsistentQuery("SELECT * FROM emp", Options{Tier: TierForceProver})
 	if err != nil {
 		t.Fatal(err)
 	}

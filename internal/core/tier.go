@@ -1,0 +1,166 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"hippo/internal/cqaplan"
+	"hippo/internal/engine"
+	"hippo/internal/ra"
+	"hippo/internal/rewrite"
+)
+
+// TierSelect constrains the tiered answering planner's choice for one
+// consistent-query run.
+type TierSelect int
+
+const (
+	// TierAuto lets the classifier pick the fastest sound tier (default).
+	TierAuto TierSelect = iota
+	// TierForceProver routes the query through the prover tier
+	// unconditionally — the differential-testing and benchmark baseline.
+	TierForceProver
+	// TierRequireRewrite fails the query with ErrRewriteIneligible unless
+	// the classifier picks the rewrite tier, instead of silently falling
+	// back; tests and benchmarks use it to assert the fast path fires.
+	TierRequireRewrite
+)
+
+// ErrRewriteIneligible reports a TierRequireRewrite run whose query the
+// classifier routed away from the rewrite tier.
+var ErrRewriteIneligible = errors.New("core: query is not eligible for the rewrite tier")
+
+// TierCounters are lifetime counts of consistent-query runs by the tier
+// that produced their answers, plus fast-tier executions that failed
+// mid-run and were silently re-served by the prover.
+type TierCounters struct {
+	Rewrite   int64
+	Hybrid    int64
+	Prover    int64
+	Fallbacks int64
+}
+
+// TierCounts reports the system's lifetime per-tier counters.
+func (s *System) TierCounts() TierCounters {
+	return TierCounters{
+		Rewrite:   s.tierRewrite.Load(),
+		Hybrid:    s.tierHybrid.Load(),
+		Prover:    s.tierProver.Load(),
+		Fallbacks: s.tierFallback.Load(),
+	}
+}
+
+// ConstraintEpoch returns the constraint-change counter: it advances on
+// every AddConstraint and DDL statement, and keys both the prepared
+// rewriter and the compiled tier-plan cache.
+func (s *System) ConstraintEpoch() uint64 { return s.cepoch.Load() }
+
+// certTuningSet reports whether any certification-plane tuning option is
+// active. Such runs are experiment baselines measuring the prover plane
+// (naive membership, pruning/cache/component ablations, serialized or
+// materialized pipelines), so the planner must not route them away from
+// it.
+func certTuningSet(opts Options) bool {
+	return opts.Mode != ProverIndexed || opts.DisablePruning || opts.Serialized ||
+		opts.DisableVerdictCache || opts.GlobalCertification || opts.Materialized
+}
+
+// preparedRewriter returns the rewriter prepared for the current
+// constraint set, rebuilding it only when the constraint epoch moved.
+// This replaces the old behavior of constructing a fresh rewrite.Rewriter
+// on every Rewriter/Support call.
+func (s *System) preparedRewriter(epoch uint64) *rewrite.Rewriter {
+	s.rwmu.Lock()
+	defer s.rwmu.Unlock()
+	if s.rwprep == nil || s.rwepoch != epoch {
+		s.rwprep = rewrite.Prepare(s.db, s.Constraints())
+		s.rwepoch = epoch
+	}
+	return s.rwprep
+}
+
+// tierDecision classifies the plan for this run, memoized per (plan
+// signature, constraint epoch). It never fails: classification or
+// compilation trouble yields a prover-tier decision with reasons.
+func (s *System) tierDecision(plan ra.Node, sig string, opts Options) *cqaplan.Decision {
+	if opts.Tier == TierForceProver || certTuningSet(opts) {
+		return &cqaplan.Decision{Tier: cqaplan.TierProver, Reasons: []cqaplan.Reason{
+			{Code: cqaplan.ReasonForced, Detail: "prover tier forced by options"}}}
+	}
+	epoch := s.cepoch.Load()
+	if d, ok := s.tiers.Lookup(sig, epoch); ok {
+		return d
+	}
+	rw := s.preparedRewriter(epoch)
+	d := cqaplan.Classify(rw, s.Constraints(), plan)
+	if d.Plan != nil {
+		// Cache the compiled plan bound to the live tables, not to this
+		// run's snapshot, so a cached decision never pins snapshot slabs;
+		// each run rebinds it to its own view.
+		if live, err := engine.Rebind(d.Plan, s.db); err == nil {
+			d.Plan = live
+		} else {
+			d = &cqaplan.Decision{Tier: cqaplan.TierProver, Reasons: []cqaplan.Reason{
+				{Code: cqaplan.ReasonCompileFailed, Detail: err.Error()}}}
+		}
+	}
+	s.tiers.Store(sig, epoch, d)
+	return d
+}
+
+// testTierExecHook, when set (tests only), runs at the top of every
+// rewrite-tier execution; an error simulates a compiled plan failing at
+// run time so the silent prover fallback can be exercised.
+var testTierExecHook func() error
+
+// answerRewrite serves a rewrite-tier decision: the compiled plan is
+// rebound to the view's snapshot and evaluated through the cost-based
+// planner's streaming iterators. No envelope is built and no candidate is
+// certified — the plan's rows are the consistent answers.
+func (s *System) answerRewrite(ctx context.Context, v *queryView, dec *cqaplan.Decision, stats *Stats) (*engine.Result, error) {
+	if h := testTierExecHook; h != nil {
+		if err := h(); err != nil {
+			return nil, err
+		}
+	}
+	bound, err := engine.Rebind(dec.Plan, v.snap)
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	phys := engine.Optimize(bound)
+	stats.JoinOrder = planLeafOrder(phys)
+	stats.Streamed = true
+	es := &ra.ExecStats{}
+	res, err := v.snap.RunPlanRawContext(ra.WithExecStats(ctx, es), phys)
+	if err != nil {
+		return nil, err
+	}
+	stats.PeakIntermediate = es.PeakIntermediate()
+	stats.Evaluation = time.Since(t0)
+	return &engine.Result{Schema: bound.Schema(), Rows: res.Rows}, nil
+}
+
+// noteTier folds the run's final strategy into the lifetime counters and
+// snapshots them into the stats.
+func (s *System) noteTier(stats *Stats) {
+	if stats.TierFallback {
+		s.tierFallback.Add(1)
+	}
+	switch stats.Strategy {
+	case cqaplan.TierRewrite.String():
+		s.tierRewrite.Add(1)
+	case cqaplan.TierHybrid.String():
+		s.tierHybrid.Add(1)
+	default:
+		s.tierProver.Add(1)
+	}
+	stats.Tiers = s.TierCounts()
+}
+
+// isCtxErr reports whether err is (or wraps) a context cancellation: such
+// failures propagate to the caller instead of triggering a tier fallback.
+func isCtxErr(ctx context.Context, err error) bool {
+	return ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

@@ -1,0 +1,302 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"hippo/internal/constraint"
+	"hippo/internal/engine"
+)
+
+// oracleAnswers computes the consistent answers by repair enumeration —
+// the ground truth every tier must match.
+func oracleAnswers(t *testing.T, s *System, q string) []string {
+	t.Helper()
+	en, err := s.RepairEnumerator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := en.ConsistentAnswers(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rowStrings(rows)
+}
+
+// assertTier runs q under automatic tier selection, asserts the chosen
+// strategy and (when wantReason is non-empty) that the demotion reasons
+// mention it, then checks the answers against both the forced prover tier
+// and the repair-enumeration oracle.
+func assertTier(t *testing.T, s *System, q, wantStrategy, wantReason string) *Stats {
+	t.Helper()
+	res, st, err := s.ConsistentQuery(q, Options{})
+	if err != nil {
+		t.Fatalf("%q: %v", q, err)
+	}
+	if st.Strategy != wantStrategy {
+		t.Errorf("%q: strategy = %q (reasons %v), want %q", q, st.Strategy, st.TierReasons, wantStrategy)
+	}
+	if wantReason != "" && !strings.Contains(strings.Join(st.TierReasons, "; "), wantReason) {
+		t.Errorf("%q: reasons %v do not mention %q", q, st.TierReasons, wantReason)
+	}
+	prv, _, err := s.ConsistentQuery(q, Options{Tier: TierForceProver})
+	if err != nil {
+		t.Fatalf("%q forced prover: %v", q, err)
+	}
+	got, viaProver := rowStrings(res.Rows), rowStrings(prv.Rows)
+	if strings.Join(got, "|") != strings.Join(viaProver, "|") {
+		t.Errorf("%q: auto tier %v != forced prover %v", q, got, viaProver)
+	}
+	want := oracleAnswers(t, s, q)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("%q: auto tier %v != oracle %v", q, got, want)
+	}
+	return st
+}
+
+func TestTierRewriteEligibleSelection(t *testing.T) {
+	s := newSystem(t)
+	st := assertTier(t, s, "SELECT * FROM emp WHERE salary > 120", "rewrite", "")
+	if st.Candidates != 0 {
+		t.Errorf("rewrite tier certified %d candidates, want 0", st.Candidates)
+	}
+	if len(st.TierReasons) != 0 {
+		t.Errorf("rewrite tier carries demotion reasons: %v", st.TierReasons)
+	}
+	if !strings.Contains(FormatStats(st), "tier=rewrite") {
+		t.Errorf("FormatStats missing tier line:\n%s", FormatStats(st))
+	}
+}
+
+// TestTierClassifierDemotions covers the hard guards on the standard
+// single-relation instance: each shape must land on the prover with the
+// matching reason, and the answers must still agree with the oracle.
+func TestTierClassifierDemotions(t *testing.T) {
+	cases := []struct {
+		name, q, reason string
+	}{
+		{"self-join", "SELECT * FROM emp e, emp f WHERE e.id = f.id", "self-join"},
+		{"key-constant", "SELECT * FROM emp WHERE id = 2", "constant-in-key"},
+		{"union", "SELECT * FROM emp WHERE id = 2 UNION SELECT * FROM emp WHERE id = 4", "union"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newSystem(t)
+			assertTier(t, s, tc.q, "prover", tc.reason)
+		})
+	}
+}
+
+// TestTierAttackCycleDemotes joins two keyed relations through each
+// other's non-key columns in both directions: the attack graph is cyclic,
+// so no atom's certainty is decidable independently and the classifier
+// must refuse the fast tiers.
+func TestTierAttackCycleDemotes(t *testing.T) {
+	db := engine.New()
+	mustExec(db, "CREATE TABLE r (a INT, b INT)")
+	mustExec(db, "CREATE TABLE s (c INT, d INT)")
+	mustExec(db, "INSERT INTO r VALUES (1, 10), (1, 20), (2, 10)")
+	mustExec(db, "INSERT INTO s VALUES (10, 1), (10, 2), (20, 2)")
+	sys := NewSystem(db, []constraint.Constraint{
+		constraint.FD{Rel: "r", LHS: []string{"a"}, RHS: []string{"b"}},
+		constraint.FD{Rel: "s", LHS: []string{"c"}, RHS: []string{"d"}},
+	})
+	assertTier(t, sys, "SELECT * FROM r, s WHERE r.b = s.c AND s.d = r.a", "prover", "attack-cycle")
+}
+
+// TestTierInteractionDemotes is the soundness regression for mixed
+// unary/binary constraints: the unary denial kills (1, -5) in every
+// repair, so its FD partner (1, 100) is consistent even though it has a
+// conflict partner — a per-constraint residue would wrongly discard it.
+// The classifier must demote, and the prover must return (1, 100).
+func TestTierInteractionDemotes(t *testing.T) {
+	db := engine.New()
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (1, -5), (2, 150)")
+	fd := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
+	den, err := constraint.ParseDenial("emp AS x WHERE x.salary < 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(db, []constraint.Constraint{fd, den})
+	assertTier(t, sys, "SELECT * FROM emp WHERE salary > 50", "prover", "constraint-interaction")
+	res, _, err := sys.ConsistentQuery("SELECT * FROM emp WHERE salary > 50", Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rowStrings(res.Rows)
+	if strings.Join(got, "|") != "(1, 100)|(2, 150)" {
+		t.Errorf("answers = %v, want [(1, 100) (2, 150)]", got)
+	}
+}
+
+// TestTierHybridCoverage: one relation is covered by FD residues, the
+// other carries a 3-atom denial the rewriting cannot express — the
+// classifier must pick the hybrid tier (prefilter with the residues that
+// do exist, certify the survivors) and still match the oracle.
+func TestTierHybridCoverage(t *testing.T) {
+	db := engine.New()
+	mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+	mustExec(db, "CREATE TABLE aud (k INT, v INT)")
+	mustExec(db, "INSERT INTO emp VALUES (1, 100), (1, 200), (2, 150)")
+	mustExec(db, "INSERT INTO aud VALUES (1, 7), (2, 8), (3, 9)")
+	fd := constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}}
+	den, err := constraint.ParseDenial("aud a, aud b, aud c WHERE a.k < b.k AND b.k < c.k AND a.v = 999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(db, []constraint.Constraint{fd, den})
+	st := assertTier(t, sys, "SELECT * FROM emp e, aud a WHERE e.id = a.k", "hybrid", "constraint-uncovered")
+	if st.TierFallback {
+		t.Error("hybrid run flagged as fallback")
+	}
+}
+
+// TestTierReclassifiesOnConstraintChange: the same query must be
+// re-decided after a mid-session AddConstraint — the constraint epoch
+// invalidates both the decision cache and the prepared rewriter.
+func TestTierReclassifiesOnConstraintChange(t *testing.T) {
+	s := newSystem(t)
+	const q = "SELECT * FROM emp WHERE salary > 120"
+	assertTier(t, s, q, "rewrite", "")
+	den, err := constraint.ParseDenial("emp AS x WHERE x.salary < 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddConstraint(den); err != nil {
+		t.Fatal(err)
+	}
+	assertTier(t, s, q, "prover", "constraint-interaction")
+	tc := s.TierCounts()
+	if tc.Rewrite == 0 || tc.Prover == 0 {
+		t.Errorf("tier counters = %+v, want both rewrite and prover runs recorded", tc)
+	}
+}
+
+// TestRewriterCachedPerEpoch pins the satellite fix: Rewriter() must
+// return the same prepared instance until the constraint set changes.
+func TestRewriterCachedPerEpoch(t *testing.T) {
+	s := newSystem(t)
+	rw1, err := s.Rewriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rw2, err := s.Rewriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw1 != rw2 {
+		t.Error("Rewriter() rebuilt the rewriter with an unchanged constraint set")
+	}
+	den, err := constraint.ParseDenial("emp AS x WHERE x.salary < 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddConstraint(den); err != nil {
+		t.Fatal(err)
+	}
+	rw3, err := s.Rewriter()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rw3 == rw1 {
+		t.Error("Rewriter() served a stale instance after AddConstraint")
+	}
+}
+
+// TestTierFallbackIsSilent: a compiled rewrite plan that fails at run
+// time must not surface to the caller — the prover re-serves the query,
+// the stats record the fallback, and the counter advances.
+func TestTierFallbackIsSilent(t *testing.T) {
+	s := newSystem(t)
+	testTierExecHook = func() error { return errors.New("simulated compiled-plan failure") }
+	defer func() { testTierExecHook = nil }()
+	const q = "SELECT * FROM emp WHERE salary > 120"
+	res, st, err := s.ConsistentQuery(q, Options{})
+	if err != nil {
+		t.Fatalf("fallback leaked to the caller: %v", err)
+	}
+	if !st.TierFallback || st.Strategy != "prover" {
+		t.Errorf("stats = strategy %q fallback %v, want prover/true", st.Strategy, st.TierFallback)
+	}
+	if got := s.TierCounts().Fallbacks; got != 1 {
+		t.Errorf("fallback counter = %d, want 1", got)
+	}
+	if !strings.Contains(FormatStats(st), "fallback=true") {
+		t.Errorf("FormatStats missing fallback flag:\n%s", FormatStats(st))
+	}
+	got, want := rowStrings(res.Rows), oracleAnswers(t, s, q)
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("fallback answers %v != oracle %v", got, want)
+	}
+}
+
+// TestTierRequireRewriteErrors: the strict option must fail eligibility
+// misses instead of silently falling back.
+func TestTierRequireRewriteErrors(t *testing.T) {
+	s := newSystem(t)
+	_, _, err := s.ConsistentQuery(
+		"SELECT * FROM emp WHERE id = 2 UNION SELECT * FROM emp WHERE id = 4",
+		Options{Tier: TierRequireRewrite})
+	if !errors.Is(err, ErrRewriteIneligible) {
+		t.Fatalf("err = %v, want ErrRewriteIneligible", err)
+	}
+}
+
+// FuzzTierClassifier drives randomized (instance, constraint set, query)
+// triples through automatic tier selection and the forced prover tier,
+// requiring identical answer sets — the classifier may only ever pick a
+// tier whose answers match certification.
+func FuzzTierClassifier(f *testing.F) {
+	for seed := int64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	queries := []string{
+		"SELECT * FROM emp",
+		"SELECT * FROM emp WHERE salary > 120",
+		"SELECT * FROM emp WHERE id = 2",
+		"SELECT salary, id FROM emp",
+		"SELECT * FROM emp e, emp f WHERE e.id = f.id",
+		"SELECT * FROM emp WHERE id = 2 UNION SELECT * FROM emp WHERE id = 4",
+		"SELECT * FROM emp EXCEPT SELECT * FROM emp WHERE salary > 150",
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		db := engine.New()
+		mustExec(db, "CREATE TABLE emp (id INT, salary INT)")
+		rows := make([]string, 0, 8)
+		for i := 0; i < 2+rng.Intn(7); i++ {
+			rows = append(rows, fmt.Sprintf("(%d, %d)", rng.Intn(4), (1+rng.Intn(4))*50))
+		}
+		mustExec(db, "INSERT INTO emp VALUES "+strings.Join(rows, ", "))
+		cs := []constraint.Constraint{
+			constraint.FD{Rel: "emp", LHS: []string{"id"}, RHS: []string{"salary"}},
+		}
+		if rng.Intn(3) == 0 {
+			den, err := constraint.ParseDenial("emp AS x WHERE x.salary > 150")
+			if err != nil {
+				t.Fatal(err)
+			}
+			cs = append(cs, den)
+		}
+		sys := NewSystem(db, cs)
+		defer sys.Close()
+		q := queries[rng.Intn(len(queries))]
+		auto, sa, err := sys.ConsistentQuery(q, Options{})
+		if err != nil {
+			t.Fatalf("seed %d %q: %v", seed, q, err)
+		}
+		prv, _, err := sys.ConsistentQuery(q, Options{Tier: TierForceProver})
+		if err != nil {
+			t.Fatalf("seed %d %q forced prover: %v", seed, q, err)
+		}
+		g, w := rowStrings(auto.Rows), rowStrings(prv.Rows)
+		if strings.Join(g, "|") != strings.Join(w, "|") {
+			t.Fatalf("seed %d %q: tier %q answers %v != prover %v (reasons %v)",
+				seed, q, sa.Strategy, g, w, sa.TierReasons)
+		}
+	})
+}

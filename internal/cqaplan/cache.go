@@ -1,0 +1,55 @@
+package cqaplan
+
+import "sync"
+
+// maxCacheEntries bounds the decision cache. A workload with more
+// distinct query shapes than this simply recompiles; eviction is a full
+// reset, which keeps the cache allocation-free on the hit path.
+const maxCacheEntries = 256
+
+// Cache memoizes tier decisions per (query signature, constraint epoch).
+// A signature is the formatted logical plan, which is stable across
+// snapshots (it names base relations, not storage versions); the epoch is
+// the system's constraint-change counter, so registering a constraint or
+// altering the schema invalidates every compiled plan at once. Decisions
+// are shared, never mutated: callers rebind Decision.Plan per run.
+type Cache struct {
+	mu    sync.Mutex
+	epoch uint64
+	m     map[string]*Decision
+}
+
+// NewCache returns an empty decision cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]*Decision)}
+}
+
+// Lookup returns the cached decision for sig at epoch, if present.
+func (c *Cache) Lookup(sig string, epoch uint64) (*Decision, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != epoch {
+		return nil, false
+	}
+	d, ok := c.m[sig]
+	return d, ok
+}
+
+// Store records a decision for sig at epoch, discarding every entry of an
+// older epoch first.
+func (c *Cache) Store(sig string, epoch uint64, d *Decision) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.epoch != epoch || len(c.m) >= maxCacheEntries {
+		c.m = make(map[string]*Decision)
+		c.epoch = epoch
+	}
+	c.m[sig] = d
+}
+
+// Len reports the number of cached decisions (for tests and stats).
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

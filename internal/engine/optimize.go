@@ -6,11 +6,58 @@ import (
 	"hippo/internal/value"
 )
 
-// optimize is the engine's full planning pipeline: the cost-based stage
-// (predicate pushdown, product-to-join conversion, join ordering — see
-// costplan.go) followed by access-path selection.
+// optimize is the engine's full planning pipeline: semi/anti-join
+// selection pushdown, then the cost-based stage (predicate pushdown,
+// product-to-join conversion, join ordering — see costplan.go), then
+// access-path selection.
 func optimize(n ra.Node) ra.Node {
-	return accessPaths(costPlan(n))
+	return accessPaths(costPlan(pushMatchSelects(n)))
+}
+
+// pushMatchSelects pushes a Select through the left input of SemiJoin and
+// AntiJoin nodes. Both emit a subset of their left input's rows with the
+// left input's schema unchanged, so a filter above them binds identically
+// below — and filtering first shrinks the probe side of the match.
+// costPlan treats SemiJoin/AntiJoin as opaque (it clones them
+// structurally), so without this pass a residue-rewritten plan
+// Select(AntiJoin(Scan, ...)) anti-joins the full relation before
+// filtering.
+func pushMatchSelects(n ra.Node) ra.Node {
+	switch t := n.(type) {
+	case *ra.Select:
+		child := pushMatchSelects(t.Child)
+		switch m := child.(type) {
+		case *ra.SemiJoin:
+			return &ra.SemiJoin{L: pushMatchSelects(&ra.Select{Child: m.L, Pred: t.Pred}), R: m.R, Pred: m.Pred}
+		case *ra.AntiJoin:
+			return &ra.AntiJoin{L: pushMatchSelects(&ra.Select{Child: m.L, Pred: t.Pred}), R: m.R, Pred: m.Pred}
+		}
+		return &ra.Select{Child: child, Pred: t.Pred}
+	case *ra.Project:
+		return &ra.Project{Child: pushMatchSelects(t.Child), Exprs: t.Exprs, Names: t.Names, Distinct: t.Distinct}
+	case *ra.Product:
+		return &ra.Product{L: pushMatchSelects(t.L), R: pushMatchSelects(t.R)}
+	case *ra.Join:
+		return &ra.Join{L: pushMatchSelects(t.L), R: pushMatchSelects(t.R), Pred: t.Pred}
+	case *ra.SemiJoin:
+		return &ra.SemiJoin{L: pushMatchSelects(t.L), R: pushMatchSelects(t.R), Pred: t.Pred}
+	case *ra.AntiJoin:
+		return &ra.AntiJoin{L: pushMatchSelects(t.L), R: pushMatchSelects(t.R), Pred: t.Pred}
+	case *ra.Union:
+		return &ra.Union{L: pushMatchSelects(t.L), R: pushMatchSelects(t.R)}
+	case *ra.Diff:
+		return &ra.Diff{L: pushMatchSelects(t.L), R: pushMatchSelects(t.R)}
+	case *ra.Intersect:
+		return &ra.Intersect{L: pushMatchSelects(t.L), R: pushMatchSelects(t.R)}
+	case *ra.DistinctNode:
+		return &ra.DistinctNode{Child: pushMatchSelects(t.Child)}
+	case *ra.Sort:
+		return &ra.Sort{Child: pushMatchSelects(t.Child), Keys: t.Keys}
+	case *ra.Limit:
+		return &ra.Limit{Child: pushMatchSelects(t.Child), N: t.N}
+	default:
+		return n
+	}
 }
 
 // Optimize exposes the engine's physical planner: it turns a logical plan

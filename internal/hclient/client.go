@@ -127,6 +127,11 @@ type QueryOpts struct {
 	// Materialized selects the materialized evaluation baseline
 	// (consistent queries only).
 	Materialized bool
+	// Tier constrains the tiered planner for consistent queries: ""
+	// or "auto" lets the classifier decide, "prover" pins the
+	// certification path, "require-rewrite" errors unless the rewrite
+	// tier serves the query.
+	Tier string
 }
 
 func (o QueryOpts) timeoutMS() int64 { return int64(o.Timeout / time.Millisecond) }
@@ -219,6 +224,9 @@ func queryBody(sql string, o QueryOpts) map[string]any {
 	}
 	if o.Materialized {
 		in["materialized"] = true
+	}
+	if o.Tier != "" {
+		in["tier"] = o.Tier
 	}
 	return in
 }

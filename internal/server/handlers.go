@@ -31,6 +31,10 @@ type queryRequest struct {
 	// Materialized selects the materialized evaluation baseline for
 	// consistent queries (ignored by /v1/query).
 	Materialized bool `json:"materialized,omitempty"`
+	// Tier constrains the tiered planner for consistent queries: ""/"auto"
+	// (classifier decides), "prover" (pin certification), or
+	// "require-rewrite" (error unless the rewrite tier serves it).
+	Tier string `json:"tier,omitempty"`
 }
 
 type resultResponse struct {
@@ -49,6 +53,11 @@ type runStats struct {
 	CacheMiss  int64  `json:"cache_misses"`
 	Streamed   bool   `json:"streamed"`
 	TotalUS    int64  `json:"total_us"`
+	// Strategy is the planner tier that produced the answers
+	// ("rewrite", "hybrid", or "prover"); TierFallback reports a
+	// fast-tier run silently re-served by the prover.
+	Strategy     string `json:"strategy,omitempty"`
+	TierFallback bool   `json:"tier_fallback,omitempty"`
 }
 
 type execResponse struct {
@@ -84,7 +93,12 @@ type statsResponse struct {
 	Migrations    int64       `json:"migrations,omitempty"`
 	ShardReclaims int64       `json:"shard_reclaims,omitempty"`
 	ShardSizes    []shardWire `json:"shard_sizes,omitempty"`
-	Version       string      `json:"version"`
+	// Lifetime counts of consistent queries answered per planner tier.
+	TierRewrite   int64  `json:"tier_rewrite"`
+	TierHybrid    int64  `json:"tier_hybrid"`
+	TierProver    int64  `json:"tier_prover"`
+	TierFallbacks int64  `json:"tier_fallbacks"`
+	Version       string `json:"version"`
 }
 
 // shardWire is one certification shard's size on the wire.
@@ -351,6 +365,16 @@ func (s *Server) handleConsistentQuery(w http.ResponseWriter, r *http.Request) {
 	if req.Materialized {
 		opts = append(opts, hippo.WithMaterializedEvaluation())
 	}
+	switch req.Tier {
+	case "", "auto":
+	case "prover":
+		opts = append(opts, hippo.WithProverTier())
+	case "require-rewrite":
+		opts = append(opts, hippo.WithRequireRewriteTier())
+	default:
+		writeErr(w, CodeBadRequest, errors.New("unknown tier "+req.Tier))
+		return
+	}
 	var (
 		res *hippo.Result
 		st  *hippo.Stats
@@ -396,6 +420,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		ShardReclaims:  m.ShardReclaims,
 		Version:        hippo.Version,
 	}
+	tc := s.db.TierCounts()
+	resp.TierRewrite, resp.TierHybrid = tc.Rewrite, tc.Hybrid
+	resp.TierProver, resp.TierFallbacks = tc.Prover, tc.Fallbacks
 	if resp.Shards > 1 {
 		for _, si := range sys.ShardStats() {
 			resp.ShardSizes = append(resp.ShardSizes, shardWire{
@@ -470,12 +497,14 @@ func wireStats(st *hippo.Stats) *runStats {
 		return nil
 	}
 	return &runStats{
-		Epoch:      st.Epoch,
-		Candidates: st.Candidates,
-		Answers:    st.Answers,
-		CacheHits:  st.CacheHits,
-		CacheMiss:  st.CacheMisses,
-		Streamed:   st.Streamed,
-		TotalUS:    st.Total.Microseconds(),
+		Epoch:        st.Epoch,
+		Candidates:   st.Candidates,
+		Answers:      st.Answers,
+		CacheHits:    st.CacheHits,
+		CacheMiss:    st.CacheMisses,
+		Streamed:     st.Streamed,
+		TotalUS:      st.Total.Microseconds(),
+		Strategy:     st.Strategy,
+		TierFallback: st.TierFallback,
 	}
 }

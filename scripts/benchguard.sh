@@ -11,10 +11,12 @@
 # materialized baseline), E16 (the hippod HTTP serving tier:
 # connection sweep, deadline enforcement, drain/leak check), and E17
 # (component-sharded certification: GOMAXPROCS sweep, sharded vs
-# unsharded with in-harness answer equality), each run exactly once
-# (-benchtime=1x), plus the hippobench CLI path for the same experiments
-# at quick scale. The E12..E17 quick-scale tables are additionally
-# recorded to BENCH_E1x.json.
+# unsharded with in-harness answer equality), and E18 (tiered planner:
+# rewrite tier vs prover tier with in-harness answer equality and the
+# zero-certification invariant), each run exactly once (-benchtime=1x),
+# plus the hippobench CLI path for the same experiments at quick scale.
+# The E12..E18 quick-scale tables are additionally recorded to
+# BENCH_E1x.json.
 #
 # Knobs:
 #   BENCHGUARD_PROCS  comma-separated GOMAXPROCS sweep for the E17 record
@@ -29,7 +31,7 @@ echo "== build =="
 go build ./...
 
 echo "== bench wrappers (benchtime=1x) =="
-go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent|BenchmarkE12VerdictCache|BenchmarkE13BatchPipeline|BenchmarkE14DurableWrites|BenchmarkE15StreamingEval|BenchmarkE16ServerTier|BenchmarkE17ShardScaling)$' -benchtime=1x .
+go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent|BenchmarkE12VerdictCache|BenchmarkE13BatchPipeline|BenchmarkE14DurableWrites|BenchmarkE15StreamingEval|BenchmarkE16ServerTier|BenchmarkE17ShardScaling|BenchmarkE18TieredPlanner)$' -benchtime=1x .
 
 echo "== hippobench CLI (quick scale) =="
 for exp in e1 e10 e11; do
@@ -59,5 +61,9 @@ cat BENCH_E16.json
 echo "== E17 record (BENCH_E17.json, procs=${BENCHGUARD_PROCS:-1,2}) =="
 go run ./cmd/hippobench -exp e17 -scale quick -procs "${BENCHGUARD_PROCS:-1,2}" -json > BENCH_E17.json
 cat BENCH_E17.json
+
+echo "== E18 record (BENCH_E18.json) =="
+go run ./cmd/hippobench -exp e18 -scale quick -json > BENCH_E18.json
+cat BENCH_E18.json
 
 echo "benchguard: OK"
