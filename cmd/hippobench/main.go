@@ -1,4 +1,4 @@
-// Command hippobench runs the Hippo experiment suite (E1–E18 plus
+// Command hippobench runs the Hippo experiment suite (E1–E19 plus
 // ablations, see DESIGN.md §3) and prints each result as a Markdown table,
 // ready to paste into EXPERIMENTS.md.
 //
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment id: all, e1..e18, ablation-pruning, ablation-detection")
+		exp     = flag.String("exp", "all", "experiment id: all, e1..e19, ablation-pruning, ablation-detection")
 		scale   = flag.String("scale", "full", "preset scale: quick or full")
 		sizes   = flag.String("sizes", "", "comma-separated size override for sweeps (e.g. 1000,5000,20000)")
 		n       = flag.Int("n", 0, "fixed-size override for E4/E6/E7/E9/E10/E12")

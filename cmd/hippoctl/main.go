@@ -248,6 +248,10 @@ func execute(db *hippo.DB, out io.Writer, line string) bool {
 		fmt.Fprintf(out, "deltas-applied=%d edges-added=%d edges-removed=%d combinations=%d full-rebuilds=%d pending=%d\n",
 			m.DeltasApplied, m.EdgesAdded, m.EdgesRemoved, m.Combinations,
 			m.FullRebuilds, sys.PendingDeltas())
+		fmt.Fprintf(out, "maintainer: eager-folds=%d overflows=%d\n", m.EagerFolds, m.PendingOverflows)
+		if err := sys.MaintenanceHealth(); err != nil {
+			fmt.Fprintf(out, "maintenance-error: %v\n", err)
+		}
 		fmt.Fprintf(out, "epoch=%d views-published=%d views-reclaimed=%d slabs-reclaimed=%d\n",
 			sys.Epoch(), m.ViewsPublished, m.ViewsReclaimed, m.SlabsReclaimed)
 		fmt.Fprintf(out, "shards=%d migrations=%d shard-reclaims=%d\n",

@@ -100,6 +100,16 @@ type Options struct {
 	// layout is derived state, never persisted: a durable directory can be
 	// reopened with any K. Capped at core.MaxShards.
 	CertShards int
+	// ReplayWorkers caps the workers recovery uses to replay the WAL's
+	// committed batches in parallel (per-table commit order preserved;
+	// identical recovered state for every count). 0 defers to the
+	// HIPPO_REPLAY_WORKERS environment variable, then GOMAXPROCS; 1
+	// forces sequential replay. In-memory mode ignores it.
+	ReplayWorkers int
+	// WrapSyncer, when set, wraps every file the durable store opens for
+	// writing — a fault-injection hook for crash and degraded-maintenance
+	// testing (see wal.Options.WrapSyncer). Leave nil in production.
+	WrapSyncer func(name string, s wal.Syncer) wal.Syncer
 }
 
 // OpenOptions creates a Hippo database per o — in-memory when o.Dir is
@@ -115,6 +125,8 @@ func OpenOptions(o Options) (*DB, error) {
 		NoSync:          o.NoSync,
 		CheckpointBytes: o.CheckpointBytes,
 		Shards:          o.CertShards,
+		ReplayWorkers:   o.ReplayWorkers,
+		WrapSyncer:      o.WrapSyncer,
 	})
 	if err != nil {
 		return nil, err

@@ -245,6 +245,7 @@ func RunAll(w io.Writer, sc Scale) error {
 		E16ServerTier,
 		E17ShardScaling,
 		E18TieredPlanner,
+		E19MaintenancePlane,
 		AblationPruning,
 		AblationDetection,
 	}
@@ -260,7 +261,7 @@ func RunAll(w io.Writer, sc Scale) error {
 	return nil
 }
 
-// Run executes a single experiment by id ("e1".."e18", "ablation-pruning",
+// Run executes a single experiment by id ("e1".."e19", "ablation-pruning",
 // "ablation-detection").
 func Run(id string, sc Scale) (Table, error) {
 	switch strings.ToLower(id) {
@@ -300,6 +301,8 @@ func Run(id string, sc Scale) (Table, error) {
 		return E17ShardScaling(sc)
 	case "e18", "tier", "tiered":
 		return E18TieredPlanner(sc)
+	case "e19", "maintenance", "maint":
+		return E19MaintenancePlane(sc)
 	case "ablation-pruning":
 		return AblationPruning(sc)
 	case "ablation-detection":

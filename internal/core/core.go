@@ -173,6 +173,12 @@ type MaintenanceStats struct {
 	// was released. Both stay 0 in the unsharded (K=1) configuration.
 	Migrations    int64
 	ShardReclaims int64
+	// EagerFolds counts view publications performed by the background
+	// maintainer off the query path (see maintain.go); PendingOverflows
+	// counts delta-queue overflows that discarded the queue and forced a
+	// full re-detection (see maxPendingDeltas).
+	EagerFolds       int64
+	PendingOverflows int64
 	// Cache is the verdict cache's lifetime counters, snapshotted at the
 	// view's publication (System.CacheStats reads them live).
 	Cache verdictcache.Stats
@@ -188,6 +194,8 @@ func (m MaintenanceStats) Sub(o MaintenanceStats) MaintenanceStats {
 		SlabsReclaimed:   m.SlabsReclaimed - o.SlabsReclaimed,
 		Migrations:       m.Migrations - o.Migrations,
 		ShardReclaims:    m.ShardReclaims - o.ShardReclaims,
+		EagerFolds:       m.EagerFolds - o.EagerFolds,
+		PendingOverflows: m.PendingOverflows - o.PendingOverflows,
 		Cache:            m.Cache.Sub(o.Cache),
 	}
 }
@@ -290,6 +298,21 @@ type System struct {
 	ckptStop  chan struct{}
 	ckptDone  chan struct{}
 	ckptFail  atomic.Pointer[errBox]
+
+	// The background maintainer (see maintain.go) drains queued DML
+	// deltas into the hypergraph off the query path, nudged by the change
+	// feed (foldCh) and stopped by Close (foldStop/foldDone). foldOff
+	// pauses it (tests and baseline benchmarks). The counters and the
+	// parked fold error are atomics: the change-feed callbacks that tick
+	// them run under the engine write sequencer and must not take mu.
+	foldCh     chan struct{}
+	foldStop   chan struct{}
+	foldDone   chan struct{}
+	foldOff    atomic.Bool
+	eagerFolds atomic.Int64
+	overflows  atomic.Int64
+	maintFail  atomic.Pointer[errBox]
+	closeOnce  sync.Once
 }
 
 // errBox wraps an error for atomic storage.
@@ -326,9 +349,13 @@ func NewSystemShards(db *engine.DB, cs []constraint.Constraint, shards int) *Sys
 		pins:        make(map[uint64]int),
 		vcache:      verdictcache.New(0),
 		tiers:       cqaplan.NewCache(),
+		foldCh:      make(chan struct{}, 1),
+		foldStop:    make(chan struct{}),
+		foldDone:    make(chan struct{}),
 	}
 	s.stale.Store(true)
 	db.AddListener(s)
+	go s.maintainLoop()
 	return s
 }
 
@@ -346,29 +373,34 @@ func (s *System) ShardStats() []conflict.ShardInfo {
 	return s.hg.ShardStats()
 }
 
-// Close unsubscribes the system from the database's change feed, drops
-// any queued deltas, and — for durable systems — stops the automatic
-// checkpointer (letting it take a final checkpoint if one is due),
-// detaches the commit log, and seals the WAL. An automatic-checkpoint
-// failure nobody collected yet is returned here rather than dropped. The
-// system must not be queried afterwards.
+// Close unsubscribes the system from the database's change feed, stops
+// the background maintainer, drops any queued deltas, and — for durable
+// systems — stops the automatic checkpointer (letting it take a final
+// checkpoint if one is due), detaches the commit log (stopping the
+// engine's commit worker), and seals the WAL. An automatic-checkpoint
+// failure nobody collected yet is returned here rather than dropped.
+// Close is idempotent; the system must not be queried afterwards.
 func (s *System) Close() error {
-	s.db.RemoveListener(s)
 	var err error
-	if s.store != nil {
-		if s.ckptStop != nil {
-			close(s.ckptStop)
-			<-s.ckptDone
+	s.closeOnce.Do(func() {
+		s.db.RemoveListener(s)
+		close(s.foldStop)
+		<-s.foldDone
+		if s.store != nil {
+			if s.ckptStop != nil {
+				close(s.ckptStop)
+				<-s.ckptDone
+			}
+			s.db.SetCommitLog(nil)
+			err = s.store.Close()
+			if cerr := s.TakeCheckpointError(); cerr != nil && err == nil {
+				err = cerr
+			}
 		}
-		s.db.SetCommitLog(nil)
-		err = s.store.Close()
-		if cerr := s.TakeCheckpointError(); cerr != nil && err == nil {
-			err = cerr
-		}
-	}
-	s.qmu.Lock()
-	defer s.qmu.Unlock()
-	s.pending = nil
+		s.qmu.Lock()
+		defer s.qmu.Unlock()
+		s.pending = nil
+	})
 	return err
 }
 
@@ -444,8 +476,9 @@ func (s *System) invalidateLocked() {
 
 // maxPendingDeltas caps the delta queue. Past it, a bulk load is under
 // way and one full re-detection is both cheaper than replaying the queue
-// probe by probe and O(1) in queued memory.
-const maxPendingDeltas = 65536
+// probe by probe and O(1) in queued memory. A variable so overflow tests
+// can force the path without queueing 64k deltas.
+var maxPendingDeltas = 65536
 
 // DataChanged queues a DML delta for incremental application. It
 // implements engine.ChangeListener.
@@ -455,6 +488,7 @@ func (s *System) DataChanged(table string, ch storage.Change) {
 		if len(s.pending) >= maxPendingDeltas {
 			s.needFull = true
 			s.pending = nil
+			s.overflows.Add(1)
 		} else {
 			s.pending = append(s.pending, conflict.Delta{Table: table, Change: ch})
 		}
@@ -462,6 +496,7 @@ func (s *System) DataChanged(table string, ch storage.Change) {
 	s.qmu.Unlock()
 	s.stale.Store(true)
 	s.nudgeCheckpointer()
+	s.nudgeFolder()
 }
 
 // DataBatch queues a committed batch's coalesced change feed in one lock
@@ -475,6 +510,7 @@ func (s *System) DataBatch(changes []storage.TableChange) {
 		if len(s.pending)+len(changes) > maxPendingDeltas {
 			s.needFull = true
 			s.pending = nil
+			s.overflows.Add(1)
 		} else {
 			for _, tc := range changes {
 				s.pending = append(s.pending, conflict.Delta{Table: tc.Table, Change: tc.Change})
@@ -484,6 +520,7 @@ func (s *System) DataBatch(changes []storage.TableChange) {
 	s.qmu.Unlock()
 	s.stale.Store(true)
 	s.nudgeCheckpointer()
+	s.nudgeFolder()
 }
 
 // SchemaChanged schedules a full re-detection: DDL changes the relation
@@ -584,6 +621,8 @@ func (s *System) Maintenance() MaintenanceStats {
 	defer s.mu.RUnlock()
 	m := s.maint
 	m.Cache = s.vcache.Stats()
+	m.EagerFolds = s.eagerFolds.Load()
+	m.PendingOverflows = s.overflows.Load()
 	return m
 }
 
@@ -697,6 +736,8 @@ func (s *System) refreshViewLocked() (*queryView, error) {
 	s.maint.ViewsPublished++
 	s.maint.Migrations = s.hg.Migrations()
 	s.maint.ShardReclaims = s.hg.Reclamations()
+	s.maint.EagerFolds = s.eagerFolds.Load()
+	s.maint.PendingOverflows = s.overflows.Load()
 	v := &queryView{
 		epoch:      s.epoch,
 		snap:       snap,
@@ -1470,7 +1511,7 @@ func FormatStats(st *Stats) string {
 			"membership-checks=%d disjuncts=%d blocker-choices=%d engine-queries=%d\n"+
 			"hypergraph: edges=%d conflicting-tuples=%d max-degree=%d components=%d max-component=%d\n"+
 			"verdict-cache: hits=%d misses=%d entries=%d invalidated=%d\n"+
-			"maintenance: deltas=%d edges+%d edges-%d full-rebuilds=%d migrations=%d shard-reclaims=%d\n"+
+			"maintenance: deltas=%d edges+%d edges-%d full-rebuilds=%d migrations=%d shard-reclaims=%d eager-folds=%d overflows=%d\n"+
 			"snapshots: published=%d reclaimed=%d slabs-reclaimed=%d",
 		st.Strategy, st.Classify, st.TierFallback, reasons,
 		st.Tiers.Rewrite, st.Tiers.Hybrid, st.Tiers.Prover, st.Tiers.Fallbacks,
@@ -1486,6 +1527,7 @@ func FormatStats(st *Stats) string {
 		st.Maintenance.DeltasApplied, st.Maintenance.EdgesAdded,
 		st.Maintenance.EdgesRemoved, st.Maintenance.FullRebuilds,
 		st.Maintenance.Migrations, st.Maintenance.ShardReclaims,
+		st.Maintenance.EagerFolds, st.Maintenance.PendingOverflows,
 		st.Maintenance.ViewsPublished, st.Maintenance.ViewsReclaimed,
 		st.Maintenance.SlabsReclaimed)
 }

@@ -12,11 +12,14 @@ import (
 
 // CommitLog is the engine's durability hook: when attached, every commit
 // is appended — and synced — before its change feed reaches any listener
-// or its DDL notification fires, all while the write sequencer is still
-// held. A batch is therefore atomic on disk exactly when it is atomic in
-// published views, and an append failure turns into an error on the write
-// call (with the in-memory effects rolled back) rather than a silent loss
-// of durability. internal/wal.Store implements it.
+// or its DDL notification fires, with delivery always under the write
+// sequencer. A batch is therefore atomic on disk exactly when it is
+// atomic in published views, and an append failure turns into an error on
+// the write call (with the in-memory effects rolled back) rather than a
+// silent loss of durability. A log that also implements GroupCommitLog
+// (internal/wal.Store does) gets the async commit pipeline: the fsync
+// wait moves off the sequencer so concurrent committers share group
+// fsyncs; a plain CommitLog keeps the inline synchronous path.
 type CommitLog interface {
 	// AppendBatch durably logs one committed atomic batch: the coalesced
 	// change feed of a group commit or of a single DML statement.
@@ -26,19 +29,23 @@ type CommitLog interface {
 }
 
 // SetCommitLog attaches (or, with nil, detaches) the durability hook. It
-// waits for in-flight writes, so recovery can replay into the database and
-// only then start logging new commits.
+// waits for in-flight writes and drains the async commit pipeline, so
+// recovery can replay into the database and only then start logging new
+// commits; detaching also stops the pipeline's commit-worker goroutine.
 func (db *DB) SetCommitLog(l CommitLog) {
-	db.wseq.Lock()
+	db.lockExclusive()
 	defer db.wseq.Unlock()
 	db.clog = l
+	if l == nil {
+		db.stopCommitWorker()
+	}
 }
 
 // AdoptTable registers a checkpoint-restored table and subscribes it to
 // the change feed. Recovery-only: the caller guarantees no listener or
 // commit log is attached yet, so adoption is silent.
 func (db *DB) AdoptTable(t *storage.Table) error {
-	db.wseq.Lock()
+	db.lockExclusive()
 	defer db.wseq.Unlock()
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -84,14 +91,16 @@ func typeName(k value.Kind) string {
 // delivered too — mirroring exactly what the in-memory tables now hold —
 // but if the log itself fails, the statement's effects are rolled back and
 // the write reports the durability error. The caller holds the write
-// sequencer.
+// sequencer; execLogged releases it (via commitRelease) so the fsync wait
+// overlaps with other committers.
 func (db *DB) execLogged(run func(feed *[]storage.TableChange) (int, error)) (int, error) {
 	var feed []storage.TableChange
 	n, runErr := run(&feed)
 	if len(feed) == 0 {
+		db.wseq.Unlock()
 		return n, runErr
 	}
-	if err := db.commitLogged(feed, feed); err != nil {
+	if err := db.commitRelease(feed, feed); err != nil {
 		// Surface both failures: the durability error (nothing committed)
 		// and, when the statement itself also failed, its own error.
 		return 0, errors.Join(err, runErr)

@@ -69,13 +69,25 @@ type DB struct {
 	// feed is delivered; guarded by wseq (see SetCommitLog).
 	clog CommitLog
 
+	// Async commit pipeline (see commit.go): commits enqueued under wseq,
+	// resolved and delivered in order by a single worker goroutine.
+	cmu       sync.Mutex
+	ccond     *sync.Cond // signals queue growth, drain progress, and stop
+	cqueue    []*pendingCommit
+	cinflight int  // enqueued but not yet delivered and acked
+	cworker   bool // worker goroutine running
+	cstop     bool
+	cdone     chan struct{}
+
 	lmu       sync.RWMutex
 	listeners []ChangeListener
 }
 
 // New creates an empty database.
 func New() *DB {
-	return &DB{tables: make(map[string]*storage.Table)}
+	db := &DB{tables: make(map[string]*storage.Table)}
+	db.ccond = sync.NewCond(&db.cmu)
+	return db
 }
 
 // AddListener subscribes l to the change feed of every current and future
@@ -163,12 +175,12 @@ func (db *DB) Relation(name string) (storage.Relation, error) {
 
 // FreezeWrites blocks every engine writer (DML and DDL) until the
 // returned release function is called. While frozen, no write is in
-// flight and every completed write's change-feed delta has been
-// delivered, so the caller can drain derived state and snapshot tables at
-// one consistent cut. The Hippo core uses it when publishing a query
-// view.
+// flight, the async commit pipeline is drained, and every completed
+// write's change-feed delta has been delivered, so the caller can drain
+// derived state and snapshot tables at one consistent cut. The Hippo
+// core uses it when publishing a query view.
 func (db *DB) FreezeWrites() (release func()) {
-	db.wseq.Lock()
+	db.lockExclusive()
 	return db.wseq.Unlock
 }
 
@@ -188,7 +200,9 @@ func (db *DB) TableNames() []string {
 // commit log attached, the registration is durably logged before it is
 // announced; a log failure unregisters the table and reports the error.
 func (db *DB) CreateTable(name string, s schema.Schema) (*storage.Table, error) {
-	db.wseq.Lock()
+	// DDL is a pipeline barrier (lockExclusive): its log record and schema
+	// notification must order after every data commit already enqueued.
+	db.lockExclusive()
 	defer db.wseq.Unlock()
 	key := strings.ToLower(name)
 	db.mu.RLock()
@@ -274,7 +288,7 @@ func (db *DB) ExecStmtContext(ctx context.Context, st sqlparse.Statement) (*Resu
 		// would let a concurrent DROP TABLE log its record ahead of this
 		// statement's, leaving a dangling CREATE INDEX in the log that
 		// recovery could never replay.
-		db.wseq.Lock()
+		db.lockExclusive()
 		defer db.wseq.Unlock()
 		t, err := db.Table(s.Table)
 		if err != nil {
@@ -300,7 +314,7 @@ func (db *DB) ExecStmtContext(ctx context.Context, st sqlparse.Statement) (*Resu
 		}
 		return nil, 0, nil
 	case *sqlparse.DropTable:
-		db.wseq.Lock()
+		db.lockExclusive()
 		defer db.wseq.Unlock()
 		key := strings.ToLower(s.Name)
 		db.mu.RLock()
@@ -400,8 +414,8 @@ func (db *DB) RunPlanRaw(plan ra.Node) (*Result, error) {
 
 func (db *DB) execInsert(ctx context.Context, s *sqlparse.Insert) (int, error) {
 	db.wseq.Lock()
-	defer db.wseq.Unlock()
 	if db.clog == nil {
+		defer db.wseq.Unlock()
 		return db.execInsertFrozen(ctx, s, nil)
 	}
 	return db.execLogged(func(feed *[]storage.TableChange) (int, error) {
@@ -477,8 +491,8 @@ func (db *DB) execInsertFrozen(ctx context.Context, s *sqlparse.Insert, feed *[]
 
 func (db *DB) execDelete(ctx context.Context, s *sqlparse.Delete) (int, error) {
 	db.wseq.Lock()
-	defer db.wseq.Unlock()
 	if db.clog == nil {
+		defer db.wseq.Unlock()
 		return db.execDeleteFrozen(ctx, s, nil)
 	}
 	return db.execLogged(func(feed *[]storage.TableChange) (int, error) {
@@ -600,7 +614,6 @@ func (db *DB) ApplyBatchContext(ctx context.Context, stmts []sqlparse.Statement)
 		}
 	}
 	db.wseq.Lock()
-	defer db.wseq.Unlock()
 	feed := make([]storage.TableChange, 0, len(stmts))
 	affected := make([]int, len(stmts))
 	for i, st := range stmts {
@@ -623,6 +636,7 @@ func (db *DB) ApplyBatchContext(ctx context.Context, stmts []sqlparse.Statement)
 				db.notifySchema("batch rollback failure")
 				err = fmt.Errorf("%w (rollback incomplete, derived state rebuilt: %v)", err, rbErr)
 			}
+			db.wseq.Unlock()
 			return nil, &BatchError{Index: i, Err: err}
 		}
 		affected[i] = n
@@ -630,8 +644,9 @@ func (db *DB) ApplyBatchContext(ctx context.Context, stmts []sqlparse.Statement)
 	// Commit point: with a log attached, the batch must be durable before
 	// any listener (and hence any published view) can observe it. A log
 	// failure rolls the whole batch back — never a prefix on disk, never a
-	// prefix in memory.
-	if err := db.commitLogged(feed, storage.CoalesceChanges(feed)); err != nil {
+	// prefix in memory. commitRelease releases the sequencer: the fsync
+	// wait happens outside it so concurrent batches share group commits.
+	if err := db.commitRelease(feed, storage.CoalesceChanges(feed)); err != nil {
 		return nil, err
 	}
 	return affected, nil

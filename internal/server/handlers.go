@@ -94,11 +94,17 @@ type statsResponse struct {
 	ShardReclaims int64       `json:"shard_reclaims,omitempty"`
 	ShardSizes    []shardWire `json:"shard_sizes,omitempty"`
 	// Lifetime counts of consistent queries answered per planner tier.
-	TierRewrite   int64  `json:"tier_rewrite"`
-	TierHybrid    int64  `json:"tier_hybrid"`
-	TierProver    int64  `json:"tier_prover"`
-	TierFallbacks int64  `json:"tier_fallbacks"`
-	Version       string `json:"version"`
+	TierRewrite   int64 `json:"tier_rewrite"`
+	TierHybrid    int64 `json:"tier_hybrid"`
+	TierProver    int64 `json:"tier_prover"`
+	TierFallbacks int64 `json:"tier_fallbacks"`
+	// Maintenance plane: background view publications, delta-queue
+	// overflows, and the sticky maintenance error (empty when healthy;
+	// /health reports "degraded" while it is set).
+	EagerFolds       int64  `json:"eager_folds"`
+	PendingOverflows int64  `json:"pending_overflows,omitempty"`
+	MaintenanceError string `json:"maintenance_error,omitempty"`
+	Version          string `json:"version"`
 }
 
 // shardWire is one certification shard's size on the wire.
@@ -245,6 +251,18 @@ func (s *Server) handleAddFD(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeErr(w, CodeDraining, ErrDraining)
+		return
+	}
+	// Degraded, not down: queries still serve, but background maintenance
+	// (checkpointing or folding) is failing. Without this probe a
+	// read-mostly deployment would never learn — the parked error is
+	// otherwise only drained by a later write.
+	if err := s.db.System().MaintenanceHealth(); err != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status":      "degraded",
+			"epoch":       s.db.System().Epoch(),
+			"maintenance": err.Error(),
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -405,20 +423,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	sys := s.db.System()
 	m := sys.Maintenance()
 	resp := statsResponse{
-		Epoch:          sys.Epoch(),
-		Sessions:       s.sessionCount(),
-		InFlight:       len(s.sem),
-		MaxInFlight:    cap(s.sem),
-		Draining:       s.draining.Load(),
-		Durable:        sys.Durable(),
-		Edges:          sys.GraphStats().Edges,
-		ViewsPublished: m.ViewsPublished,
-		ViewsReclaimed: m.ViewsReclaimed,
-		SlabsReclaimed: m.SlabsReclaimed,
-		Shards:         sys.Shards(),
-		Migrations:     m.Migrations,
-		ShardReclaims:  m.ShardReclaims,
-		Version:        hippo.Version,
+		Epoch:            sys.Epoch(),
+		Sessions:         s.sessionCount(),
+		InFlight:         len(s.sem),
+		MaxInFlight:      cap(s.sem),
+		Draining:         s.draining.Load(),
+		Durable:          sys.Durable(),
+		Edges:            sys.GraphStats().Edges,
+		ViewsPublished:   m.ViewsPublished,
+		ViewsReclaimed:   m.ViewsReclaimed,
+		SlabsReclaimed:   m.SlabsReclaimed,
+		Shards:           sys.Shards(),
+		Migrations:       m.Migrations,
+		ShardReclaims:    m.ShardReclaims,
+		EagerFolds:       m.EagerFolds,
+		PendingOverflows: m.PendingOverflows,
+		Version:          hippo.Version,
+	}
+	if err := sys.MaintenanceHealth(); err != nil {
+		resp.MaintenanceError = err.Error()
 	}
 	tc := s.db.TierCounts()
 	resp.TierRewrite, resp.TierHybrid = tc.Rewrite, tc.Hybrid

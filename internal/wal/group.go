@@ -1,0 +1,182 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"hippo/internal/storage"
+)
+
+// Group commit: concurrent committers enqueue their framed record and
+// block on a Ticket; a single log-writer goroutine drains the queue,
+// writes every queued frame in one buffer, and issues ONE fsync for the
+// whole group, acking all waiters at once. A lone committer pays exactly
+// the old append+fsync cost (a group of one); N concurrent committers
+// share one fsync instead of paying N.
+//
+// Failure is all-or-nothing per group: if the group's write or fsync
+// fails, the store turns sticky-failed, the segment is truncated back to
+// the group's start offset — so no commit that was reported failed can
+// resurrect as committed after a restart — and every waiter in the group
+// receives the error. Queue order is ack order, so a caller that
+// enqueues records in commit order observes WAL order == commit order.
+
+// commitReq is one enqueued append awaiting the log writer.
+type commitReq struct {
+	payload []byte
+	done    chan error
+}
+
+// Ticket is a pending group-commit append. Wait blocks until the group's
+// fsync resolves and reports whether the record is durable; it is
+// idempotent (repeated calls return the same verdict).
+type Ticket struct {
+	once sync.Once
+	err  error
+	done chan error
+}
+
+// Wait blocks until the append's group commits (or fails) and returns
+// the outcome. A nil error means the record — and every record queued
+// before it — is durably on disk.
+func (t *Ticket) Wait() error {
+	t.once.Do(func() { t.err = <-t.done })
+	return t.err
+}
+
+var errStoreClosed = errors.New("wal: store is closed")
+
+// beginAppend enqueues one framed payload for the log writer and returns
+// its ticket. The sticky-failure and closed checks happen both here (fast
+// fail) and again when the writer picks the group up.
+func (s *Store) beginAppend(payload []byte) *Ticket {
+	t := &Ticket{done: make(chan error, 1)}
+	s.mu.Lock()
+	if s.seg == nil || s.closing {
+		s.mu.Unlock()
+		t.done <- errStoreClosed
+		return t
+	}
+	if s.failed != nil {
+		err := fmt.Errorf("wal: log failed earlier: %w", s.failed)
+		s.mu.Unlock()
+		t.done <- err
+		return t
+	}
+	s.queue = append(s.queue, &commitReq{payload: payload, done: t.done})
+	s.mu.Unlock()
+	select {
+	case s.kick <- struct{}{}:
+	default: // a wake-up is already pending
+	}
+	return t
+}
+
+// BeginAppendBatch enqueues one committed atomic batch for group commit
+// and returns immediately; the caller waits on the ticket after releasing
+// whatever lock ordered the enqueue. It satisfies the engine's optional
+// group-commit log interface: the engine enqueues under its write
+// sequencer (fixing WAL order == commit order) and waits outside it, so
+// concurrent committers coalesce into shared fsyncs.
+func (s *Store) BeginAppendBatch(feed []storage.TableChange) *Ticket {
+	return s.beginAppend(encodeBatch(feed))
+}
+
+// writerLoop is the single log writer: it drains every queued request as
+// one group per wake-up. On shutdown any stragglers still queued are
+// failed — their committers were never acked, so nothing is lost.
+func (s *Store) writerLoop() {
+	defer close(s.writerDone)
+	for {
+		select {
+		case <-s.writerStop:
+			s.mu.Lock()
+			s.failQueuedLocked(errStoreClosed)
+			s.mu.Unlock()
+			return
+		case <-s.kick:
+		}
+		s.commitQueued()
+	}
+}
+
+// commitQueued writes and syncs everything queued as one group. The
+// store lock is released for the write+fsync window: committers must be
+// able to enqueue the NEXT group while this one's fsync is in flight —
+// that overlap is the entire point of group commit (holding mu here would
+// serialize every commit one fsync apart). The window is safe because
+// only this goroutine writes the segment, and everything else that
+// touches it (rotation, checkpointing, Close's seal) first drains the
+// commit pipeline, so no group can be in flight when they run.
+func (s *Store) commitQueued() {
+	s.mu.Lock()
+	batch := s.queue
+	s.queue = nil
+	if len(batch) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	if s.seg == nil || s.closing {
+		s.mu.Unlock()
+		ackAll(batch, errStoreClosed)
+		return
+	}
+	if s.failed != nil {
+		err := fmt.Errorf("wal: log failed earlier: %w", s.failed)
+		s.mu.Unlock()
+		ackAll(batch, err)
+		return
+	}
+	size := 0
+	for _, r := range batch {
+		size += frameHeaderLen + len(r.payload)
+	}
+	buf := make([]byte, 0, size)
+	for _, r := range batch {
+		buf = appendFrame(buf, r.payload)
+	}
+	seg := s.seg
+	s.mu.Unlock()
+
+	_, err := seg.Write(buf)
+	if err == nil {
+		err = s.sync(seg)
+	}
+
+	s.mu.Lock()
+	if err != nil {
+		s.failGroupLocked(batch, err)
+		s.mu.Unlock()
+		return
+	}
+	// The group is durable: advance the segment length and ack every
+	// waiter. segBytes stays at the group's start until this point, so a
+	// failed group truncates as a unit (see failGroupLocked).
+	s.segBytes += int64(len(buf))
+	s.mu.Unlock()
+	ackAll(batch, nil)
+}
+
+// failGroupLocked handles a failed group write or fsync: the store turns
+// sticky-failed, the segment is truncated back to the group's start —
+// every commit in the group was reported failed, so none of its bytes may
+// survive to resurrect on the next open — and all waiters get the error.
+func (s *Store) failGroupLocked(batch []*commitReq, err error) {
+	s.failed = err
+	s.truncateTailLocked()
+	ackAll(batch, err)
+}
+
+// failQueuedLocked acks every still-queued request with err; used on
+// shutdown, when the writer will never process them.
+func (s *Store) failQueuedLocked(err error) {
+	ackAll(s.queue, err)
+	s.queue = nil
+}
+
+func ackAll(batch []*commitReq, err error) {
+	for _, r := range batch {
+		r.done <- err
+	}
+}

@@ -11,11 +11,14 @@
 # materialized baseline), E16 (the hippod HTTP serving tier:
 # connection sweep, deadline enforcement, drain/leak check), and E17
 # (component-sharded certification: GOMAXPROCS sweep, sharded vs
-# unsharded with in-harness answer equality), and E18 (tiered planner:
+# unsharded with in-harness answer equality), E18 (tiered planner:
 # rewrite tier vs prover tier with in-harness answer equality and the
-# zero-certification invariant), each run exactly once (-benchtime=1x),
+# zero-certification invariant), and E19 (async maintenance plane:
+# group-commit fsync sharing, off-query-path delta folding, parallel WAL
+# replay with in-harness state equality), each run exactly once
+# (-benchtime=1x),
 # plus the hippobench CLI path for the same experiments at quick scale.
-# The E12..E18 quick-scale tables are additionally recorded to
+# The E12..E19 quick-scale tables are additionally recorded to
 # BENCH_E1x.json.
 #
 # Knobs:
@@ -31,7 +34,7 @@ echo "== build =="
 go build ./...
 
 echo "== bench wrappers (benchtime=1x) =="
-go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent|BenchmarkE12VerdictCache|BenchmarkE13BatchPipeline|BenchmarkE14DurableWrites|BenchmarkE15StreamingEval|BenchmarkE16ServerTier|BenchmarkE17ShardScaling|BenchmarkE18TieredPlanner)$' -benchtime=1x .
+go test -run '^$' -bench '^(BenchmarkE1MoreInformation|BenchmarkE10Incremental|BenchmarkE11Concurrent|BenchmarkE12VerdictCache|BenchmarkE13BatchPipeline|BenchmarkE14DurableWrites|BenchmarkE15StreamingEval|BenchmarkE16ServerTier|BenchmarkE17ShardScaling|BenchmarkE18TieredPlanner|BenchmarkE19MaintenancePlane)$' -benchtime=1x .
 
 echo "== hippobench CLI (quick scale) =="
 for exp in e1 e10 e11; do
@@ -65,5 +68,9 @@ cat BENCH_E17.json
 echo "== E18 record (BENCH_E18.json) =="
 go run ./cmd/hippobench -exp e18 -scale quick -json > BENCH_E18.json
 cat BENCH_E18.json
+
+echo "== E19 record (BENCH_E19.json) =="
+go run ./cmd/hippobench -exp e19 -scale quick -json > BENCH_E19.json
+cat BENCH_E19.json
 
 echo "benchguard: OK"
